@@ -1,0 +1,59 @@
+// Command batchsweep regenerates the introduction's round-granularity
+// analysis: longer rounds batch more simultaneous auctions (more sharing,
+// fewer aggregation ops per auction) at the price of higher user-perceived
+// latency. The paper cites tolerance thresholds of 2.2 s (fine) and 3.6 s
+// (too long); the sweep reports the longest tolerable round.
+//
+// Usage:
+//
+//	batchsweep [-vars 100] [-phrases 16] [-qps 2.5] [-sim 300] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"sharedwd/internal/batching"
+	"sharedwd/internal/plan"
+)
+
+func main() {
+	vars := flag.Int("vars", 100, "number of advertisers")
+	phrases := flag.Int("phrases", 16, "number of bid phrases")
+	qps := flag.Float64("qps", 2.5, "mean arrivals per second per phrase")
+	sim := flag.Float64("sim", 300, "simulated seconds per round length")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	inst := plan.RandomCoinFlipInstance(rng, *vars, *phrases, 1)
+	arrivals := make([]float64, *phrases)
+	for q := range arrivals {
+		// Zipf-ish decay around the configured mean.
+		arrivals[q] = *qps * 2 / float64(q+1)
+	}
+	cfg := batching.Config{
+		ArrivalsPerSecond: arrivals,
+		Instance:          inst,
+		WDSecondsPerOp:    1e-6,
+		SimSeconds:        *sim,
+		Seed:              *seed,
+	}
+	lengths := []float64{0.125, 0.25, 0.5, 2.0 / 3.0, 1.0, 2.0, 4.0, 8.0}
+	points := batching.Sweep(cfg, lengths)
+
+	fmt.Println("# Round batching: latency vs sharing tradeoff (paper §I)")
+	fmt.Println("round_s\tmedian_lat_s\tp95_lat_s\tauctions/round\tops/auction\tsharing_saving%")
+	for _, p := range points {
+		fmt.Printf("%.3f\t%.3f\t%.3f\t%.2f\t%.1f\t%.1f\n",
+			p.RoundSeconds, p.MedianLatencySeconds, p.P95LatencySeconds,
+			p.AuctionsPerRound, p.OpsPerAuction, 100*p.SharingSaving)
+	}
+	if best := batching.MaxTolerableRound(points); best > 0 {
+		fmt.Printf("# longest round with median latency ≤ %.1fs: %.3fs\n",
+			batching.ToleranceMedian, best)
+	} else {
+		fmt.Println("# no swept round length meets the latency tolerance")
+	}
+}

@@ -1,0 +1,94 @@
+// Command fig4 regenerates Figure 4 of the paper: expected plan cost versus
+// query probability for shared top-k aggregation plans, on the paper's
+// construction of 10 top-k queries over 20 advertisers with coin-flip
+// membership.
+//
+// For each query probability sr on the sweep it reports, averaged over
+// independently drawn instances: the expected per-round cost (number of
+// aggregation nodes materialized) of the unshared plan, the fragment-only
+// plan (stage 1 of the heuristic), and the full shared plan — both from the
+// closed-form cost model and from Monte-Carlo round simulation, which agree.
+//
+// Usage:
+//
+//	fig4 [-vars 20] [-queries 10] [-instances 64] [-seed 1] [-mc 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/stats"
+	"sharedwd/internal/topk"
+)
+
+func main() {
+	vars := flag.Int("vars", 20, "number of advertisers (paper: 20)")
+	queries := flag.Int("queries", 10, "number of top-k queries (paper: 10)")
+	instances := flag.Int("instances", 64, "random instances to average over")
+	seed := flag.Int64("seed", 1, "random seed")
+	mcRounds := flag.Int("mc", 0, "Monte-Carlo rounds per point (0 = closed form only)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	insts := make([]*plan.Instance, *instances)
+	for i := range insts {
+		insts[i] = plan.RandomCoinFlipInstance(rng, *vars, *queries, 1)
+	}
+
+	fmt.Printf("# Figure 4: expected plan cost vs query probability\n")
+	fmt.Printf("# %d top-k queries over %d advertisers, coin-flip membership, %d instances\n",
+		*queries, *vars, *instances)
+	header := "sr\tnaive\tfragments\tshared\tsaving%"
+	if *mcRounds > 0 {
+		header += "\tshared_mc"
+	}
+	fmt.Println(header)
+
+	for _, sr := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		var naive, frag, shared, sharedMC stats.Summary
+		for _, base := range insts {
+			inst := base.UniformRates(sr)
+			n := plan.NaivePlan(inst)
+			f := sharedagg.BuildFragmentOnly(inst)
+			s := sharedagg.Build(inst)
+			naive.Add(n.ExpectedCost())
+			frag.Add(f.ExpectedCost())
+			shared.Add(s.ExpectedCost())
+			if *mcRounds > 0 {
+				sharedMC.Add(simulate(rng, inst, s, *mcRounds))
+			}
+		}
+		saving := 100 * (1 - shared.Mean()/naive.Mean())
+		row := fmt.Sprintf("%.2f\t%.2f\t%.2f\t%.2f\t%.1f", sr, naive.Mean(), frag.Mean(), shared.Mean(), saving)
+		if *mcRounds > 0 {
+			row += fmt.Sprintf("\t%.2f", sharedMC.Mean())
+		}
+		fmt.Println(row)
+	}
+	if *mcRounds > 0 {
+		fmt.Fprintln(os.Stderr, "shared_mc: Monte-Carlo validation of the closed-form cost model")
+	}
+}
+
+// simulate executes the plan over Monte-Carlo rounds and returns the mean
+// number of materialized aggregation nodes per round.
+func simulate(rng *rand.Rand, inst *plan.Instance, p *plan.Plan, rounds int) float64 {
+	occurring := make([]bool, len(inst.Queries))
+	leaf := func(v int) *topk.List {
+		return topk.FromEntries(4, topk.Entry{ID: v, Score: float64(v)})
+	}
+	total := 0
+	for r := 0; r < rounds; r++ {
+		for qi, q := range inst.Queries {
+			occurring[qi] = rng.Float64() < q.Rate
+		}
+		_, mat := plan.Execute(p, leaf, topk.Merge, occurring)
+		total += mat
+	}
+	return float64(total) / float64(rounds)
+}

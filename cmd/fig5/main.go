@@ -1,0 +1,57 @@
+// Command fig5 regenerates Figure 5 of the paper: the complexity of finding
+// an optimal shared aggregation plan as a function of the algebraic axioms
+// the ⊕ operator satisfies (A1 associativity, A2 identity, A3 idempotence,
+// A4 commutativity, A5 divisibility).
+//
+// For every row it prints the paper's claimed complexity class together
+// with the result of an empirical check run by this library: the PTIME rows
+// are realized by the hash-consing planner (verified correct against direct
+// evaluation under a representative operator of exactly that axiom profile),
+// the O(1) rows by the degenerate-algebra argument, and the NP-complete
+// rows by solving the Theorem-2 set-cover reduction with the exponential
+// exact planner.
+//
+// With -timing, it additionally demonstrates the exponential scaling of the
+// exact planner against the polynomial heuristic on the semilattice row.
+//
+// Usage:
+//
+//	fig5 [-seed 1] [-timing]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	timing := flag.Bool("timing", false, "also time exact vs heuristic planning on the NP-hard row")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Println("# Figure 5: complexity of optimal shared aggregation by axiom profile")
+	fmt.Print(plan.FormatFig5(rng))
+
+	if !*timing {
+		return
+	}
+	fmt.Println("\n# Exact (exponential) vs heuristic (polynomial) planning, semilattice row")
+	fmt.Println("vars\tqueries\texact_cost\texact_time\theuristic_cost\theuristic_time")
+	for _, n := range []int{4, 5, 6, 7, 8} {
+		inst := plan.RandomCoinFlipInstance(rng, n, 3, 1)
+		start := time.Now()
+		exact := plan.ExactMinTotalCost(inst)
+		exactTime := time.Since(start)
+		start = time.Now()
+		h := sharedagg.Build(inst)
+		heurTime := time.Since(start)
+		fmt.Printf("%d\t%d\t%d\t%v\t%d\t%v\n",
+			n, len(inst.Queries), exact.TotalCost(), exactTime, h.TotalCost(), heurTime)
+	}
+}

@@ -1,0 +1,99 @@
+package sharedwd_test
+
+import (
+	"fmt"
+
+	"sharedwd"
+)
+
+// ExampleSolveSeparable reproduces the paper's Figures 1–3 worked example.
+func ExampleSolveSeparable() {
+	advertisers := []sharedwd.Advertiser{
+		{ID: 0, Bid: 10, Quality: 1.2}, // A
+		{ID: 1, Bid: 9, Quality: 1.1},  // B
+		{ID: 2, Bid: 1, Quality: 1.3},  // C
+	}
+	a := sharedwd.SolveSeparable(advertisers, []float64{0.3, 0.2})
+	fmt.Println("slot 1 →", string(rune('A'+a.Slots[0])))
+	fmt.Println("slot 2 →", string(rune('A'+a.Slots[1])))
+	fmt.Printf("expected value: %.2f\n", a.Value)
+	// Output:
+	// slot 1 → A
+	// slot 2 → B
+	// expected value: 5.58
+}
+
+// ExampleBuildSharedPlan shares winner determination between two auctions
+// with a common advertiser pool — the paper's shoe-store idea in miniature.
+func ExampleBuildSharedPlan() {
+	const n = 6
+	boots := sharedwd.AdvertiserSetOf(n, 0, 1, 2, 3) // shared: 0,1; sports: 2,3
+	heels := sharedwd.AdvertiserSetOf(n, 0, 1, 4, 5) // shared: 0,1; fashion: 4,5
+	inst, _ := sharedwd.NewAggInstance(n, []sharedwd.AggQuery{
+		{Vars: boots, Rate: 1},
+		{Vars: heels, Rate: 1},
+	})
+	shared := sharedwd.BuildSharedPlan(inst)
+	naive := sharedwd.BuildNaivePlan(inst)
+	fmt.Println("shared plan aggregations:", shared.TotalCost())
+	fmt.Println("naive plan aggregations: ", naive.TotalCost())
+
+	bids := []float64{5, 9, 2, 7, 4, 8}
+	leaf := func(v int) *sharedwd.TopKList {
+		l := sharedwd.NewTopKList(2)
+		l.Push(sharedwd.TopKEntry{ID: v, Score: bids[v]})
+		return l
+	}
+	results, _ := sharedwd.ExecutePlan(shared, leaf, nil)
+	fmt.Println("hiking boots top-2:", results[0].IDs())
+	fmt.Println("high heels top-2:  ", results[1].IDs())
+	// Output:
+	// shared plan aggregations: 5
+	// naive plan aggregations:  6
+	// hiking boots top-2: [1 3]
+	// high heels top-2:   [1 5]
+}
+
+// ExampleExactThrottledBid shows the Section IV throttled bid: an
+// advertiser with a $3 outstanding ad half-likely to be clicked cannot
+// safely bid his full $2.
+func ExampleExactThrottledBid() {
+	ads := []sharedwd.OutstandingAd{{Price: 3, CTR: 0.5}}
+	b := sharedwd.ExactThrottledBid(2 /*bid*/, 4 /*budget*/, 2 /*auctions*/, ads)
+	fmt.Printf("throttled bid: $%.2f\n", b)
+	// Output:
+	// throttled bid: $1.25
+}
+
+// ExamplePrices compares the three pricing rules on one ranking.
+func ExamplePrices() {
+	ranked := []sharedwd.RankedBidder{
+		{ID: 0, Bid: 10, Quality: 1},
+		{ID: 1, Bid: 9, Quality: 1},
+		{ID: 2, Bid: 1, Quality: 1},
+	}
+	d := []float64{0.3, 0.2}
+	for _, rule := range []sharedwd.PricingRule{sharedwd.FirstPrice, sharedwd.GSP, sharedwd.VCG} {
+		fmt.Printf("%-11s %.4v\n", rule.String()+":", sharedwd.Prices(rule, ranked, d))
+	}
+	// Output:
+	// first-price: [10 9]
+	// GSP:        [9 1]
+	// VCG:        [3.667 1]
+}
+
+// ExampleCompareThrottled resolves a winner-determination comparison from
+// Hoeffding bounds without computing either throttled bid exactly.
+func ExampleCompareThrottled() {
+	heavy := make([]sharedwd.OutstandingAd, 12)
+	for i := range heavy {
+		heavy[i] = sharedwd.OutstandingAd{Price: 10, CTR: 0.99}
+	}
+	rich, _ := sharedwd.NewThrottler(0, 5, 1000, 1, nil)
+	broke, _ := sharedwd.NewThrottler(1, 5, 10, 1, heavy)
+	fmt.Println("comparison:", sharedwd.CompareThrottled(rich, broke))
+	fmt.Println("expansions used by the broke bidder:", broke.Level(), "of", 12)
+	// Output:
+	// comparison: 1
+	// expansions used by the broke bidder: 0 of 12
+}

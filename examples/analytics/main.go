@@ -1,0 +1,90 @@
+// Command analytics demonstrates the paper's Section VII (ongoing work):
+// advertisers' automated bidding programs need per-round statistics — the
+// maximum or average bid on a set of bid phrases, search volumes, how many
+// distinct competitors bid there — and many programs ask over overlapping
+// phrase sets. One shared aggregation plan over the phrase space answers
+// all of them, computing each shared sub-aggregate once per round.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sharedwd"
+)
+
+func main() {
+	const phrases = 30
+	svc := sharedwd.NewAnalytics(phrases)
+
+	// Phrase universe: 0–9 "music", 10–19 "movies", 20–29 "books".
+	span := func(lo, hi int) sharedwd.AdvertiserSet {
+		s := sharedwd.NewAdvertiserSet(phrases)
+		for q := lo; q < hi; q++ {
+			s.Add(q)
+		}
+		return s
+	}
+	music := span(0, 10)
+	media := span(0, 20)   // music + movies
+	catalog := span(0, 30) // everything
+
+	// Three bidding programs; two more subscribe to existing sets (free —
+	// A-equivalent sets share one query node).
+	musicID, _ := svc.Register(101, music)
+	mediaID, _ := svc.Register(102, media)
+	catalogID, _ := svc.Register(103, catalog)
+	dup, _ := svc.Register(104, span(0, 10)) // same as music
+	fmt.Printf("registered 4 programs over %d distinct phrase sets (music shared: %v)\n",
+		svc.NumQueries(), dup == musicID)
+
+	if err := svc.Build(); err != nil {
+		panic(err)
+	}
+	shared, naive, _ := svc.PlanCost()
+	fmt.Printf("shared plan: %d aggregation nodes (unshared would use %d)\n\n", shared, naive)
+
+	// One round of per-phrase base statistics.
+	rng := rand.New(rand.NewSource(3))
+	stats := make([]sharedwd.PhraseStats, phrases)
+	for q := range stats {
+		nb := 3 + rng.Intn(8)
+		bidders := make([]int, nb)
+		var sum, max float64
+		for i := range bidders {
+			bidders[i] = rng.Intn(40)
+			b := rng.Float64() * 5
+			sum += b
+			if b > max {
+				max = b
+			}
+		}
+		stats[q] = sharedwd.PhraseStats{
+			MaxBid: max, SumBids: sum, Bids: nb,
+			Searches: rng.Intn(500), Bidders: bidders,
+		}
+	}
+
+	results, materialized, err := svc.Evaluate(stats)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range []struct {
+		name string
+		id   sharedwd.AnalyticsResult
+	}{
+		{"music (10 phrases)", results[musicID]},
+		{"music+movies (20)", results[mediaID]},
+		{"full catalog (30)", results[catalogID]},
+	} {
+		r := row.id
+		fmt.Printf("%-20s max bid $%.2f  mean bid $%.2f  searches %5d  ~%.0f distinct bidders\n",
+			row.name, r.MaxBid, r.MeanBid, r.Searches, r.DistinctBidders)
+		fmt.Printf("%20s hottest phrases: ", "")
+		for _, e := range r.TopPhrases[:3] {
+			fmt.Printf("#%d($%.2f) ", e.ID, e.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\naggregation nodes materialized this round: %d (all three queries)\n", materialized)
+}

@@ -1,0 +1,3 @@
+module sharedwd
+
+go 1.22

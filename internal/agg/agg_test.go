@@ -1,0 +1,123 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+)
+
+func sampleValues() []float64 {
+	return []float64{-3, -1, 0, 0.5, 1, 2, 7}
+}
+
+// TestCatalogProfilesAreTight: every cataloged operator satisfies exactly
+// the decidable axioms (A1, A3, A4) it claims — no more, no less.
+func TestCatalogProfilesAreTight(t *testing.T) {
+	for _, op := range Catalog() {
+		if vs := CheckAxioms(op, sampleValues(), 1e-9); len(vs) != 0 {
+			t.Errorf("%s: %v", op.Name, vs)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if op, err := Lookup("max"); err != nil || op.Name != "max" {
+		t.Fatalf("Lookup(max) = %v, %v", op, err)
+	}
+	if _, err := Lookup("median"); err == nil {
+		t.Fatal("unknown operator should error")
+	}
+}
+
+func TestNeedsDisjointPlan(t *testing.T) {
+	cases := map[string]bool{"sum": true, "product": true, "max": false, "min": false, "midpoint": false}
+	for name, want := range cases {
+		op, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op.NeedsDisjointPlan() != want {
+			t.Errorf("%s: NeedsDisjointPlan = %v, want %v", name, op.NeedsDisjointPlan(), want)
+		}
+	}
+}
+
+// TestQuickCatalogOnPlans: every associative-commutative catalog operator
+// evaluates correctly through the planner its profile selects — idempotent
+// ops on the unrestricted heuristic plan, the rest on the disjoint plan.
+func TestQuickCatalogOnPlans(t *testing.T) {
+	for _, op := range Catalog() {
+		if !op.Axioms.Assoc || !op.Axioms.Comm {
+			continue // non-associative rows use the ExprPlan (tested in plan)
+		}
+		op := op
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			inst := plan.RandomCoinFlipInstance(rng, 4+rng.Intn(12), 2+rng.Intn(4), 1)
+			var p *plan.Plan
+			if op.NeedsDisjointPlan() {
+				p = sharedagg.BuildDisjoint(inst)
+			} else {
+				p = sharedagg.Build(inst)
+			}
+			vals := make([]float64, inst.NumVars)
+			for i := range vals {
+				vals[i] = rng.Float64()*4 - 2
+			}
+			got, _ := plan.Execute(p, func(v int) float64 { return vals[v] }, op.Combine, nil)
+			for qi, q := range inst.Queries {
+				first := true
+				var want float64
+				q.Vars.ForEach(func(v int) bool {
+					if first {
+						want = vals[v]
+						first = false
+					} else {
+						want = op.Combine(want, vals[v])
+					}
+					return true
+				})
+				diff := got[qi] - want
+				if diff > 1e-6 || diff < -1e-6 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", op.Name, err)
+		}
+	}
+}
+
+// TestWrongPlanBreaksMultisetOps documents the failure mode the disjoint
+// variant exists for: find an instance where sum over the *unrestricted*
+// plan double-counts.
+func TestWrongPlanBreaksMultisetOps(t *testing.T) {
+	sum, err := Lookup("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 400; trial++ {
+		inst := plan.RandomCoinFlipInstance(rng, 6+rng.Intn(10), 3+rng.Intn(4), 1)
+		p := sharedagg.Build(inst)
+		if p.DisjointChildren() {
+			continue
+		}
+		vals := make([]float64, inst.NumVars)
+		for i := range vals {
+			vals[i] = 1
+		}
+		got, _ := plan.Execute(p, func(v int) float64 { return vals[v] }, sum.Combine, nil)
+		for qi, q := range inst.Queries {
+			if got[qi] != float64(q.Vars.Count()) {
+				return // found and demonstrated the double count
+			}
+		}
+	}
+	t.Skip("no overlapping plan arose in 400 trials")
+}

@@ -1,0 +1,261 @@
+// Package analytics implements the paper's Section VII (ongoing work):
+// shared aggregation of the statistics that advertisers' bidding programs
+// want — "the average (or maximum) bid placed on a given set of bid
+// phrases", "the total number of users who have searched for one of a set
+// of bid phrases", "how many distinct advertisers compete there" — computed
+// fresh every round because bids change constantly.
+//
+// Here the variables of the shared-aggregation framework are *bid phrases*
+// (not advertisers): many bidding programs ask over overlapping phrase sets
+// (everything containing "music", everything in the shoes topic, ...), so a
+// single A-plan over the phrase space answers all registered queries while
+// computing each shared sub-aggregate once. One plan execution carries a
+// product of monoids — (sum, count, max, min, search-count, bidder-sketch)
+// — because a tuple of associative-commutative aggregates is itself an
+// associative-commutative aggregate; means and densities are derived from
+// the tuple afterwards.
+package analytics
+
+import (
+	"fmt"
+	"strconv"
+
+	"sharedwd/internal/bitset"
+	"sharedwd/internal/bloom"
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/topk"
+)
+
+// PhraseStats is one bid phrase's per-round base statistics, supplied by
+// the auction engine (or the workload) at evaluation time.
+type PhraseStats struct {
+	// MaxBid and SumBids summarize the bids currently placed on the phrase.
+	MaxBid, SumBids float64
+	// SumBidSquares is Σb² over the phrase's bids, enabling variance.
+	SumBidSquares float64
+	// Bids is the number of bids placed (SumBids/Bids = mean bid).
+	Bids int
+	// Searches is the number of searches the phrase received this round.
+	Searches int
+	// Bidders identifies the advertisers bidding on the phrase; used for
+	// distinct-bidder estimation across phrase sets. Nil disables sketches.
+	Bidders []int
+}
+
+// Result is the aggregate over one registered phrase set.
+type Result struct {
+	MaxBid   float64
+	SumBids  float64
+	Bids     int
+	Searches int
+	// MeanBid is SumBids/Bids (0 when no bids).
+	MeanBid float64
+	// VarianceBid is the population variance of bids over the set,
+	// E[b²]−E[b]², combined from the sum-of-squares component (the
+	// paper's point that sum-family aggregates compose into variance).
+	VarianceBid float64
+	// DistinctBidders estimates the number of distinct advertisers bidding
+	// on any phrase of the set (Bloom sketch union; −1 if sketches are
+	// disabled). Duplicate-insensitive, unlike Bids.
+	DistinctBidders float64
+	// TopPhrases lists the phrases of the set with the highest max bids.
+	TopPhrases []topk.Entry
+}
+
+// Service registers phrase-set queries from bidding programs and answers
+// all of them per round through one shared aggregation plan.
+type Service struct {
+	numPhrases int
+	sets       []bitset.Set // deduplicated phrase sets
+	setIndex   map[string]int
+	// subscribers[i] lists the advertisers subscribed to set i (bookkeeping
+	// only; sharing makes additional subscribers free).
+	subscribers [][]int
+
+	built *plan.Plan
+
+	// Bloom sizing for bidder sketches.
+	sketchBits, sketchHashes int
+	// TopPhrases list size.
+	topK int
+}
+
+// New creates a service over a phrase universe of the given size.
+func New(numPhrases int) *Service {
+	if numPhrases <= 0 {
+		panic(fmt.Sprintf("analytics: non-positive phrase universe %d", numPhrases))
+	}
+	mBits, kHashes := bloom.OptimalParams(512, 0.02)
+	return &Service{
+		numPhrases:   numPhrases,
+		setIndex:     make(map[string]int),
+		sketchBits:   mBits,
+		sketchHashes: kHashes,
+		topK:         5,
+	}
+}
+
+// QueryID identifies a registered phrase-set query.
+type QueryID int
+
+// Register subscribes an advertiser's bidding program to aggregates over
+// the given phrase set. A-equivalent sets (same phrases) are shared: the
+// same QueryID is returned to every subscriber. Registration must happen
+// before Build.
+func (s *Service) Register(advertiser int, phrases bitset.Set) (QueryID, error) {
+	if s.built != nil {
+		return 0, fmt.Errorf("analytics: Register after Build")
+	}
+	if phrases.Cap() != s.numPhrases {
+		return 0, fmt.Errorf("analytics: phrase set capacity %d, want %d", phrases.Cap(), s.numPhrases)
+	}
+	if phrases.IsEmpty() {
+		return 0, fmt.Errorf("analytics: empty phrase set")
+	}
+	key := phrases.Key()
+	if id, ok := s.setIndex[key]; ok {
+		s.subscribers[id] = append(s.subscribers[id], advertiser)
+		return QueryID(id), nil
+	}
+	id := len(s.sets)
+	s.setIndex[key] = id
+	s.sets = append(s.sets, phrases.Clone())
+	s.subscribers = append(s.subscribers, []int{advertiser})
+	return QueryID(id), nil
+}
+
+// Subscribers returns the advertisers sharing query id.
+func (s *Service) Subscribers(id QueryID) []int {
+	return append([]int(nil), s.subscribers[id]...)
+}
+
+// NumQueries returns the number of distinct registered phrase sets.
+func (s *Service) NumQueries() int { return len(s.sets) }
+
+// Build constructs the shared aggregation plan over the registered sets
+// using the Section II-D heuristic (all rates 1: programs evaluate every
+// round). It must be called once after registration.
+func (s *Service) Build() error {
+	if s.built != nil {
+		return fmt.Errorf("analytics: Build called twice")
+	}
+	if len(s.sets) == 0 {
+		return fmt.Errorf("analytics: no registered queries")
+	}
+	queries := make([]plan.Query, len(s.sets))
+	for i, set := range s.sets {
+		queries[i] = plan.Query{Vars: set, Rate: 1}
+	}
+	inst, err := plan.NewInstance(s.numPhrases, queries)
+	if err != nil {
+		return fmt.Errorf("analytics: %w", err)
+	}
+	// The record carries sums and counts — multiset-semantics aggregates —
+	// so the plan must aggregate disjoint children only (see Figure 5's
+	// semilattice-vs-group distinction): BuildDisjoint, not Build.
+	s.built = sharedagg.BuildDisjoint(inst)
+	if !s.built.DisjointChildren() {
+		return fmt.Errorf("analytics: planner produced overlapping aggregations")
+	}
+	return s.built.Validate()
+}
+
+// PlanCost reports the number of aggregation nodes in the shared plan and
+// in the unshared per-query baseline, quantifying the sharing win.
+func (s *Service) PlanCost() (shared, naive int, err error) {
+	if s.built == nil {
+		return 0, 0, fmt.Errorf("analytics: Build first")
+	}
+	return s.built.TotalCost(), plan.NaivePlan(s.built.Inst).TotalCost(), nil
+}
+
+// record is the product-of-monoids value flowing through the plan.
+type record struct {
+	maxBid   float64
+	sumBids  float64
+	sumSq    float64
+	bids     int
+	searches int
+	sketch   *bloom.Filter // nil when sketches are disabled
+	top      *topk.List
+}
+
+// combine is the ⊕ of the product monoid: componentwise max/sum/union.
+func combine(a, b record) record {
+	out := record{
+		maxBid:   a.maxBid,
+		sumBids:  a.sumBids + b.sumBids,
+		sumSq:    a.sumSq + b.sumSq,
+		bids:     a.bids + b.bids,
+		searches: a.searches + b.searches,
+	}
+	if b.maxBid > out.maxBid {
+		out.maxBid = b.maxBid
+	}
+	switch {
+	case a.sketch == nil:
+		out.sketch = b.sketch
+	case b.sketch == nil:
+		out.sketch = a.sketch
+	default:
+		out.sketch = bloom.Union(a.sketch, b.sketch)
+	}
+	out.top = topk.Merge(a.top, b.top)
+	return out
+}
+
+// Evaluate answers every registered query for the round described by the
+// per-phrase stats (stats[q] for phrase q). It returns results indexed by
+// QueryID plus the number of aggregation nodes materialized.
+func (s *Service) Evaluate(stats []PhraseStats) (map[QueryID]Result, int, error) {
+	if s.built == nil {
+		return nil, 0, fmt.Errorf("analytics: Build first")
+	}
+	if len(stats) != s.numPhrases {
+		return nil, 0, fmt.Errorf("analytics: %d stats for %d phrases", len(stats), s.numPhrases)
+	}
+	leaf := func(q int) record {
+		st := stats[q]
+		r := record{
+			maxBid:   st.MaxBid,
+			sumBids:  st.SumBids,
+			sumSq:    st.SumBidSquares,
+			bids:     st.Bids,
+			searches: st.Searches,
+			top:      topk.FromEntries(s.topK, topk.Entry{ID: q, Score: st.MaxBid}),
+		}
+		if st.Bidders != nil {
+			f := bloom.New(s.sketchBits, s.sketchHashes)
+			for _, b := range st.Bidders {
+				f.Add(strconv.Itoa(b))
+			}
+			r.sketch = f
+		}
+		return r
+	}
+	raw, materialized := plan.Execute(s.built, leaf, combine, nil)
+	out := make(map[QueryID]Result, len(raw))
+	for qi, r := range raw {
+		res := Result{
+			MaxBid:          r.maxBid,
+			SumBids:         r.sumBids,
+			Bids:            r.bids,
+			Searches:        r.searches,
+			DistinctBidders: -1,
+			TopPhrases:      r.top.Entries(),
+		}
+		if r.bids > 0 {
+			res.MeanBid = r.sumBids / float64(r.bids)
+			res.VarianceBid = r.sumSq/float64(r.bids) - res.MeanBid*res.MeanBid
+			if res.VarianceBid < 0 {
+				res.VarianceBid = 0 // float rounding on near-constant bids
+			}
+		}
+		if r.sketch != nil {
+			res.DistinctBidders = r.sketch.EstimateCount()
+		}
+		out[QueryID(qi)] = res
+	}
+	return out, materialized, nil
+}

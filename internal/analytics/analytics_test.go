@@ -1,0 +1,270 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/bitset"
+)
+
+func mkStats(n int, fn func(q int) PhraseStats) []PhraseStats {
+	out := make([]PhraseStats, n)
+	for q := range out {
+		out[q] = fn(q)
+	}
+	return out
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := New(4)
+	if _, err := s.Register(0, bitset.New(4)); err == nil {
+		t.Fatal("empty set should be rejected")
+	}
+	if _, err := s.Register(0, bitset.FromIndices(5, 0)); err == nil {
+		t.Fatal("capacity mismatch should be rejected")
+	}
+	if err := s.Build(); err == nil {
+		t.Fatal("Build with no queries should fail")
+	}
+}
+
+func TestRegisterSharesEquivalentSets(t *testing.T) {
+	s := New(6)
+	a, err := s.Register(1, bitset.FromIndices(6, 0, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Register(2, bitset.FromIndices(6, 4, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("A-equivalent sets got distinct IDs %d, %d", a, b)
+	}
+	if subs := s.Subscribers(a); len(subs) != 2 {
+		t.Fatalf("subscribers = %v", subs)
+	}
+	if s.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d", s.NumQueries())
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	s := New(4)
+	if _, err := s.Register(0, bitset.FromIndices(4, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Evaluate(make([]PhraseStats, 4)); err == nil {
+		t.Fatal("Evaluate before Build should fail")
+	}
+	if _, _, err := s.PlanCost(); err == nil {
+		t.Fatal("PlanCost before Build should fail")
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err == nil {
+		t.Fatal("double Build should fail")
+	}
+	if _, err := s.Register(0, bitset.FromIndices(4, 2, 3)); err == nil {
+		t.Fatal("Register after Build should fail")
+	}
+	if _, _, err := s.Evaluate(make([]PhraseStats, 3)); err == nil {
+		t.Fatal("wrong stats length should fail")
+	}
+}
+
+func TestAggregatesByHand(t *testing.T) {
+	s := New(3)
+	id, err := s.Register(7, bitset.FromIndices(3, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	stats := []PhraseStats{
+		{MaxBid: 4, SumBids: 10, SumBidSquares: 36, Bids: 3, Searches: 100, Bidders: []int{1, 2, 3}},
+		{MaxBid: 99, SumBids: 99, Bids: 1, Searches: 999, Bidders: []int{9}}, // not in the set
+		{MaxBid: 6, SumBids: 8, SumBidSquares: 40, Bids: 2, Searches: 50, Bidders: []int{2, 4}},
+	}
+	res, _, err := s.Evaluate(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[id]
+	if r.MaxBid != 6 || r.SumBids != 18 || r.Bids != 5 || r.Searches != 150 {
+		t.Fatalf("aggregates = %+v", r)
+	}
+	if math.Abs(r.MeanBid-3.6) > 1e-12 {
+		t.Fatalf("MeanBid = %v, want 3.6", r.MeanBid)
+	}
+	// Variance: E[b²] − E[b]² = 76/5 − 3.6² = 15.2 − 12.96 = 2.24.
+	if math.Abs(r.VarianceBid-2.24) > 1e-12 {
+		t.Fatalf("VarianceBid = %v, want 2.24", r.VarianceBid)
+	}
+	// Distinct bidders over {1,2,3} ∪ {2,4} = 4 (sketch estimate).
+	if math.Abs(r.DistinctBidders-4) > 1 {
+		t.Fatalf("DistinctBidders = %v, want ≈ 4", r.DistinctBidders)
+	}
+	// Top phrases by max bid: phrase 2 (6) then phrase 0 (4).
+	if len(r.TopPhrases) != 2 || r.TopPhrases[0].ID != 2 || r.TopPhrases[1].ID != 0 {
+		t.Fatalf("TopPhrases = %v", r.TopPhrases)
+	}
+}
+
+func TestSketchDisabled(t *testing.T) {
+	s := New(2)
+	id, _ := s.Register(0, bitset.FromIndices(2, 0, 1))
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := s.Evaluate(mkStats(2, func(q int) PhraseStats {
+		return PhraseStats{MaxBid: 1, SumBids: 1, Bids: 1}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[id].DistinctBidders != -1 {
+		t.Fatalf("DistinctBidders = %v, want -1 with sketches disabled", res[id].DistinctBidders)
+	}
+}
+
+func TestSharingReducesPlanCost(t *testing.T) {
+	const phrases = 40
+	s := New(phrases)
+	// 12 programs over heavily overlapping sets: a common core + a tail.
+	for p := 0; p < 12; p++ {
+		set := bitset.New(phrases)
+		for q := 0; q < 20; q++ {
+			set.Add(q) // shared core
+		}
+		set.Add(20 + p)
+		if _, err := s.Register(p, set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	shared, naive, err := s.PlanCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared >= naive/2 {
+		t.Fatalf("shared %d vs naive %d; expected ≥ 2× sharing on this structure", shared, naive)
+	}
+}
+
+// TestQuickMatchesDirectAggregation: for random registrations and stats,
+// the shared-plan results equal direct per-query aggregation.
+func TestQuickMatchesDirectAggregation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phrases := 3 + rng.Intn(20)
+		s := New(phrases)
+		ids := map[QueryID]bitset.Set{}
+		for p := 0; p < 1+rng.Intn(6); p++ {
+			set := bitset.New(phrases)
+			for q := 0; q < phrases; q++ {
+				if rng.Intn(2) == 0 {
+					set.Add(q)
+				}
+			}
+			if set.IsEmpty() {
+				set.Add(rng.Intn(phrases))
+			}
+			id, err := s.Register(p, set)
+			if err != nil {
+				return false
+			}
+			ids[id] = set
+		}
+		if err := s.Build(); err != nil {
+			return false
+		}
+		stats := mkStats(phrases, func(q int) PhraseStats {
+			nb := rng.Intn(4)
+			bidders := make([]int, nb)
+			for i := range bidders {
+				bidders[i] = rng.Intn(30)
+			}
+			return PhraseStats{
+				MaxBid:   float64(rng.Intn(10)),
+				SumBids:  float64(rng.Intn(50)),
+				Bids:     nb,
+				Searches: rng.Intn(100),
+				Bidders:  bidders,
+			}
+		})
+		res, _, err := s.Evaluate(stats)
+		if err != nil {
+			return false
+		}
+		for id, set := range ids {
+			var wantMax, wantSum float64
+			wantBids, wantSearches := 0, 0
+			distinct := map[string]bool{}
+			set.ForEach(func(q int) bool {
+				if stats[q].MaxBid > wantMax {
+					wantMax = stats[q].MaxBid
+				}
+				wantSum += stats[q].SumBids
+				wantBids += stats[q].Bids
+				wantSearches += stats[q].Searches
+				for _, b := range stats[q].Bidders {
+					distinct[strconv.Itoa(b)] = true
+				}
+				return true
+			})
+			r := res[id]
+			if r.MaxBid != wantMax || r.SumBids != wantSum || r.Bids != wantBids || r.Searches != wantSearches {
+				return false
+			}
+			// Sketch estimate within generous tolerance of the truth.
+			if math.Abs(r.DistinctBidders-float64(len(distinct))) > 3+0.2*float64(len(distinct)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const phrases = 64
+	s := New(phrases)
+	for p := 0; p < 24; p++ {
+		set := bitset.New(phrases)
+		for q := 0; q < phrases; q++ {
+			if rng.Intn(3) == 0 {
+				set.Add(q)
+			}
+		}
+		if set.IsEmpty() {
+			set.Add(0)
+		}
+		if _, err := s.Register(p, set); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Build(); err != nil {
+		b.Fatal(err)
+	}
+	stats := mkStats(phrases, func(q int) PhraseStats {
+		return PhraseStats{MaxBid: rng.Float64() * 5, SumBids: rng.Float64() * 50, Bids: 10, Searches: 100}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Evaluate(stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

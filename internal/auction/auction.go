@@ -1,0 +1,202 @@
+// Package auction provides the sponsored-search domain model and
+// single-auction winner determination.
+//
+// Winner determination (Section I of the paper) assigns k ad slots to n
+// advertisers maximizing the total expected realized bid Σ x_ij·ctr_ij·b_i,
+// one slot per advertiser. Under the separability assumption
+// ctr_ij = c_i·d_j (Section II-A) this reduces to ranking advertisers by
+// b_i·c_i and assigning slots in order of d_j — a single linear scan. For
+// arbitrary click-through matrices the problem is a maximum-weight bipartite
+// matching, solved exactly here via the Hungarian algorithm as the reference
+// the fast paths are tested against.
+package auction
+
+import (
+	"fmt"
+	"math"
+
+	"sharedwd/internal/hungarian"
+	"sharedwd/internal/topk"
+)
+
+// Advertiser is one bidder: a stated per-click bid b_i, the
+// advertiser-specific click-through factor c_i, and a remaining daily
+// budget. The zero Quality is invalid; use 1 for "no quality adjustment".
+type Advertiser struct {
+	ID      int
+	Bid     float64
+	Quality float64 // c_i, the advertiser-specific CTR factor
+	Budget  float64 // remaining daily budget
+}
+
+// EffectiveBid returns b_i·c_i, the ranking score under separability.
+func (a Advertiser) EffectiveBid() float64 { return a.Bid * a.Quality }
+
+// Assignment is the outcome of winner determination: Slots[j] holds the
+// advertiser ID assigned to slot j (or -1 for an unfilled slot), and Value
+// is the total expected realized bid Σ ctr·b of the assignment.
+type Assignment struct {
+	Slots []int
+	Value float64
+}
+
+// SolveSeparable performs winner determination under separability: slot
+// factors d must be sorted descending (slot 0 is best); advertisers are
+// ranked by b_i·c_i with ties broken by lower ID. Runs in one O(n·k) scan
+// (k-list insertion), the paper's linear-time algorithm.
+func SolveSeparable(advertisers []Advertiser, slotFactors []float64) Assignment {
+	k := len(slotFactors)
+	validateSlotFactors(slotFactors)
+	best := topk.New(k)
+	for _, a := range advertisers {
+		best.Push(topk.Entry{ID: a.ID, Score: a.EffectiveBid()})
+	}
+	byID := make(map[int]Advertiser, len(advertisers))
+	for _, a := range advertisers {
+		byID[a.ID] = a
+	}
+	out := Assignment{Slots: make([]int, k)}
+	for j := range out.Slots {
+		out.Slots[j] = -1
+	}
+	for j, e := range best.Entries() {
+		if e.Score <= 0 {
+			break // empty slots beat non-positive expected value
+		}
+		out.Slots[j] = e.ID
+		out.Value += slotFactors[j] * byID[e.ID].Quality * byID[e.ID].Bid
+	}
+	return out
+}
+
+// FromTopK converts an already-computed top-k list (e.g. the output of a
+// shared aggregation plan) into a slot assignment. Scores in the list must
+// be the effective bids b_i·c_i.
+func FromTopK(list *topk.List, slotFactors []float64) Assignment {
+	validateSlotFactors(slotFactors)
+	out := Assignment{Slots: make([]int, len(slotFactors))}
+	for j := range out.Slots {
+		out.Slots[j] = -1
+	}
+	for j, e := range list.Entries() {
+		if j >= len(slotFactors) || e.Score <= 0 {
+			break
+		}
+		out.Slots[j] = e.ID
+		out.Value += slotFactors[j] * e.Score
+	}
+	return out
+}
+
+// SolveGeneral performs winner determination for an arbitrary click-through
+// matrix: ctr[i][j] is advertiser i's click probability in slot j; weights
+// are ctr[i][j]·bids[i]. It solves the assignment integer program exactly
+// (maximum-weight bipartite matching). IDs in the result index into bids.
+func SolveGeneral(bids []float64, ctr [][]float64) Assignment {
+	if len(bids) != len(ctr) {
+		panic(fmt.Sprintf("auction: %d bids for %d ctr rows", len(bids), len(ctr)))
+	}
+	if len(ctr) == 0 {
+		return Assignment{}
+	}
+	k := len(ctr[0])
+	w := make([][]float64, len(bids))
+	for i := range w {
+		if len(ctr[i]) != k {
+			panic("auction: ragged ctr matrix")
+		}
+		w[i] = make([]float64, k)
+		for j := range w[i] {
+			w[i][j] = bids[i] * ctr[i][j]
+		}
+	}
+	rowMatch, total := hungarian.Solve(w)
+	out := Assignment{Slots: make([]int, k), Value: total}
+	for j := range out.Slots {
+		out.Slots[j] = -1
+	}
+	for i, j := range rowMatch {
+		if j >= 0 {
+			out.Slots[j] = i
+		}
+	}
+	return out
+}
+
+// SeparableCTR builds the rank-one click-through matrix c_i·d_j.
+func SeparableCTR(quality, slotFactors []float64) [][]float64 {
+	ctr := make([][]float64, len(quality))
+	for i, c := range quality {
+		ctr[i] = make([]float64, len(slotFactors))
+		for j, d := range slotFactors {
+			ctr[i][j] = c * d
+		}
+	}
+	return ctr
+}
+
+// Decompose tests whether a click-through matrix is separable
+// (ctr_ij = c_i·d_j within tol) and, if so, returns a decomposition with
+// d normalized so that max_j d_j equals the matrix's first row maximum scale.
+// The decomposition fixes c_0 to the first column ratio convention:
+// d = first non-zero row, c_i = ctr_i1/d_1.
+func Decompose(ctr [][]float64, tol float64) (c, d []float64, ok bool) {
+	n := len(ctr)
+	if n == 0 || len(ctr[0]) == 0 {
+		return nil, nil, false
+	}
+	k := len(ctr[0])
+	// Use the first row as the slot profile.
+	base := ctr[0]
+	var scale float64
+	for _, v := range base {
+		if v != 0 {
+			scale = v
+			break
+		}
+	}
+	if scale == 0 {
+		return nil, nil, false
+	}
+	d = make([]float64, k)
+	copy(d, base)
+	c = make([]float64, n)
+	c[0] = 1
+	for i := 1; i < n; i++ {
+		// c_i is the per-row scale; derive from the first non-zero d_j.
+		var ratio float64
+		set := false
+		for j := range d {
+			if d[j] != 0 {
+				ratio = ctr[i][j] / d[j]
+				set = true
+				break
+			}
+		}
+		if !set {
+			return nil, nil, false
+		}
+		c[i] = ratio
+	}
+	for i := range c {
+		for j := range d {
+			if math.Abs(ctr[i][j]-c[i]*d[j]) > tol {
+				return nil, nil, false
+			}
+		}
+	}
+	return c, d, true
+}
+
+func validateSlotFactors(d []float64) {
+	for j := 1; j < len(d); j++ {
+		if d[j] > d[j-1] {
+			panic(fmt.Sprintf("auction: slot factors not descending at %d: %v > %v", j, d[j], d[j-1]))
+		}
+	}
+	for j, v := range d {
+		if v < 0 {
+			panic(fmt.Sprintf("auction: negative slot factor %v at %d", v, j))
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package batching analyzes the round-granularity tradeoff the paper's
+// introduction frames: batching simultaneous searches into rounds increases
+// sharing (more co-occurring auctions per round) but adds latency (a query
+// waits for its round to close). The paper's example: ~300,000 music
+// searches/day ≈ one every ⅓ second, so ⅔-second rounds see about two
+// music auctions per round, "well within the limits of user tolerance
+// studies" — median latencies up to 2.2 s are tolerated, 3.6 s is too long
+// (Sears–Jacko–Borella).
+//
+// The simulator models Poisson query arrivals per phrase, closes rounds at
+// a fixed interval, and reports (a) the latency distribution queries
+// experience waiting for their round plus winner determination, and (b) the
+// aggregation work per auction under a shared plan, as a function of round
+// length.
+package batching
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/stats"
+	"sharedwd/internal/topk"
+)
+
+// Config parameterizes a batching sweep.
+type Config struct {
+	// ArrivalsPerSecond is each phrase's Poisson arrival rate, indexed by
+	// phrase.
+	ArrivalsPerSecond []float64
+	// Instance supplies the advertiser interest structure (its query rates
+	// are ignored; occurrence is driven by the arrival process).
+	Instance *plan.Instance
+	// WDSecondsPerOp converts aggregation operations to winner-
+	// determination latency (seconds per top-k merge).
+	WDSecondsPerOp float64
+	// SimSeconds is the simulated horizon per round length.
+	SimSeconds float64
+	Seed       int64
+}
+
+// Point is the outcome at one round length.
+type Point struct {
+	RoundSeconds float64
+	// MedianLatencySeconds and P95LatencySeconds summarize query waiting
+	// time (until round close) plus winner-determination time.
+	MedianLatencySeconds float64
+	P95LatencySeconds    float64
+	// AuctionsPerRound is the mean number of distinct phrases auctioned
+	// per round.
+	AuctionsPerRound float64
+	// OpsPerAuction is the mean shared aggregation operations per auction
+	// — the quantity sharing drives down as rounds lengthen.
+	OpsPerAuction float64
+	// SharingSaving is 1 − shared/unshared operations over the horizon.
+	SharingSaving float64
+}
+
+// Sweep simulates the configured workload at each round length and returns
+// one Point per length. It panics on malformed configuration.
+func Sweep(cfg Config, roundLengths []float64) []Point {
+	if cfg.Instance == nil || len(cfg.ArrivalsPerSecond) != len(cfg.Instance.Queries) {
+		panic("batching: arrival rates must match the instance's queries")
+	}
+	if cfg.SimSeconds <= 0 || cfg.WDSecondsPerOp < 0 {
+		panic("batching: invalid horizon or WD cost")
+	}
+	shared := sharedagg.Build(cfg.Instance)
+	naive := plan.NaivePlan(cfg.Instance)
+
+	out := make([]Point, 0, len(roundLengths))
+	for _, rl := range roundLengths {
+		if rl <= 0 {
+			panic(fmt.Sprintf("batching: non-positive round length %v", rl))
+		}
+		out = append(out, simulate(cfg, shared, naive, rl))
+	}
+	return out
+}
+
+func simulate(cfg Config, shared, naive *plan.Plan, roundLen float64) Point {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := len(cfg.ArrivalsPerSecond)
+	rounds := int(cfg.SimSeconds / roundLen)
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	leaf := func(v int) *topk.List {
+		return topk.FromEntries(4, topk.Entry{ID: v, Score: float64(v)})
+	}
+
+	var latencies []float64
+	var auctions stats.Summary
+	sharedOps, naiveOps, totalAuctions := 0, 0, 0
+	occurring := make([]bool, m)
+	for r := 0; r < rounds; r++ {
+		roundClose := float64(r+1) * roundLen
+		for q := range occurring {
+			occurring[q] = false
+		}
+		var waits []float64
+		for q, lambda := range cfg.ArrivalsPerSecond {
+			// Poisson arrivals within [close−len, close): each waits until
+			// the round closes.
+			n := poisson(rng, lambda*roundLen)
+			if n == 0 {
+				continue
+			}
+			occurring[q] = true
+			for i := 0; i < n; i++ {
+				t := roundClose - rng.Float64()*roundLen
+				waits = append(waits, roundClose-t)
+			}
+		}
+		_, ops := plan.Execute(shared, leaf, topk.Merge, occurring)
+		_, nops := plan.Execute(naive, leaf, topk.Merge, occurring)
+		sharedOps += ops
+		naiveOps += nops
+		count := 0
+		for _, o := range occurring {
+			if o {
+				count++
+			}
+		}
+		totalAuctions += count
+		auctions.Add(float64(count))
+		wd := float64(ops) * cfg.WDSecondsPerOp
+		for _, w := range waits {
+			latencies = append(latencies, w+wd)
+		}
+	}
+
+	p := Point{RoundSeconds: roundLen, AuctionsPerRound: auctions.Mean()}
+	if len(latencies) > 0 {
+		p.MedianLatencySeconds = stats.Quantile(latencies, 0.5)
+		p.P95LatencySeconds = stats.Quantile(latencies, 0.95)
+	}
+	if totalAuctions > 0 {
+		p.OpsPerAuction = float64(sharedOps) / float64(totalAuctions)
+	}
+	if naiveOps > 0 {
+		p.SharingSaving = 1 - float64(sharedOps)/float64(naiveOps)
+	}
+	return p
+}
+
+// poisson draws from Poisson(mean) by inversion (Knuth) for small means and
+// a normal approximation for large ones.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(mean + math.Sqrt(mean)*rng.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// ToleranceMedian and ToleranceTooLong are the user-latency thresholds the
+// paper cites (Sears–Jacko–Borella): median latencies up to 2.2 s are
+// tolerated; ≥ 3.6 s is perceived as too long.
+const (
+	ToleranceMedian  = 2.2
+	ToleranceTooLong = 3.6
+)
+
+// MaxTolerableRound returns the longest round length from the sweep whose
+// median latency stays within the tolerated threshold, or -1 if none does.
+func MaxTolerableRound(points []Point) float64 {
+	best := -1.0
+	for _, p := range points {
+		if p.MedianLatencySeconds <= ToleranceMedian && p.RoundSeconds > best {
+			best = p.RoundSeconds
+		}
+	}
+	return best
+}

@@ -1,0 +1,141 @@
+package batching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sharedwd/internal/plan"
+)
+
+func sweepFixture(t *testing.T) Config {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	inst := plan.RandomCoinFlipInstance(rng, 30, 8, 1)
+	arrivals := make([]float64, len(inst.Queries))
+	for q := range arrivals {
+		arrivals[q] = 0.5 + rng.Float64()*2 // 0.5–2.5 queries/second
+	}
+	return Config{
+		ArrivalsPerSecond: arrivals,
+		Instance:          inst,
+		WDSecondsPerOp:    1e-6,
+		SimSeconds:        200,
+		Seed:              7,
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	cfg := sweepFixture(t)
+	bad := cfg
+	bad.ArrivalsPerSecond = bad.ArrivalsPerSecond[:2]
+	for i, fn := range []func(){
+		func() { Sweep(bad, []float64{1}) },
+		func() { Sweep(cfg, []float64{0}) },
+		func() { c := cfg; c.SimSeconds = 0; Sweep(c, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSweepTradeoffShape(t *testing.T) {
+	cfg := sweepFixture(t)
+	lengths := []float64{0.25, 0.5, 1.0, 2.0, 4.0}
+	points := Sweep(cfg, lengths)
+	if len(points) != len(lengths) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.RoundSeconds != lengths[i] {
+			t.Fatalf("point %d round length %v", i, p.RoundSeconds)
+		}
+		// Waiting time is bounded by the round length plus WD time.
+		if p.MedianLatencySeconds > p.RoundSeconds+0.5 {
+			t.Fatalf("median latency %v exceeds round %v", p.MedianLatencySeconds, p.RoundSeconds)
+		}
+		if p.P95LatencySeconds < p.MedianLatencySeconds {
+			t.Fatalf("p95 %v below median %v", p.P95LatencySeconds, p.MedianLatencySeconds)
+		}
+	}
+	// Longer rounds → more auctions per round and more co-occurrence, so
+	// fewer shared ops per auction and higher latency.
+	first, last := points[0], points[len(points)-1]
+	if last.AuctionsPerRound <= first.AuctionsPerRound {
+		t.Fatalf("auctions/round did not grow: %v -> %v", first.AuctionsPerRound, last.AuctionsPerRound)
+	}
+	if last.OpsPerAuction >= first.OpsPerAuction {
+		t.Fatalf("ops/auction did not shrink: %v -> %v", first.OpsPerAuction, last.OpsPerAuction)
+	}
+	if last.MedianLatencySeconds <= first.MedianLatencySeconds {
+		t.Fatalf("latency did not grow: %v -> %v", first.MedianLatencySeconds, last.MedianLatencySeconds)
+	}
+	if last.SharingSaving <= first.SharingSaving {
+		t.Fatalf("sharing saving did not grow: %v -> %v", first.SharingSaving, last.SharingSaving)
+	}
+}
+
+func TestMaxTolerableRound(t *testing.T) {
+	pts := []Point{
+		{RoundSeconds: 0.5, MedianLatencySeconds: 0.3},
+		{RoundSeconds: 2.0, MedianLatencySeconds: 1.1},
+		{RoundSeconds: 8.0, MedianLatencySeconds: 4.2},
+	}
+	if got := MaxTolerableRound(pts); got != 2.0 {
+		t.Fatalf("MaxTolerableRound = %v, want 2.0", got)
+	}
+	if got := MaxTolerableRound([]Point{{RoundSeconds: 9, MedianLatencySeconds: 9}}); got != -1 {
+		t.Fatalf("no tolerable round should give -1, got %v", got)
+	}
+}
+
+// TestPaperMusicExample reproduces the introduction's arithmetic: ~300,000
+// music searches/day ≈ 3.47/second; with ⅔-second rounds we expect ≈ 2.3
+// music queries per round, and the paper asserts such rounds sit well
+// within user latency tolerance.
+func TestPaperMusicExample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := plan.RandomCoinFlipInstance(rng, 20, 1, 1)
+	lambda := 300000.0 / 86400 // searches per second
+	cfg := Config{
+		ArrivalsPerSecond: []float64{lambda},
+		Instance:          inst,
+		WDSecondsPerOp:    1e-6,
+		SimSeconds:        2000,
+		Seed:              1,
+	}
+	pts := Sweep(cfg, []float64{2.0 / 3.0})
+	p := pts[0]
+	// Expected arrivals per round = λ·(2/3) ≈ 2.31 > 2, the paper's "2
+	// music-related auctions per round".
+	if p.AuctionsPerRound < 0.85 { // distinct phrases (only one here) occur in ≥85% of rounds
+		t.Fatalf("music phrase occurred in only %v of rounds", p.AuctionsPerRound)
+	}
+	if p.MedianLatencySeconds > ToleranceMedian {
+		t.Fatalf("⅔-second rounds show median latency %v, above tolerance", p.MedianLatencySeconds)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, mean := range []float64{0.3, 4, 50} {
+		const n = 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) should be 0")
+	}
+}

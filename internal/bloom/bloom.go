@@ -1,0 +1,124 @@
+// Package bloom implements Bloom filters, the paper's running example of a
+// duplicate-insensitive aggregate: filter union is associative, commutative,
+// and idempotent with the empty filter as identity — a semilattice, exactly
+// the algebra (axioms A1–A4) the shared aggregation framework of Section II
+// covers. The analytics service uses unions of per-phrase bidder sketches to
+// estimate how many distinct advertisers bid on a phrase set, sharing the
+// union DAG across overlapping queries.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"sharedwd/internal/bitset"
+)
+
+// Filter is a Bloom filter over strings with m bits and k hash functions.
+// Filters combined with Union must share identical (m, k) parameters.
+type Filter struct {
+	m, k int
+	bits bitset.Set
+	n    int // insertions (for cardinality bookkeeping; unions re-estimate)
+}
+
+// New returns an empty filter with mBits bits and kHashes hash functions.
+func New(mBits, kHashes int) *Filter {
+	if mBits <= 0 || kHashes <= 0 {
+		panic(fmt.Sprintf("bloom: invalid parameters m=%d k=%d", mBits, kHashes))
+	}
+	return &Filter{m: mBits, k: kHashes, bits: bitset.New(mBits)}
+}
+
+// OptimalParams returns (m, k) sized for the expected number of items at the
+// target false-positive rate, via the standard formulas
+// m = −n·ln p / (ln 2)² and k = (m/n)·ln 2.
+func OptimalParams(expectedItems int, falsePositive float64) (mBits, kHashes int) {
+	if expectedItems <= 0 || falsePositive <= 0 || falsePositive >= 1 {
+		panic("bloom: invalid sizing parameters")
+	}
+	n := float64(expectedItems)
+	m := math.Ceil(-n * math.Log(falsePositive) / (math.Ln2 * math.Ln2))
+	k := math.Max(1, math.Round(m/n*math.Ln2))
+	return int(m), int(k)
+}
+
+// indices derives the k bit positions for an item using double hashing over
+// a single 64-bit FNV digest (Kirsch–Mitzenmacher).
+func (f *Filter) indices(item string) []int {
+	h := fnv.New64a()
+	h.Write([]byte(item))
+	d := h.Sum64()
+	h1 := d & 0xffffffff
+	h2 := d >> 32
+	if h2 == 0 {
+		h2 = 0x9e3779b9
+	}
+	out := make([]int, f.k)
+	for i := range out {
+		out[i] = int((h1 + uint64(i)*h2) % uint64(f.m))
+	}
+	return out
+}
+
+// Add inserts an item.
+func (f *Filter) Add(item string) {
+	for _, i := range f.indices(item) {
+		f.bits.Add(i)
+	}
+	f.n++
+}
+
+// Contains reports whether the item may have been inserted (false positives
+// possible, false negatives not).
+func (f *Filter) Contains(item string) bool {
+	for _, i := range f.indices(item) {
+		if !f.bits.Contains(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (f *Filter) Clone() *Filter {
+	return &Filter{m: f.m, k: f.k, bits: f.bits.Clone(), n: f.n}
+}
+
+// Union returns the filter representing the union of the two item sets.
+// It panics if parameters differ. Union is the ⊕ of the semilattice: it is
+// associative, commutative, idempotent, and New(m,k) is its identity.
+func Union(a, b *Filter) *Filter {
+	if a.m != b.m || a.k != b.k {
+		panic(fmt.Sprintf("bloom: union of incompatible filters (%d,%d) vs (%d,%d)", a.m, a.k, b.m, b.k))
+	}
+	return &Filter{m: a.m, k: a.k, bits: a.bits.Union(b.bits)}
+}
+
+// Equal reports whether two filters have identical parameters and bits.
+func (f *Filter) Equal(o *Filter) bool {
+	return f.m == o.m && f.k == o.k && f.bits.Equal(o.bits)
+}
+
+// SetBits returns how many bits are set.
+func (f *Filter) SetBits() int { return f.bits.Count() }
+
+// EstimateCount estimates the number of distinct items represented, via the
+// standard fill-ratio inversion n̂ = −(m/k)·ln(1 − X/m) with X set bits.
+// A saturated filter returns +Inf.
+func (f *Filter) EstimateCount() float64 {
+	x := float64(f.bits.Count())
+	m := float64(f.m)
+	if x >= m {
+		return math.Inf(1)
+	}
+	return -m / float64(f.k) * math.Log(1-x/m)
+}
+
+// FalsePositiveRate estimates the current false-positive probability
+// (fill ratio to the k-th power).
+func (f *Filter) FalsePositiveRate() float64 {
+	fill := float64(f.bits.Count()) / float64(f.m)
+	return math.Pow(fill, float64(f.k))
+}

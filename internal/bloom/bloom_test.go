@@ -1,0 +1,172 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 3) },
+		func() { New(64, 0) },
+		func() { OptimalParams(0, 0.01) },
+		func() { OptimalParams(10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 4)
+	items := []string{"music", "hiking boots", "high heels", "dvds", ""}
+	for _, it := range items {
+		f.Add(it)
+	}
+	for _, it := range items {
+		if !f.Contains(it) {
+			t.Fatalf("false negative for %q", it)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 1000
+	m, k := OptimalParams(n, 0.01)
+	f := New(m, k)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("nonmember-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false-positive rate %v, sized for 0.01", rate)
+	}
+	if est := f.FalsePositiveRate(); est > 0.03 {
+		t.Fatalf("estimated fp rate %v", est)
+	}
+}
+
+func TestEstimateCount(t *testing.T) {
+	m, k := OptimalParams(500, 0.01)
+	f := New(m, k)
+	for i := 0; i < 500; i++ {
+		f.Add(fmt.Sprintf("item-%d", i))
+	}
+	est := f.EstimateCount()
+	if math.Abs(est-500) > 50 {
+		t.Fatalf("EstimateCount = %v, want ≈ 500", est)
+	}
+	sat := New(8, 1)
+	for i := 0; i < 100; i++ {
+		sat.Add(fmt.Sprintf("x%d", i))
+	}
+	if !math.IsInf(sat.EstimateCount(), 1) {
+		t.Fatal("saturated filter should estimate +Inf")
+	}
+}
+
+func TestUnionSemantics(t *testing.T) {
+	a := New(256, 3)
+	b := New(256, 3)
+	a.Add("alpha")
+	b.Add("beta")
+	u := Union(a, b)
+	if !u.Contains("alpha") || !u.Contains("beta") {
+		t.Fatal("union must contain both sides' items")
+	}
+	if a.Contains("beta") {
+		t.Fatal("union must not mutate inputs")
+	}
+}
+
+func TestUnionIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Union(New(128, 3), New(256, 3))
+}
+
+// TestQuickSemilatticeAxioms: union satisfies A1–A4 with the empty filter
+// as identity — the algebra the shared-aggregation framework needs.
+func TestQuickSemilatticeAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Filter {
+			fl := New(128, 3)
+			for i := 0; i < rng.Intn(10); i++ {
+				fl.Add(fmt.Sprintf("i%d", rng.Intn(50)))
+			}
+			return fl
+		}
+		a, b, c := mk(), mk(), mk()
+		if !Union(a, b).Equal(Union(b, a)) { // A4
+			return false
+		}
+		if !Union(Union(a, b), c).Equal(Union(a, Union(b, c))) { // A1
+			return false
+		}
+		if !Union(a, a).Equal(a.withoutN()) { // A3
+			return false
+		}
+		return Union(a, New(128, 3)).Equal(a.withoutN()) // A2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withoutN normalizes the insertion counter away for Equal comparisons
+// (unions re-estimate cardinality from bits rather than tracking n).
+func (f *Filter) withoutN() *Filter {
+	c := f.Clone()
+	c.n = 0
+	return c
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(128, 2)
+	a.Add("x")
+	b := a.Clone()
+	b.Add("y")
+	if a.Contains("y") && a.SetBits() == b.SetBits() {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(1<<16, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add("benchmark-item")
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x, y := New(1<<16, 5), New(1<<16, 5)
+	for i := 0; i < 1000; i++ {
+		x.Add(fmt.Sprintf("x%d", i))
+		y.Add(fmt.Sprintf("y%d", i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Union(x, y)
+	}
+}

@@ -1,0 +1,360 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewThrottlerValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*Throttler, error)
+	}{
+		{"negative bid", func() (*Throttler, error) { return NewThrottler(0, -1, 5, 1, nil) }},
+		{"negative budget", func() (*Throttler, error) { return NewThrottler(0, 1, -5, 1, nil) }},
+		{"zero auctions", func() (*Throttler, error) { return NewThrottler(0, 1, 5, 0, nil) }},
+		{"bad price", func() (*Throttler, error) {
+			return NewThrottler(0, 1, 5, 1, []OutstandingAd{{Price: 0, CTR: 0.5}})
+		}},
+		{"bad ctr", func() (*Throttler, error) {
+			return NewThrottler(0, 1, 5, 1, []OutstandingAd{{Price: 1, CTR: 1.5}})
+		}},
+	}
+	for _, c := range cases {
+		if _, err := c.fn(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNoOutstandingAds(t *testing.T) {
+	// With no outstanding ads, b̂ = min(b, β/m) — the paper's base case.
+	cases := []struct {
+		bid, budget float64
+		auctions    int
+		want        float64
+	}{
+		{2, 100, 3, 2}, // plenty of budget
+		{2, 3, 3, 1},   // β/m = 1 < b
+		{2, 0, 1, 0},   // exhausted
+		{0, 100, 1, 0}, // zero bid
+	}
+	for _, c := range cases {
+		tr := MustThrottler(0, c.bid, c.budget, c.auctions, nil)
+		if !tr.IsExact() {
+			t.Fatalf("no-ads throttler should be exact: %v", tr.Bounds())
+		}
+		if got := tr.Exact(); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("bid=%v β=%v m=%d: got %v, want %v", c.bid, c.budget, c.auctions, got, c.want)
+		}
+		if got := ExactThrottledBid(c.bid, c.budget, c.auctions, nil); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("enumeration: got %v, want %v", got, c.want)
+		}
+	}
+}
+
+func TestFastPathFullBid(t *testing.T) {
+	// ω ≤ β − m·b: even if everything is clicked the advertiser can pay.
+	ads := []OutstandingAd{{Price: 1, CTR: 0.5}, {Price: 2, CTR: 0.9}}
+	tr := MustThrottler(0, 2, 100, 3, ads)
+	if !tr.IsExact() || tr.Bounds().Lo != 2 {
+		t.Fatalf("fast path failed: %v", tr.Bounds())
+	}
+}
+
+func TestExactSingleAdByHand(t *testing.T) {
+	// b=2, β=4, m=2, one ad π=3 ctr=0.5:
+	// clicked: min(2, (4-3)/2) = 0.5; not: min(2, 4/2) = 2 → b̂ = 1.25.
+	ads := []OutstandingAd{{Price: 3, CTR: 0.5}}
+	want := 1.25
+	if got := ExactThrottledBid(2, 4, 2, ads); !almostEq(got, want, 1e-12) {
+		t.Fatalf("enumeration = %v, want %v", got, want)
+	}
+	if got := ExactThrottledBidDP(2, 4, 2, ads, 0.01); !almostEq(got, want, 1e-9) {
+		t.Fatalf("DP = %v, want %v", got, want)
+	}
+	tr := MustThrottler(0, 2, 4, 2, ads)
+	if got := tr.Exact(); !almostEq(got, want, 1e-9) {
+		t.Fatalf("throttler exact = %v, want %v", got, want)
+	}
+}
+
+func TestOverBudgetGoesToZero(t *testing.T) {
+	// Outstanding debt certain to exceed the budget: b̂ = 0.
+	ads := []OutstandingAd{{Price: 10, CTR: 1}}
+	if got := ExactThrottledBid(5, 8, 1, ads); got != 0 {
+		t.Fatalf("b̂ = %v, want 0", got)
+	}
+	tr := MustThrottler(0, 5, 8, 1, ads)
+	if got := tr.Exact(); !almostEq(got, 0, 1e-12) {
+		t.Fatalf("throttler = %v, want 0", got)
+	}
+}
+
+// TestQuickEnumerationMatchesDP: the two exact methods agree on cent-valued
+// instances.
+func TestQuickEnumerationMatchesDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := rng.Intn(10)
+		ads := make([]OutstandingAd, l)
+		for i := range ads {
+			ads[i] = OutstandingAd{
+				Price: float64(1+rng.Intn(500)) / 100, // cents
+				CTR:   rng.Float64(),
+			}
+		}
+		bid := float64(rng.Intn(300)) / 100
+		budgetCents := float64(rng.Intn(1000)) / 100
+		m := 1 + rng.Intn(4)
+		a := ExactThrottledBid(bid, budgetCents, m, ads)
+		b := ExactThrottledBidDP(bid, budgetCents, m, ads, 0.01)
+		return almostEq(a, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBoundsContainTruthAtEveryLevel: the anytime interval must contain
+// the exact b̂ at every expansion level, tighten overall, and collapse to
+// the exact value at full expansion.
+func TestQuickBoundsContainTruthAtEveryLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(8)
+		ads := make([]OutstandingAd, l)
+		for i := range ads {
+			ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*5, CTR: rng.Float64()}
+		}
+		bid := rng.Float64() * 3
+		budget := rng.Float64() * 10
+		m := 1 + rng.Intn(4)
+		truth := ExactThrottledBid(bid, budget, m, ads)
+		tr := MustThrottler(0, bid, budget, m, ads)
+		first := tr.Bounds()
+		for {
+			bd := tr.Bounds()
+			if truth < bd.Lo-1e-9 || truth > bd.Hi+1e-9 {
+				return false
+			}
+			if tr.Level() >= l {
+				break
+			}
+			tr.Refine()
+		}
+		final := tr.Bounds()
+		if !almostEq(final.Lo, truth, 1e-9) || !almostEq(final.Hi, truth, 1e-9) {
+			return false
+		}
+		return final.Width() <= first.Width()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineTightensMonotonically(t *testing.T) {
+	ads := []OutstandingAd{
+		{Price: 4, CTR: 0.3}, {Price: 2, CTR: 0.7}, {Price: 1, CTR: 0.5}, {Price: 3, CTR: 0.2},
+	}
+	tr := MustThrottler(0, 2, 6, 2, ads)
+	prev := tr.Bounds().Width()
+	for tr.Refine() {
+		w := tr.Bounds().Width()
+		if w > prev+1e-9 {
+			t.Fatalf("width grew: %v -> %v at level %d", prev, w, tr.Level())
+		}
+		prev = w
+	}
+}
+
+func TestCompareResolvesWithoutFullExpansion(t *testing.T) {
+	// Clearly separated advertisers should compare with few refinements.
+	adsA := []OutstandingAd{{Price: 0.1, CTR: 0.1}, {Price: 0.1, CTR: 0.1}}
+	a := MustThrottler(0, 5, 100, 1, adsA) // essentially b̂ ≈ 5
+	heavy := make([]OutstandingAd, 12)
+	for i := range heavy {
+		heavy[i] = OutstandingAd{Price: 10, CTR: 0.99}
+	}
+	b := MustThrottler(1, 5, 10, 1, heavy) // nearly certainly broke: b̂ ≈ 0
+	got, st := Compare(a, b)
+	if got != 1 {
+		t.Fatalf("Compare = %d, want 1", got)
+	}
+	if st.Refinements >= 12 {
+		t.Fatalf("Compare used %d refinements; bounds should separate early", st.Refinements)
+	}
+}
+
+func TestCompareEqualExact(t *testing.T) {
+	a := MustThrottler(0, 2, 100, 1, nil)
+	b := MustThrottler(1, 2, 100, 1, nil)
+	if got, _ := Compare(a, b); got != 0 {
+		t.Fatalf("Compare = %d, want 0", got)
+	}
+}
+
+// TestQuickCompareAgreesWithExact: the bound-driven comparison must agree
+// with comparing the exact values.
+func TestQuickCompareAgreesWithExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(id int) (*Throttler, float64) {
+			l := rng.Intn(7)
+			ads := make([]OutstandingAd, l)
+			for i := range ads {
+				ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+			}
+			bid := rng.Float64() * 3
+			budget := rng.Float64() * 12
+			m := 1 + rng.Intn(3)
+			return MustThrottler(id, bid, budget, m, ads), ExactThrottledBid(bid, budget, m, ads)
+		}
+		a, va := mk(0)
+		b, vb := mk(1)
+		got, _ := Compare(a, b)
+		switch {
+		case va < vb-1e-9:
+			return got == -1
+		case va > vb+1e-9:
+			return got == 1
+		default:
+			return true // too close to call either way; any answer defensible
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTopKUncertainMatchesExact: lazy selection returns exactly the
+// top-k by exact throttled bid (with ID tie-breaks).
+func TestQuickTopKUncertainMatchesExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		k := 1 + rng.Intn(n)
+		ts := make([]*Throttler, n)
+		exact := make([]float64, n)
+		for i := range ts {
+			l := rng.Intn(6)
+			ads := make([]OutstandingAd, l)
+			for j := range ads {
+				ads[j] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+			}
+			bid := rng.Float64() * 3
+			budget := rng.Float64() * 12
+			m := 1 + rng.Intn(3)
+			ts[i] = MustThrottler(i, bid, budget, m, ads)
+			exact[i] = ExactThrottledBid(bid, budget, m, ads)
+		}
+		res := TopKUncertain(k, ts)
+		if len(res.Winners) != k {
+			return false
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		sort.SliceStable(ids, func(a, b int) bool {
+			if exact[ids[a]] != exact[ids[b]] {
+				return exact[ids[a]] > exact[ids[b]]
+			}
+			return ids[a] < ids[b]
+		})
+		for i, w := range res.Winners {
+			// Allow swaps among near-equal values.
+			if !almostEq(exact[ids[i]], exact[w.ID], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKUncertainEdgeCases(t *testing.T) {
+	if res := TopKUncertain(3, nil); len(res.Winners) != 0 {
+		t.Fatal("empty input should yield no winners")
+	}
+	a := MustThrottler(0, 1, 10, 1, nil)
+	if res := TopKUncertain(0, []*Throttler{a}); len(res.Winners) != 0 {
+		t.Fatal("k=0 should yield no winners")
+	}
+	if res := TopKUncertain(5, []*Throttler{a}); len(res.Winners) != 1 {
+		t.Fatal("k > n should yield all")
+	}
+}
+
+func TestLargestPriceFirstExpansionIsEffective(t *testing.T) {
+	// One huge uncertain ad and many small ones: expanding the huge one
+	// first should collapse most of the width in a single refinement.
+	ads := []OutstandingAd{{Price: 50, CTR: 0.5}}
+	for i := 0; i < 10; i++ {
+		ads = append(ads, OutstandingAd{Price: 0.1, CTR: 0.5})
+	}
+	tr := MustThrottler(0, 3, 60, 1, ads)
+	w0 := tr.Bounds().Width()
+	tr.Refine() // expands the π=50 ad
+	w1 := tr.Bounds().Width()
+	if w1 > 0.5*w0 {
+		t.Fatalf("width only %v -> %v after expanding the dominant ad", w0, w1)
+	}
+}
+
+func TestDecayedCTR(t *testing.T) {
+	if got := DecayedCTR(0.4, 0, 10, 100); got != 0.4 {
+		t.Fatalf("age 0: %v", got)
+	}
+	if got := DecayedCTR(0.4, 10, 10, 100); !almostEq(got, 0.2, 1e-12) {
+		t.Fatalf("one half-life: %v", got)
+	}
+	if got := DecayedCTR(0.4, 100, 10, 100); got != 0 {
+		t.Fatalf("beyond horizon: %v", got)
+	}
+	if got := DecayedCTR(0.4, -1, 10, 100); got != 0.4 {
+		t.Fatalf("negative age clamps: %v", got)
+	}
+	if got := DecayedCTR(0, 5, 10, 100); got != 0 {
+		t.Fatalf("zero ctr0: %v", got)
+	}
+}
+
+func BenchmarkExactEnumeration(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ads := make([]OutstandingAd, 18)
+	for i := range ads {
+		ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ExactThrottledBid(2, 20, 2, ads)
+	}
+}
+
+func BenchmarkCompareHoeffding(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mkAds := func() []OutstandingAd {
+		ads := make([]OutstandingAd, 18)
+		for i := range ads {
+			ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+		}
+		return ads
+	}
+	adsA, adsB := mkAds(), mkAds()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := MustThrottler(0, 2.5, 30, 2, adsA)
+		y := MustThrottler(1, 1.0, 15, 2, adsB)
+		Compare(x, y)
+	}
+}

@@ -1,0 +1,96 @@
+package budget
+
+import (
+	"math"
+	"sort"
+)
+
+// Distribution is a discrete probability distribution over outstanding-debt
+// outcomes for one advertiser: each Outcome is a possible value of
+// min(β, S) — the budget actually consumed by outstanding ads — with its
+// probability. Outcomes are sorted ascending and probabilities sum to 1.
+type Distribution struct {
+	Outcomes []Outcome
+	budget   float64
+}
+
+// Outcome is one (debt value, probability) pair.
+type Outcome struct {
+	Debt float64
+	Prob float64
+}
+
+// DebtDistribution enumerates the exact distribution of min(β, S) over the
+// 2^l click outcomes of the outstanding ads, merging equal debts. Use for
+// small l (the engine's pricing path or reporting, not hot loops).
+func DebtDistribution(budget float64, ads []OutstandingAd) Distribution {
+	acc := map[float64]float64{}
+	var rec func(j int, prob, sum float64)
+	rec = func(j int, prob, sum float64) {
+		if prob == 0 {
+			return
+		}
+		if j == len(ads) {
+			acc[math.Min(budget, sum)] += prob
+			return
+		}
+		rec(j+1, prob*ads[j].CTR, sum+ads[j].Price)
+		rec(j+1, prob*(1-ads[j].CTR), sum)
+	}
+	rec(0, 1, 0)
+	d := Distribution{budget: budget, Outcomes: make([]Outcome, 0, len(acc))}
+	for debt, prob := range acc {
+		d.Outcomes = append(d.Outcomes, Outcome{Debt: debt, Prob: prob})
+	}
+	sort.Slice(d.Outcomes, func(i, j int) bool { return d.Outcomes[i].Debt < d.Outcomes[j].Debt })
+	return d
+}
+
+// Mean returns E[min(β, S)].
+func (d Distribution) Mean() float64 {
+	m := 0.0
+	for _, o := range d.Outcomes {
+		m += o.Debt * o.Prob
+	}
+	return m
+}
+
+// ProbBroke returns the probability that outstanding debts consume the
+// entire budget — the quantity a provider watches when deciding whether an
+// advertiser should still be entered into auctions at all.
+func (d Distribution) ProbBroke() float64 {
+	p := 0.0
+	for _, o := range d.Outcomes {
+		if o.Debt >= d.budget-1e-12 {
+			p += o.Prob
+		}
+	}
+	return p
+}
+
+// Quantile returns the smallest debt value whose cumulative probability
+// reaches q ∈ [0, 1].
+func (d Distribution) Quantile(q float64) float64 {
+	if len(d.Outcomes) == 0 {
+		return 0
+	}
+	cum := 0.0
+	for _, o := range d.Outcomes {
+		cum += o.Prob
+		if cum >= q-1e-12 {
+			return o.Debt
+		}
+	}
+	return d.Outcomes[len(d.Outcomes)-1].Debt
+}
+
+// ThrottledBid computes b̂ from the distribution — an alternative route to
+// ExactThrottledBid used to cross-check the two implementations.
+func (d Distribution) ThrottledBid(bid float64, auctions int) float64 {
+	m := float64(auctions)
+	total := 0.0
+	for _, o := range d.Outcomes {
+		total += o.Prob * math.Min(bid, (d.budget-o.Debt)/m)
+	}
+	return total
+}

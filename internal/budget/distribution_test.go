@@ -1,0 +1,83 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDebtDistributionByHand(t *testing.T) {
+	// One ad, π=3, ctr=0.25, budget 10: debt 0 w.p. .75, 3 w.p. .25.
+	d := DebtDistribution(10, []OutstandingAd{{Price: 3, CTR: 0.25}})
+	if len(d.Outcomes) != 2 {
+		t.Fatalf("outcomes = %v", d.Outcomes)
+	}
+	if d.Outcomes[0] != (Outcome{0, 0.75}) || d.Outcomes[1] != (Outcome{3, 0.25}) {
+		t.Fatalf("outcomes = %v", d.Outcomes)
+	}
+	if !almostEq(d.Mean(), 0.75, 1e-12) {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if d.ProbBroke() != 0 {
+		t.Fatalf("ProbBroke = %v", d.ProbBroke())
+	}
+}
+
+func TestDebtDistributionSaturation(t *testing.T) {
+	// Two ads of π=4 against budget 5: S ∈ {0,4,8} but debt caps at 5.
+	d := DebtDistribution(5, []OutstandingAd{{Price: 4, CTR: 0.5}, {Price: 4, CTR: 0.5}})
+	if got := d.ProbBroke(); !almostEq(got, 0.25, 1e-12) {
+		t.Fatalf("ProbBroke = %v, want 0.25 (both clicked)", got)
+	}
+	if q := d.Quantile(1.0); q != 5 {
+		t.Fatalf("Quantile(1) = %v, want saturated 5", q)
+	}
+	if q := d.Quantile(0.2); q != 0 {
+		t.Fatalf("Quantile(0.2) = %v, want 0", q)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	d := DebtDistribution(7, nil)
+	if len(d.Outcomes) != 1 || d.Outcomes[0].Debt != 0 || d.Outcomes[0].Prob != 1 {
+		t.Fatalf("empty ads: %v", d.Outcomes)
+	}
+	if Distribution.Quantile(Distribution{}, 0.5) != 0 {
+		t.Fatal("empty distribution quantile should be 0")
+	}
+}
+
+// TestQuickDistributionConsistent: probabilities sum to 1, the
+// distribution-based throttled bid matches ExactThrottledBid, and the mean
+// matches min(β,S)'s expectation computed directly.
+func TestQuickDistributionConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := rng.Intn(9)
+		ads := make([]OutstandingAd, l)
+		for i := range ads {
+			ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+		}
+		budget := rng.Float64() * 12
+		d := DebtDistribution(budget, ads)
+		sum := 0.0
+		prev := math.Inf(-1)
+		for _, o := range d.Outcomes {
+			if o.Debt <= prev {
+				return false // must be strictly ascending (merged)
+			}
+			prev = o.Debt
+			sum += o.Prob
+		}
+		if !almostEq(sum, 1, 1e-9) {
+			return false
+		}
+		bid := rng.Float64() * 3
+		m := 1 + rng.Intn(3)
+		return almostEq(d.ThrottledBid(bid, m), ExactThrottledBid(bid, budget, m, ads), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

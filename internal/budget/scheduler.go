@@ -1,0 +1,96 @@
+package budget
+
+// Scheduler selects which of two overlapping throttled-bid intervals to
+// refine next during a comparison. The paper's conclusion leaves "how to
+// schedule the refinement of these bounds" as future work; this file makes
+// the policy pluggable and the benchmark harness compares the options.
+type Scheduler int
+
+// The available refinement schedulers.
+const (
+	// WidestFirst refines the throttler with the wider interval — greatest
+	// expected tightening per step. The default.
+	WidestFirst Scheduler = iota
+	// RoundRobin alternates sides regardless of widths.
+	RoundRobin
+	// CheapestFirst refines the throttler at the lower expansion level,
+	// whose next step costs the least (cost doubles per level).
+	CheapestFirst
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case WidestFirst:
+		return "widest-first"
+	case RoundRobin:
+		return "round-robin"
+	case CheapestFirst:
+		return "cheapest-first"
+	default:
+		return "unknown"
+	}
+}
+
+// CompareWith orders two throttled bids like Compare, but refining under
+// the given scheduler. All schedulers produce the same answer (bounds
+// always contain the exact value); they differ only in work performed.
+func CompareWith(a, b *Throttler, sched Scheduler) (int, CompareStats) {
+	var st CompareStats
+	turn := 0
+	for {
+		ab, bb := a.Bounds(), b.Bounds()
+		switch {
+		case ab.Below(bb):
+			return -1, st
+		case bb.Below(ab):
+			return 1, st
+		}
+		var target *Throttler
+		switch {
+		case a.IsExact() && b.IsExact():
+			switch {
+			case ab.Lo < bb.Lo:
+				return -1, st
+			case ab.Lo > bb.Lo:
+				return 1, st
+			default:
+				return 0, st
+			}
+		case a.IsExact():
+			target = b
+		case b.IsExact():
+			target = a
+		default:
+			switch sched {
+			case WidestFirst:
+				if ab.Width() >= bb.Width() {
+					target = a
+				} else {
+					target = b
+				}
+			case RoundRobin:
+				if turn%2 == 0 {
+					target = a
+				} else {
+					target = b
+				}
+			case CheapestFirst:
+				if a.Level() <= b.Level() {
+					target = a
+				} else {
+					target = b
+				}
+			default:
+				target = a
+			}
+		}
+		turn++
+		if target.Level() >= refineCutoff {
+			target.Exact()
+		} else {
+			target.Refine()
+		}
+		st.Refinements++
+	}
+}

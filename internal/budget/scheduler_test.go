@@ -1,0 +1,125 @@
+package budget
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerString(t *testing.T) {
+	for s, want := range map[Scheduler]string{
+		WidestFirst: "widest-first", RoundRobin: "round-robin", CheapestFirst: "cheapest-first",
+	} {
+		if s.String() != want {
+			t.Fatalf("String = %q, want %q", s.String(), want)
+		}
+	}
+	if Scheduler(99).String() != "unknown" {
+		t.Fatal("unknown scheduler name")
+	}
+}
+
+// TestQuickAllSchedulersAgree: every scheduler resolves comparisons to the
+// same answer as exact evaluation — they differ only in work.
+func TestQuickAllSchedulersAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(id int) (*Throttler, *Throttler, *Throttler, float64) {
+			l := rng.Intn(7)
+			ads := make([]OutstandingAd, l)
+			for i := range ads {
+				ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+			}
+			bid := rng.Float64() * 3
+			budget := rng.Float64() * 12
+			m := 1 + rng.Intn(3)
+			// Fresh throttler per scheduler so refinement state is equal.
+			t1 := MustThrottler(id, bid, budget, m, ads)
+			t2 := MustThrottler(id, bid, budget, m, ads)
+			t3 := MustThrottler(id, bid, budget, m, ads)
+			return t1, t2, t3, ExactThrottledBid(bid, budget, m, ads)
+		}
+		a1, a2, a3, va := mk(0)
+		b1, b2, b3, vb := mk(1)
+		r1, _ := CompareWith(a1, b1, WidestFirst)
+		r2, _ := CompareWith(a2, b2, RoundRobin)
+		r3, _ := CompareWith(a3, b3, CheapestFirst)
+		switch {
+		case va < vb-1e-9:
+			return r1 == -1 && r2 == -1 && r3 == -1
+		case va > vb+1e-9:
+			return r1 == 1 && r2 == 1 && r3 == 1
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareIsWidestFirst: the default Compare matches CompareWith under
+// WidestFirst on identical fresh state.
+func TestCompareIsWidestFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		mk := func(id int) (*Throttler, *Throttler) {
+			l := rng.Intn(8)
+			ads := make([]OutstandingAd, l)
+			for i := range ads {
+				ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+			}
+			bid := rng.Float64() * 3
+			budget := rng.Float64() * 12
+			return MustThrottler(id, bid, budget, 2, ads), MustThrottler(id, bid, budget, 2, ads)
+		}
+		a1, a2 := mk(0)
+		b1, b2 := mk(1)
+		got1, st1 := Compare(a1, b1)
+		got2, st2 := CompareWith(a2, b2, WidestFirst)
+		if got1 != got2 || st1.Refinements != st2.Refinements {
+			t.Fatalf("trial %d: Compare (%d, %d) != CompareWith widest (%d, %d)",
+				trial, got1, st1.Refinements, got2, st2.Refinements)
+		}
+	}
+}
+
+// BenchmarkSchedulerComparison measures total refinements per scheduler
+// over a batch of random comparisons — the paper's open scheduling
+// question, answered empirically.
+func BenchmarkSchedulerComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	const pairs = 30
+	type spec struct {
+		bid, budget float64
+		m           int
+		ads         []OutstandingAd
+	}
+	mk := func() spec {
+		ads := make([]OutstandingAd, 14)
+		for i := range ads {
+			ads[i] = OutstandingAd{Price: 0.5 + rng.Float64()*4, CTR: rng.Float64()}
+		}
+		return spec{bid: rng.Float64() * 4, budget: rng.Float64() * 25, m: 1 + rng.Intn(3), ads: ads}
+	}
+	var left, right [pairs]spec
+	for i := range left {
+		left[i], right[i] = mk(), mk()
+	}
+	for _, sched := range []Scheduler{WidestFirst, RoundRobin, CheapestFirst} {
+		b.Run(sched.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var refinements int
+			for i := 0; i < b.N; i++ {
+				refinements = 0
+				for p := 0; p < pairs; p++ {
+					x := MustThrottler(0, left[p].bid, left[p].budget, left[p].m, left[p].ads)
+					y := MustThrottler(1, right[p].bid, right[p].budget, right[p].m, right[p].ads)
+					_, st := CompareWith(x, y, sched)
+					refinements += st.Refinements
+				}
+			}
+			b.ReportMetric(float64(refinements)/pairs, "refinements/pair")
+		})
+	}
+}

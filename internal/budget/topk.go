@@ -1,0 +1,153 @@
+package budget
+
+import (
+	"sort"
+)
+
+// CompareStats reports the refinement work a comparison performed.
+type CompareStats struct {
+	Refinements int
+}
+
+// refineCutoff is the expansion level beyond which Compare stops refining
+// bounds and falls back to exact evaluation: each further level doubles the
+// recomputation cost, so past this point plain enumeration is cheaper than
+// continuing to tighten intervals that refuse to separate (near-ties). The
+// paper leaves refinement scheduling as future work; this is the simple
+// cost-crossover policy.
+const refineCutoff = 8
+
+// Compare orders two throttled bids, refining whichever throttler currently
+// has the wider bounds until the intervals separate or both are exact. It
+// returns -1, 0, or +1 as a's throttled bid is less than, equal to, or
+// greater than b's. Refinement state is retained on the throttlers, so
+// later comparisons reuse the work (the paper's bound caching).
+func Compare(a, b *Throttler) (int, CompareStats) {
+	var st CompareStats
+	for {
+		ab, bb := a.Bounds(), b.Bounds()
+		switch {
+		case ab.Below(bb):
+			return -1, st
+		case bb.Below(ab):
+			return 1, st
+		}
+		// Overlapping: refine the wider interval first (largest expected
+		// tightening per unit work).
+		var target *Throttler
+		switch {
+		case a.IsExact() && b.IsExact():
+			switch {
+			case ab.Lo < bb.Lo:
+				return -1, st
+			case ab.Lo > bb.Lo:
+				return 1, st
+			default:
+				return 0, st
+			}
+		case a.IsExact():
+			target = b
+		case b.IsExact():
+			target = a
+		case ab.Width() >= bb.Width():
+			target = a
+		default:
+			target = b
+		}
+		if target.Level() >= refineCutoff {
+			target.Exact()
+		} else {
+			target.Refine()
+		}
+		st.Refinements++
+	}
+}
+
+// TopKResult is the outcome of top-k selection under uncertain bids.
+type TopKResult struct {
+	// Winners holds the selected throttlers in descending throttled-bid
+	// order (exact values are forced for winners, as the paper notes
+	// pricing requires them).
+	Winners []*Throttler
+	// Refinements counts bound-tightening steps across the whole selection.
+	Refinements int
+}
+
+// TopKUncertain selects the k advertisers with the highest throttled bids
+// without computing most bids exactly: it lazily refines only the
+// throttlers whose intervals straddle the selection boundary, in the spirit
+// of the multisimulation scheduling of Ré–Dalvi–Suciu that the paper cites.
+// Ties between exact equal bids break by ascending advertiser ID.
+func TopKUncertain(k int, ts []*Throttler) TopKResult {
+	var res TopKResult
+	if k <= 0 || len(ts) == 0 {
+		return res
+	}
+	if k > len(ts) {
+		k = len(ts)
+	}
+	order := append([]*Throttler(nil), ts...)
+	for {
+		// Order by optimistic bound; the candidate set is the first k.
+		sort.SliceStable(order, func(i, j int) bool {
+			oi, oj := order[i].Bounds(), order[j].Bounds()
+			if oi.Lo != oj.Lo {
+				return oi.Lo > oj.Lo
+			}
+			if oi.Hi != oj.Hi {
+				return oi.Hi > oj.Hi
+			}
+			return order[i].ID < order[j].ID
+		})
+		inMin := order[k-1].Bounds().Lo // weakest selected lower bound
+		// The selection is certain when no outsider's upper bound exceeds
+		// the weakest insider's lower bound (strictly; equality is resolved
+		// by exactness + ID below).
+		boundary := -1
+		for j := k; j < len(order); j++ {
+			out := order[j].Bounds()
+			if out.Hi > inMin || (out.Hi == inMin && !(order[j].IsExact() && order[k-1].IsExact())) {
+				boundary = j
+				break
+			}
+		}
+		if boundary == -1 {
+			break
+		}
+		// Refine the widest interval among the straddlers: the weakest
+		// insider and the strongest outsider.
+		in, out := order[k-1], order[boundary]
+		target := in
+		if out.Bounds().Width() > in.Bounds().Width() || (target.IsExact() && !out.IsExact()) {
+			target = out
+		}
+		if target.IsExact() {
+			// Both boundary throttlers exact with equal values: the ID
+			// tie-break in the sort already ordered them; re-check.
+			if in.Bounds().Lo == out.Bounds().Lo {
+				break
+			}
+			target = out
+		}
+		if target.Level() >= refineCutoff {
+			target.Exact()
+		} else {
+			target.Refine()
+		}
+		res.Refinements++
+	}
+	res.Winners = order[:k]
+	// Pricing needs winners' exact values (paper: only k of them, so this
+	// is cheap relative to exact-for-everyone).
+	for _, w := range res.Winners {
+		w.Exact()
+	}
+	sort.SliceStable(res.Winners, func(i, j int) bool {
+		wi, wj := res.Winners[i].Bounds().Lo, res.Winners[j].Bounds().Lo
+		if wi != wj {
+			return wi > wj
+		}
+		return res.Winners[i].ID < res.Winners[j].ID
+	})
+	return res
+}

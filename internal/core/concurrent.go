@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/topk"
+)
+
+// executeConcurrent evaluates the shared plan for one round with parallelism
+// at the query level: each occurring query's DAG walk runs in its own
+// goroutine (bounded by workers), and every node carries a sync.Once so a
+// shared subtree is computed exactly once no matter how many queries race
+// into it. This granularity — whole subtrees per task, synchronization only
+// at shared nodes — beats per-node task scheduling, whose channel overhead
+// exceeds the ~300ns cost of a single top-k merge.
+//
+// Results and materialization counts match plan.Execute exactly.
+func executeConcurrent(p *plan.Plan, leaf func(v int) *topk.List, occurring []bool, workers int) (map[int]*topk.List, int) {
+	once := make([]sync.Once, len(p.Nodes))
+	results := make([]*topk.List, len(p.Nodes))
+	var materialized atomic.Int64
+
+	var eval func(id int) *topk.List
+	eval = func(id int) *topk.List {
+		once[id].Do(func() {
+			n := p.Nodes[id]
+			if n.IsLeaf() {
+				results[id] = leaf(n.ID)
+				return
+			}
+			l := eval(n.Left)
+			r := eval(n.Right)
+			results[id] = topk.Merge(l, r)
+			materialized.Add(1)
+		})
+		return results[id]
+	}
+
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	out := make(map[int]*topk.List, len(p.QueryNode))
+	for qi, id := range p.QueryNode {
+		if occurring != nil && !occurring[qi] {
+			continue
+		}
+		out[qi] = nil // reserve the key; filled after the walk completes
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			eval(id)
+			<-sem
+		}(id)
+	}
+	wg.Wait()
+	for qi := range out {
+		out[qi] = results[p.QueryNode[qi]]
+	}
+	return out, int(materialized.Load())
+}

@@ -1,0 +1,414 @@
+// Package core is the shared winner-determination engine — the system the
+// paper's techniques compose into. Per round it:
+//
+//  1. collects the clicks arriving from earlier rounds and charges budgets
+//     (never above an advertiser's daily budget);
+//  2. computes each advertiser's bid for the round — either the stated bid
+//     (naive policy) or the Section-IV throttled bid b̂ that accounts for
+//     outstanding ads awaiting clicks;
+//  3. resolves every occurring bid phrase's auction by executing the shared
+//     top-(k+1) aggregation plan built offline by the Section-II heuristic
+//     (optionally in parallel across plan nodes), or an unshared per-auction
+//     scan for the baseline;
+//  4. prices the winners (first-price / GSP / laddered VCG) and displays
+//     their ads, registering them with the delayed-click simulator.
+//
+// The engine's counters expose exactly the quantities the paper's
+// evaluation cares about: aggregation nodes materialized per round (the
+// shared-plan cost model), revenue, and clicks that had to be forgiven
+// because a naive policy let an advertiser win more than his budget could
+// pay for (the Section-IV gaming loss).
+package core
+
+import (
+	"fmt"
+
+	"sharedwd/internal/auction"
+	"sharedwd/internal/budget"
+	"sharedwd/internal/plan"
+	"sharedwd/internal/pricing"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/topk"
+	"sharedwd/internal/workload"
+)
+
+// BudgetPolicy selects how remaining budgets influence bidding.
+type BudgetPolicy int
+
+// Budget policies.
+const (
+	// Naive ignores outstanding ads: an advertiser bids min(b_i, β_i) as
+	// long as any budget remains — the gameable behaviour of Section IV.
+	Naive BudgetPolicy = iota
+	// Throttled uses the paper's b̂_i = E[min(b_i, max(0, β_i − S)/m_i)].
+	Throttled
+)
+
+func (p BudgetPolicy) String() string {
+	if p == Throttled {
+		return "throttled"
+	}
+	return "naive"
+}
+
+// SharingMode selects how winner determination is computed across the
+// round's simultaneous auctions.
+type SharingMode int
+
+// Sharing modes.
+const (
+	// SharedAggregation executes the Section-II shared top-k plan.
+	SharedAggregation SharingMode = iota
+	// Independent scans each occurring phrase's advertisers separately.
+	Independent
+)
+
+func (m SharingMode) String() string {
+	if m == Independent {
+		return "independent"
+	}
+	return "shared"
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	Pricing pricing.Rule
+	Policy  BudgetPolicy
+	Sharing SharingMode
+	// Workers > 1 evaluates the shared plan's DAG concurrently.
+	Workers int
+	// ClickHazard and ClickHorizon parameterize the delayed-click model.
+	ClickHazard  float64
+	ClickHorizon int
+	// ThrottleEnumLimit bounds the outstanding-ad count for exact subset
+	// enumeration; beyond it the currency-grid DP is used.
+	ThrottleEnumLimit int
+	// ThrottleUnit is the DP currency grid (e.g. 0.01 = cents).
+	ThrottleUnit float64
+	// Reserve is the per-click reserve price: bidders below it do not
+	// participate, and no winner pays less. Zero disables it.
+	Reserve float64
+}
+
+// DefaultConfig returns a GSP, throttled, shared configuration.
+func DefaultConfig() Config {
+	return Config{
+		Pricing:           pricing.GSP,
+		Policy:            Throttled,
+		Sharing:           SharedAggregation,
+		Workers:           1,
+		ClickHazard:       0.3,
+		ClickHorizon:      20,
+		ThrottleEnumLimit: 16,
+		ThrottleUnit:      0.01,
+	}
+}
+
+// Engine resolves rounds of simultaneous sponsored-search auctions over a
+// fixed workload.
+type Engine struct {
+	cfg Config
+	w   *workload.Workload
+
+	inst *plan.Instance
+	plan *plan.Plan
+
+	clicks *workload.ClickSim
+	spent  []float64 // realized payments per advertiser
+	round  int
+
+	stats Stats
+}
+
+// Stats accumulates engine-lifetime counters.
+type Stats struct {
+	Rounds           int
+	AuctionsResolved int
+	// NodesMaterialized counts top-k aggregation operations performed (the
+	// Section-II cost metric). For Independent mode it counts the per-scan
+	// pushes equivalent: one per advertiser scanned beyond the first per
+	// auction, to keep the two modes comparable.
+	NodesMaterialized int
+	Revenue           float64
+	ClicksCharged     int
+	// ClicksForgiven counts clicks whose price exceeded the advertiser's
+	// remaining budget and could not be charged — the paper's lost revenue.
+	ClicksForgiven int
+	ForgivenValue  float64
+	AdsDisplayed   int
+}
+
+// New builds an engine (and, in shared mode, the offline aggregation plan)
+// for the workload.
+func New(w *workload.Workload, cfg Config) (*Engine, error) {
+	if w.Quality != nil {
+		return nil, fmt.Errorf("core: per-phrase quality workloads need the shared-sort pipeline; Engine uses the shared-aggregation regime (global c_i)")
+	}
+	if cfg.ClickHazard <= 0 || cfg.ClickHazard > 1 || cfg.ClickHorizon < 1 {
+		return nil, fmt.Errorf("core: invalid click model (hazard %v, horizon %d)", cfg.ClickHazard, cfg.ClickHorizon)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", cfg.Workers)
+	}
+	if cfg.ThrottleUnit <= 0 {
+		return nil, fmt.Errorf("core: non-positive throttle unit %v", cfg.ThrottleUnit)
+	}
+	e := &Engine{
+		cfg:    cfg,
+		w:      w,
+		clicks: workload.NewClickSim(w.Rng(), cfg.ClickHazard, cfg.ClickHorizon),
+		spent:  make([]float64, len(w.Advertisers)),
+	}
+	if cfg.Sharing == SharedAggregation {
+		queries := make([]plan.Query, len(w.Interests))
+		for q := range w.Interests {
+			queries[q] = plan.Query{Vars: w.Interests[q], Rate: w.Rates[q]}
+		}
+		inst, err := plan.NewInstance(len(w.Advertisers), queries)
+		if err != nil {
+			return nil, fmt.Errorf("core: building plan instance: %w", err)
+		}
+		e.inst = inst
+		e.plan = sharedagg.Build(inst)
+		if err := e.plan.Validate(); err != nil {
+			return nil, fmt.Errorf("core: invalid shared plan: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Round returns the number of the next round to be stepped.
+func (e *Engine) Round() int { return e.round }
+
+// Spent returns how much advertiser i has paid so far.
+func (e *Engine) Spent(i int) float64 { return e.spent[i] }
+
+// Remaining returns advertiser i's remaining budget.
+func (e *Engine) Remaining(i int) float64 { return e.w.Advertisers[i].Budget - e.spent[i] }
+
+// AdvertiserReport summarizes one advertiser's day so far.
+type AdvertiserReport struct {
+	ID        int
+	Bid       float64
+	Budget    float64
+	Spent     float64
+	Remaining float64
+	// Outstanding is the number of displayed ads still awaiting clicks.
+	Outstanding int
+	// OutstandingExposure is the total price of those ads — the worst-case
+	// debt the throttled bid accounts for (the paper's ω).
+	OutstandingExposure float64
+}
+
+// Report returns advertiser i's current accounting snapshot.
+func (e *Engine) Report(i int) AdvertiserReport {
+	a := e.w.Advertisers[i]
+	prices, _ := e.clicks.Outstanding(i, e.round)
+	exposure := 0.0
+	for _, p := range prices {
+		exposure += p
+	}
+	return AdvertiserReport{
+		ID:                  i,
+		Bid:                 a.Bid,
+		Budget:              a.Budget,
+		Spent:               e.spent[i],
+		Remaining:           a.Budget - e.spent[i],
+		Outstanding:         len(prices),
+		OutstandingExposure: exposure,
+	}
+}
+
+// SlotResult is one filled slot in one auction.
+type SlotResult struct {
+	Slot       int
+	Advertiser int
+	PricePaid  float64 // per-click price
+}
+
+// RoundReport is the outcome of one engine step.
+type RoundReport struct {
+	Round int
+	// Auctions maps occurring phrase → its filled slots.
+	Auctions map[int][]SlotResult
+	// Clicks that arrived this round (from earlier displays).
+	Clicks []workload.Click
+	// Materialized counts aggregation work performed this round.
+	Materialized int
+}
+
+// Step advances one round: occurring[q] says whether phrase q's auction
+// runs. Passing nil samples occurrence from the workload's search rates.
+func (e *Engine) Step(occurring []bool) RoundReport {
+	if occurring == nil {
+		occurring = e.w.SampleRound()
+	}
+	if len(occurring) != len(e.w.Interests) {
+		panic(fmt.Sprintf("core: %d occurrence flags for %d phrases", len(occurring), len(e.w.Interests)))
+	}
+	rep := RoundReport{Round: e.round, Auctions: make(map[int][]SlotResult)}
+
+	// 1. Deliver clicks from earlier rounds and charge budgets.
+	rep.Clicks = e.clicks.Advance(e.round)
+	for _, c := range rep.Clicks {
+		if e.spent[c.Advertiser]+c.Price <= e.w.Advertisers[c.Advertiser].Budget+1e-9 {
+			e.spent[c.Advertiser] += c.Price
+			e.stats.Revenue += c.Price
+			e.stats.ClicksCharged++
+		} else {
+			e.stats.ClicksForgiven++
+			e.stats.ForgivenValue += c.Price
+		}
+	}
+
+	// 2. Per-advertiser round bids under the budget policy.
+	mCount := e.auctionCounts(occurring)
+	roundBid := make([]float64, len(e.w.Advertisers))
+	for i, a := range e.w.Advertisers {
+		if mCount[i] == 0 {
+			continue
+		}
+		roundBid[i] = e.policyBid(i, a, mCount[i])
+	}
+
+	// 3. Winner determination across the occurring auctions.
+	k := len(e.w.SlotFactors)
+	var results map[int]*topk.List
+	switch e.cfg.Sharing {
+	case SharedAggregation:
+		leaf := func(v int) *topk.List {
+			l := topk.New(k + 1)
+			if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+				l.Push(topk.Entry{ID: v, Score: s})
+			}
+			return l
+		}
+		if e.cfg.Workers > 1 {
+			results, rep.Materialized = executeConcurrent(e.plan, leaf, occurring, e.cfg.Workers)
+		} else {
+			results, rep.Materialized = plan.Execute(e.plan, leaf, topk.Merge, occurring)
+		}
+	case Independent:
+		results = make(map[int]*topk.List)
+		for q, occ := range occurring {
+			if !occ {
+				continue
+			}
+			l := topk.New(k + 1)
+			scanned := 0
+			e.w.Interests[q].ForEach(func(v int) bool {
+				if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+					l.Push(topk.Entry{ID: v, Score: s})
+				}
+				scanned++
+				return true
+			})
+			if scanned > 1 {
+				rep.Materialized += scanned - 1
+			}
+			results[q] = l
+		}
+	}
+
+	// 4. Assign, price, display — in phrase order, so the click
+	// simulator's random stream is consumed deterministically.
+	for q := 0; q < len(occurring); q++ {
+		list, ok := results[q]
+		if !ok {
+			continue
+		}
+		e.stats.AuctionsResolved++
+		ranked := make([]pricing.Ranked, 0, list.Len())
+		for _, entry := range list.Entries() {
+			ranked = append(ranked, pricing.Ranked{
+				ID:      entry.ID,
+				Bid:     roundBid[entry.ID],
+				Quality: e.w.Advertisers[entry.ID].Quality,
+			})
+		}
+		ranked, prices := pricing.PricesWithReserve(e.cfg.Pricing, ranked, e.w.SlotFactors, e.cfg.Reserve)
+		for j := 0; j < len(prices) && j < k; j++ {
+			adv := ranked[j]
+			if adv.Bid <= 0 {
+				break
+			}
+			ctr := adv.Quality * e.w.SlotFactors[j]
+			if ctr > 1 {
+				ctr = 1
+			}
+			e.clicks.Display(adv.ID, prices[j], ctr, e.round)
+			e.stats.AdsDisplayed++
+			rep.Auctions[q] = append(rep.Auctions[q], SlotResult{Slot: j, Advertiser: adv.ID, PricePaid: prices[j]})
+		}
+	}
+
+	e.stats.NodesMaterialized += rep.Materialized
+	e.stats.Rounds++
+	e.round++
+	return rep
+}
+
+// Drain advances rounds with no occurring auctions until every pending
+// click has resolved, so end-of-day accounting is complete.
+func (e *Engine) Drain() {
+	none := make([]bool, len(e.w.Interests))
+	for e.clicks.PendingCount() > 0 {
+		e.Step(none)
+	}
+}
+
+// auctionCounts computes m_i: the number of occurring auctions each
+// advertiser takes part in this round.
+func (e *Engine) auctionCounts(occurring []bool) []int {
+	m := make([]int, len(e.w.Advertisers))
+	for q, occ := range occurring {
+		if !occ {
+			continue
+		}
+		e.w.Interests[q].ForEach(func(i int) bool {
+			m[i]++
+			return true
+		})
+	}
+	return m
+}
+
+// policyBid computes the advertiser's bid for this round under the
+// configured budget policy.
+func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
+	remaining := a.Budget - e.spent[i]
+	if remaining <= 0 {
+		return 0
+	}
+	switch e.cfg.Policy {
+	case Naive:
+		if a.Bid < remaining {
+			return a.Bid
+		}
+		return remaining
+	case Throttled:
+		prices, ctrs := e.clicks.Outstanding(i, e.round)
+		omega := 0.0
+		for _, p := range prices {
+			omega += p
+		}
+		// Paper's fast path: even if every outstanding ad is clicked, the
+		// advertiser can still afford m full bids — no throttling needed.
+		if omega <= remaining-float64(m)*a.Bid {
+			return a.Bid
+		}
+		ads := make([]budget.OutstandingAd, len(prices))
+		for j := range prices {
+			ads[j] = budget.OutstandingAd{Price: prices[j], CTR: ctrs[j]}
+		}
+		if len(ads) <= e.cfg.ThrottleEnumLimit {
+			return budget.ExactThrottledBid(a.Bid, remaining, m, ads)
+		}
+		return budget.ExactThrottledBidDP(a.Bid, remaining, m, ads, e.cfg.ThrottleUnit)
+	default:
+		panic(fmt.Sprintf("core: unknown budget policy %d", e.cfg.Policy))
+	}
+}

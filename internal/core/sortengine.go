@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sharedwd/internal/pricing"
+	"sharedwd/internal/sharedsort"
+	"sharedwd/internal/ta"
+	"sharedwd/internal/topk"
+	"sharedwd/internal/workload"
+)
+
+// SortEngine resolves rounds in the Section III regime: the
+// advertiser-specific click-through factor c_i^q differs per bid phrase, so
+// top-k aggregates of b·c cannot be shared across phrases — only the bids
+// are common. Winner determination per occurring phrase runs the threshold
+// algorithm over two sorted access paths: the shared merge-sort forest
+// supplies advertisers by descending bid (work shared across phrases and
+// cached within a round), and a precomputed static order supplies them by
+// descending quality (the paper's footnote: quality factors change rarely
+// and their orderings are precomputed).
+type SortEngine struct {
+	cfg Config
+	w   *workload.Workload
+
+	plan *sharedsort.Plan
+	// byQuality[q] is phrase q's advertisers sorted by descending c_i^q,
+	// with the matching value array for the TA source.
+	byQuality [][]int
+	qualVals  [][]float64
+
+	clicks *workload.ClickSim
+	spent  []float64
+	round  int
+	stats  SortStats
+}
+
+// SortStats accumulates SortEngine counters.
+type SortStats struct {
+	Rounds           int
+	AuctionsResolved int
+	// SortedAccesses sums threshold-algorithm sorted accesses — the work
+	// metric TA minimizes.
+	SortedAccesses int
+	// MergePulls sums merge-operator invocations in the shared sort forest.
+	MergePulls    int
+	Revenue       float64
+	ClicksCharged int
+	AdsDisplayed  int
+}
+
+// NewSortEngine builds the Section III pipeline for a per-phrase-quality
+// workload (workload.Config.PerPhraseQuality). The shared merge-sort plan
+// is built offline from the interest sets and search rates.
+func NewSortEngine(w *workload.Workload, cfg Config) (*SortEngine, error) {
+	if w.Quality == nil {
+		return nil, fmt.Errorf("core: SortEngine needs a per-phrase-quality workload; use Engine for the global-quality regime")
+	}
+	if cfg.ClickHazard <= 0 || cfg.ClickHazard > 1 || cfg.ClickHorizon < 1 {
+		return nil, fmt.Errorf("core: invalid click model (hazard %v, horizon %d)", cfg.ClickHazard, cfg.ClickHorizon)
+	}
+	p, err := sharedsort.Build(len(w.Advertisers), w.Interests, w.Rates, sharedsort.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: building shared sort plan: %w", err)
+	}
+	e := &SortEngine{
+		cfg:    cfg,
+		w:      w,
+		plan:   p,
+		clicks: workload.NewClickSim(w.Rng(), cfg.ClickHazard, cfg.ClickHorizon),
+		spent:  make([]float64, len(w.Advertisers)),
+	}
+	e.byQuality = make([][]int, len(w.Interests))
+	e.qualVals = make([][]float64, len(w.Interests))
+	for q := range w.Interests {
+		ids := w.Interests[q].Indices()
+		sort.Slice(ids, func(a, b int) bool {
+			qa, qb := w.QualityFor(q, ids[a]), w.QualityFor(q, ids[b])
+			if qa != qb {
+				return qa > qb
+			}
+			return ids[a] < ids[b]
+		})
+		vals := make([]float64, len(ids))
+		for i, id := range ids {
+			vals[i] = w.QualityFor(q, id)
+		}
+		e.byQuality[q] = ids
+		e.qualVals[q] = vals
+	}
+	return e, nil
+}
+
+// Stats returns the accumulated counters.
+func (e *SortEngine) Stats() SortStats { return e.stats }
+
+// Spent returns how much advertiser i has paid so far.
+func (e *SortEngine) Spent(i int) float64 { return e.spent[i] }
+
+// Step advances one round. occurring[q] selects the round's phrases; nil
+// samples from the workload's search rates. Budget handling follows the
+// naive policy (throttling composes with TA through the same bid vector:
+// callers can pre-throttle by adjusting workload bids; the full uncertain-
+// bid pipeline lives in Engine).
+func (e *SortEngine) Step(occurring []bool) RoundReport {
+	if occurring == nil {
+		occurring = e.w.SampleRound()
+	}
+	if len(occurring) != len(e.w.Interests) {
+		panic(fmt.Sprintf("core: %d occurrence flags for %d phrases", len(occurring), len(e.w.Interests)))
+	}
+	rep := RoundReport{Round: e.round, Auctions: make(map[int][]SlotResult)}
+
+	rep.Clicks = e.clicks.Advance(e.round)
+	for _, c := range rep.Clicks {
+		if e.spent[c.Advertiser]+c.Price <= e.w.Advertisers[c.Advertiser].Budget+1e-9 {
+			e.spent[c.Advertiser] += c.Price
+			e.stats.Revenue += c.Price
+			e.stats.ClicksCharged++
+		}
+	}
+
+	// Round bids: stated bid clipped to remaining budget (naive policy).
+	bids := make([]float64, len(e.w.Advertisers))
+	for i, a := range e.w.Advertisers {
+		remaining := a.Budget - e.spent[i]
+		switch {
+		case remaining <= 0:
+			bids[i] = 0
+		case a.Bid < remaining:
+			bids[i] = a.Bid
+		default:
+			bids[i] = remaining
+		}
+	}
+	e.plan.BeginRound(bids)
+
+	k := len(e.w.SlotFactors)
+	for q, occ := range occurring {
+		if !occ {
+			continue
+		}
+		stream := e.plan.Stream(q)
+		if stream == nil {
+			continue
+		}
+		e.stats.AuctionsResolved++
+		qualSrc := &ta.SliceSource{IDs: e.byQuality[q], Vals: e.qualVals[q]}
+		score := func(id int) float64 { return bids[id] * e.w.QualityFor(q, id) }
+		// k+1 so GSP has its price-setter below the last slot.
+		top, st := ta.TopK(k+1, stream, qualSrc, score)
+		e.stats.SortedAccesses += st.SortedAccesses
+
+		ranked := make([]pricing.Ranked, 0, top.Len())
+		for _, entry := range top.Entries() {
+			if entry.Score <= 0 {
+				break
+			}
+			ranked = append(ranked, pricing.Ranked{
+				ID: entry.ID, Bid: bids[entry.ID], Quality: e.w.QualityFor(q, entry.ID),
+			})
+		}
+		ranked, prices := pricing.PricesWithReserve(e.cfg.Pricing, ranked, e.w.SlotFactors, e.cfg.Reserve)
+		for j := 0; j < len(prices) && j < k; j++ {
+			adv := ranked[j]
+			ctr := adv.Quality * e.w.SlotFactors[j]
+			if ctr > 1 {
+				ctr = 1
+			}
+			e.clicks.Display(adv.ID, prices[j], ctr, e.round)
+			e.stats.AdsDisplayed++
+			rep.Auctions[q] = append(rep.Auctions[q], SlotResult{Slot: j, Advertiser: adv.ID, PricePaid: prices[j]})
+		}
+	}
+
+	e.stats.MergePulls += e.plan.RoundPulls()
+	e.stats.Rounds++
+	e.round++
+	return rep
+}
+
+// TopKFor runs winner determination for a single phrase with the current
+// bid vector, without pricing or display — for tests and tooling.
+func (e *SortEngine) TopKFor(q, k int, bids []float64) (*topk.List, ta.Stats) {
+	e.plan.BeginRound(bids)
+	stream := e.plan.Stream(q)
+	if stream == nil {
+		return topk.New(k), ta.Stats{}
+	}
+	qualSrc := &ta.SliceSource{IDs: e.byQuality[q], Vals: e.qualVals[q]}
+	score := func(id int) float64 { return bids[id] * e.w.QualityFor(q, id) }
+	return ta.TopK(k, stream, qualSrc, score)
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/workload"
+)
+
+func perPhraseWorkload(seed int64) *workload.Workload {
+	cfg := workload.DefaultConfig()
+	cfg.NumAdvertisers = 80
+	cfg.NumPhrases = 10
+	cfg.NumTopics = 3
+	cfg.Slots = 3
+	cfg.Seed = seed
+	cfg.PerPhraseQuality = true
+	return workload.Generate(cfg)
+}
+
+func TestNewSortEngineValidation(t *testing.T) {
+	global := workload.Generate(workload.DefaultConfig())
+	if _, err := NewSortEngine(global, DefaultConfig()); err == nil {
+		t.Fatal("global-quality workload should be rejected")
+	}
+	bad := DefaultConfig()
+	bad.ClickHorizon = 0
+	if _, err := NewSortEngine(perPhraseWorkload(1), bad); err == nil {
+		t.Fatal("invalid click model should be rejected")
+	}
+}
+
+// TestSortEngineMatchesBruteForce: for every phrase, the TA-over-shared-sort
+// pipeline returns exactly the top advertisers by b_i·c_i^q.
+func TestSortEngineMatchesBruteForce(t *testing.T) {
+	w := perPhraseWorkload(2)
+	eng, err := NewSortEngine(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bids := w.Bids()
+	for q := 0; q < len(w.Interests); q++ {
+		got, st := eng.TopKFor(q, 4, bids)
+		ids := w.Interests[q].Indices()
+		sort.Slice(ids, func(a, b int) bool {
+			sa := bids[ids[a]] * w.QualityFor(q, ids[a])
+			sb := bids[ids[b]] * w.QualityFor(q, ids[b])
+			if sa != sb {
+				return sa > sb
+			}
+			return ids[a] < ids[b]
+		})
+		want := ids
+		if len(want) > 4 {
+			want = want[:4]
+		}
+		gotIDs := got.IDs()
+		if len(gotIDs) != len(want) {
+			t.Fatalf("phrase %d: got %v want %v", q, gotIDs, want)
+		}
+		for i := range want {
+			if gotIDs[i] != want[i] {
+				t.Fatalf("phrase %d rank %d: got %v want %v", q, i, gotIDs, want)
+			}
+		}
+		if st.SortedAccesses > 2*len(ids) {
+			t.Fatalf("phrase %d: TA overran (%d accesses for %d advertisers)", q, st.SortedAccesses, len(ids))
+		}
+	}
+}
+
+func TestSortEngineStepResolvesAndPrices(t *testing.T) {
+	w := perPhraseWorkload(3)
+	eng, err := NewSortEngine(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := make([]bool, len(w.Interests))
+	occ[0], occ[2], occ[5] = true, true, true
+	rep := eng.Step(occ)
+	if len(rep.Auctions) != 3 {
+		t.Fatalf("resolved %d auctions, want 3", len(rep.Auctions))
+	}
+	for q, slots := range rep.Auctions {
+		seen := map[int]bool{}
+		for _, s := range slots {
+			if seen[s.Advertiser] {
+				t.Fatalf("phrase %d: advertiser %d twice", q, s.Advertiser)
+			}
+			seen[s.Advertiser] = true
+			if s.PricePaid < 0 || s.PricePaid > w.Advertisers[s.Advertiser].Bid+1e-9 {
+				t.Fatalf("phrase %d: price %v vs bid %v", q, s.PricePaid, w.Advertisers[s.Advertiser].Bid)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.AuctionsResolved != 3 || st.SortedAccesses == 0 || st.MergePulls == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSortEngineBudgetsRespected: end-of-run spend never exceeds budgets.
+func TestSortEngineBudgetsRespected(t *testing.T) {
+	w := perPhraseWorkload(4)
+	for i := range w.Advertisers {
+		w.Advertisers[i].Budget = 3 + float64(i%5)
+	}
+	eng, err := NewSortEngine(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 60; r++ {
+		eng.Step(nil)
+		w.PerturbBids(0.05)
+	}
+	for i := range w.Advertisers {
+		if eng.Spent(i) > w.Advertisers[i].Budget+1e-6 {
+			t.Fatalf("advertiser %d spent %v of %v", i, eng.Spent(i), w.Advertisers[i].Budget)
+		}
+	}
+}
+
+// TestQuickSortEngineWinnersValid: winners always come from the phrase's
+// interest set, in descending score order.
+func TestQuickSortEngineWinnersValid(t *testing.T) {
+	f := func(seed int64) bool {
+		w := perPhraseWorkload(seed%50 + 1)
+		eng, err := NewSortEngine(w, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		occ := make([]bool, len(w.Interests))
+		for q := range occ {
+			occ[q] = rng.Intn(2) == 0
+		}
+		rep := eng.Step(occ)
+		for q, slots := range rep.Auctions {
+			if !occ[q] {
+				return false
+			}
+			prev := -1.0
+			for _, s := range slots {
+				if !w.Interests[q].Contains(s.Advertiser) {
+					return false
+				}
+				score := w.Advertisers[s.Advertiser].Bid * w.QualityFor(q, s.Advertiser)
+				if prev >= 0 && score > prev+1e-9 {
+					return false // slots must be in descending score order
+				}
+				prev = score
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortEngineSharedWorkCounter: with heavy overlap, per-round merge
+// pulls are far below the independent-sort bound.
+func TestSortEngineSharedWorkCounter(t *testing.T) {
+	w := perPhraseWorkload(6)
+	eng, err := NewSortEngine(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := make([]bool, len(w.Interests))
+	for q := range occ {
+		occ[q] = true
+	}
+	eng.Step(occ)
+	st := eng.Stats()
+	// Upper bound if every phrase fully sorted privately: Σ_q |I_q|·log.
+	full := 0
+	for q := range w.Interests {
+		n := w.Interests[q].Count()
+		full += n * bitsLen(n)
+	}
+	if st.MergePulls >= full {
+		t.Fatalf("merge pulls %d not below independent full-sort bound %d", st.MergePulls, full)
+	}
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func BenchmarkSortEngineRound(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.NumAdvertisers = 1000
+	cfg.NumPhrases = 24
+	cfg.PerPhraseQuality = true
+	w := workload.Generate(cfg)
+	eng, err := NewSortEngine(w, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	occ := make([]bool, len(w.Interests))
+	for q := range occ {
+		occ[q] = true
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(occ)
+	}
+}

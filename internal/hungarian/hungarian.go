@@ -1,0 +1,159 @@
+// Package hungarian implements the Kuhn–Munkres (Hungarian) algorithm for
+// maximum-weight bipartite matching in O(n·m·min(n,m)) time.
+//
+// The paper's Section V adapts the non-separable winner-determination
+// framework of Martin–Gehrke–Halpern (ICDE'08): build the advertiser×slot
+// bipartite graph weighted by expected realized bid, prune it to O(k²)
+// advertisers, and find the maximum-weight matching with this algorithm.
+package hungarian
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve finds a maximum-weight matching between rows ("advertisers") and
+// columns ("slots") of the weight matrix w, where w[i][j] ≥ 0 is the value
+// of assigning row i to column j. Not every row or column need be matched:
+// unprofitable assignments (weight 0) may be left out.
+//
+// It returns rowMatch with rowMatch[i] = matched column or -1, and the total
+// weight of the matching. Solve panics if the matrix is ragged.
+func Solve(w [][]float64) (rowMatch []int, total float64) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(w[0])
+	for i, row := range w {
+		if len(row) != m {
+			panic(fmt.Sprintf("hungarian: ragged matrix: row %d has %d cols, want %d", i, len(row), m))
+		}
+	}
+
+	// The classic potentials formulation solves min-cost perfect assignment
+	// on a square matrix. Embed: square side s = max(n, m)+pad so that every
+	// row/col can be "matched to nothing" at cost 0, and negate weights.
+	s := n + m // n dummy cols for rows, m dummy rows for cols
+	const inf = math.MaxFloat64
+	cost := func(i, j int) float64 {
+		if i < n && j < m {
+			return -w[i][j]
+		}
+		return 0 // dummy assignment = leaving the real row/col unmatched
+	}
+
+	// Jonker-style O(s³) Hungarian with row potentials u, column potentials v.
+	// match[j] = row matched to column j (1-based internal indexing per the
+	// standard e-maxx formulation, adapted to 0-based).
+	u := make([]float64, s+1)
+	v := make([]float64, s+1)
+	match := make([]int, s+1) // column -> row, 0 = unmatched
+	way := make([]int, s+1)
+
+	for i := 1; i <= s; i++ {
+		match[0] = i
+		j0 := 0
+		minv := make([]float64, s+1)
+		used := make([]bool, s+1)
+		for j := 0; j <= s; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := match[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= s; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= s; j++ {
+				if used[j] {
+					u[match[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if match[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			match[j0] = match[j1]
+			j0 = j1
+		}
+	}
+
+	rowMatch = make([]int, n)
+	for i := range rowMatch {
+		rowMatch[i] = -1
+	}
+	for j := 1; j <= s; j++ {
+		i := match[j] - 1
+		if i >= 0 && i < n && j-1 < m {
+			// Only keep assignments that actually add value; a zero-weight
+			// match is equivalent to leaving both sides unmatched.
+			if w[i][j-1] > 0 {
+				rowMatch[i] = j - 1
+				total += w[i][j-1]
+			}
+		}
+	}
+	return rowMatch, total
+}
+
+// BruteForce finds the maximum-weight matching by exhaustive search over
+// column subsets; exponential in len(w[0]), usable only for small instances.
+// It exists to certify Solve in tests.
+func BruteForce(w [][]float64) (rowMatch []int, total float64) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(w[0])
+	best := make([]int, n)
+	cur := make([]int, n)
+	for i := range best {
+		best[i], cur[i] = -1, -1
+	}
+	var bestVal float64
+	usedCol := make([]bool, m)
+	var rec func(i int, val float64)
+	rec = func(i int, val float64) {
+		if i == n {
+			if val > bestVal {
+				bestVal = val
+				copy(best, cur)
+			}
+			return
+		}
+		cur[i] = -1
+		rec(i+1, val)
+		for j := 0; j < m; j++ {
+			if usedCol[j] || w[i][j] <= 0 {
+				continue
+			}
+			usedCol[j] = true
+			cur[i] = j
+			rec(i+1, val+w[i][j])
+			cur[i] = -1
+			usedCol[j] = false
+		}
+	}
+	rec(0, 0)
+	return best, bestVal
+}

@@ -1,0 +1,168 @@
+package hungarian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	rm, total := Solve(nil)
+	if rm != nil || total != 0 {
+		t.Fatalf("Solve(nil) = %v, %v", rm, total)
+	}
+}
+
+func TestSingleCell(t *testing.T) {
+	rm, total := Solve([][]float64{{5}})
+	if rm[0] != 0 || total != 5 {
+		t.Fatalf("got %v %v, want [0] 5", rm, total)
+	}
+}
+
+func TestZeroWeightLeftUnmatched(t *testing.T) {
+	rm, total := Solve([][]float64{{0}})
+	if rm[0] != -1 || total != 0 {
+		t.Fatalf("got %v %v, want [-1] 0", rm, total)
+	}
+}
+
+func TestSquareKnown(t *testing.T) {
+	w := [][]float64{
+		{7, 5, 11},
+		{5, 4, 1},
+		{9, 3, 2},
+	}
+	// Optimal: row0->2 (11), row1->1 (4), row2->0 (9) = 24.
+	rm, total := Solve(w)
+	if total != 24 {
+		t.Fatalf("total = %v, want 24 (match %v)", total, rm)
+	}
+	if rm[0] != 2 || rm[1] != 1 || rm[2] != 0 {
+		t.Fatalf("match = %v, want [2 1 0]", rm)
+	}
+}
+
+func TestRectangularMoreRows(t *testing.T) {
+	// 4 advertisers, 2 slots: only the best two rows get slots.
+	w := [][]float64{
+		{1, 2},
+		{10, 9},
+		{3, 8},
+		{2, 2},
+	}
+	rm, total := Solve(w)
+	if total != 18 { // row1->0 (10), row2->1 (8)
+		t.Fatalf("total = %v, want 18 (match %v)", total, rm)
+	}
+	if rm[0] != -1 || rm[1] != 0 || rm[2] != 1 || rm[3] != -1 {
+		t.Fatalf("match = %v", rm)
+	}
+}
+
+func TestRectangularMoreCols(t *testing.T) {
+	w := [][]float64{
+		{1, 5, 3},
+	}
+	rm, total := Solve(w)
+	if rm[0] != 1 || total != 5 {
+		t.Fatalf("match = %v total = %v", rm, total)
+	}
+}
+
+func TestRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged matrix")
+		}
+	}()
+	Solve([][]float64{{1, 2}, {3}})
+}
+
+func TestNoConflictingAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n, m := 1+rng.Intn(8), 1+rng.Intn(8)
+		w := randomMatrix(rng, n, m)
+		rm, _ := Solve(w)
+		seen := map[int]bool{}
+		for i, j := range rm {
+			if j == -1 {
+				continue
+			}
+			if j < 0 || j >= m {
+				t.Fatalf("row %d matched to invalid col %d", i, j)
+			}
+			if seen[j] {
+				t.Fatalf("column %d assigned twice: %v", j, rm)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, m)
+		for j := range w[i] {
+			w[i][j] = float64(rng.Intn(20)) // include zeros
+		}
+	}
+	return w
+}
+
+// TestQuickMatchesBruteForce certifies Solve against exhaustive search on
+// random small instances, including rectangular ones and zero weights.
+func TestQuickMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(5), 1+rng.Intn(5)
+		w := randomMatrix(rng, n, m)
+		_, got := Solve(w)
+		_, want := BruteForce(w)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloatWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(5), 1+rng.Intn(5)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				w[i][j] = rng.Float64() * 10
+			}
+		}
+		_, got := Solve(w)
+		_, want := BruteForce(w)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve64x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	w := randomMatrix(rng, 64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Solve(w)
+	}
+}
+
+func BenchmarkSolve256x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	w := randomMatrix(rng, 256, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Solve(w)
+	}
+}

@@ -1,0 +1,113 @@
+package nonsep
+
+import (
+	"fmt"
+)
+
+// BidType selects what event an advertiser pays for, per the ICDE'08
+// framework Section V builds on: advertisers may bid on clicks (classic
+// CPC), on impressions (CPM — pay whenever the ad is shown), or on
+// purchases/conversions (CPA — pay when a click converts).
+type BidType int
+
+// The supported bid types.
+const (
+	PerClick BidType = iota
+	PerImpression
+	PerAction
+)
+
+// String names the bid type.
+func (t BidType) String() string {
+	switch t {
+	case PerClick:
+		return "per-click"
+	case PerImpression:
+		return "per-impression"
+	case PerAction:
+		return "per-action"
+	default:
+		return fmt.Sprintf("BidType(%d)", int(t))
+	}
+}
+
+// Bidder is one advertiser in the generalized setting: a bid of the given
+// type, a per-slot click-through row, and (for PerAction bidders) a
+// conversion rate — the probability a click becomes a purchase.
+type Bidder struct {
+	Bid            float64
+	Type           BidType
+	CTR            []float64 // ctr per slot, arbitrary (non-separable)
+	ConversionRate float64   // used by PerAction
+}
+
+// ExpectedValue returns the expected realized bid of placing the bidder in
+// slot j: what the search provider expects to collect from that placement.
+//
+//	per-impression: bid            (the impression itself realizes the bid)
+//	per-click:      bid·ctr_j
+//	per-action:     bid·ctr_j·conv
+func (b Bidder) ExpectedValue(j int) float64 {
+	switch b.Type {
+	case PerImpression:
+		return b.Bid
+	case PerClick:
+		return b.Bid * b.CTR[j]
+	case PerAction:
+		return b.Bid * b.CTR[j] * b.ConversionRate
+	default:
+		panic(fmt.Sprintf("nonsep: unknown bid type %d", b.Type))
+	}
+}
+
+// SolveMixed performs winner determination over bidders of mixed bid types:
+// the advertiser×slot graph is weighted by expected realized bid, pruned to
+// each slot's top-k candidates, and matched with the Hungarian algorithm —
+// the full ICDE'08 pipeline with the paper's shared top-k primitive
+// applicable to the pruning stage.
+func SolveMixed(bidders []Bidder) Result {
+	if len(bidders) == 0 {
+		return Result{}
+	}
+	k := len(bidders[0].CTR)
+	weights := make([][]float64, len(bidders))
+	for i, b := range bidders {
+		if len(b.CTR) != k {
+			panic(fmt.Sprintf("nonsep: bidder %d has %d ctr entries, want %d", i, len(b.CTR), k))
+		}
+		if b.Bid < 0 || b.ConversionRate < 0 || b.ConversionRate > 1 {
+			panic(fmt.Sprintf("nonsep: bidder %d has invalid bid %v or conversion %v", i, b.Bid, b.ConversionRate))
+		}
+		weights[i] = make([]float64, k)
+		for j := range weights[i] {
+			weights[i][j] = b.ExpectedValue(j)
+		}
+	}
+	// Reuse the weight-matrix pipeline with unit "bids": weights already
+	// embed the bid, so pass bids=1 and ctr=weights.
+	ones := make([]float64, len(bidders))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return Solve(ones, weights)
+}
+
+// SolveMixedExhaustive is the unpruned reference for SolveMixed.
+func SolveMixedExhaustive(bidders []Bidder) Result {
+	if len(bidders) == 0 {
+		return Result{}
+	}
+	k := len(bidders[0].CTR)
+	weights := make([][]float64, len(bidders))
+	for i, b := range bidders {
+		weights[i] = make([]float64, k)
+		for j := range weights[i] {
+			weights[i][j] = b.ExpectedValue(j)
+		}
+	}
+	ones := make([]float64, len(bidders))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return SolveExhaustive(ones, weights)
+}

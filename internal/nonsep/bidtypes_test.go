@@ -1,0 +1,128 @@
+package nonsep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBidTypeString(t *testing.T) {
+	for bt, want := range map[BidType]string{
+		PerClick: "per-click", PerImpression: "per-impression", PerAction: "per-action",
+	} {
+		if bt.String() != want {
+			t.Fatalf("String(%d) = %q", bt, bt.String())
+		}
+	}
+}
+
+func TestExpectedValueByHand(t *testing.T) {
+	b := Bidder{Bid: 10, CTR: []float64{0.5, 0.2}, ConversionRate: 0.1}
+	b.Type = PerImpression
+	if b.ExpectedValue(0) != 10 || b.ExpectedValue(1) != 10 {
+		t.Fatal("per-impression value should ignore slot")
+	}
+	b.Type = PerClick
+	if b.ExpectedValue(0) != 5 || b.ExpectedValue(1) != 2 {
+		t.Fatal("per-click value should scale by ctr")
+	}
+	b.Type = PerAction
+	if math.Abs(b.ExpectedValue(0)-0.5) > 1e-12 {
+		t.Fatal("per-action value should scale by ctr·conversion")
+	}
+}
+
+func TestSolveMixedKnown(t *testing.T) {
+	// A CPM bidder realizes its bid regardless of slot, so it should take
+	// the *worst* slot, freeing the best slot for the CPC bidder.
+	bidders := []Bidder{
+		{Bid: 3, Type: PerImpression, CTR: []float64{0.5, 0.1}},
+		{Bid: 10, Type: PerClick, CTR: []float64{0.5, 0.1}},
+	}
+	res := SolveMixed(bidders)
+	if res.Slots[0] != 1 || res.Slots[1] != 0 {
+		t.Fatalf("slots = %v, want CPC in slot 0, CPM in slot 1", res.Slots)
+	}
+	if math.Abs(res.Value-(5+3)) > 1e-9 {
+		t.Fatalf("value = %v, want 8", res.Value)
+	}
+}
+
+func TestSolveMixedValidation(t *testing.T) {
+	for i, bad := range [][]Bidder{
+		{{Bid: 1, CTR: []float64{0.1, 0.2}}, {Bid: 1, CTR: []float64{0.1}}},
+		{{Bid: -1, CTR: []float64{0.1}}},
+		{{Bid: 1, CTR: []float64{0.1}, ConversionRate: 2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			SolveMixed(bad)
+		}()
+	}
+	if res := SolveMixed(nil); len(res.Slots) != 0 {
+		t.Fatal("empty input should yield empty result")
+	}
+}
+
+func randomBidders(rng *rand.Rand, n, k int) []Bidder {
+	out := make([]Bidder, n)
+	for i := range out {
+		b := Bidder{
+			Bid:            rng.Float64() * 10,
+			Type:           BidType(rng.Intn(3)),
+			CTR:            make([]float64, k),
+			ConversionRate: rng.Float64(),
+		}
+		for j := range b.CTR {
+			if rng.Intn(4) != 0 {
+				b.CTR[j] = rng.Float64() * 0.5
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestQuickMixedPruningLossless: the k²-pruned mixed-type solution matches
+// exhaustive matching.
+func TestQuickMixedPruningLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bidders := randomBidders(rng, 1+rng.Intn(25), 1+rng.Intn(4))
+		a := SolveMixed(bidders)
+		b := SolveMixedExhaustive(bidders)
+		return math.Abs(a.Value-b.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMixedReducesToClassic: with all bidders PerClick, SolveMixed
+// agrees with the classic Solve on the same weights.
+func TestQuickMixedReducesToClassic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 1+rng.Intn(15), 1+rng.Intn(4)
+		bidders := make([]Bidder, n)
+		bids := make([]float64, n)
+		ctr := make([][]float64, n)
+		for i := range bidders {
+			bids[i] = rng.Float64() * 10
+			ctr[i] = make([]float64, k)
+			for j := range ctr[i] {
+				ctr[i][j] = rng.Float64() * 0.5
+			}
+			bidders[i] = Bidder{Bid: bids[i], Type: PerClick, CTR: ctr[i]}
+		}
+		return math.Abs(SolveMixed(bidders).Value-Solve(bids, ctr).Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package nonsep implements the non-separable winner-determination
+// framework of Martin–Gehrke–Halpern (ICDE'08) that Section V of the paper
+// adapts: for an arbitrary click-through matrix, build the advertiser×slot
+// bipartite graph weighted by expected realized bid, prune each slot to its
+// top-k incident advertisers (leaving at most k² candidates), and find the
+// maximum-weight matching over the pruned graph with the Hungarian
+// algorithm.
+//
+// The pruning is lossless: if an advertiser is outside the top k weights of
+// every slot, then in any assignment using him some slot could swap to an
+// unused top-k advertiser of at least that weight (at most k−1 of a slot's
+// top k are occupied elsewhere), so an optimal assignment over the pruned
+// graph is optimal overall.
+//
+// The per-slot top-k selection is exactly the aggregation primitive of
+// Section II, so shared winner determination plugs in here: PruneShared
+// computes per-slot candidate lists with the shared top-k machinery when
+// several simultaneous auctions share advertisers.
+package nonsep
+
+import (
+	"fmt"
+	"sort"
+
+	"sharedwd/internal/hungarian"
+	"sharedwd/internal/topk"
+)
+
+// Result is the outcome of non-separable winner determination.
+type Result struct {
+	// Slots[j] is the advertiser assigned to slot j, or -1.
+	Slots []int
+	// Value is the total expected realized bid.
+	Value float64
+	// Candidates is the number of advertisers surviving pruning.
+	Candidates int
+}
+
+// Solve performs winner determination for bids and an arbitrary
+// click-through matrix ctr[i][j] using top-k pruning + Hungarian matching.
+func Solve(bids []float64, ctr [][]float64) Result {
+	if len(bids) != len(ctr) {
+		panic(fmt.Sprintf("nonsep: %d bids for %d ctr rows", len(bids), len(ctr)))
+	}
+	if len(ctr) == 0 {
+		return Result{}
+	}
+	k := len(ctr[0])
+	candidates := Prune(bids, ctr)
+	return matchCandidates(bids, ctr, k, candidates)
+}
+
+// Prune returns the union over slots of each slot's top-k advertisers by
+// weight b_i·ctr_ij — at most k² candidates, ordered ascending.
+func Prune(bids []float64, ctr [][]float64) []int {
+	if len(ctr) == 0 {
+		return nil
+	}
+	k := len(ctr[0])
+	seen := make(map[int]bool)
+	for j := 0; j < k; j++ {
+		slotTop := topk.New(k)
+		for i, row := range ctr {
+			if len(row) != k {
+				panic("nonsep: ragged ctr matrix")
+			}
+			if w := bids[i] * row[j]; w > 0 {
+				slotTop.Push(topk.Entry{ID: i, Score: w})
+			}
+		}
+		for _, e := range slotTop.Entries() {
+			seen[e.ID] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PruneShared computes each slot's top-k candidate list from pre-aggregated
+// per-slot top-k lists (e.g. produced by a shared aggregation plan across
+// simultaneous auctions) and returns the pruned candidate union. Lists must
+// be scored by b_i·ctr_ij for their slot.
+func PruneShared(perSlot []*topk.List) []int {
+	seen := make(map[int]bool)
+	for _, l := range perSlot {
+		for _, e := range l.Entries() {
+			seen[e.ID] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SolveWithCandidates runs the matching stage over an explicit candidate
+// set (as produced by Prune or PruneShared).
+func SolveWithCandidates(bids []float64, ctr [][]float64, candidates []int) Result {
+	if len(ctr) == 0 {
+		return Result{}
+	}
+	return matchCandidates(bids, ctr, len(ctr[0]), candidates)
+}
+
+func matchCandidates(bids []float64, ctr [][]float64, k int, candidates []int) Result {
+	w := make([][]float64, len(candidates))
+	for ci, i := range candidates {
+		w[ci] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			w[ci][j] = bids[i] * ctr[i][j]
+		}
+	}
+	rowMatch, total := hungarian.Solve(w)
+	res := Result{Slots: make([]int, k), Value: total, Candidates: len(candidates)}
+	for j := range res.Slots {
+		res.Slots[j] = -1
+	}
+	for ci, j := range rowMatch {
+		if j >= 0 {
+			res.Slots[j] = candidates[ci]
+		}
+	}
+	return res
+}
+
+// SolveExhaustive matches over all advertisers with no pruning — the
+// reference implementation pruning is certified against.
+func SolveExhaustive(bids []float64, ctr [][]float64) Result {
+	if len(ctr) == 0 {
+		return Result{}
+	}
+	all := make([]int, len(bids))
+	for i := range all {
+		all[i] = i
+	}
+	return matchCandidates(bids, ctr, len(ctr[0]), all)
+}

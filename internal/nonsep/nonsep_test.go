@@ -1,0 +1,152 @@
+package nonsep
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/topk"
+)
+
+func randomInstance(rng *rand.Rand, n, k int) ([]float64, [][]float64) {
+	bids := make([]float64, n)
+	ctr := make([][]float64, n)
+	for i := range bids {
+		bids[i] = rng.Float64() * 10
+		ctr[i] = make([]float64, k)
+		for j := range ctr[i] {
+			if rng.Intn(4) == 0 {
+				continue // sparse zeros: slot specialists
+			}
+			ctr[i][j] = rng.Float64() * 0.5
+		}
+	}
+	return bids, ctr
+}
+
+func TestSolveEmpty(t *testing.T) {
+	res := Solve(nil, nil)
+	if res.Value != 0 || len(res.Slots) != 0 {
+		t.Fatalf("empty solve: %+v", res)
+	}
+}
+
+func TestSolveKnownInstance(t *testing.T) {
+	bids := []float64{10, 10, 4}
+	ctr := [][]float64{
+		{0.5, 0.4},
+		{0.5, 0.0},
+		{0.1, 0.1},
+	}
+	res := Solve(bids, ctr)
+	if !reflect.DeepEqual(res.Slots, []int{1, 0}) || math.Abs(res.Value-9) > 1e-9 {
+		t.Fatalf("got %+v, want slots [1 0] value 9", res)
+	}
+}
+
+func TestPruneKeepsAtMostKSquared(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bids, ctr := randomInstance(rng, 500, 4)
+	cands := Prune(bids, ctr)
+	if len(cands) > 16 {
+		t.Fatalf("pruned to %d > k² = 16", len(cands))
+	}
+}
+
+// TestQuickPruningIsLossless: the pruned solution equals the exhaustive
+// matching value on random instances, including sparse specialist CTRs.
+func TestQuickPruningIsLossless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 1+rng.Intn(30), 1+rng.Intn(4)
+		bids, ctr := randomInstance(rng, n, k)
+		pruned := Solve(bids, ctr)
+		full := SolveExhaustive(bids, ctr)
+		return math.Abs(pruned.Value-full.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAssignmentIsConsistent: no advertiser appears twice, and the
+// reported value equals the assignment's recomputed value.
+func TestQuickAssignmentIsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k := 1+rng.Intn(30), 1+rng.Intn(5)
+		bids, ctr := randomInstance(rng, n, k)
+		res := Solve(bids, ctr)
+		seen := map[int]bool{}
+		value := 0.0
+		for j, i := range res.Slots {
+			if i == -1 {
+				continue
+			}
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+			value += bids[i] * ctr[i][j]
+		}
+		return math.Abs(value-res.Value) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruneSharedMatchesPrune: feeding per-slot top-k lists (as a shared
+// plan would produce) through PruneShared yields the same candidates as the
+// direct Prune, and the same final assignment value.
+func TestPruneSharedMatchesPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n, k := 2+rng.Intn(20), 1+rng.Intn(4)
+		bids, ctr := randomInstance(rng, n, k)
+		perSlot := make([]*topk.List, k)
+		for j := 0; j < k; j++ {
+			l := topk.New(k)
+			for i := 0; i < n; i++ {
+				if w := bids[i] * ctr[i][j]; w > 0 {
+					l.Push(topk.Entry{ID: i, Score: w})
+				}
+			}
+			perSlot[j] = l
+		}
+		a := Prune(bids, ctr)
+		b := PruneShared(perSlot)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Prune %v != PruneShared %v", a, b)
+		}
+		va := SolveWithCandidates(bids, ctr, a).Value
+		vb := SolveExhaustive(bids, ctr).Value
+		if math.Abs(va-vb) > 1e-9 {
+			t.Fatalf("value %v != %v", va, vb)
+		}
+	}
+}
+
+func BenchmarkSolvePruned(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{200, 2000} {
+		bids, ctr := randomInstance(rng, n, 8)
+		b.Run(map[int]string{200: "n=200", 2000: "n=2000"}[n], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Solve(bids, ctr)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveExhaustive(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	bids, ctr := randomInstance(rng, 200, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SolveExhaustive(bids, ctr)
+	}
+}

@@ -1,0 +1,125 @@
+package nonsep
+
+import (
+	"fmt"
+
+	"sharedwd/internal/bitset"
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/topk"
+)
+
+// SharedPruner implements the integration Section V describes: when several
+// simultaneous auctions need non-separable winner determination over
+// overlapping advertiser sets (and the click-through matrix depends on the
+// advertiser and slot but not the phrase), the graph-pruning step — top-k
+// advertisers per slot — is exactly the paper's shared top-k aggregation.
+// One shared plan is built offline over the phrase interest sets and
+// executed once per slot per round, reusing every shared sub-aggregate;
+// the per-phrase Hungarian matching then runs on ≤ k² candidates each.
+type SharedPruner struct {
+	interests []bitset.Set
+	slots     int
+	p         *plan.Plan
+	// queryOf maps each phrase to its plan query: phrases with identical
+	// (A-equivalent) interest sets share one query, with the combined
+	// occurrence rate 1 − Π(1 − sr).
+	queryOf []int
+}
+
+// NewSharedPruner builds the shared plan for the phrase interest sets
+// (capacity = number of advertisers) and slot count.
+func NewSharedPruner(interests []bitset.Set, rates []float64, slots int) (*SharedPruner, error) {
+	if slots <= 0 {
+		return nil, fmt.Errorf("nonsep: non-positive slot count %d", slots)
+	}
+	if len(interests) == 0 || len(interests) != len(rates) {
+		return nil, fmt.Errorf("nonsep: %d interest sets, %d rates", len(interests), len(rates))
+	}
+	var queries []plan.Query
+	queryOf := make([]int, len(interests))
+	index := make(map[string]int)
+	for q, in := range interests {
+		if id, ok := index[in.Key()]; ok {
+			// Identical interest sets share one aggregate; the shared
+			// node's occurrence rate is 1 − Π(1 − sr) over its phrases.
+			queryOf[q] = id
+			queries[id].Rate = 1 - (1-queries[id].Rate)*(1-rates[q])
+			continue
+		}
+		id := len(queries)
+		index[in.Key()] = id
+		queryOf[q] = id
+		queries = append(queries, plan.Query{Vars: in, Rate: rates[q]})
+	}
+	inst, err := plan.NewInstance(interests[0].Cap(), queries)
+	if err != nil {
+		return nil, fmt.Errorf("nonsep: %w", err)
+	}
+	sp := &SharedPruner{interests: interests, slots: slots, p: sharedagg.Build(inst), queryOf: queryOf}
+	if err := sp.p.Validate(); err != nil {
+		return nil, fmt.Errorf("nonsep: invalid shared plan: %w", err)
+	}
+	return sp, nil
+}
+
+// PlanCost reports the shared plan's aggregation-node count and the naive
+// per-phrase baseline's, per slot execution.
+func (sp *SharedPruner) PlanCost() (shared, naive int) {
+	return sp.p.TotalCost(), plan.NaivePlan(sp.p.Inst).TotalCost()
+}
+
+// SolveRound resolves every occurring phrase's auction: bids and ctr give
+// the phrase-independent weight matrix w[i][j] = bids[i]·ctr[i][j]; the
+// shared plan computes each phrase's per-slot top-k candidate lists; the
+// pruned Hungarian matching finishes each auction. It returns per-phrase
+// results and the total aggregation operations performed (the shared-work
+// metric).
+func (sp *SharedPruner) SolveRound(bids []float64, ctr [][]float64, occurring []bool) (map[int]Result, int, error) {
+	n := sp.interests[0].Cap()
+	if len(bids) != n || len(ctr) != n {
+		return nil, 0, fmt.Errorf("nonsep: %d bids/%d ctr rows for %d advertisers", len(bids), len(ctr), n)
+	}
+	if occurring != nil && len(occurring) != len(sp.interests) {
+		return nil, 0, fmt.Errorf("nonsep: %d occurrence flags for %d phrases", len(occurring), len(sp.interests))
+	}
+	// Translate phrase occurrence to query occurrence (a shared query runs
+	// if any of its phrases occurred).
+	queryOcc := make([]bool, len(sp.p.Inst.Queries))
+	for q := range sp.interests {
+		if occurring == nil || occurring[q] {
+			queryOcc[sp.queryOf[q]] = true
+		}
+	}
+	// Per-slot pass: aggregate top-k of w[·][slot] through the shared plan.
+	perSlot := make([]map[int]*topk.List, sp.slots)
+	ops := 0
+	for j := 0; j < sp.slots; j++ {
+		j := j
+		leaf := func(v int) *topk.List {
+			l := topk.New(sp.slots)
+			if len(ctr[v]) != sp.slots {
+				panic(fmt.Sprintf("nonsep: advertiser %d has %d ctr entries, want %d", v, len(ctr[v]), sp.slots))
+			}
+			if w := bids[v] * ctr[v][j]; w > 0 {
+				l.Push(topk.Entry{ID: v, Score: w})
+			}
+			return l
+		}
+		res, mat := plan.Execute(sp.p, leaf, topk.Merge, queryOcc)
+		perSlot[j] = res
+		ops += mat
+	}
+	out := make(map[int]Result, len(sp.interests))
+	for q := range sp.interests {
+		if occurring != nil && !occurring[q] {
+			continue
+		}
+		lists := make([]*topk.List, sp.slots)
+		for j := 0; j < sp.slots; j++ {
+			lists[j] = perSlot[j][sp.queryOf[q]]
+		}
+		out[q] = SolveWithCandidates(bids, ctr, PruneShared(lists))
+	}
+	return out, ops, nil
+}

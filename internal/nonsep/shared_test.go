@@ -1,0 +1,141 @@
+package nonsep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/bitset"
+)
+
+func sharedFixture(rng *rand.Rand, n, phrases, slots int) ([]bitset.Set, []float64, []float64, [][]float64) {
+	interests := make([]bitset.Set, phrases)
+	rates := make([]float64, phrases)
+	for q := range interests {
+		s := bitset.New(n)
+		for a := 0; a < n/2; a++ {
+			s.Add(a) // heavy overlap in the first half
+		}
+		for a := n / 2; a < n; a++ {
+			if rng.Intn(3) == 0 {
+				s.Add(a)
+			}
+		}
+		if s.IsEmpty() {
+			s.Add(rng.Intn(n))
+		}
+		interests[q] = s
+		rates[q] = 0.5 + rng.Float64()*0.5
+	}
+	bids := make([]float64, n)
+	ctr := make([][]float64, n)
+	for i := range bids {
+		bids[i] = rng.Float64() * 10
+		ctr[i] = make([]float64, slots)
+		for j := range ctr[i] {
+			if rng.Intn(4) != 0 {
+				ctr[i][j] = rng.Float64() * 0.5
+			}
+		}
+	}
+	return interests, rates, bids, ctr
+}
+
+func TestNewSharedPrunerValidation(t *testing.T) {
+	s := bitset.FromIndices(3, 0, 1)
+	if _, err := NewSharedPruner([]bitset.Set{s}, []float64{1}, 0); err == nil {
+		t.Fatal("zero slots should be rejected")
+	}
+	if _, err := NewSharedPruner(nil, nil, 2); err == nil {
+		t.Fatal("no interests should be rejected")
+	}
+	if _, err := NewSharedPruner([]bitset.Set{s}, []float64{1, 1}, 2); err == nil {
+		t.Fatal("rate mismatch should be rejected")
+	}
+}
+
+// TestQuickSharedRoundMatchesPerPhraseExhaustive: the shared-pruned round
+// results equal exhaustive matching restricted to each phrase's interest
+// set — lossless sharing, per phrase, per slot.
+func TestQuickSharedRoundMatchesPerPhraseExhaustive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, phrases, slots := 6+rng.Intn(20), 2+rng.Intn(4), 1+rng.Intn(3)
+		interests, rates, bids, ctr := sharedFixture(rng, n, phrases, slots)
+		sp, err := NewSharedPruner(interests, rates, slots)
+		if err != nil {
+			return false
+		}
+		occurring := make([]bool, phrases)
+		for q := range occurring {
+			occurring[q] = rng.Intn(4) > 0
+		}
+		got, _, err := sp.SolveRound(bids, ctr, occurring)
+		if err != nil {
+			return false
+		}
+		for q, occ := range occurring {
+			res, ok := got[q]
+			if ok != occ {
+				return false
+			}
+			if !occ {
+				continue
+			}
+			want := SolveWithCandidates(bids, ctr, interests[q].Indices())
+			if math.Abs(res.Value-want.Value) > 1e-9 {
+				return false
+			}
+			// Winners must come from the phrase's interest set.
+			for _, adv := range res.Slots {
+				if adv >= 0 && !interests[q].Contains(adv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedPrunerSharesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	interests, rates, bids, ctr := sharedFixture(rng, 120, 8, 3)
+	sp, err := NewSharedPruner(interests, rates, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, naive := sp.PlanCost()
+	if shared >= naive {
+		t.Fatalf("shared plan %d not below naive %d", shared, naive)
+	}
+	occ := make([]bool, len(interests))
+	for q := range occ {
+		occ[q] = true
+	}
+	_, ops, err := sp.SolveRound(bids, ctr, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != shared*3 { // one plan execution per slot, all queries occur
+		t.Fatalf("ops = %d, want %d (plan cost × slots)", ops, shared*3)
+	}
+}
+
+func TestSolveRoundValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	interests, rates, bids, ctr := sharedFixture(rng, 10, 2, 2)
+	sp, err := NewSharedPruner(interests, rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.SolveRound(bids[:5], ctr, nil); err == nil {
+		t.Fatal("short bids should error")
+	}
+	if _, _, err := sp.SolveRound(bids, ctr, []bool{true}); err == nil {
+		t.Fatal("short occurrence vector should error")
+	}
+}

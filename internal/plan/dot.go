@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan as a Graphviz digraph: variable leaves as circles,
+// interior aggregates as boxes labeled with their variable-set size, and
+// query nodes highlighted with the queries they compute. Useful for
+// inspecting what the sharing heuristics build.
+func (p *Plan) DOT() string {
+	queryOf := map[int][]int{}
+	for qi, id := range p.QueryNode {
+		if id >= 0 {
+			queryOf[id] = append(queryOf[id], qi)
+		}
+	}
+	// Only render nodes that participate in some query's computation.
+	used := make([]bool, len(p.Nodes))
+	var mark func(id int)
+	mark = func(id int) {
+		if id < 0 || used[id] {
+			return
+		}
+		used[id] = true
+		n := p.Nodes[id]
+		if !n.IsLeaf() {
+			mark(n.Left)
+			mark(n.Right)
+		}
+	}
+	for _, id := range p.QueryNode {
+		mark(id)
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph sharedplan {\n  rankdir=BT;\n  node [fontsize=10];\n")
+	for id, n := range p.Nodes {
+		if !used[id] {
+			continue
+		}
+		switch {
+		case n.IsLeaf():
+			fmt.Fprintf(&b, "  n%d [label=\"x%d\" shape=circle width=0.3];\n", id, id)
+		case len(queryOf[id]) > 0:
+			fmt.Fprintf(&b, "  n%d [label=\"⊕ |%d|\\nqueries %v\" shape=doubleoctagon style=filled fillcolor=lightblue];\n",
+				id, n.Vars.Count(), queryOf[id])
+		default:
+			fmt.Fprintf(&b, "  n%d [label=\"⊕ |%d|\" shape=box];\n", id, n.Vars.Count())
+		}
+	}
+	for id, n := range p.Nodes {
+		if !used[id] || n.IsLeaf() {
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d;\n  n%d -> n%d;\n", n.Left, id, n.Right, id)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package plan
+
+import (
+	"sort"
+
+	"sharedwd/internal/bitset"
+)
+
+// ExactMinTotalCost finds a plan with minimum total cost (number of
+// aggregation nodes) for the instance by iterative-deepening search over
+// unions of already-available variable sets. This is the deterministic
+// (sr_q = 1) core that Theorem 2 proves NP-hard, so the search is
+// exponential; it exists to certify heuristic plans on small instances and
+// to demonstrate the hardness empirically in the Figure-5 harness.
+//
+// The search prunes candidate unions that are not subsets of any query: in
+// any optimal plan every node lies below some query node, and labels grow
+// upward by union, so such nodes can never appear in an optimal plan.
+func ExactMinTotalCost(inst *Instance) *Plan {
+	// Upper bound: per-query left-deep chains (the naive plan).
+	best := chainPerQuery(inst)
+	bestCost := best.TotalCost()
+
+	queryKeys := make(map[string]bool, len(inst.Queries))
+	var multiQueries []bitset.Set
+	for _, q := range inst.Queries {
+		if q.Vars.Count() > 1 {
+			queryKeys[q.Vars.Key()] = true
+			multiQueries = append(multiQueries, q.Vars)
+		}
+	}
+	if len(multiQueries) == 0 {
+		return NewPlan(inst) // all queries are single variables
+	}
+
+	// state: available sets, as (plan under construction).
+	for limit := len(multiQueries); limit < bestCost; limit++ {
+		p := NewPlan(inst)
+		seen := make(map[string]bool) // states already explored at this limit
+		if found := exactDFS(p, limit, queryKeys, seen); found != nil {
+			return found
+		}
+	}
+	return best
+}
+
+// exactDFS tries to complete plan p using at most budget more aggregation
+// nodes. It returns a completed plan or nil.
+func exactDFS(p *Plan, budget int, queryKeys map[string]bool, seen map[string]bool) *Plan {
+	missing := 0
+	for _, id := range p.QueryNode {
+		if id == -1 {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return clonePlan(p)
+	}
+	if missing > budget {
+		return nil // each missing query needs at least one more node
+	}
+	if key := stateKey(p, budget); seen[key] {
+		return nil
+	} else {
+		seen[key] = true
+	}
+
+	// Candidate unions: pairs of existing nodes whose union is new and a
+	// subset of some query. Try unions that complete a query first.
+	type cand struct {
+		l, r     int
+		key      string
+		complete bool
+		size     int
+	}
+	have := make(map[string]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		have[n.Vars.Key()] = true
+	}
+	var cands []cand
+	candSeen := make(map[string]bool)
+	for l := 0; l < len(p.Nodes); l++ {
+		for r := l + 1; r < len(p.Nodes); r++ {
+			u := p.Nodes[l].Vars.Union(p.Nodes[r].Vars)
+			key := u.Key()
+			if have[key] || candSeen[key] {
+				continue
+			}
+			if !subsetOfAnyQuery(u, p.Inst) {
+				continue
+			}
+			candSeen[key] = true
+			cands = append(cands, cand{l, r, key, queryKeys[key], u.Count()})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].complete != cands[b].complete {
+			return cands[a].complete
+		}
+		if cands[a].size != cands[b].size {
+			return cands[a].size > cands[b].size
+		}
+		return cands[a].key < cands[b].key
+	})
+	for _, c := range cands {
+		save := len(p.Nodes)
+		saveQN := append([]int(nil), p.QueryNode...)
+		p.AddAggregate(c.l, c.r)
+		if found := exactDFS(p, budget-1, queryKeys, seen); found != nil {
+			return found
+		}
+		p.Nodes = p.Nodes[:save]
+		copy(p.QueryNode, saveQN)
+	}
+	return nil
+}
+
+func subsetOfAnyQuery(u bitset.Set, inst *Instance) bool {
+	for _, q := range inst.Queries {
+		if u.SubsetOf(q.Vars) {
+			return true
+		}
+	}
+	return false
+}
+
+// stateKey canonically identifies the set of available variable sets plus
+// remaining budget, so symmetric construction orders are explored once.
+func stateKey(p *Plan, budget int) string {
+	keys := make([]string, 0, p.TotalCost())
+	for i := p.Inst.NumVars; i < len(p.Nodes); i++ {
+		keys = append(keys, p.Nodes[i].Vars.Key())
+	}
+	sort.Strings(keys)
+	out := string(rune(budget))
+	for _, k := range keys {
+		out += "|" + k
+	}
+	return out
+}
+
+func clonePlan(p *Plan) *Plan {
+	c := &Plan{
+		Inst:      p.Inst,
+		Nodes:     append([]Node(nil), p.Nodes...),
+		QueryNode: append([]int(nil), p.QueryNode...),
+	}
+	return c
+}
+
+// chainPerQuery is the unshared baseline: each query is computed by its own
+// left-deep chain over its variables, with no reuse at all. Its total cost
+// is Σ_q (|X_q| − 1). This is the "no sharing" series in Figure 4.
+func chainPerQuery(inst *Instance) *Plan {
+	p := NewPlan(inst)
+	for qi, q := range inst.Queries {
+		if p.QueryNode[qi] != -1 {
+			continue // single-variable query
+		}
+		vars := q.Vars.Indices()
+		acc := vars[0]
+		for _, v := range vars[1:] {
+			// Always create fresh nodes: the naive plan shares nothing, so
+			// equal labels may appear on distinct nodes.
+			id := len(p.Nodes)
+			u := p.Nodes[acc].Vars.Union(p.Nodes[v].Vars)
+			p.Nodes = append(p.Nodes, Node{ID: id, Vars: u, Left: acc, Right: v})
+			acc = id
+		}
+		p.QueryNode[qi] = acc
+	}
+	return p
+}
+
+// NaivePlan exposes the unshared per-query baseline.
+func NaivePlan(inst *Instance) *Plan { return chainPerQuery(inst) }

@@ -1,0 +1,114 @@
+package plan
+
+import (
+	"sort"
+
+	"sharedwd/internal/bitset"
+)
+
+// ExactMinExpectedCost finds a plan minimizing the *expected* per-round
+// materialization cost Σ_v (1 − Π_{q: v⤳q}(1 − sr_q)) — the probabilistic
+// objective of Section II-B that Figure 4 plots — by exhaustive search over
+// plans with bounded extra nodes. Exponential; only for certifying the
+// heuristic on tiny instances.
+//
+// The search explores the same union-closure space as ExactMinTotalCost but
+// scores complete plans by expected cost. Since adding nodes can lower the
+// expected cost (a cheap shared node may replace probable private work) the
+// search explores up to maxExtra nodes beyond the per-query minimum even
+// after completion.
+func ExactMinExpectedCost(inst *Instance, maxExtra int) *Plan {
+	best := NaivePlan(inst)
+	bestCost := best.ExpectedCost()
+
+	queryKeys := make(map[string]bool, len(inst.Queries))
+	multi := 0
+	for _, q := range inst.Queries {
+		if q.Vars.Count() > 1 {
+			queryKeys[q.Vars.Key()] = true
+			multi++
+		}
+	}
+	if multi == 0 {
+		return NewPlan(inst)
+	}
+
+	limit := multi + maxExtra
+	seen := make(map[string]bool)
+	var rec func(p *Plan)
+	rec = func(p *Plan) {
+		if p.Complete() {
+			if c := p.ExpectedCost(); c < bestCost {
+				bestCost = c
+				best = clonePlan(p)
+			}
+			// Keep exploring: more nodes may still reduce expected cost,
+			// bounded by limit below.
+		}
+		if p.TotalCost() >= limit {
+			return
+		}
+		key := stateKey(p, limit-p.TotalCost())
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+
+		type cand struct {
+			l, r int
+			key  string
+		}
+		have := make(map[string]bool, len(p.Nodes))
+		for _, n := range p.Nodes {
+			have[n.Vars.Key()] = true
+		}
+		var cands []cand
+		candSeen := make(map[string]bool)
+		for l := 0; l < len(p.Nodes); l++ {
+			for r := l + 1; r < len(p.Nodes); r++ {
+				u := p.Nodes[l].Vars.Union(p.Nodes[r].Vars)
+				k := u.Key()
+				if have[k] || candSeen[k] || !subsetOfAnyQuery(u, p.Inst) {
+					continue
+				}
+				candSeen[k] = true
+				cands = append(cands, cand{l, r, k})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].key < cands[b].key })
+		for _, c := range cands {
+			save := len(p.Nodes)
+			saveQN := append([]int(nil), p.QueryNode...)
+			p.AddAggregate(c.l, c.r)
+			rec(p)
+			p.Nodes = p.Nodes[:save]
+			copy(p.QueryNode, saveQN)
+		}
+	}
+	rec(NewPlan(inst))
+	return best
+}
+
+// FragmentCount returns the number of non-empty fragments (variable
+// equivalence classes by query membership) of the instance — the size of
+// the stage-1 partition and a lower bound on how coarse any sharing can be.
+func FragmentCount(inst *Instance) int {
+	m := len(inst.Queries)
+	sig := make([]bitset.Set, inst.NumVars)
+	for v := range sig {
+		sig[v] = bitset.New(m)
+	}
+	for qi, q := range inst.Queries {
+		q.Vars.ForEach(func(v int) bool {
+			sig[v].Add(qi)
+			return true
+		})
+	}
+	distinct := make(map[string]bool)
+	for v := 0; v < inst.NumVars; v++ {
+		if !sig[v].IsEmpty() {
+			distinct[sig[v].Key()] = true
+		}
+	}
+	return len(distinct)
+}

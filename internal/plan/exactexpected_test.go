@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactMinExpectedCostSimple(t *testing.T) {
+	// Two queries sharing {0,1} at rate 1: optimal expected cost is 3
+	// (shared node + two query nodes), beating naive's 4.
+	inst := MustInstance(4, []Query{q(4, 1, 0, 1, 2), q(4, 1, 0, 1, 3)})
+	p := ExactMinExpectedCost(inst, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ExpectedCost(); got != 3 {
+		t.Fatalf("ExpectedCost = %v, want 3", got)
+	}
+}
+
+func TestExactMinExpectedCostLowRatePrefersNaiveShape(t *testing.T) {
+	// At very low rates, a shared node materializes with probability
+	// ≈ 2p while saving work of probability ≈ p per query — still a win;
+	// but an *extra* intermediate node that helps only one query is pure
+	// cost. The exact planner must never be worse than naive.
+	inst := MustInstance(4, []Query{q(4, 0.05, 0, 1, 2), q(4, 0.05, 0, 1, 3)})
+	exact := ExactMinExpectedCost(inst, 2)
+	naive := NaivePlan(inst)
+	if exact.ExpectedCost() > naive.ExpectedCost()+1e-12 {
+		t.Fatalf("exact %v worse than naive %v", exact.ExpectedCost(), naive.ExpectedCost())
+	}
+}
+
+func TestExactMinExpectedCostSingletons(t *testing.T) {
+	inst := MustInstance(3, []Query{q(3, 1, 2)})
+	p := ExactMinExpectedCost(inst, 1)
+	if p.TotalCost() != 0 || !p.Complete() {
+		t.Fatalf("singleton instance: cost=%d complete=%v", p.TotalCost(), p.Complete())
+	}
+}
+
+// TestQuickExactExpectedDominates: the exact expected-cost plan is never
+// worse than naive or than the exact min-total-cost plan's expected cost,
+// on tiny instances.
+func TestQuickExactExpectedDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomCoinFlipInstance(rng, 4+rng.Intn(2), 2, 0.1+0.9*rng.Float64())
+		exp := ExactMinExpectedCost(inst, 2)
+		if exp.Validate() != nil {
+			return false
+		}
+		if exp.ExpectedCost() > NaivePlan(inst).ExpectedCost()+1e-9 {
+			return false
+		}
+		return exp.ExpectedCost() <= ExactMinTotalCost(inst).ExpectedCost()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentCount(t *testing.T) {
+	// Queries {0,1,2} and {0,1,3} over 5 vars: fragments {0,1}, {2}, {3};
+	// var 4 belongs to no query.
+	inst := MustInstance(5, []Query{q(5, 1, 0, 1, 2), q(5, 1, 0, 1, 3)})
+	if got := FragmentCount(inst); got != 3 {
+		t.Fatalf("FragmentCount = %d, want 3", got)
+	}
+}

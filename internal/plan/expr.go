@@ -1,0 +1,229 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a syntactic ⊕-expression: a magma term over integer variables.
+// This representation is needed when associativity or commutativity is
+// absent (Figure-5 rows 1–5), where A-equivalence is finer than
+// variable-set equality and Lemma 1 does not apply.
+type Expr struct {
+	Var         int // valid when leaf
+	Left, Right *Expr
+}
+
+// V returns a variable leaf.
+func V(v int) *Expr { return &Expr{Var: v} }
+
+// Op returns the expression l ⊕ r.
+func Op(l, r *Expr) *Expr { return &Expr{Var: -1, Left: l, Right: r} }
+
+// IsLeaf reports whether the expression is a single variable.
+func (e *Expr) IsLeaf() bool { return e.Left == nil }
+
+// ChainExpr builds the canonical right-associated expression
+// x1 ⊕ (x2 ⊕ (... ⊕ xk)) over the given variables.
+func ChainExpr(vars ...int) *Expr {
+	if len(vars) == 0 {
+		panic("plan: ChainExpr of no variables")
+	}
+	e := V(vars[len(vars)-1])
+	for i := len(vars) - 2; i >= 0; i-- {
+		e = Op(V(vars[i]), e)
+	}
+	return e
+}
+
+// String renders the expression with explicit parentheses.
+func (e *Expr) String() string {
+	if e.IsLeaf() {
+		return fmt.Sprintf("x%d", e.Var)
+	}
+	return "(" + e.Left.String() + "⊕" + e.Right.String() + ")"
+}
+
+// Size returns the number of ⊕ occurrences in the expression.
+func (e *Expr) Size() int {
+	if e.IsLeaf() {
+		return 0
+	}
+	return 1 + e.Left.Size() + e.Right.Size()
+}
+
+// Vars returns the sorted distinct variables mentioned.
+func (e *Expr) Vars() []int {
+	seen := map[int]bool{}
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x.IsLeaf() {
+			seen[x.Var] = true
+			return
+		}
+		walk(x.Left)
+		walk(x.Right)
+	}
+	walk(e)
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Axioms selects which algebraic laws hold of ⊕, in the paper's numbering:
+// A1 associativity, A2 identity, A3 idempotence, A4 commutativity,
+// A5 divisibility.
+type Axioms struct {
+	Assoc, Identity, Idem, Comm, Div bool
+}
+
+// Structure names the algebraic structure the axioms define, where one is
+// standard (per the paper's Section VII list).
+func (a Axioms) Structure() string {
+	switch {
+	case a.Assoc && a.Identity && a.Comm && a.Div:
+		return "Abelian group"
+	case a.Assoc && a.Identity && a.Div:
+		return "group"
+	case a.Assoc && a.Idem && a.Comm:
+		return "semilattice"
+	case a.Assoc && a.Idem:
+		return "band"
+	case a.Assoc && a.Identity:
+		return "monoid"
+	case a.Assoc:
+		return "semigroup"
+	case a.Identity && a.Div:
+		return "loop"
+	case a.Div:
+		return "quasigroup"
+	default:
+		return "magma"
+	}
+}
+
+func (a Axioms) String() string {
+	yn := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return "N"
+	}
+	return fmt.Sprintf("A1=%s A2=%s A3=%s A4=%s A5=%s",
+		yn(a.Assoc), yn(a.Identity), yn(a.Idem), yn(a.Comm), yn(a.Div))
+}
+
+// Canon returns a canonical string for e under the axiom set, such that two
+// expressions are A-equivalent iff their canonical strings are equal.
+//
+//   - With associativity and commutativity the term flattens to a multiset
+//     of variables (a set if also idempotent) — Lemma 1's regime.
+//   - With associativity alone it flattens to a sequence (adjacent equal
+//     collapse under idempotence: a band normal form for our chain terms).
+//   - Without associativity the tree shape is significant; commutativity
+//     sorts the two children, idempotence collapses x⊕x with equal sides.
+//
+// Identity (A2) and divisibility (A5) contribute no rewrites over variables:
+// as the paper notes, aggregating *variables* cannot exploit the identity
+// element (a variable may or may not hold it), and likewise divisibility's
+// solutions are values, not available terms.
+func (a Axioms) Canon(e *Expr) string {
+	if a.Assoc {
+		var leaves []string
+		var flat func(*Expr)
+		flat = func(x *Expr) {
+			if x.IsLeaf() {
+				leaves = append(leaves, fmt.Sprintf("x%d", x.Var))
+				return
+			}
+			flat(x.Left)
+			flat(x.Right)
+		}
+		flat(e)
+		if a.Comm {
+			sort.Strings(leaves)
+			if a.Idem {
+				// Semilattice: set semantics (Lemma 1).
+				dedup := leaves[:0]
+				for _, l := range leaves {
+					if len(dedup) > 0 && dedup[len(dedup)-1] == l {
+						continue
+					}
+					dedup = append(dedup, l)
+				}
+				leaves = dedup
+			}
+			return strings.Join(leaves, "·")
+		}
+		if a.Idem {
+			// Band (associative + idempotent, non-commutative): use the
+			// classical free-band normal form, under which e.g. abab = ab.
+			return bandCanon(leaves)
+		}
+		return strings.Join(leaves, "·")
+	}
+	// Non-associative: recurse on the tree.
+	if e.IsLeaf() {
+		return fmt.Sprintf("x%d", e.Var)
+	}
+	l, r := a.Canon(e.Left), a.Canon(e.Right)
+	if a.Idem && l == r {
+		return l
+	}
+	if a.Comm && r < l {
+		l, r = r, l
+	}
+	return "(" + l + "•" + r + ")"
+}
+
+// Equivalent reports whether two expressions are A-equivalent under the
+// axiom set.
+func (a Axioms) Equivalent(e1, e2 *Expr) bool { return a.Canon(e1) == a.Canon(e2) }
+
+// bandCanon computes the free-band normal form of a word of letters: two
+// words are equal in the free band (associative, idempotent) iff they have
+// the same content, the same (prefix before the last-arriving letter, that
+// letter), and symmetrically for the suffix — applied recursively
+// (Green–Rees structure of free bands).
+func bandCanon(word []string) string {
+	content := map[string]bool{}
+	for _, l := range word {
+		content[l] = true
+	}
+	switch len(content) {
+	case 0:
+		return ""
+	case 1:
+		return word[0]
+	}
+	// Shortest prefix containing every letter; its last element is the
+	// letter whose first occurrence is latest.
+	seen := map[string]bool{}
+	var pIdx int
+	for i, l := range word {
+		if !seen[l] {
+			seen[l] = true
+			if len(seen) == len(content) {
+				pIdx = i
+				break
+			}
+		}
+	}
+	// Shortest suffix containing every letter, scanning from the right.
+	seen = map[string]bool{}
+	var sIdx int
+	for i := len(word) - 1; i >= 0; i-- {
+		if !seen[word[i]] {
+			seen[word[i]] = true
+			if len(seen) == len(content) {
+				sIdx = i
+				break
+			}
+		}
+	}
+	return "<" + bandCanon(word[:pIdx]) + "|" + word[pIdx] + "‖" + word[sIdx] + "|" + bandCanon(word[sIdx+1:]) + ">"
+}

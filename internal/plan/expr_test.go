@@ -1,0 +1,226 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprBasics(t *testing.T) {
+	e := Op(V(0), Op(V(1), V(2)))
+	if e.String() != "(x0⊕(x1⊕x2))" {
+		t.Fatalf("String = %q", e.String())
+	}
+	if e.Size() != 2 {
+		t.Fatalf("Size = %d", e.Size())
+	}
+	if got := e.Vars(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Vars = %v", got)
+	}
+	if !V(3).IsLeaf() || e.IsLeaf() {
+		t.Fatal("IsLeaf wrong")
+	}
+}
+
+func TestChainExpr(t *testing.T) {
+	e := ChainExpr(1, 2, 3)
+	if e.String() != "(x1⊕(x2⊕x3))" {
+		t.Fatalf("ChainExpr = %q", e.String())
+	}
+	if ChainExpr(7).String() != "x7" {
+		t.Fatal("single-var chain")
+	}
+}
+
+func TestCanonNoAxioms(t *testing.T) {
+	ax := Axioms{}
+	// Different association = different expressions for a magma.
+	if ax.Equivalent(Op(Op(V(0), V(1)), V(2)), Op(V(0), Op(V(1), V(2)))) {
+		t.Fatal("magma should distinguish associations")
+	}
+	if ax.Equivalent(Op(V(0), V(1)), Op(V(1), V(0))) {
+		t.Fatal("magma should distinguish operand order")
+	}
+	if !ax.Equivalent(Op(V(0), V(1)), Op(V(0), V(1))) {
+		t.Fatal("identical expressions must be equivalent")
+	}
+}
+
+func TestCanonCommutative(t *testing.T) {
+	ax := Axioms{Comm: true}
+	if !ax.Equivalent(Op(V(0), V(1)), Op(V(1), V(0))) {
+		t.Fatal("commutativity should equate x0⊕x1 and x1⊕x0")
+	}
+	if ax.Equivalent(Op(Op(V(0), V(1)), V(2)), Op(V(0), Op(V(1), V(2)))) {
+		t.Fatal("commutativity alone must not equate different associations")
+	}
+}
+
+func TestCanonIdempotentNonAssoc(t *testing.T) {
+	ax := Axioms{Idem: true}
+	if !ax.Equivalent(Op(V(0), V(0)), V(0)) {
+		t.Fatal("x⊕x should collapse to x")
+	}
+	inner := Op(V(0), V(1))
+	if !ax.Equivalent(Op(inner, inner), inner) {
+		t.Fatal("e⊕e should collapse to e")
+	}
+}
+
+func TestCanonAssociative(t *testing.T) {
+	ax := Axioms{Assoc: true}
+	if !ax.Equivalent(Op(Op(V(0), V(1)), V(2)), Op(V(0), Op(V(1), V(2)))) {
+		t.Fatal("associativity should equate associations")
+	}
+	if ax.Equivalent(Op(V(0), V(1)), Op(V(1), V(0))) {
+		t.Fatal("semigroup must distinguish operand order")
+	}
+}
+
+func TestCanonSemilattice(t *testing.T) {
+	ax := Axioms{Assoc: true, Comm: true, Idem: true}
+	// Lemma 1: equivalence iff same variable set.
+	e1 := Op(Op(V(2), V(0)), Op(V(1), V(0)))
+	e2 := Op(V(0), Op(V(1), V(2)))
+	if !ax.Equivalent(e1, e2) {
+		t.Fatal("semilattice: same var set must be equivalent")
+	}
+	if ax.Equivalent(e1, Op(V(0), V(1))) {
+		t.Fatal("semilattice: different var sets must differ")
+	}
+}
+
+func TestCanonFreeBand(t *testing.T) {
+	ax := Axioms{Assoc: true, Idem: true}
+	a, b := V(0), V(1)
+	ab := Op(a, b)
+	abab := Op(ab, ab)
+	if !ax.Equivalent(abab, ab) {
+		t.Fatal("free band: (ab)(ab) = ab")
+	}
+	aba := Op(ab, a)
+	if ax.Equivalent(aba, ab) {
+		t.Fatal("free band: aba ≠ ab")
+	}
+	if ax.Equivalent(aba, Op(a, Op(b, Op(a, b)))) { // abab = ab ≠ aba
+		t.Fatal("free band: aba ≠ abab")
+	}
+	// a·b·a·b·a = (ab)(ab)a = aba.
+	ababa := Op(abab, a)
+	if !ax.Equivalent(ababa, aba) {
+		t.Fatal("free band: ababa = aba")
+	}
+	bab := Op(Op(b, a), b)
+	if ax.Equivalent(aba, bab) {
+		t.Fatal("free band: aba ≠ bab")
+	}
+}
+
+func TestCanonMultisetVsSet(t *testing.T) {
+	// Abelian-group-style (assoc+comm, no idem): multiplicity matters.
+	ax := Axioms{Assoc: true, Comm: true}
+	if ax.Equivalent(Op(V(0), V(0)), V(0)) {
+		t.Fatal("without idempotence x⊕x ≠ x")
+	}
+	if !ax.Equivalent(Op(Op(V(1), V(0)), V(0)), Op(V(0), Op(V(0), V(1)))) {
+		t.Fatal("assoc+comm should equate multiset-equal terms")
+	}
+}
+
+func TestStructureNames(t *testing.T) {
+	cases := []struct {
+		ax   Axioms
+		want string
+	}{
+		{Axioms{}, "magma"},
+		{Axioms{Assoc: true}, "semigroup"},
+		{Axioms{Assoc: true, Identity: true}, "monoid"},
+		{Axioms{Assoc: true, Identity: true, Div: true}, "group"},
+		{Axioms{Assoc: true, Identity: true, Comm: true, Div: true}, "Abelian group"},
+		{Axioms{Assoc: true, Idem: true}, "band"},
+		{Axioms{Assoc: true, Idem: true, Comm: true}, "semilattice"},
+		{Axioms{Div: true}, "quasigroup"},
+		{Axioms{Identity: true, Div: true}, "loop"},
+	}
+	for _, c := range cases {
+		if got := c.ax.Structure(); got != c.want {
+			t.Errorf("Structure(%v) = %q, want %q", c.ax, got, c.want)
+		}
+	}
+	if s := (Axioms{Assoc: true, Comm: true}).String(); s != "A1=Y A2=N A3=N A4=Y A5=N" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestQuickCanonRespectsEvaluation: if two random expressions are declared
+// equivalent under an axiom set, they must evaluate equally under a concrete
+// operator satisfying those axioms (soundness of Canon).
+func TestQuickCanonRespectsEvaluation(t *testing.T) {
+	type opCase struct {
+		ax Axioms
+		op func(a, b float64) float64
+	}
+	cases := []opCase{
+		{Axioms{}, MagmaOp},
+		{Axioms{Div: true}, QuasigroupOp},
+		{Axioms{Idem: true, Comm: true, Div: true}, MidpointOp},
+		{Axioms{Assoc: true, Identity: true, Comm: true, Div: true}, SumOp},
+		{Axioms{Assoc: true, Idem: true, Comm: true}, MaxOp},
+		{Axioms{Identity: true, Div: true}, LoopOp},
+	}
+	for ci, c := range cases {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			nVars := 1 + rng.Intn(4)
+			e1 := randomExpr(rng, nVars, rng.Intn(5))
+			e2 := randomExpr(rng, nVars, rng.Intn(5))
+			if !c.ax.Equivalent(e1, e2) {
+				return true // nothing to check
+			}
+			vals := make([]float64, nVars)
+			for i := range vals {
+				vals[i] = float64(rng.Intn(5))
+			}
+			leaf := func(v int) float64 { return vals[v] }
+			return math.Abs(EvalExpr(e1, leaf, c.op)-EvalExpr(e2, leaf, c.op)) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Fatalf("case %d (%v): %v", ci, c.ax, err)
+		}
+	}
+}
+
+// TestLoopOpProperties verifies the hard-coded order-5 loop really is a
+// non-associative loop: two-sided identity 0 and Latin-square rows/columns.
+func TestLoopOpProperties(t *testing.T) {
+	for a := 0; a < 5; a++ {
+		if LoopOp(float64(a), 0) != float64(a) || LoopOp(0, float64(a)) != float64(a) {
+			t.Fatalf("0 is not an identity at %d", a)
+		}
+		rowSeen, colSeen := map[float64]bool{}, map[float64]bool{}
+		for b := 0; b < 5; b++ {
+			rowSeen[LoopOp(float64(a), float64(b))] = true
+			colSeen[LoopOp(float64(b), float64(a))] = true
+		}
+		if len(rowSeen) != 5 || len(colSeen) != 5 {
+			t.Fatalf("row/col %d not a permutation", a)
+		}
+	}
+	assocFails := false
+	for a := 0; a < 5 && !assocFails; a++ {
+		for b := 0; b < 5 && !assocFails; b++ {
+			for c := 0; c < 5; c++ {
+				l := LoopOp(LoopOp(float64(a), float64(b)), float64(c))
+				r := LoopOp(float64(a), LoopOp(float64(b), float64(c)))
+				if l != r {
+					assocFails = true
+					break
+				}
+			}
+		}
+	}
+	if !assocFails {
+		t.Fatal("LoopOp is unexpectedly associative")
+	}
+}

@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprPlanSharesCommonSubexpressions(t *testing.T) {
+	// q0 = x0⊕x1, q1 = (x0⊕x1)⊕x2: the naive cost is 3, CSE cost is 2.
+	sub := Op(V(0), V(1))
+	p := NewExprPlan(Axioms{}, []*Expr{sub, Op(sub, V(2))})
+	if p.TotalCost() != 2 {
+		t.Fatalf("TotalCost = %d, want 2", p.TotalCost())
+	}
+	if NaiveExprCost(p.Queries) != 3 {
+		t.Fatalf("naive = %d, want 3", NaiveExprCost(p.Queries))
+	}
+}
+
+func TestExprPlanCommutativeSharing(t *testing.T) {
+	// The paper's example: with commutativity, x⊕y and (y⊕x)⊕z share work.
+	q0 := Op(V(0), V(1))
+	q1 := Op(Op(V(1), V(0)), V(2))
+	if p := NewExprPlan(Axioms{}, []*Expr{q0, q1}); p.TotalCost() != 3 {
+		t.Fatalf("magma cost = %d, want 3 (no sharing without A4)", p.TotalCost())
+	}
+	if p := NewExprPlan(Axioms{Comm: true}, []*Expr{q0, q1}); p.TotalCost() != 2 {
+		t.Fatalf("commutative cost = %d, want 2", p.TotalCost())
+	}
+}
+
+func TestExprPlanIdempotentCollapse(t *testing.T) {
+	e := Op(V(0), V(0))
+	p := NewExprPlan(Axioms{Idem: true}, []*Expr{e})
+	if p.TotalCost() != 0 {
+		t.Fatalf("x⊕x should collapse to the leaf; cost = %d", p.TotalCost())
+	}
+	vals := p.Eval(func(v int) float64 { return 7 }, MidpointOp)
+	if vals[0] != 7 {
+		t.Fatalf("Eval = %v", vals)
+	}
+}
+
+// TestQuickExprPlanEvaluatesCorrectly: the hash-consed DAG must compute the
+// same values as direct evaluation for operators matching the axiom set.
+func TestQuickExprPlanEvaluatesCorrectly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + rng.Intn(4)
+		exprs := make([]*Expr, 1+rng.Intn(4))
+		for i := range exprs {
+			exprs[i] = randomExpr(rng, nVars, rng.Intn(5))
+		}
+		p := NewExprPlan(Axioms{Div: true}, exprs) // quasigroup row
+		vals := make([]float64, nVars)
+		for i := range vals {
+			vals[i] = rng.Float64() * 10
+		}
+		leaf := func(v int) float64 { return vals[v] }
+		got := p.Eval(leaf, QuasigroupOp)
+		for i, e := range exprs {
+			if got[i] != EvalExpr(e, leaf, QuasigroupOp) {
+				return false
+			}
+		}
+		return p.TotalCost() <= NaiveExprCost(exprs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5TableAllRowsPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rows := Fig5Table()
+	if len(rows) != 9 {
+		t.Fatalf("Figure 5 has 9 rows, got %d", len(rows))
+	}
+	for i, row := range rows {
+		if row.Check == nil {
+			continue
+		}
+		result := row.Check(rng)
+		if strings.HasPrefix(result, "FAIL") {
+			t.Errorf("row %d (%s): %s", i+1, row.Complexity, result)
+		}
+	}
+}
+
+func TestFig5PatternsMatchPaper(t *testing.T) {
+	want := []string{
+		"N****N", // spacer-free check below uses joined pattern
+	}
+	_ = want
+	patterns := [][5]byte{
+		{'N', '*', '*', '*', 'N'},
+		{'N', 'N', 'N', '*', 'Y'},
+		{'N', 'Y', 'N', '*', 'Y'},
+		{'N', 'N', 'Y', '*', 'Y'},
+		{'N', 'Y', 'Y', '*', 'Y'},
+		{'Y', '*', 'N', 'Y', 'N'},
+		{'Y', '*', 'N', 'Y', 'Y'},
+		{'Y', '*', 'Y', 'Y', 'N'},
+		{'Y', '*', 'Y', '*', 'Y'},
+	}
+	complexities := []string{
+		"PTIME", "PTIME", "PTIME", "PTIME", "O(1)",
+		"NP-complete", "NP-complete", "NP-complete", "O(1)",
+	}
+	rows := Fig5Table()
+	for i, row := range rows {
+		if row.Pattern != patterns[i] {
+			t.Errorf("row %d pattern = %s, want %s", i+1, row.Pattern, patterns[i])
+		}
+		if row.Complexity != complexities[i] {
+			t.Errorf("row %d complexity = %s, want %s", i+1, row.Complexity, complexities[i])
+		}
+	}
+}
+
+func TestFormatFig5(t *testing.T) {
+	out := FormatFig5(rand.New(rand.NewSource(1)))
+	if !strings.Contains(out, "NP-complete") || !strings.Contains(out, "PTIME") {
+		t.Fatalf("FormatFig5 output missing rows:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("FormatFig5 reports failures:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // header + 9 rows
+		t.Fatalf("FormatFig5 has %d lines, want 10:\n%s", len(lines), out)
+	}
+}
+
+func TestPatternAxioms(t *testing.T) {
+	ax := patternAxioms([5]byte{'Y', '*', 'N', '*', 'Y'}, [5]bool{false, true, false, false, false})
+	want := Axioms{Assoc: true, Identity: true, Idem: false, Comm: false, Div: true}
+	if ax != want {
+		t.Fatalf("patternAxioms = %+v, want %+v", ax, want)
+	}
+}

@@ -1,0 +1,281 @@
+package plan
+
+import (
+	"fmt"
+
+	"sharedwd/internal/bitset"
+)
+
+// Leaf marks the child slots of leaf nodes.
+const Leaf = -1
+
+// Node is one vertex of an A-plan DAG. Leaves (Left == Leaf) are labeled
+// with a single variable; internal nodes aggregate exactly two children and
+// are labeled, per Lemma 1, with the union of their children's variable sets.
+type Node struct {
+	ID          int
+	Vars        bitset.Set
+	Left, Right int // child node IDs, or Leaf
+}
+
+// IsLeaf reports whether the node is a variable leaf.
+func (n Node) IsLeaf() bool { return n.Left == Leaf }
+
+// Plan is an A-plan for an instance: a DAG whose first NumVars nodes are the
+// variable leaves and whose internal nodes are binary ⊕-aggregations.
+// QueryNode maps each instance query to the node computing it.
+//
+// Plans are append-only: nodes are never removed, so node IDs are stable.
+type Plan struct {
+	Inst      *Instance
+	Nodes     []Node
+	QueryNode []int
+}
+
+// NewPlan creates a plan containing only the variable leaves, with all
+// queries unassigned (-1).
+func NewPlan(inst *Instance) *Plan {
+	p := &Plan{
+		Inst:      inst,
+		Nodes:     make([]Node, 0, inst.NumVars+2*len(inst.Queries)),
+		QueryNode: make([]int, len(inst.Queries)),
+	}
+	for i := 0; i < inst.NumVars; i++ {
+		p.Nodes = append(p.Nodes, Node{ID: i, Vars: bitset.FromIndices(inst.NumVars, i), Left: Leaf, Right: Leaf})
+	}
+	for i := range p.QueryNode {
+		p.QueryNode[i] = -1
+		// A query consisting of a single variable is computed by its leaf.
+		if inst.Queries[i].Vars.Count() == 1 {
+			p.QueryNode[i] = inst.Queries[i].Vars.Indices()[0]
+		}
+	}
+	return p
+}
+
+// AddAggregate appends a new internal node aggregating children l and r and
+// returns its ID. The node's label is the union of the children's labels.
+// If the new node's variable set equals an unassigned query, that query is
+// bound to it.
+func (p *Plan) AddAggregate(l, r int) int {
+	if l < 0 || l >= len(p.Nodes) || r < 0 || r >= len(p.Nodes) {
+		panic(fmt.Sprintf("plan: aggregate of invalid children %d, %d", l, r))
+	}
+	id := len(p.Nodes)
+	vars := p.Nodes[l].Vars.Union(p.Nodes[r].Vars)
+	p.Nodes = append(p.Nodes, Node{ID: id, Vars: vars, Left: l, Right: r})
+	for qi, q := range p.Inst.Queries {
+		if p.QueryNode[qi] == -1 && q.Vars.Equal(vars) {
+			p.QueryNode[qi] = id
+		}
+	}
+	return id
+}
+
+// Chain aggregates the given node IDs left-deep ((a⊕b)⊕c)… and returns the
+// final node ID. A single ID is returned unchanged. It panics on empty input.
+func (p *Plan) Chain(ids []int) int {
+	if len(ids) == 0 {
+		panic("plan: Chain of no nodes")
+	}
+	acc := ids[0]
+	for _, id := range ids[1:] {
+		acc = p.AddAggregate(acc, id)
+	}
+	return acc
+}
+
+// Complete reports whether every query is assigned a computing node.
+func (p *Plan) Complete() bool {
+	for _, id := range p.QueryNode {
+		if id == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalCost is the number of internal (aggregation) nodes — the paper's
+// total cost of an A-plan.
+func (p *Plan) TotalCost() int { return len(p.Nodes) - p.Inst.NumVars }
+
+// BaseCost is |E|: every plan must compute each query with some node, so no
+// plan for the instance costs less than this (counting only multi-variable
+// queries, since single-variable queries are leaves).
+func (p *Plan) BaseCost() int {
+	c := 0
+	for _, q := range p.Inst.Queries {
+		if q.Vars.Count() > 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// ExtraCost is TotalCost − BaseCost: the partial results beyond the
+// unavoidable per-query aggregates. Inapproximability (Theorem 3) is stated
+// in terms of this quantity.
+func (p *Plan) ExtraCost() int { return p.TotalCost() - p.BaseCost() }
+
+// reach returns, for every node, the bitset of queries whose computation
+// uses the node (v ⤳ q): q's assigned node and all its descendants.
+func (p *Plan) reach() []bitset.Set {
+	m := len(p.Inst.Queries)
+	reach := make([]bitset.Set, len(p.Nodes))
+	for i := range reach {
+		reach[i] = bitset.New(m)
+	}
+	for qi, id := range p.QueryNode {
+		if id == -1 {
+			continue
+		}
+		var mark func(n int)
+		mark = func(n int) {
+			if reach[n].Contains(qi) {
+				return
+			}
+			reach[n].Add(qi)
+			if !p.Nodes[n].IsLeaf() {
+				mark(p.Nodes[n].Left)
+				mark(p.Nodes[n].Right)
+			}
+		}
+		mark(id)
+	}
+	return reach
+}
+
+// ExpectedCost returns the expected number of internal nodes materialized
+// per round: Σ_v (1 − Π_{q: v⤳q} (1 − sr_q)), the paper's plan cost
+// objective. Unreachable internal nodes contribute 0. It panics if the plan
+// is incomplete, since the cost of an incomplete plan is meaningless.
+func (p *Plan) ExpectedCost() float64 {
+	if !p.Complete() {
+		panic("plan: ExpectedCost of incomplete plan")
+	}
+	reach := p.reach()
+	total := 0.0
+	for i := p.Inst.NumVars; i < len(p.Nodes); i++ {
+		probNone := 1.0
+		reach[i].ForEach(func(qi int) bool {
+			probNone *= 1 - p.Inst.Queries[qi].Rate
+			return true
+		})
+		if !reach[i].IsEmpty() {
+			total += 1 - probNone
+		}
+	}
+	return total
+}
+
+// Validate checks the paper's A-plan well-formedness conditions: children
+// precede parents (acyclicity by construction), every internal label is the
+// union of its children's labels, every leaf is a distinct single variable,
+// and every query is assigned a node whose label is A-equivalent to it
+// (equal variable sets, by Lemma 1).
+func (p *Plan) Validate() error {
+	if len(p.Nodes) < p.Inst.NumVars {
+		return fmt.Errorf("plan: missing leaves: %d nodes for %d vars", len(p.Nodes), p.Inst.NumVars)
+	}
+	for i := 0; i < p.Inst.NumVars; i++ {
+		n := p.Nodes[i]
+		if !n.IsLeaf() {
+			return fmt.Errorf("plan: node %d should be a leaf", i)
+		}
+		if n.Vars.Count() != 1 || !n.Vars.Contains(i) {
+			return fmt.Errorf("plan: leaf %d labeled %v, want {%d}", i, n.Vars, i)
+		}
+	}
+	for i := p.Inst.NumVars; i < len(p.Nodes); i++ {
+		n := p.Nodes[i]
+		if n.ID != i {
+			return fmt.Errorf("plan: node %d has ID %d", i, n.ID)
+		}
+		if n.IsLeaf() {
+			return fmt.Errorf("plan: node %d beyond leaves has no children", i)
+		}
+		if n.Left >= i || n.Right >= i || n.Left < 0 || n.Right < 0 {
+			return fmt.Errorf("plan: node %d references non-preceding children %d, %d", i, n.Left, n.Right)
+		}
+		if !n.Vars.Equal(p.Nodes[n.Left].Vars.Union(p.Nodes[n.Right].Vars)) {
+			return fmt.Errorf("plan: node %d label %v is not the union of its children", i, n.Vars)
+		}
+	}
+	for qi, id := range p.QueryNode {
+		if id == -1 {
+			return fmt.Errorf("plan: query %d unassigned", qi)
+		}
+		if id < 0 || id >= len(p.Nodes) {
+			return fmt.Errorf("plan: query %d assigned to invalid node %d", qi, id)
+		}
+		if !p.Nodes[id].Vars.Equal(p.Inst.Queries[qi].Vars) {
+			return fmt.Errorf("plan: query %d (%v) assigned to node labeled %v",
+				qi, p.Inst.Queries[qi].Vars, p.Nodes[id].Vars)
+		}
+	}
+	return nil
+}
+
+// DisjointChildren reports whether every internal node aggregates
+// variable-disjoint children. Plans with this property evaluate
+// non-idempotent (multiset-semantics) aggregates such as sum and count
+// correctly: every variable reaches each query exactly once. Idempotent
+// operators (top-k, max, Bloom union) are correct on any valid plan.
+func (p *Plan) DisjointChildren() bool {
+	for i := p.Inst.NumVars; i < len(p.Nodes); i++ {
+		n := p.Nodes[i]
+		if p.Nodes[n.Left].Vars.Intersects(p.Nodes[n.Right].Vars) {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute evaluates the plan for one round. leaf supplies the value of each
+// variable; op is the ⊕ aggregation; occurring[qi] says whether query qi's
+// bid phrase occurred this round (nil means all occur). Only nodes needed
+// for occurring queries are materialized — materialized returns how many
+// internal nodes were, which is exactly the per-round cost the expected-cost
+// model predicts.
+//
+// Execute is a free function rather than a method because Go methods cannot
+// introduce type parameters.
+func Execute[T any](p *Plan, leaf func(v int) T, op func(a, b T) T, occurring []bool) (results map[int]T, materialized int) {
+	if !p.Complete() {
+		panic("plan: Execute of incomplete plan")
+	}
+	memo := make(map[int]T)
+	var eval func(id int) T
+	eval = func(id int) T {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		n := p.Nodes[id]
+		var v T
+		if n.IsLeaf() {
+			v = leaf(n.ID)
+		} else {
+			v = op(eval(n.Left), eval(n.Right))
+			materialized++
+		}
+		memo[id] = v
+		return v
+	}
+	results = make(map[int]T)
+	for qi, id := range p.QueryNode {
+		if occurring != nil && !occurring[qi] {
+			continue
+		}
+		results[qi] = eval(id)
+	}
+	return results, materialized
+}
+
+// String renders the plan compactly for debugging.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("plan{vars=%d, internal=%d", p.Inst.NumVars, p.TotalCost())
+	for qi, id := range p.QueryNode {
+		s += fmt.Sprintf(", q%d→n%d", qi, id)
+	}
+	return s + "}"
+}

@@ -1,0 +1,132 @@
+package plan
+
+import (
+	"fmt"
+
+	"sharedwd/internal/bitset"
+)
+
+// FromSetCover builds the Theorem-2 reduction: given a set-cover instance
+// (universe [0,n) and a collection of subsets whose union is the universe),
+// it returns a shared-aggregation instance with one variable per universe
+// element, one query per collection set, and one extra query for the
+// universe itself. A minimum-cost A-plan for this instance yields a minimum
+// set cover, which is what makes optimal shared aggregation NP-hard.
+//
+// All rates are 1, matching the theorem's deterministic setting.
+func FromSetCover(n int, collection []bitset.Set) (*Instance, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("plan: empty universe")
+	}
+	union := bitset.New(n)
+	queries := make([]Query, 0, len(collection)+1)
+	seen := make(map[string]bool)
+	for i, s := range collection {
+		if s.Cap() != n {
+			return nil, fmt.Errorf("plan: set %d capacity %d, want %d", i, s.Cap(), n)
+		}
+		if s.IsEmpty() {
+			return nil, fmt.Errorf("plan: set %d is empty", i)
+		}
+		union.UnionInPlace(s)
+		if seen[s.Key()] {
+			continue // duplicate sets map to one A-equivalent query
+		}
+		seen[s.Key()] = true
+		queries = append(queries, Query{Vars: s, Rate: 1})
+	}
+	full := bitset.New(n)
+	for i := 0; i < n; i++ {
+		full.Add(i)
+	}
+	if !union.Equal(full) {
+		return nil, fmt.Errorf("plan: collection does not cover the universe")
+	}
+	if !seen[full.Key()] {
+		queries = append(queries, Query{Vars: full, Rate: 1})
+	}
+	return NewInstance(n, queries)
+}
+
+// FromSetCoverClosed builds the Theorem-3 (inapproximability) variant: the
+// collection queries are closed under sub-expressions — every prefix of each
+// canonical expression e_S is itself a query — before the universe query is
+// added. In a plan for this instance, all nodes except those computing the
+// universe query have zero extra cost, so the plan's extra cost equals the
+// cost of covering the universe, which inherits set cover's log-factor
+// inapproximability.
+func FromSetCoverClosed(n int, collection []bitset.Set) (*Instance, error) {
+	closed := make([]bitset.Set, 0, len(collection)*2)
+	seen := make(map[string]bool)
+	for i, s := range collection {
+		if s.Cap() != n {
+			return nil, fmt.Errorf("plan: set %d capacity %d, want %d", i, s.Cap(), n)
+		}
+		// Prefixes of the canonical expression x_{i1} ⊕ x_{i2} ⊕ ... in
+		// ascending variable order; prefixes of length ≥ 2 are queries
+		// (length-1 prefixes are variables, excluded by convention).
+		prefix := bitset.New(n)
+		count := 0
+		s.ForEach(func(v int) bool {
+			prefix.Add(v)
+			count++
+			if count >= 2 && !seen[prefix.Key()] {
+				seen[prefix.Key()] = true
+				closed = append(closed, prefix.Clone())
+			}
+			return true
+		})
+		if count == 1 && !seen[s.Key()] { // singleton sets stay as queries
+			seen[s.Key()] = true
+			closed = append(closed, s.Clone())
+		}
+	}
+	return FromSetCover(n, closed)
+}
+
+// CoverFromPlan extracts a set cover of the universe query from a completed
+// plan for a FromSetCover instance, mirroring the cut argument in the proof
+// of Theorem 2: walk down from the universe query's node and cut at nodes
+// that compute collection queries (or leaves). The returned indices refer to
+// the instance's queries; singletons are returned as negative(-1-var).
+func CoverFromPlan(p *Plan) ([]bitset.Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Find the universe query (the one containing all variables).
+	uq := -1
+	for qi, q := range p.Inst.Queries {
+		if q.Vars.Count() == p.Inst.NumVars {
+			uq = qi
+			break
+		}
+	}
+	if uq == -1 {
+		return nil, fmt.Errorf("plan: instance has no universe query")
+	}
+	queryNodes := make(map[int]bool)
+	for qi, id := range p.QueryNode {
+		if qi != uq {
+			queryNodes[id] = true
+		}
+	}
+	var cover []bitset.Set
+	var walk func(id int)
+	walk = func(id int) {
+		n := p.Nodes[id]
+		if queryNodes[id] || n.IsLeaf() {
+			cover = append(cover, n.Vars)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	root := p.QueryNode[uq]
+	n := p.Nodes[root]
+	if n.IsLeaf() {
+		return []bitset.Set{n.Vars}, nil
+	}
+	walk(n.Left)
+	walk(n.Right)
+	return cover, nil
+}

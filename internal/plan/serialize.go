@@ -1,0 +1,99 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sharedwd/internal/bitset"
+)
+
+// The paper's plans are built offline ("we try to find a single plan
+// offline that works well on average") and executed online at every round.
+// This file provides the wire format between the two halves: a compact JSON
+// encoding of an instance plus its plan, with full structural validation on
+// load so a corrupted or stale plan can never reach the executor.
+
+type serialInstance struct {
+	NumVars int           `json:"num_vars"`
+	Queries []serialQuery `json:"queries"`
+}
+
+type serialQuery struct {
+	Vars []int   `json:"vars"`
+	Rate float64 `json:"rate"`
+}
+
+type serialPlan struct {
+	Instance  serialInstance `json:"instance"`
+	Nodes     []serialNode   `json:"nodes"` // internal nodes only, in ID order
+	QueryNode []int          `json:"query_node"`
+}
+
+type serialNode struct {
+	Left  int `json:"l"`
+	Right int `json:"r"`
+}
+
+// MarshalJSON encodes the plan (with its instance) for offline storage.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: refusing to marshal invalid plan: %w", err)
+	}
+	s := serialPlan{
+		Instance: serialInstance{
+			NumVars: p.Inst.NumVars,
+			Queries: make([]serialQuery, len(p.Inst.Queries)),
+		},
+		Nodes:     make([]serialNode, 0, p.TotalCost()),
+		QueryNode: append([]int(nil), p.QueryNode...),
+	}
+	for i, q := range p.Inst.Queries {
+		s.Instance.Queries[i] = serialQuery{Vars: q.Vars.Indices(), Rate: q.Rate}
+	}
+	for i := p.Inst.NumVars; i < len(p.Nodes); i++ {
+		s.Nodes = append(s.Nodes, serialNode{Left: p.Nodes[i].Left, Right: p.Nodes[i].Right})
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalPlan decodes and fully validates a plan previously produced by
+// MarshalJSON. Labels are recomputed from the structure (they are derived
+// data), so a tampered encoding fails validation rather than executing
+// incorrectly.
+func UnmarshalPlan(data []byte) (*Plan, error) {
+	var s serialPlan
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("plan: decoding: %w", err)
+	}
+	queries := make([]Query, len(s.Instance.Queries))
+	for i, q := range s.Instance.Queries {
+		for _, v := range q.Vars {
+			if v < 0 || v >= s.Instance.NumVars {
+				return nil, fmt.Errorf("plan: query %d references variable %d outside [0,%d)", i, v, s.Instance.NumVars)
+			}
+		}
+		queries[i] = Query{Vars: bitset.FromIndices(s.Instance.NumVars, q.Vars...), Rate: q.Rate}
+	}
+	inst, err := NewInstance(s.Instance.NumVars, queries)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.QueryNode) != len(queries) {
+		return nil, fmt.Errorf("plan: %d query bindings for %d queries", len(s.QueryNode), len(queries))
+	}
+	p := NewPlan(inst)
+	for i, n := range s.Nodes {
+		id := inst.NumVars + i
+		if n.Left < 0 || n.Left >= id || n.Right < 0 || n.Right >= id {
+			return nil, fmt.Errorf("plan: node %d references invalid children (%d, %d)", id, n.Left, n.Right)
+		}
+		p.AddAggregate(n.Left, n.Right)
+	}
+	// Restore the recorded bindings (AddAggregate may have auto-bound, but
+	// the stored assignment is authoritative), then validate everything.
+	copy(p.QueryNode, s.QueryNode)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: decoded plan invalid: %w", err)
+	}
+	return p, nil
+}

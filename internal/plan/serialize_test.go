@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	inst := MustInstance(3, []Query{q(3, 1, 0, 1)})
+	p := NewPlan(inst) // incomplete
+	if _, err := json.Marshal(p); err == nil {
+		t.Fatal("marshaling an incomplete plan should fail")
+	}
+}
+
+func TestRoundTripByHand(t *testing.T) {
+	inst := MustInstance(4, []Query{q(4, 0.5, 0, 1, 2), q(4, 0.25, 0, 1, 3)})
+	p := NewPlan(inst)
+	shared := p.AddAggregate(0, 1)
+	p.AddAggregate(shared, 2)
+	p.AddAggregate(shared, 3)
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalCost() != p.TotalCost() {
+		t.Fatalf("cost %d != %d", back.TotalCost(), p.TotalCost())
+	}
+	if back.ExpectedCost() != p.ExpectedCost() {
+		t.Fatalf("expected cost %v != %v", back.ExpectedCost(), p.ExpectedCost())
+	}
+	for qi := range p.QueryNode {
+		if back.QueryNode[qi] != p.QueryNode[qi] {
+			t.Fatalf("query %d bound to %d, want %d", qi, back.QueryNode[qi], p.QueryNode[qi])
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	inst := MustInstance(3, []Query{q(3, 1, 0, 1, 2)})
+	p := NewPlan(inst)
+	p.Chain([]int{0, 1, 2})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(s string) string
+		wantErr bool
+	}{
+		{"garbage", func(s string) string { return "{" }, true},
+		{"bad child", func(s string) string { return strings.Replace(s, `{"l":0,"r":1}`, `{"l":0,"r":99}`, 1) }, true},
+		{"bad variable", func(s string) string { return strings.Replace(s, `"vars":[0,1,2]`, `"vars":[0,1,7]`, 1) }, true},
+		{"bad binding", func(s string) string { return strings.Replace(s, `"query_node":[4]`, `"query_node":[3]`, 1) }, true},
+		{"intact", func(s string) string { return s }, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := UnmarshalPlan([]byte(c.mutate(string(data))))
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr = %v\nencoding: %s", err, c.wantErr, data)
+			}
+		})
+	}
+}
+
+// TestQuickRoundTripPreservesSemantics: serialize/deserialize preserves
+// structure, costs, and execution results for heuristic-built plans.
+func TestQuickRoundTripPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := RandomCoinFlipInstance(rng, 4+rng.Intn(10), 2+rng.Intn(4), rng.Float64())
+		p := NaivePlan(inst) // any valid plan; heuristics tested elsewhere
+		data, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalPlan(data)
+		if err != nil {
+			return false
+		}
+		if back.TotalCost() != p.TotalCost() || back.ExpectedCost() != p.ExpectedCost() {
+			return false
+		}
+		vals := make([]int, inst.NumVars)
+		for i := range vals {
+			vals[i] = rng.Intn(100)
+		}
+		leaf := func(v int) int { return vals[v] }
+		op := func(a, b int) int { return a + b } // naive plans are disjoint
+		r1, _ := Execute(p, leaf, op, nil)
+		r2, _ := Execute(back, leaf, op, nil)
+		for qi := range r1 {
+			if r1[qi] != r2[qi] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package pricing
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// outcome runs a full auction: rank by effective bid, price, and return
+// each advertiser's expected utility ctr·(value − price), where ctr =
+// quality·slotFactor and value is the advertiser's true per-click value.
+func outcome(rule Rule, bidders []Ranked, values []float64, d []float64) map[int]float64 {
+	ranked := append([]Ranked(nil), bidders...)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		ea, eb := ranked[a].effective(), ranked[b].effective()
+		if ea != eb {
+			return ea > eb
+		}
+		return ranked[a].ID < ranked[b].ID
+	})
+	prices := Prices(rule, ranked, d)
+	util := make(map[int]float64, len(bidders))
+	for _, r := range bidders {
+		util[r.ID] = 0
+	}
+	for j, p := range prices {
+		r := ranked[j]
+		util[r.ID] = r.Quality * d[j] * (values[r.ID] - p)
+	}
+	return util
+}
+
+func randomMarket(rng *rand.Rand) ([]Ranked, []float64, []float64) {
+	n := 2 + rng.Intn(6)
+	bidders := make([]Ranked, n)
+	values := make([]float64, n)
+	for i := range bidders {
+		values[i] = 1 + rng.Float64()*9
+		bidders[i] = Ranked{ID: i, Bid: values[i], Quality: 0.3 + rng.Float64()}
+	}
+	k := 1 + rng.Intn(3)
+	d := make([]float64, k)
+	v := 0.5
+	for j := range d {
+		d[j] = v
+		v *= 0.3 + 0.5*rng.Float64()
+	}
+	return bidders, values, d
+}
+
+// TestQuickVCGTruthful: under laddered VCG, no advertiser can increase his
+// expected utility by misreporting his per-click value — the property the
+// paper cites VCG pricing for.
+func TestQuickVCGTruthful(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bidders, values, d := randomMarket(rng)
+		truthful := outcome(VCG, bidders, values, d)
+		for i := range bidders {
+			for trial := 0; trial < 6; trial++ {
+				dev := append([]Ranked(nil), bidders...)
+				dev[i].Bid = rng.Float64() * 12 // arbitrary misreport
+				u := outcome(VCG, dev, values, d)
+				if u[i] > truthful[i]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGSPNotTruthful documents the contrast: under GSP a bidder can gain
+// by shading his bid (Edelman–Ostrovsky–Schwarz's classic example).
+func TestGSPNotTruthful(t *testing.T) {
+	// Three bidders valuing a click at 10, 4, 2; two slots with d = .2, .18.
+	values := []float64{10, 4, 2}
+	bidders := []Ranked{
+		{ID: 0, Bid: 10, Quality: 1},
+		{ID: 1, Bid: 4, Quality: 1},
+		{ID: 2, Bid: 2, Quality: 1},
+	}
+	d := []float64{0.2, 0.18}
+	truthful := outcome(GSP, bidders, values, d)
+	// Bidder 0 truthful: wins slot 0 at price 4 → u = .2·(10−4) = 1.2.
+	// Shading to 3: slot 1 at price 2 → u = .18·(10−2) = 1.44 > 1.2.
+	shaded := append([]Ranked(nil), bidders...)
+	shaded[0].Bid = 3
+	dev := outcome(GSP, shaded, values, d)
+	if !(dev[0] > truthful[0]) {
+		t.Fatalf("GSP deviation utility %v should beat truthful %v", dev[0], truthful[0])
+	}
+}
+
+// TestQuickVCGLocallyEnvyFree: under truthful bidding, no VCG winner would
+// rather have an adjacent slot at that slot's per-click price — the local
+// envy-freeness the paper mentions. Stated, as in
+// Edelman–Ostrovsky–Schwarz, for homogeneous quality: with heterogeneous
+// quality a slot's per-click price is scaled to its *occupant's* quality,
+// so cross-bidder price comparisons are not meaningful.
+func TestQuickVCGLocallyEnvyFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bidders, values, d := randomMarket(rng)
+		for i := range bidders {
+			bidders[i].Quality = 1
+		}
+		ranked := append([]Ranked(nil), bidders...)
+		sort.SliceStable(ranked, func(a, b int) bool {
+			ea, eb := ranked[a].effective(), ranked[b].effective()
+			if ea != eb {
+				return ea > eb
+			}
+			return ranked[a].ID < ranked[b].ID
+		})
+		prices := Prices(VCG, ranked, d)
+		for j := range prices {
+			r := ranked[j]
+			own := r.Quality * d[j] * (values[r.ID] - prices[j])
+			for _, jj := range []int{j - 1, j + 1} {
+				if jj < 0 || jj >= len(prices) {
+					continue
+				}
+				other := r.Quality * d[jj] * (values[r.ID] - prices[jj])
+				if other > own+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

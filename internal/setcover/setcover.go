@@ -1,0 +1,158 @@
+// Package setcover implements the set-cover primitives behind Section II of
+// the paper: Johnson's greedy covering algorithm, which the shared
+// aggregation heuristic uses as its yardstick for "coverage gain", and an
+// exact branch-and-bound solver used in tests and in the Figure-5 harness to
+// certify optimal plans on small instances.
+//
+// Following the paper, "cover" here means an *exact* cover by union: the
+// chosen sets must be subsets of the target and their union must equal the
+// target exactly (the sets may overlap each other).
+package setcover
+
+import (
+	"sort"
+
+	"sharedwd/internal/bitset"
+)
+
+// Greedy finds a cover of target using sets from the collection, repeatedly
+// picking the feasible set (a subset of target) that covers the most
+// still-uncovered elements. Ties break by lower index for determinism.
+//
+// It returns the indices of the chosen sets in selection order, and ok=false
+// if the feasible sets cannot cover the target. Johnson (STOC'73) shows this
+// is a (1+ln n)-approximation of the minimum cover.
+func Greedy(target bitset.Set, collection []bitset.Set) (chosen []int, ok bool) {
+	uncovered := target.Clone()
+	// Pre-filter to feasible sets once; feasibility never changes.
+	feasible := make([]int, 0, len(collection))
+	for i, s := range collection {
+		if !s.IsEmpty() && s.SubsetOf(target) {
+			feasible = append(feasible, i)
+		}
+	}
+	for !uncovered.IsEmpty() {
+		best, bestGain := -1, 0
+		for _, i := range feasible {
+			if gain := collection[i].IntersectCount(uncovered); gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best == -1 {
+			return nil, false
+		}
+		chosen = append(chosen, best)
+		uncovered.DifferenceInPlace(collection[best])
+	}
+	return chosen, true
+}
+
+// GreedySize returns just the size of the greedy cover, or -1 if no cover
+// exists. This is the quantity |C_q| the Section II-D heuristic sums over
+// queries when scoring candidate aggregations.
+func GreedySize(target bitset.Set, collection []bitset.Set) int {
+	chosen, ok := Greedy(target, collection)
+	if !ok {
+		return -1
+	}
+	return len(chosen)
+}
+
+// Exact finds a minimum-cardinality exact cover of target from the
+// collection using branch and bound. Intended for small instances (tests,
+// Figure-5 certification); worst case is exponential — minimum set cover is
+// NP-hard (Karp '72), which is exactly why the paper resorts to heuristics.
+//
+// It returns the chosen indices (ascending) and ok=false if no cover exists.
+func Exact(target bitset.Set, collection []bitset.Set) (chosen []int, ok bool) {
+	// Feasible sets only, largest first so good covers are found early and
+	// prune aggressively.
+	type cand struct {
+		idx int
+		set bitset.Set
+	}
+	var cands []cand
+	for i, s := range collection {
+		if !s.IsEmpty() && s.SubsetOf(target) {
+			cands = append(cands, cand{i, s})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a].set.Count(), cands[b].set.Count()
+		if ca != cb {
+			return ca > cb
+		}
+		return cands[a].idx < cands[b].idx
+	})
+
+	// Upper bound from greedy.
+	bestLen := -1
+	if g, gok := Greedy(target, collection); gok {
+		bestLen = len(g)
+		chosen = append([]int(nil), g...)
+	} else {
+		return nil, false
+	}
+	maxCard := 0
+	if len(cands) > 0 {
+		maxCard = cands[0].set.Count()
+	}
+
+	var cur []int
+	var rec func(uncovered bitset.Set, from int)
+	rec = func(uncovered bitset.Set, from int) {
+		if uncovered.IsEmpty() {
+			if bestLen == -1 || len(cur) < bestLen {
+				bestLen = len(cur)
+				chosen = append(chosen[:0], cur...)
+			}
+			return
+		}
+		// Lower bound: need at least ceil(|uncovered| / maxCard) more sets.
+		if maxCard == 0 {
+			return
+		}
+		need := (uncovered.Count() + maxCard - 1) / maxCard
+		if bestLen != -1 && len(cur)+need >= bestLen {
+			return
+		}
+		// Branch on the lowest uncovered element: some chosen set must
+		// contain it. This avoids permuting equivalent orderings.
+		var pivot int
+		uncovered.ForEach(func(i int) bool { pivot = i; return false })
+		for i := from; i < len(cands); i++ {
+			if !cands[i].set.Contains(pivot) {
+				continue
+			}
+			cur = append(cur, cands[i].idx)
+			next := uncovered.Difference(cands[i].set)
+			rec(next, 0)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(target.Clone(), 0)
+	sort.Ints(chosen)
+	return chosen, true
+}
+
+// Union returns the union of the indexed sets from the collection; all sets
+// must share a capacity, and indices must be valid. Helper for verifying
+// covers in tests and planners.
+func Union(capacity int, collection []bitset.Set, indices []int) bitset.Set {
+	u := bitset.New(capacity)
+	for _, i := range indices {
+		u.UnionInPlace(collection[i])
+	}
+	return u
+}
+
+// IsCover reports whether the indexed sets form an exact cover of target:
+// each is a subset of target and their union equals target.
+func IsCover(target bitset.Set, collection []bitset.Set, indices []int) bool {
+	for _, i := range indices {
+		if !collection[i].SubsetOf(target) {
+			return false
+		}
+	}
+	return Union(target.Cap(), collection, indices).Equal(target)
+}

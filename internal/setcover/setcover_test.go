@@ -1,0 +1,213 @@
+package setcover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/bitset"
+)
+
+func sets(n int, members ...[]int) []bitset.Set {
+	out := make([]bitset.Set, len(members))
+	for i, m := range members {
+		out[i] = bitset.FromIndices(n, m...)
+	}
+	return out
+}
+
+func TestGreedySimple(t *testing.T) {
+	target := bitset.FromIndices(6, 0, 1, 2, 3, 4, 5)
+	coll := sets(6, []int{0, 1, 2}, []int{3, 4}, []int{5}, []int{0})
+	chosen, ok := Greedy(target, coll)
+	if !ok {
+		t.Fatal("expected cover")
+	}
+	if !IsCover(target, coll, chosen) {
+		t.Fatalf("greedy output %v is not a cover", chosen)
+	}
+	if len(chosen) != 3 {
+		t.Fatalf("greedy size = %d, want 3", len(chosen))
+	}
+}
+
+func TestGreedyPrefersLargerSets(t *testing.T) {
+	target := bitset.FromIndices(4, 0, 1, 2, 3)
+	coll := sets(4, []int{0}, []int{1}, []int{2}, []int{3}, []int{0, 1, 2, 3})
+	chosen, ok := Greedy(target, coll)
+	if !ok || !reflect.DeepEqual(chosen, []int{4}) {
+		t.Fatalf("chosen = %v ok=%v, want [4]", chosen, ok)
+	}
+}
+
+func TestGreedyRejectsSupersets(t *testing.T) {
+	// The paper's covers are exact: sets not contained in the target are
+	// infeasible even if they would cover it.
+	target := bitset.FromIndices(4, 0, 1)
+	coll := sets(4, []int{0, 1, 2})
+	if _, ok := Greedy(target, coll); ok {
+		t.Fatal("superset must not be used as a cover element")
+	}
+}
+
+func TestGreedyNoCover(t *testing.T) {
+	target := bitset.FromIndices(4, 0, 1, 2)
+	coll := sets(4, []int{0}, []int{1})
+	if _, ok := Greedy(target, coll); ok {
+		t.Fatal("expected no cover")
+	}
+	if GreedySize(target, coll) != -1 {
+		t.Fatal("GreedySize should be -1 with no cover")
+	}
+}
+
+func TestGreedyEmptyTarget(t *testing.T) {
+	chosen, ok := Greedy(bitset.New(4), sets(4, []int{0}))
+	if !ok || len(chosen) != 0 {
+		t.Fatalf("empty target should have empty cover, got %v %v", chosen, ok)
+	}
+}
+
+// TestGreedyWorstCase exercises the classic instance where greedy picks the
+// big "wrong" set and uses more sets than optimal — confirming we really
+// implemented greedy, not exact.
+func TestGreedyWorstCase(t *testing.T) {
+	// Universe {0..5}; optimal cover: {0,2,4},{1,3,5} (2 sets). Greedy is
+	// lured by {0,1,2,3} (4 elements) then needs both halves of the rest.
+	target := bitset.FromIndices(6, 0, 1, 2, 3, 4, 5)
+	coll := sets(6, []int{0, 1, 2, 3}, []int{0, 2, 4}, []int{1, 3, 5}, []int{4}, []int{5})
+	chosen, ok := Greedy(target, coll)
+	if !ok {
+		t.Fatal("expected cover")
+	}
+	if len(chosen) <= 2 {
+		t.Fatalf("greedy found %v; this instance should force a suboptimal pick", chosen)
+	}
+	exact, ok := Exact(target, coll)
+	if !ok || len(exact) != 2 {
+		t.Fatalf("exact = %v, want size-2 cover", exact)
+	}
+}
+
+func TestExactMatchesKnownOptimal(t *testing.T) {
+	target := bitset.FromIndices(5, 0, 1, 2, 3, 4)
+	coll := sets(5, []int{0, 1}, []int{2, 3}, []int{4}, []int{0, 1, 2, 3, 4})
+	chosen, ok := Exact(target, coll)
+	if !ok || !reflect.DeepEqual(chosen, []int{3}) {
+		t.Fatalf("Exact = %v ok=%v, want [3]", chosen, ok)
+	}
+}
+
+func TestExactNoCover(t *testing.T) {
+	target := bitset.FromIndices(3, 0, 1, 2)
+	if _, ok := Exact(target, sets(3, []int{0})); ok {
+		t.Fatal("expected no cover")
+	}
+}
+
+func TestUnionHelper(t *testing.T) {
+	coll := sets(5, []int{0, 1}, []int{3})
+	u := Union(5, coll, []int{0, 1})
+	if !u.Equal(bitset.FromIndices(5, 0, 1, 3)) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+// randomInstance generates a coverable instance: random sets plus singletons
+// filling any gaps, so a cover always exists.
+func randomInstance(rng *rand.Rand) (bitset.Set, []bitset.Set) {
+	n := 3 + rng.Intn(10)
+	target := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) > 0 {
+			target.Add(i)
+		}
+	}
+	numSets := 2 + rng.Intn(8)
+	coll := make([]bitset.Set, 0, numSets+n)
+	for s := 0; s < numSets; s++ {
+		set := bitset.New(n)
+		target.ForEach(func(i int) bool {
+			if rng.Intn(3) == 0 {
+				set.Add(i)
+			}
+			return true
+		})
+		coll = append(coll, set)
+	}
+	target.ForEach(func(i int) bool {
+		coll = append(coll, bitset.FromIndices(n, i))
+		return true
+	})
+	return target, coll
+}
+
+// TestQuickGreedyValidAndBounded: greedy always returns a valid exact cover
+// and is never smaller than the exact optimum, and within the (1+ln n)
+// Johnson bound of it.
+func TestQuickGreedyValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		target, coll := randomInstance(rng)
+		g, gok := Greedy(target, coll)
+		e, eok := Exact(target, coll)
+		if !gok || !eok {
+			return false
+		}
+		if !IsCover(target, coll, g) || !IsCover(target, coll, e) {
+			return false
+		}
+		if len(e) > len(g) {
+			return false // exact cannot be worse than greedy
+		}
+		// Johnson bound (loose integer form): |greedy| ≤ |opt| * (1 + ln n).
+		n := target.Count()
+		if n == 0 {
+			return len(g) == 0
+		}
+		bound := float64(len(e)) * (1.0 + lnApprox(n))
+		return float64(len(g)) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lnApprox(n int) float64 {
+	// Tiny ln via repeated halving; avoids importing math in the hot test.
+	l := 0.0
+	x := float64(n)
+	for x > 1 {
+		x /= 2
+		l += 0.6931471805599453
+	}
+	return l
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 256
+	target := bitset.New(n)
+	for i := 0; i < n; i++ {
+		target.Add(i)
+	}
+	coll := make([]bitset.Set, 64)
+	for s := range coll {
+		set := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				set.Add(i)
+			}
+		}
+		coll[s] = set
+	}
+	for i := 0; i < n; i++ {
+		coll = append(coll, bitset.FromIndices(n, i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(target, coll)
+	}
+}

@@ -1,0 +1,123 @@
+package sharedagg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/plan"
+)
+
+// TestQuickDisjointPlansSumCorrectly: BuildDisjoint plans evaluate the
+// non-idempotent sum aggregate exactly — every variable reaches each query
+// once — while Build plans are only guaranteed for idempotent operators.
+// This is the Figure-5 semilattice/Abelian-group distinction in executable
+// form.
+func TestQuickDisjointPlansSumCorrectly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := plan.RandomCoinFlipInstance(rng, 4+rng.Intn(16), 2+rng.Intn(6), 1)
+		p := BuildDisjoint(inst)
+		if p.Validate() != nil || !p.DisjointChildren() {
+			return false
+		}
+		vals := make([]float64, inst.NumVars)
+		for i := range vals {
+			vals[i] = rng.Float64() * 10
+		}
+		results, _ := plan.Execute(p,
+			func(v int) float64 { return vals[v] },
+			func(a, b float64) float64 { return a + b }, nil)
+		for qi, q := range inst.Queries {
+			want := 0.0
+			q.Vars.ForEach(func(v int) bool {
+				want += vals[v]
+				return true
+			})
+			if diff := results[qi] - want; diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDisjointNeverBeatsUnrestricted: the disjoint constraint can only
+// reduce sharing opportunities, so total cost is at least Build's... in
+// principle; the window-capped greedy is a heuristic, so we only assert
+// both beat the naive baseline and disjointness holds.
+func TestQuickDisjointCostBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := plan.RandomCoinFlipInstance(rng, 4+rng.Intn(12), 2+rng.Intn(5), 1)
+		d := BuildDisjoint(inst)
+		if !d.DisjointChildren() {
+			return false
+		}
+		return d.TotalCost() <= plan.NaivePlan(inst).TotalCost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnrestrictedPlansCanOverlap documents why BuildDisjoint exists: find
+// an instance where Build produces an overlapping aggregation, which would
+// double-count under sum.
+func TestUnrestrictedPlansCanOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	foundOverlap := false
+	for trial := 0; trial < 300 && !foundOverlap; trial++ {
+		inst := plan.RandomCoinFlipInstance(rng, 6+rng.Intn(10), 3+rng.Intn(4), 1)
+		if !Build(inst).DisjointChildren() {
+			foundOverlap = true
+		}
+	}
+	if !foundOverlap {
+		t.Skip("no overlapping plan found in 300 trials; Build happened to stay disjoint")
+	}
+}
+
+func TestShoeStoreDisjoint(t *testing.T) {
+	// On the shoe-store structure the disjoint plan is exactly as good as
+	// the unrestricted one: fragments partition both queries.
+	inst := shoeStoreInstance()
+	d := BuildDisjoint(inst)
+	u := Build(inst)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.DisjointChildren() {
+		t.Fatal("disjoint plan has overlapping nodes")
+	}
+	if d.TotalCost() != u.TotalCost() {
+		t.Fatalf("disjoint cost %d != unrestricted %d on partition-friendly structure",
+			d.TotalCost(), u.TotalCost())
+	}
+}
+
+// shoeStoreInstance builds the §II-B example instance (shared with
+// sharedagg_test.go's constants).
+func shoeStoreInstance() *plan.Instance {
+	const general, sports, fashion = 200, 40, 30
+	n := general + sports + fashion
+	boots := make([]int, 0, general+sports)
+	heels := make([]int, 0, general+fashion)
+	for i := 0; i < general; i++ {
+		boots = append(boots, i)
+		heels = append(heels, i)
+	}
+	for i := general; i < general+sports; i++ {
+		boots = append(boots, i)
+	}
+	for i := general + sports; i < n; i++ {
+		heels = append(heels, i)
+	}
+	return plan.MustInstance(n, []plan.Query{
+		q(n, 1, boots...),
+		q(n, 1, heels...),
+	})
+}

@@ -1,0 +1,420 @@
+package sharedsort
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sharedwd/internal/bitset"
+	"sharedwd/internal/ta"
+)
+
+// buildPlan is a test helper: phrases given as advertiser index lists.
+func buildPlan(t *testing.T, n int, rates []float64, opts Options, phrases ...[]int) *Plan {
+	t.Helper()
+	interests := make([]bitset.Set, len(phrases))
+	for i, ph := range phrases {
+		interests[i] = bitset.FromIndices(n, ph...)
+	}
+	p, err := Build(n, interests, rates, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// directOrder returns the advertisers of ids sorted by descending bid.
+func directOrder(ids []int, bids []float64) []int {
+	out := append([]int(nil), ids...)
+	sort.Slice(out, func(a, b int) bool {
+		if bids[out[a]] != bids[out[b]] {
+			return bids[out[a]] > bids[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+func drain(s *Stream) []int {
+	var out []int
+	for {
+		id, _, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(3, []bitset.Set{bitset.New(3)}, []float64{0.5, 0.5}, Options{}); err == nil {
+		t.Fatal("mismatched rates length should error")
+	}
+	if _, err := Build(3, []bitset.Set{bitset.New(4)}, []float64{0.5}, Options{}); err == nil {
+		t.Fatal("capacity mismatch should error")
+	}
+	if _, err := Build(3, []bitset.Set{bitset.New(3)}, []float64{1.5}, Options{}); err == nil {
+		t.Fatal("bad rate should error")
+	}
+}
+
+func TestSinglePhraseSortsCorrectly(t *testing.T) {
+	p := buildPlan(t, 6, []float64{1}, Options{}, []int{0, 2, 3, 5})
+	bids := []float64{5, 0, 9, 1, 0, 7}
+	p.BeginRound(bids)
+	got := drain(p.Stream(0))
+	want := directOrder([]int{0, 2, 3, 5}, bids)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptyPhrase(t *testing.T) {
+	p := buildPlan(t, 4, []float64{1, 1}, Options{}, []int{0, 1}, nil)
+	if p.Stream(1) != nil {
+		t.Fatal("phrase with no advertisers should have nil stream")
+	}
+}
+
+func TestLazyProduction(t *testing.T) {
+	// Pulling only the top element must not sort the whole input.
+	n := 128
+	all := make([]int, n)
+	bids := make([]float64, n)
+	for i := range all {
+		all[i] = i
+		bids[i] = float64(i)
+	}
+	p := buildPlan(t, n, []float64{1}, Options{}, all)
+	p.BeginRound(bids)
+	id, bid, ok := p.Stream(0).Next()
+	if !ok || id != n-1 || bid != float64(n-1) {
+		t.Fatalf("top = %d/%v/%v", id, bid, ok)
+	}
+	full := p.RoundPulls()
+	// A full sort costs Σ|I_v| ≈ n·log n invocations; the top element needs
+	// at most one path per level plus register fills ≈ 2·log n per level
+	// budget. Just assert we did far less than a full sort.
+	if full > n*2 {
+		t.Fatalf("pulled %d times for one element (n=%d); laziness broken", full, n)
+	}
+}
+
+func TestSharedPrefixReuse(t *testing.T) {
+	// Two phrases share advertisers {0..7}; phrase trees share the common
+	// subtree, so draining phrase 1 after phrase 0 must not re-invoke the
+	// shared operators.
+	shared := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	p0 := append(append([]int{}, shared...), 8, 9)
+	p1 := append(append([]int{}, shared...), 10, 11)
+	p := buildPlan(t, 12, []float64{1, 1}, Options{}, p0, p1)
+	if p.SharedOperators == 0 {
+		t.Fatal("no shared operators created")
+	}
+	bids := []float64{3, 1, 4, 1, 5, 9, 2, 6, 8, 7, 0, 2.5}
+	p.BeginRound(bids)
+	drain(p.Stream(0))
+	pullsAfterFirst := p.RoundPulls()
+	drain(p.Stream(1))
+	pullsAfterSecond := p.RoundPulls()
+	// Draining phrase 1 costs only its private operators (10 advertisers →
+	// well under a second full sort's worth of pulls).
+	extra := pullsAfterSecond - pullsAfterFirst
+	if extra >= pullsAfterFirst {
+		t.Fatalf("no reuse: first drain %d pulls, second %d", pullsAfterFirst, extra)
+	}
+	// Both orders must still be correct.
+	p.BeginRound(bids)
+	got0 := drain(p.Stream(0))
+	got1 := drain(p.Stream(1))
+	want0 := directOrder(p0, bids)
+	want1 := directOrder(p1, bids)
+	for i := range want0 {
+		if got0[i] != want0[i] {
+			t.Fatalf("phrase0: got %v want %v", got0, want0)
+		}
+	}
+	for i := range want1 {
+		if got1[i] != want1[i] {
+			t.Fatalf("phrase1: got %v want %v", got1, want1)
+		}
+	}
+}
+
+func TestEqualSizeConstraint(t *testing.T) {
+	// The paper's |I_u| = |I_v| constraint: every greedy-created shared
+	// operator must have equal-size children.
+	shared := []int{0, 1, 2, 3}
+	pA := append(append([]int{}, shared...), 4)
+	pB := append(append([]int{}, shared...), 5)
+	strict := buildPlan(t, 6, []float64{1, 1}, Options{}, pA, pB)
+	count := 0
+	for _, n := range strict.Nodes {
+		if n.leaf || n.left == nil {
+			continue
+		}
+		if n.Phrases.Count() >= 2 {
+			if n.left.Size() != n.right.Size() {
+				t.Fatalf("shared node %v has unequal children %d/%d", n, n.left.Size(), n.right.Size())
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("expected shared operators")
+	}
+}
+
+func TestDisableSharing(t *testing.T) {
+	shared := []int{0, 1, 2, 3}
+	p := buildPlan(t, 6, []float64{1, 1}, Options{DisableSharing: true},
+		append(append([]int{}, shared...), 4), append(append([]int{}, shared...), 5))
+	if p.SharedOperators != 0 {
+		t.Fatalf("SharedOperators = %d with sharing disabled", p.SharedOperators)
+	}
+}
+
+func TestSharingReducesExpectedCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 64
+	interests := make([]bitset.Set, 6)
+	rates := make([]float64, 6)
+	for q := range interests {
+		s := bitset.New(n)
+		for a := 0; a < n/2; a++ { // heavy overlap in the first half
+			s.Add(a)
+		}
+		for a := n / 2; a < n; a++ {
+			if rng.Intn(3) == 0 {
+				s.Add(a)
+			}
+		}
+		interests[q] = s
+		rates[q] = 0.8
+	}
+	sharedPlan, err := Build(n, interests, rates, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := Build(n, interests, rates, Options{DisableSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedPlan.ExpectedFullSortCost() >= indep.ExpectedFullSortCost() {
+		t.Fatalf("shared cost %v ≥ independent cost %v",
+			sharedPlan.ExpectedFullSortCost(), indep.ExpectedFullSortCost())
+	}
+}
+
+func TestExpectedBeyondFirstClosedForm(t *testing.T) {
+	cases := [][]float64{
+		{}, {0.5}, {1, 1}, {0.3, 0.7}, {0.2, 0.2, 0.2}, {1, 0, 1}, {0.9, 0.1, 0.5, 0.5},
+	}
+	for _, rates := range cases {
+		got := ExpectedBeyondFirst(rates)
+		sum, probNone := 0.0, 1.0
+		for _, r := range rates {
+			sum += r
+			probNone *= 1 - r
+		}
+		want := sum - (1 - probNone) // E[N] − P(N ≥ 1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("rates %v: got %v, want %v", rates, got, want)
+		}
+	}
+}
+
+func TestQuickExpectedBeyondFirstOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = rng.Float64()
+		}
+		a := ExpectedBeyondFirst(rates)
+		shuffled := append([]float64(nil), rates...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return math.Abs(a-ExpectedBeyondFirst(shuffled)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllPhrasesSorted: on random interest structures with random
+// bids, every phrase stream is exactly the descending-bid order of its
+// advertiser set, under both strict and relaxed size constraints, across
+// multiple rounds with changing bids.
+func TestQuickAllPhrasesSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := 1 + rng.Intn(5)
+		interests := make([]bitset.Set, m)
+		rates := make([]float64, m)
+		for q := range interests {
+			s := bitset.New(n)
+			for a := 0; a < n; a++ {
+				if rng.Intn(2) == 0 {
+					s.Add(a)
+				}
+			}
+			interests[q] = s
+			rates[q] = rng.Float64()
+		}
+		opts := Options{DisableSharing: rng.Intn(2) == 0}
+		p, err := Build(n, interests, rates, opts)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < 2; round++ {
+			bids := make([]float64, n)
+			for i := range bids {
+				bids[i] = float64(rng.Intn(20)) // ties likely
+			}
+			p.BeginRound(bids)
+			for q := 0; q < m; q++ {
+				s := p.Stream(q)
+				if s == nil {
+					if !interests[q].IsEmpty() {
+						return false
+					}
+					continue
+				}
+				got := drain(s)
+				want := directOrder(interests[q].Indices(), bids)
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThresholdAlgorithmIntegration drives the full Section III pipeline:
+// shared merge-sort supplies the by-bid stream, a static per-phrase quality
+// order supplies the other, and TA finds the top-k by b_i·c_i^q.
+func TestThresholdAlgorithmIntegration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 60
+	shared := make([]int, 0, 40)
+	for a := 0; a < 40; a++ {
+		shared = append(shared, a)
+	}
+	ph0 := append(append([]int{}, shared...), 40, 41, 42)
+	ph1 := append(append([]int{}, shared...), 50, 51)
+	p := buildPlan(t, n, []float64{1, 1}, Options{}, ph0, ph1)
+
+	bids := make([]float64, n)
+	for i := range bids {
+		bids[i] = rng.Float64() * 10
+	}
+	quality := make([][]float64, 2) // per-phrase c_i^q
+	for q := range quality {
+		quality[q] = make([]float64, n)
+		for i := range quality[q] {
+			quality[q][i] = rng.Float64()
+		}
+	}
+	p.BeginRound(bids)
+
+	for q, phraseAdv := range [][]int{ph0, ph1} {
+		// Static quality order, precomputed per the paper's footnote.
+		byQ := append([]int(nil), phraseAdv...)
+		sort.Slice(byQ, func(a, b int) bool { return quality[q][byQ[a]] > quality[q][byQ[b]] })
+		qVals := make([]float64, len(byQ))
+		for i, id := range byQ {
+			qVals[i] = quality[q][id]
+		}
+		score := func(id int) float64 { return bids[id] * quality[q][id] }
+		got, st := ta.TopK(3, p.Stream(q), &ta.SliceSource{IDs: byQ, Vals: qVals}, score)
+
+		type sc struct {
+			id int
+			s  float64
+		}
+		var all []sc
+		for _, id := range phraseAdv {
+			all = append(all, sc{id, score(id)})
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].s != all[b].s {
+				return all[a].s > all[b].s
+			}
+			return all[a].id < all[b].id
+		})
+		for i, e := range got.Entries() {
+			if e.ID != all[i].id {
+				t.Fatalf("phrase %d rank %d: got %d want %d", q, i, e.ID, all[i].id)
+			}
+		}
+		if st.SortedAccesses > 2*len(phraseAdv) {
+			t.Fatalf("TA overran: %d accesses for %d advertisers", st.SortedAccesses, len(phraseAdv))
+		}
+	}
+}
+
+func BenchmarkSharedVsIndependentDrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 512
+	interests := make([]bitset.Set, 8)
+	rates := make([]float64, 8)
+	for q := range interests {
+		s := bitset.New(n)
+		for a := 0; a < 256; a++ {
+			s.Add(a)
+		}
+		for a := 256; a < n; a++ {
+			if rng.Intn(4) == 0 {
+				s.Add(a)
+			}
+		}
+		interests[q] = s
+		rates[q] = 1
+	}
+	bids := make([]float64, n)
+	for i := range bids {
+		bids[i] = rng.Float64()
+	}
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"shared", Options{}},
+		{"independent", Options{DisableSharing: true}},
+	} {
+		p, err := Build(n, interests, rates, cfg.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.BeginRound(bids)
+				for q := range interests {
+					s := p.Stream(q)
+					for j := 0; j < 10; j++ { // top-10 per phrase
+						s.Next()
+					}
+				}
+			}
+		})
+	}
+}

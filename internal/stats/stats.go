@@ -1,0 +1,165 @@
+// Package stats provides the small statistics toolkit used by the benchmark
+// harness: means, variances, confidence intervals, and fixed-width
+// histograms for summarizing per-round measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations using Welford's
+// online algorithm, so harness loops never need to buffer samples.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// StderrMean returns the standard error of the mean.
+func (s *Summary) StderrMean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval for
+// the mean (normal approximation; fine for the harness's n ≥ 30 runs).
+func (s *Summary) CI95() float64 { return 1.96 * s.StderrMean() }
+
+// String renders "mean ± ci95 (n=..., min=..., max=...)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d, min=%.4g, max=%.4g)",
+		s.Mean(), s.CI95(), s.n, s.min, s.max)
+}
+
+// Mean returns the mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on empty input or q
+// outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi); observations outside
+// the range are clamped into the edge buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	n       int
+}
+
+// NewHistogram creates a histogram with the given bucket count over [lo, hi).
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v,%v) x%d", lo, hi, buckets))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.n++
+}
+
+// N returns the number of recorded observations.
+func (h *Histogram) N() int { return h.n }
+
+// String renders an ASCII bar chart, one bucket per line.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%8.3g,%8.3g) %6d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

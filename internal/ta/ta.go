@@ -1,0 +1,106 @@
+// Package ta implements the threshold algorithm of Fagin, Lotem, and Naor
+// (PODS'01), which Section III-A of the paper uses to find the top-k
+// advertisers by b_i·c_i^q when the advertiser-specific click-through factor
+// c_i^q varies per bid phrase.
+//
+// The algorithm consumes two sorted access paths — advertisers by descending
+// bid b_i and by descending quality factor c_i^q — performing random access
+// to complete each newly seen advertiser's score, and stops as soon as the
+// k-th best score seen is at least the threshold b̄·c̄ formed from the last
+// values read on each path. It is instance optimal among algorithms that
+// make no wild guesses.
+package ta
+
+import (
+	"sharedwd/internal/topk"
+)
+
+// Source yields (advertiser, value) pairs in descending value order. Next
+// reports ok=false when exhausted.
+type Source interface {
+	Next() (id int, val float64, ok bool)
+}
+
+// SliceSource adapts a pre-sorted slice of (ID, Val) pairs to a Source.
+type SliceSource struct {
+	IDs  []int
+	Vals []float64
+	pos  int
+}
+
+// Next yields the next pair.
+func (s *SliceSource) Next() (int, float64, bool) {
+	if s.pos >= len(s.IDs) {
+		return 0, 0, false
+	}
+	i := s.pos
+	s.pos++
+	return s.IDs[i], s.Vals[i], true
+}
+
+// Stats reports the work the threshold algorithm performed.
+type Stats struct {
+	// SortedAccesses counts Next calls that returned an item, across both
+	// lists. This is the quantity shared sorting reduces.
+	SortedAccesses int
+	// RandomAccesses counts score completions for newly seen advertisers.
+	RandomAccesses int
+	// Stages counts threshold-check rounds (one pull from each list).
+	Stages int
+}
+
+// TopK finds the k advertisers maximizing score(id) using the threshold
+// algorithm over the two descending-sorted access paths. byBid must be
+// sorted by descending bid, byQuality by descending quality; score(id) must
+// equal bid(id)·quality(id) for consistency of the threshold bound. Both
+// paths must enumerate the same advertiser set.
+func TopK(k int, byBid, byQuality Source, score func(id int) float64) (*topk.List, Stats) {
+	var st Stats
+	best := topk.New(k)
+	seen := make(map[int]bool)
+
+	lastBid, lastQual := 0.0, 0.0
+	bidOK, qualOK := true, true
+	observe := func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		st.RandomAccesses++
+		best.Push(topk.Entry{ID: id, Score: score(id)})
+	}
+	for bidOK || qualOK {
+		st.Stages++
+		if bidOK {
+			id, v, ok := byBid.Next()
+			if ok {
+				st.SortedAccesses++
+				lastBid = v
+				observe(id)
+			} else {
+				bidOK = false
+			}
+		}
+		if qualOK {
+			id, v, ok := byQuality.Next()
+			if ok {
+				st.SortedAccesses++
+				lastQual = v
+				observe(id)
+			} else {
+				qualOK = false
+			}
+		}
+		// Threshold: no unseen advertiser can beat lastBid·lastQual. Valid
+		// once both lists have produced at least one value.
+		if st.SortedAccesses < 2 {
+			continue
+		}
+		if best.Len() == k {
+			if min, ok := best.Min(); ok && min.Score >= lastBid*lastQual {
+				break
+			}
+		}
+	}
+	return best, st
+}

@@ -1,0 +1,205 @@
+// Package topk implements bounded top-k lists and the binary top-k merge
+// operator that Section II of the paper abstracts as ⊕.
+//
+// A k-list holds at most k (ID, Score) entries in descending score order.
+// Merge takes two k-lists and returns the top k of their union, de-duplicated
+// by ID. With de-duplication the operator is associative, commutative, and
+// idempotent, and the empty list is its identity — i.e. it forms a
+// semilattice with identity, satisfying axioms A1–A4 that the shared
+// aggregation planner relies on.
+package topk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is a scored item in a k-list. In the auction setting ID is an
+// advertiser index and Score is the advertiser's effective bid b_i·c_i.
+type Entry struct {
+	ID    int
+	Score float64
+}
+
+// Less orders entries by descending score, breaking ties by ascending ID so
+// every aggregation result is deterministic.
+func (e Entry) Less(o Entry) bool {
+	if e.Score != o.Score {
+		return e.Score > o.Score
+	}
+	return e.ID < o.ID
+}
+
+// List is a k-list: at most K entries, sorted descending by (Score, -ID).
+// The zero value is unusable; create lists with New.
+type List struct {
+	k       int
+	entries []Entry
+}
+
+// New returns an empty k-list with capacity k. k must be positive.
+func New(k int) *List {
+	if k <= 0 {
+		panic(fmt.Sprintf("topk: non-positive k %d", k))
+	}
+	return &List{k: k, entries: make([]Entry, 0, k)}
+}
+
+// FromEntries builds a k-list containing the top k of the given entries,
+// de-duplicated by ID (keeping the highest score per ID).
+func FromEntries(k int, entries ...Entry) *List {
+	l := New(k)
+	for _, e := range entries {
+		l.Push(e)
+	}
+	return l
+}
+
+// K returns the list's capacity.
+func (l *List) K() int { return l.k }
+
+// Len returns the number of entries currently held.
+func (l *List) Len() int { return len(l.entries) }
+
+// Entries returns the held entries in descending score order. The returned
+// slice is a copy; mutating it does not affect the list.
+func (l *List) Entries() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// At returns the i-th best entry (0-based).
+func (l *List) At(i int) Entry { return l.entries[i] }
+
+// Min returns the lowest-ranked entry currently held and whether the list is
+// nonempty. When the list is full, Min is the threshold a new entry must beat.
+func (l *List) Min() (Entry, bool) {
+	if len(l.entries) == 0 {
+		return Entry{}, false
+	}
+	return l.entries[len(l.entries)-1], true
+}
+
+// IDs returns the held IDs in rank order.
+func (l *List) IDs() []int {
+	out := make([]int, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Push inserts e, keeping only the top k by (Score, -ID) and at most one
+// entry per ID (the better one wins). It reports whether the list changed.
+//
+// Insertion is O(k) by shifting; for the small k of ad slots (4–20) this
+// beats heap bookkeeping and keeps the list always sorted for merging.
+func (l *List) Push(e Entry) bool {
+	// De-duplicate by ID first.
+	for i, old := range l.entries {
+		if old.ID == e.ID {
+			if !e.Less(old) {
+				return false // existing entry is at least as good
+			}
+			// Replace and re-position the improved entry.
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			l.insert(e)
+			return true
+		}
+	}
+	if len(l.entries) == l.k {
+		if worst := l.entries[l.k-1]; !e.Less(worst) {
+			return false
+		}
+		l.entries = l.entries[:l.k-1]
+	}
+	l.insert(e)
+	return true
+}
+
+func (l *List) insert(e Entry) {
+	i := sort.Search(len(l.entries), func(i int) bool { return e.Less(l.entries[i]) })
+	l.entries = append(l.entries, Entry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+}
+
+// Clone returns an independent copy of the list.
+func (l *List) Clone() *List {
+	c := &List{k: l.k, entries: make([]Entry, len(l.entries), l.k)}
+	copy(c.entries, l.entries)
+	return c
+}
+
+// Equal reports whether two lists hold identical entries in the same order
+// and have equal capacity.
+func (l *List) Equal(o *List) bool {
+	if l.k != o.k || len(l.entries) != len(o.entries) {
+		return false
+	}
+	for i := range l.entries {
+		if l.entries[i] != o.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the list as "[id:score id:score ...]".
+func (l *List) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range l.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%g", e.ID, e.Score)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Merge returns the top-k aggregation a ⊕ b: a new k-list holding the top k
+// of the union of a and b, de-duplicated by ID. Both inputs must share the
+// same k; neither is modified. This is the paper's binary aggregation
+// primitive for shared winner determination.
+func Merge(a, b *List) *List {
+	if a.k != b.k {
+		panic(fmt.Sprintf("topk: merge of lists with k=%d and k=%d", a.k, b.k))
+	}
+	out := New(a.k)
+	i, j := 0, 0
+	// Standard two-way merge over sorted inputs; Push de-duplicates IDs.
+	for out.Len() < a.k && (i < len(a.entries) || j < len(b.entries)) {
+		switch {
+		case i == len(a.entries):
+			out.Push(b.entries[j])
+			j++
+		case j == len(b.entries):
+			out.Push(a.entries[i])
+			i++
+		case a.entries[i].Less(b.entries[j]):
+			out.Push(a.entries[i])
+			i++
+		default:
+			out.Push(b.entries[j])
+			j++
+		}
+	}
+	return out
+}
+
+// MergeAll folds Merge over the given lists, returning the top k of all of
+// them. It panics if lists is empty.
+func MergeAll(lists ...*List) *List {
+	if len(lists) == 0 {
+		panic("topk: MergeAll of no lists")
+	}
+	acc := lists[0].Clone()
+	for _, l := range lists[1:] {
+		acc = Merge(acc, l)
+	}
+	return acc
+}

@@ -1,0 +1,239 @@
+package topk
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	New(0)
+}
+
+func TestPushKeepsTopK(t *testing.T) {
+	l := New(3)
+	for _, e := range []Entry{{1, 5}, {2, 9}, {3, 1}, {4, 7}, {5, 3}} {
+		l.Push(e)
+	}
+	if got := l.IDs(); !reflect.DeepEqual(got, []int{2, 4, 1}) {
+		t.Fatalf("IDs = %v, want [2 4 1]", got)
+	}
+}
+
+func TestPushRejectsWorseThanMin(t *testing.T) {
+	l := FromEntries(2, Entry{1, 10}, Entry{2, 8})
+	if l.Push(Entry{3, 7}) {
+		t.Fatal("Push should reject entry below full list's min")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestPushDeduplicatesByID(t *testing.T) {
+	l := New(3)
+	l.Push(Entry{7, 4})
+	if l.Push(Entry{7, 2}) {
+		t.Fatal("worse duplicate should not change list")
+	}
+	if !l.Push(Entry{7, 9}) {
+		t.Fatal("better duplicate should replace")
+	}
+	if l.Len() != 1 || l.At(0) != (Entry{7, 9}) {
+		t.Fatalf("list = %v", l.Entries())
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	l := New(2)
+	l.Push(Entry{5, 1})
+	l.Push(Entry{3, 1})
+	l.Push(Entry{9, 1})
+	if got := l.IDs(); !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Fatalf("IDs = %v, want [3 5] (ties break by ascending ID)", got)
+	}
+}
+
+func TestMinAndEntriesCopy(t *testing.T) {
+	l := FromEntries(3, Entry{1, 5}, Entry{2, 3})
+	m, ok := l.Min()
+	if !ok || m != (Entry{2, 3}) {
+		t.Fatalf("Min = %v %v", m, ok)
+	}
+	es := l.Entries()
+	es[0] = Entry{99, 99}
+	if l.At(0).ID == 99 {
+		t.Fatal("Entries must return a copy")
+	}
+	if _, ok := New(2).Min(); ok {
+		t.Fatal("Min of empty list should report !ok")
+	}
+}
+
+func TestMergeBasic(t *testing.T) {
+	a := FromEntries(2, Entry{1, 10}, Entry{2, 8})
+	b := FromEntries(2, Entry{3, 9}, Entry{4, 1})
+	m := Merge(a, b)
+	if got := m.IDs(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("Merge IDs = %v, want [1 3]", got)
+	}
+	// Inputs untouched.
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Fatal("Merge must not modify inputs")
+	}
+}
+
+func TestMergeDuplicateIDs(t *testing.T) {
+	a := FromEntries(3, Entry{1, 10}, Entry{2, 8})
+	b := FromEntries(3, Entry{1, 10}, Entry{3, 9})
+	m := Merge(a, b)
+	if got := m.IDs(); !reflect.DeepEqual(got, []int{1, 3, 2}) {
+		t.Fatalf("Merge IDs = %v, want [1 3 2]", got)
+	}
+}
+
+func TestMergeMismatchedKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched k")
+		}
+	}()
+	Merge(New(2), New(3))
+}
+
+func TestMergeAll(t *testing.T) {
+	lists := []*List{
+		FromEntries(2, Entry{1, 1}),
+		FromEntries(2, Entry{2, 5}),
+		FromEntries(2, Entry{3, 3}),
+	}
+	if got := MergeAll(lists...).IDs(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("MergeAll = %v", got)
+	}
+}
+
+func TestStringAndClone(t *testing.T) {
+	l := FromEntries(2, Entry{1, 2.5}, Entry{2, 1})
+	if got := l.String(); got != "[1:2.5 2:1]" {
+		t.Fatalf("String = %q", got)
+	}
+	c := l.Clone()
+	c.Push(Entry{9, 100})
+	if l.At(0).ID == 9 {
+		t.Fatal("mutating clone affected original")
+	}
+	if !l.Equal(l.Clone()) {
+		t.Fatal("clone should be Equal")
+	}
+	if l.Equal(New(2)) {
+		t.Fatal("different lists reported Equal")
+	}
+}
+
+// randomList builds a random k-list with IDs drawn from [0, idSpace).
+func randomList(rng *rand.Rand, k, idSpace int) *List {
+	l := New(k)
+	n := rng.Intn(2 * k)
+	for i := 0; i < n; i++ {
+		l.Push(Entry{ID: rng.Intn(idSpace), Score: float64(rng.Intn(50))})
+	}
+	return l
+}
+
+// TestQuickSemilatticeAxioms checks that Merge satisfies the paper's axioms
+// A1 (associativity), A3 (idempotence), A4 (commutativity) and that the empty
+// list is an identity (A2). These are exactly the properties the shared
+// aggregation planner exploits.
+func TestQuickSemilatticeAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		a := randomList(rng, k, 30)
+		b := randomList(rng, k, 30)
+		c := randomList(rng, k, 30)
+		if !Merge(a, b).Equal(Merge(b, a)) { // A4
+			return false
+		}
+		if !Merge(Merge(a, b), c).Equal(Merge(a, Merge(b, c))) { // A1
+			return false
+		}
+		if !Merge(a, a).Equal(a) { // A3
+			return false
+		}
+		return Merge(a, New(k)).Equal(a) // A2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMergeMatchesSort checks Merge against a reference: sort the union
+// of the best score per ID and take the top k.
+func TestQuickMergeMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		a := randomList(rng, k, 30)
+		b := randomList(rng, k, 30)
+
+		best := map[int]float64{}
+		for _, e := range append(a.Entries(), b.Entries()...) {
+			if v, ok := best[e.ID]; !ok || e.Score > v {
+				best[e.ID] = e.Score
+			}
+		}
+		var all []Entry
+		for id, s := range best {
+			all = append(all, Entry{id, s})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		if len(all) > k {
+			all = all[:k]
+		}
+		got := Merge(a, b).Entries()
+		if len(got) != len(all) {
+			return false
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	entries := make([]Entry, 1024)
+	for i := range entries {
+		entries[i] = Entry{ID: i, Score: rng.Float64()}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := New(10)
+		for _, e := range entries {
+			l.Push(e)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomList(rng, 10, 10000)
+	y := randomList(rng, 10, 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Merge(x, y)
+	}
+}

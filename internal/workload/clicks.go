@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Click is a realized click on a previously displayed ad.
+type Click struct {
+	Advertiser int
+	Price      float64 // the per-click price fixed at auction time
+	Displayed  int     // round the ad was shown
+	Round      int     // round the click arrived
+}
+
+// pendingAd is a displayed ad whose click outcome was pre-drawn at display
+// time: clickRound < 0 means it will never be clicked.
+type pendingAd struct {
+	advertiser int
+	price      float64
+	ctr0       float64
+	displayed  int
+	clickRound int
+}
+
+// ClickSim simulates delayed clicks: a displayed ad with click-through rate
+// ctr is eventually clicked with probability ctr; the delay is geometric
+// with per-round continuation (1 − Hazard), truncated at Horizon rounds.
+// Consequently the probability that an ad of age a is still going to be
+// clicked is ctr·(1−Hazard)^a for a < Horizon and 0 beyond — exactly the
+// decaying outstanding-ad CTR Section IV models (see RemainingCTR).
+type ClickSim struct {
+	// Hazard is the per-round click probability given the ad will be
+	// clicked and hasn't been yet.
+	Hazard float64
+	// Horizon is the age (in rounds) beyond which a click never arrives.
+	Horizon int
+
+	rng     *rand.Rand
+	pending []pendingAd
+}
+
+// NewClickSim creates a simulator. hazard must be in (0, 1]; horizon ≥ 1.
+func NewClickSim(rng *rand.Rand, hazard float64, horizon int) *ClickSim {
+	if hazard <= 0 || hazard > 1 || horizon < 1 {
+		panic("workload: invalid click simulator parameters")
+	}
+	return &ClickSim{Hazard: hazard, Horizon: horizon, rng: rng}
+}
+
+// Display registers a shown ad: the advertiser, the price a click will
+// cost, the click-through rate of (advertiser, slot), and the display
+// round. The click outcome and delay are drawn immediately (but revealed
+// only as rounds advance).
+func (cs *ClickSim) Display(advertiser int, price, ctr float64, round int) {
+	p := pendingAd{advertiser: advertiser, price: price, ctr0: ctr, displayed: round, clickRound: -1}
+	if cs.rng.Float64() < ctr {
+		delay := 0
+		for cs.rng.Float64() >= cs.Hazard {
+			delay++
+		}
+		if delay < cs.Horizon {
+			p.clickRound = round + delay
+		}
+	}
+	cs.pending = append(cs.pending, p)
+}
+
+// Advance reveals the clicks that arrive in the given round and drops ads
+// past the horizon. Rounds must be advanced in non-decreasing order.
+func (cs *ClickSim) Advance(round int) []Click {
+	var clicks []Click
+	keep := cs.pending[:0]
+	for _, p := range cs.pending {
+		switch {
+		case p.clickRound == round:
+			clicks = append(clicks, Click{
+				Advertiser: p.advertiser, Price: p.price,
+				Displayed: p.displayed, Round: round,
+			})
+		case p.clickRound > round:
+			keep = append(keep, p)
+		case p.clickRound < 0 && round-p.displayed < cs.Horizon:
+			keep = append(keep, p) // still outstanding (will never click,
+			// but the engine cannot know that)
+		}
+	}
+	cs.pending = keep
+	return clicks
+}
+
+// Outstanding returns, for budget throttling, every pending ad of the given
+// advertiser as (price, remaining click probability at the current round).
+func (cs *ClickSim) Outstanding(advertiser, round int) (prices, ctrs []float64) {
+	for _, p := range cs.pending {
+		if p.advertiser != advertiser {
+			continue
+		}
+		age := round - p.displayed
+		rem := RemainingCTR(p.ctr0, age, cs.Hazard, cs.Horizon)
+		if rem <= 0 || p.price <= 0 {
+			continue
+		}
+		prices = append(prices, p.price)
+		ctrs = append(ctrs, rem)
+	}
+	return prices, ctrs
+}
+
+// PendingCount returns how many ads are still awaiting resolution.
+func (cs *ClickSim) PendingCount() int { return len(cs.pending) }
+
+// RemainingCTR is the probability that an ad displayed with click-through
+// rate ctr0 and now of the given age will still be clicked:
+// ctr0·(1−hazard)^age, zero at or beyond the horizon.
+func RemainingCTR(ctr0 float64, age int, hazard float64, horizon int) float64 {
+	if age < 0 {
+		age = 0
+	}
+	if age >= horizon || ctr0 <= 0 {
+		return 0
+	}
+	return ctr0 * math.Pow(1-hazard, float64(age))
+}

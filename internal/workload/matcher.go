@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"strings"
+)
+
+// Matcher implements the two-stage query-to-bid-phrase mapping the paper
+// assumes (Radlinski et al. [11]): a raw search query is first mapped into
+// the lower-dimensional bid-phrase space (normalization plus a rewrite
+// table), then matched to advertisers' bid phrases by exact match.
+type Matcher struct {
+	phraseID map[string]int
+	rewrites map[string]string
+}
+
+// NewMatcher indexes the given bid phrases. Phrase strings are normalized;
+// duplicates after normalization keep the first ID.
+func NewMatcher(phrases []string) *Matcher {
+	m := &Matcher{
+		phraseID: make(map[string]int, len(phrases)),
+		rewrites: make(map[string]string),
+	}
+	for id, p := range phrases {
+		key := Normalize(p)
+		if _, ok := m.phraseID[key]; !ok {
+			m.phraseID[key] = id
+		}
+	}
+	return m
+}
+
+// AddRewrite registers a stage-one rewrite: queries normalizing to `from`
+// are mapped to the bid phrase `to` (both are normalized internally).
+// Rewrites model the query-substitution stage: "sneakers" → "running shoes".
+func (m *Matcher) AddRewrite(from, to string) {
+	m.rewrites[Normalize(from)] = Normalize(to)
+}
+
+// Match maps a raw query to a bid-phrase ID: normalize, apply at most one
+// rewrite, then exact match. ok=false means no advertiser bid on anything
+// matching the query, so no auction runs.
+func (m *Matcher) Match(query string) (int, bool) {
+	key := Normalize(query)
+	if to, ok := m.rewrites[key]; ok {
+		key = to
+	}
+	id, ok := m.phraseID[key]
+	return id, ok
+}
+
+// Normalize lower-cases, trims, and collapses internal whitespace — the
+// deterministic stand-in for the paper's dimensionality-reducing first
+// stage.
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}

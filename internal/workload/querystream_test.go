@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func streamFixture(t *testing.T) (*Workload, *QueryStream, *Matcher) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumAdvertisers = 50
+	cfg.NumPhrases = 8
+	cfg.Seed = 5
+	w := Generate(cfg)
+	qs := NewQueryStream(w, 0.3, 42)
+	m := NewMatcher(w.PhraseNames)
+	return w, qs, m
+}
+
+func TestNewQueryStreamValidation(t *testing.T) {
+	w := Generate(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for junk rate 1")
+		}
+	}()
+	NewQueryStream(w, 1, 1)
+}
+
+// TestStreamMatchesBackToPhrases: every non-junk query the stream emits
+// must match back to some phrase through the two-stage matcher, including
+// messy variants and registered synonyms.
+func TestStreamMatchesBackToPhrases(t *testing.T) {
+	w, qs, m := streamFixture(t)
+	qs.AddSynonym("boots for trails", w.PhraseNames[0])
+	m.AddRewrite("boots for trails", w.PhraseNames[0])
+
+	totalMatched, totalJunk := 0, 0
+	for r := 0; r < 200; r++ {
+		batch := qs.Round()
+		occ, unmatched := Occurrences(m, len(w.PhraseNames), batch)
+		totalJunk += unmatched
+		for _, o := range occ {
+			if o {
+				totalMatched++
+			}
+		}
+		// Every unmatched query must be a junk query by construction.
+		for _, q := range batch {
+			if _, ok := m.Match(q); !ok && !strings.Contains(q, "zzz unmatched") {
+				t.Fatalf("legitimate query %q failed to match", q)
+			}
+		}
+	}
+	if totalMatched == 0 || totalJunk == 0 {
+		t.Fatalf("stream degenerate: matched=%d junk=%d", totalMatched, totalJunk)
+	}
+}
+
+// TestStreamOccurrenceRates: over many rounds, the per-phrase occurrence
+// frequency tracks the workload's search rates.
+func TestStreamOccurrenceRates(t *testing.T) {
+	w, qs, m := streamFixture(t)
+	const rounds = 8000
+	counts := make([]int, len(w.PhraseNames))
+	for r := 0; r < rounds; r++ {
+		occ, _ := Occurrences(m, len(w.PhraseNames), qs.Round())
+		for q, o := range occ {
+			if o {
+				counts[q]++
+			}
+		}
+	}
+	for q, c := range counts {
+		got := float64(c) / rounds
+		if math.Abs(got-w.Rates[q]) > 0.03 {
+			t.Fatalf("phrase %d: occurrence rate %v vs search rate %v", q, got, w.Rates[q])
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	w, _, _ := streamFixture(t)
+	a := NewQueryStream(w, 0.2, 7)
+	b := NewQueryStream(w, 0.2, 7)
+	for r := 0; r < 20; r++ {
+		ba, bb := a.Round(), b.Round()
+		if len(ba) != len(bb) {
+			t.Fatal("same seed diverged")
+		}
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	w := Generate(cfg)
+	if len(w.Advertisers) != cfg.NumAdvertisers {
+		t.Fatalf("advertisers = %d", len(w.Advertisers))
+	}
+	if len(w.Interests) != cfg.NumPhrases || len(w.Rates) != cfg.NumPhrases {
+		t.Fatal("phrase arrays wrong length")
+	}
+	if len(w.SlotFactors) != cfg.Slots {
+		t.Fatal("slot factors wrong length")
+	}
+	for j := 1; j < len(w.SlotFactors); j++ {
+		if w.SlotFactors[j] >= w.SlotFactors[j-1] {
+			t.Fatal("slot factors must be strictly descending")
+		}
+	}
+	for q, r := range w.Rates {
+		if r <= 0 || r > 0.95 {
+			t.Fatalf("rate[%d] = %v", q, r)
+		}
+		if q > 0 && w.Rates[q] > w.Rates[q-1] {
+			t.Fatal("rates should decay with rank")
+		}
+	}
+	for _, a := range w.Advertisers {
+		if a.Bid < cfg.MinBid || a.Bid > cfg.MaxBid {
+			t.Fatalf("bid %v out of range", a.Bid)
+		}
+		if a.Budget < cfg.MinBudget || a.Budget > cfg.MaxBudget {
+			t.Fatalf("budget %v out of range", a.Budget)
+		}
+		if a.Quality <= 0 {
+			t.Fatal("non-positive quality")
+		}
+	}
+	if w.Quality != nil {
+		t.Fatal("global-quality config should not build per-phrase qualities")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	for i := range a.Advertisers {
+		if a.Advertisers[i] != b.Advertisers[i] {
+			t.Fatal("same seed must generate identical advertisers")
+		}
+	}
+	for q := range a.Interests {
+		if !a.Interests[q].Equal(b.Interests[q]) {
+			t.Fatal("same seed must generate identical interests")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.NumAdvertisers = 0 },
+		func(c *Config) { c.NumTopics = 0 },
+		func(c *Config) { c.MinBid = 10; c.MaxBid = 1 },
+	} {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestPerPhraseQuality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerPhraseQuality = true
+	w := Generate(cfg)
+	if w.Quality == nil {
+		t.Fatal("expected per-phrase qualities")
+	}
+	if w.QualityFor(0, 0) != w.Quality[0][0] {
+		t.Fatal("QualityFor should use the per-phrase table")
+	}
+	// Factors must actually vary across phrases for some advertiser.
+	varies := false
+	for i := 0; i < cfg.NumAdvertisers && !varies; i++ {
+		if w.Quality[0][i] != w.Quality[1][i] {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("per-phrase qualities do not vary")
+	}
+}
+
+func TestInterestOverlapStructure(t *testing.T) {
+	w := Generate(DefaultConfig())
+	// General advertisers make phrases overlap: some pair of phrases from
+	// different topics must share a substantial advertiser set.
+	maxOverlap := 0
+	for a := 0; a < len(w.Interests); a++ {
+		for b := a + 1; b < len(w.Interests); b++ {
+			if ov := w.Interests[a].IntersectCount(w.Interests[b]); ov > maxOverlap {
+				maxOverlap = ov
+			}
+		}
+	}
+	if maxOverlap < 10 {
+		t.Fatalf("max phrase overlap = %d; workload lacks the sharing structure", maxOverlap)
+	}
+}
+
+func TestSampleRoundRespectsRates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	w := Generate(cfg)
+	const rounds = 20000
+	counts := make([]int, cfg.NumPhrases)
+	for r := 0; r < rounds; r++ {
+		for q, occ := range w.SampleRound() {
+			if occ {
+				counts[q]++
+			}
+		}
+	}
+	for q, c := range counts {
+		got := float64(c) / rounds
+		if math.Abs(got-w.Rates[q]) > 0.02 {
+			t.Fatalf("phrase %d: empirical rate %v vs %v", q, got, w.Rates[q])
+		}
+	}
+}
+
+func TestPerturbBidsStaysInRange(t *testing.T) {
+	w := Generate(DefaultConfig())
+	before := w.Bids()
+	for i := 0; i < 50; i++ {
+		w.PerturbBids(0.3)
+	}
+	after := w.Bids()
+	changed := false
+	for i := range after {
+		if after[i] < w.Cfg.MinBid || after[i] > w.Cfg.MaxBid {
+			t.Fatalf("bid %v escaped range", after[i])
+		}
+		if after[i] != before[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("PerturbBids changed nothing")
+	}
+}
+
+func TestMatcher(t *testing.T) {
+	m := NewMatcher([]string{"hiking boots", "high heels", "running shoes"})
+	if id, ok := m.Match("  Hiking   BOOTS "); !ok || id != 0 {
+		t.Fatalf("Match = %d %v", id, ok)
+	}
+	if _, ok := m.Match("sneakers"); ok {
+		t.Fatal("unmatched query should miss")
+	}
+	m.AddRewrite("sneakers", "running shoes")
+	if id, ok := m.Match("Sneakers"); !ok || id != 2 {
+		t.Fatalf("rewrite Match = %d %v", id, ok)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  FOO   bar\tbaz "); got != "foo bar baz" {
+		t.Fatalf("Normalize = %q", got)
+	}
+}
+
+func TestClickSimValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClickSim(rand.New(rand.NewSource(1)), 0, 10)
+}
+
+func TestClickSimEventualClickRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := NewClickSim(rng, 0.5, 60)
+	const n = 20000
+	ctr := 0.35
+	for i := 0; i < n; i++ {
+		cs.Display(i, 1, ctr, 0)
+	}
+	clicks := 0
+	for round := 0; round <= 60; round++ {
+		clicks += len(cs.Advance(round))
+	}
+	got := float64(clicks) / n
+	// Truncation at the horizon loses a negligible (1-0.5)^60 tail.
+	if math.Abs(got-ctr) > 0.02 {
+		t.Fatalf("eventual click rate %v, want ≈ %v", got, ctr)
+	}
+	if cs.PendingCount() != 0 {
+		t.Fatalf("pending = %d after horizon", cs.PendingCount())
+	}
+}
+
+func TestClickSimOutstanding(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cs := NewClickSim(rng, 0.3, 10)
+	cs.Display(7, 2.5, 0.4, 0)
+	cs.Display(8, 1.0, 0.4, 0)
+	cs.Advance(0)
+	prices, ctrs := cs.Outstanding(7, 2)
+	if len(prices) > 1 {
+		t.Fatalf("advertiser 7 has %d outstanding ads", len(prices))
+	}
+	if len(prices) == 1 {
+		if prices[0] != 2.5 {
+			t.Fatalf("price = %v", prices[0])
+		}
+		want := 0.4 * math.Pow(0.7, 2)
+		if math.Abs(ctrs[0]-want) > 1e-12 {
+			t.Fatalf("remaining ctr = %v, want %v", ctrs[0], want)
+		}
+	}
+}
+
+func TestRemainingCTR(t *testing.T) {
+	if got := RemainingCTR(0.4, 0, 0.3, 10); got != 0.4 {
+		t.Fatalf("age 0: %v", got)
+	}
+	if got := RemainingCTR(0.4, 10, 0.3, 10); got != 0 {
+		t.Fatalf("at horizon: %v", got)
+	}
+	if got := RemainingCTR(0.4, -3, 0.3, 10); got != 0.4 {
+		t.Fatalf("negative age: %v", got)
+	}
+}
+
+// TestQuickClickNeverBeforeDisplayOrAfterHorizon: structural invariants of
+// the click stream.
+func TestQuickClickInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cs := NewClickSim(rng, 0.2+0.6*rng.Float64(), 1+rng.Intn(20))
+		displayed := map[int]int{}
+		for r := 0; r < 30; r++ {
+			if rng.Intn(2) == 0 {
+				id := rng.Intn(10)
+				cs.Display(id, 1, rng.Float64(), r)
+				displayed[id*100+r] = r
+			}
+			for _, c := range cs.Advance(r) {
+				if c.Round != r {
+					return false
+				}
+				if c.Round < c.Displayed || c.Round-c.Displayed >= cs.Horizon {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package sharedwd is a from-scratch Go implementation of
+// "Shared Winner Determination in Sponsored Search Auctions"
+// (Martin & Halpern, ICDE 2009).
+//
+// Sponsored-search providers must solve winner determination — assigning k
+// ad slots to the interested advertisers so as to maximize expected realized
+// bids — for every search query, before the result page is returned. This
+// library implements the paper's three techniques for doing that at high
+// query volume, plus every substrate they depend on:
+//
+//   - Shared top-k aggregation (Section II): when simultaneous auctions
+//     share advertisers, a single DAG of binary top-k merges computes all
+//     auctions' top-k lists with far fewer aggregation operations than
+//     per-auction scans. BuildSharedPlan runs the paper's fragment +
+//     greedy-coverage heuristic; the underlying framework (A-plans, the
+//     expected materialization cost model, exact planners, the set-cover
+//     hardness reductions, and the Figure-5 complexity table per algebraic
+//     structure) is exposed through the Plan/Instance types.
+//
+//   - Shared sorting (Section III): when the advertiser quality factor
+//     varies per phrase, only bids are shared; BuildSortPlan constructs a
+//     forest of on-demand, caching merge operators so that each shared
+//     prefix of the descending-bid order is computed once per round, and
+//     ThresholdTopK (Fagin–Lotem–Naor) consumes those streams to find each
+//     auction's winners with instance-optimal early termination.
+//
+//   - Budget uncertainty (Section IV): ads displayed but not yet clicked
+//     make remaining budgets uncertain. NewThrottler maintains anytime
+//     Hoeffding upper/lower bounds on the throttled bid
+//     b̂ = E[min(b, max(0, β−S)/m)], tightening largest-price-first;
+//     Compare and TopKUncertain resolve winner determination without
+//     computing most throttled bids exactly.
+//
+// The Engine ties the pieces into a round-based auction processor with GSP /
+// VCG / first-price pricing, a delayed-click simulator, and strict budget
+// accounting; the workload generator produces the topic-structured synthetic
+// traces the benchmark harness (bench_test.go, cmd/fig4, cmd/fig5,
+// cmd/gaming, cmd/auctionsim) runs on. See DESIGN.md for the full system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package sharedwd
+
+import (
+	"math/rand"
+
+	"sharedwd/internal/analytics"
+	"sharedwd/internal/auction"
+	"sharedwd/internal/bitset"
+	"sharedwd/internal/budget"
+	"sharedwd/internal/core"
+	"sharedwd/internal/nonsep"
+	"sharedwd/internal/plan"
+	"sharedwd/internal/pricing"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/sharedsort"
+	"sharedwd/internal/ta"
+	"sharedwd/internal/topk"
+	"sharedwd/internal/workload"
+)
+
+// Domain model (see internal/auction).
+type (
+	// Advertiser is one bidder: per-click bid, quality factor c_i, budget.
+	Advertiser = auction.Advertiser
+	// Assignment maps slots to advertisers with its expected value.
+	Assignment = auction.Assignment
+)
+
+// SolveSeparable performs linear-time winner determination under the
+// separability assumption ctr_ij = c_i·d_j.
+func SolveSeparable(advertisers []Advertiser, slotFactors []float64) Assignment {
+	return auction.SolveSeparable(advertisers, slotFactors)
+}
+
+// SolveGeneral performs exact winner determination for an arbitrary
+// click-through matrix (maximum-weight bipartite matching).
+func SolveGeneral(bids []float64, ctr [][]float64) Assignment {
+	return auction.SolveGeneral(bids, ctr)
+}
+
+// Top-k aggregation primitives (see internal/topk).
+type (
+	// TopKList is a bounded descending list of scored advertisers.
+	TopKList = topk.List
+	// TopKEntry is one (advertiser, score) element.
+	TopKEntry = topk.Entry
+)
+
+// NewTopKList returns an empty k-list.
+func NewTopKList(k int) *TopKList { return topk.New(k) }
+
+// MergeTopK is the binary top-k aggregation operator ⊕.
+func MergeTopK(a, b *TopKList) *TopKList { return topk.Merge(a, b) }
+
+// Shared aggregation planning (see internal/plan, internal/sharedagg).
+type (
+	// AggQuery is one aggregate query: advertiser set + search rate.
+	AggQuery = plan.Query
+	// AggInstance is a shared-aggregation problem instance.
+	AggInstance = plan.Instance
+	// AggPlan is an A-plan DAG of binary aggregations.
+	AggPlan = plan.Plan
+)
+
+// NewAggInstance validates and builds a shared-aggregation instance.
+func NewAggInstance(numVars int, queries []AggQuery) (*AggInstance, error) {
+	return plan.NewInstance(numVars, queries)
+}
+
+// BuildSharedPlan runs the paper's two-stage heuristic (fragments + greedy
+// expected-coverage completion) and returns a complete plan.
+func BuildSharedPlan(inst *AggInstance) *AggPlan { return sharedagg.Build(inst) }
+
+// BuildFragmentOnlyPlan is the stage-1-only ablation baseline.
+func BuildFragmentOnlyPlan(inst *AggInstance) *AggPlan { return sharedagg.BuildFragmentOnly(inst) }
+
+// BuildNaivePlan is the unshared per-query baseline.
+func BuildNaivePlan(inst *AggInstance) *AggPlan { return plan.NaivePlan(inst) }
+
+// ExecutePlan evaluates a plan for one round with the top-k merge operator:
+// leaf(i) supplies advertiser i's singleton k-list; occurring selects the
+// round's queries (nil = all). It returns per-query results and the number
+// of aggregation nodes materialized.
+func ExecutePlan(p *AggPlan, leaf func(v int) *TopKList, occurring []bool) (map[int]*TopKList, int) {
+	return plan.Execute(p, leaf, topk.Merge, occurring)
+}
+
+// Shared sorting (see internal/sharedsort, internal/ta).
+type (
+	// SortPlan is a shared merge-sort forest with one root per phrase.
+	SortPlan = sharedsort.Plan
+	// SortOptions configures plan construction.
+	SortOptions = sharedsort.Options
+	// SortStream is a per-consumer cursor over a phrase's sorted stream.
+	SortStream = sharedsort.Stream
+	// TAStats reports threshold-algorithm work.
+	TAStats = ta.Stats
+)
+
+// BuildSortPlan constructs a shared merge-sort plan over per-phrase
+// advertiser interest sets with the paper's bottom-up greedy heuristic.
+func BuildSortPlan(numAdvertisers int, interests []AdvertiserSet, rates []float64, opts SortOptions) (*SortPlan, error) {
+	return sharedsort.Build(numAdvertisers, interests, rates, opts)
+}
+
+// ThresholdTopK runs the threshold algorithm over two descending sorted
+// access paths with score(id) as the combining function.
+func ThresholdTopK(k int, byBid, byQuality ta.Source, score func(id int) float64) (*TopKList, TAStats) {
+	return ta.TopK(k, byBid, byQuality, score)
+}
+
+// Budget uncertainty (see internal/budget).
+type (
+	// OutstandingAd is a displayed ad awaiting a click.
+	OutstandingAd = budget.OutstandingAd
+	// Throttler maintains anytime bounds on a throttled bid.
+	Throttler = budget.Throttler
+	// BidInterval is a [lo, hi] bound on an uncertain throttled bid.
+	BidInterval = budget.Interval
+)
+
+// NewThrottler builds a throttled-bid bound refiner for one advertiser.
+func NewThrottler(id int, bid, budgetLeft float64, auctions int, ads []OutstandingAd) (*Throttler, error) {
+	return budget.NewThrottler(id, bid, budgetLeft, auctions, ads)
+}
+
+// CompareThrottled orders two throttled bids by lazy bound refinement.
+func CompareThrottled(a, b *Throttler) int {
+	c, _ := budget.Compare(a, b)
+	return c
+}
+
+// TopKThrottled selects the k highest throttled bids with lazy refinement.
+func TopKThrottled(k int, ts []*Throttler) []*Throttler {
+	return budget.TopKUncertain(k, ts).Winners
+}
+
+// ExactThrottledBid computes b̂ exactly by subset enumeration (small l).
+func ExactThrottledBid(bid, budgetLeft float64, auctions int, ads []OutstandingAd) float64 {
+	return budget.ExactThrottledBid(bid, budgetLeft, auctions, ads)
+}
+
+// Bidding-program analytics (see internal/analytics; the paper's §VII).
+type (
+	// AnalyticsService answers shared aggregate queries over phrase sets.
+	AnalyticsService = analytics.Service
+	// PhraseStats is one phrase's per-round base statistics.
+	PhraseStats = analytics.PhraseStats
+	// AnalyticsResult is the aggregate over one registered phrase set.
+	AnalyticsResult = analytics.Result
+)
+
+// NewAnalytics creates an analytics service over a phrase universe.
+func NewAnalytics(numPhrases int) *AnalyticsService { return analytics.New(numPhrases) }
+
+// BuildDisjointPlan builds a shared plan whose every aggregation joins
+// variable-disjoint children — required for multiset-semantics aggregates
+// (sum, count) as opposed to idempotent ones (top-k, max).
+func BuildDisjointPlan(inst *AggInstance) *AggPlan { return sharedagg.BuildDisjoint(inst) }
+
+// NonSepResult is the outcome of pruned non-separable winner determination.
+type NonSepResult = nonsep.Result
+
+// SolveNonSeparable performs winner determination for an arbitrary
+// click-through matrix via k²-pruning + Hungarian matching (the ICDE'08
+// framework Section V adapts).
+func SolveNonSeparable(bids []float64, ctr [][]float64) NonSepResult {
+	return nonsep.Solve(bids, ctr)
+}
+
+// Pricing rules (see internal/pricing).
+type (
+	// PricingRule selects first-price, GSP, or laddered VCG.
+	PricingRule = pricing.Rule
+	// RankedBidder is an advertiser in effective-bid order for pricing.
+	RankedBidder = pricing.Ranked
+)
+
+// The pricing rules.
+const (
+	FirstPrice = pricing.FirstPrice
+	GSP        = pricing.GSP
+	VCG        = pricing.VCG
+)
+
+// Prices computes per-click prices for the ranked winners under the rule.
+func Prices(rule PricingRule, ranked []RankedBidder, slotFactors []float64) []float64 {
+	return pricing.Prices(rule, ranked, slotFactors)
+}
+
+// Engine and workloads (see internal/core, internal/workload).
+type (
+	// Engine resolves rounds of simultaneous auctions.
+	Engine = core.Engine
+	// EngineConfig parameterizes the engine.
+	EngineConfig = core.Config
+	// EngineStats holds the engine's lifetime counters.
+	EngineStats = core.Stats
+	// RoundReport is one round's outcome.
+	RoundReport = core.RoundReport
+	// BudgetPolicy selects naive vs throttled bidding.
+	BudgetPolicy = core.BudgetPolicy
+	// SharingMode selects shared-plan vs independent resolution.
+	SharingMode = core.SharingMode
+	// SortEngine resolves rounds in the per-phrase-quality regime
+	// (Section III: shared merge-sort + threshold algorithm).
+	SortEngine = core.SortEngine
+	// SortEngineStats holds the sort engine's counters.
+	SortEngineStats = core.SortStats
+	// Workload is a generated auction universe.
+	Workload = workload.Workload
+	// WorkloadConfig parameterizes workload generation.
+	WorkloadConfig = workload.Config
+	// Matcher maps raw queries to bid phrases (two-stage).
+	Matcher = workload.Matcher
+	// QueryStream generates raw search-query traffic for the matcher.
+	QueryStream = workload.QueryStream
+	// Trace is a recorded round sequence for replayable comparisons.
+	Trace = workload.Trace
+	// AdvertiserSet is a set of advertiser indices.
+	AdvertiserSet = bitset.Set
+)
+
+// NewAdvertiserSet returns an empty set holding indices in [0, n).
+func NewAdvertiserSet(n int) AdvertiserSet { return bitset.New(n) }
+
+// AdvertiserSetOf returns a set of capacity n with the given members.
+func AdvertiserSetOf(n int, members ...int) AdvertiserSet {
+	return bitset.FromIndices(n, members...)
+}
+
+// Engine mode constants.
+const (
+	Naive             = core.Naive
+	Throttled         = core.Throttled
+	SharedAggregation = core.SharedAggregation
+	Independent       = core.Independent
+)
+
+// DefaultEngineConfig returns a GSP, throttled, shared configuration.
+func DefaultEngineConfig() EngineConfig { return core.DefaultConfig() }
+
+// DefaultWorkloadConfig returns a mid-sized workload configuration.
+func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// GenerateWorkload builds a synthetic workload.
+func GenerateWorkload(cfg WorkloadConfig) *Workload { return workload.Generate(cfg) }
+
+// NewEngine builds an engine (and its offline shared plan) for a workload.
+func NewEngine(w *Workload, cfg EngineConfig) (*Engine, error) { return core.New(w, cfg) }
+
+// NewSortEngine builds the Section III pipeline (shared merge-sort feeding
+// the threshold algorithm) for a per-phrase-quality workload.
+func NewSortEngine(w *Workload, cfg EngineConfig) (*SortEngine, error) {
+	return core.NewSortEngine(w, cfg)
+}
+
+// NewMatcher indexes bid phrases for two-stage query matching.
+func NewMatcher(phrases []string) *Matcher { return workload.NewMatcher(phrases) }
+
+// RecordTrace captures rounds of the workload into a replayable trace.
+func RecordTrace(w *Workload, rounds int, walkScale float64) *Trace {
+	return workload.Record(w, rounds, walkScale)
+}
+
+// NewQueryStream builds a raw-query generator over the workload's phrases.
+func NewQueryStream(w *Workload, junkRate float64, seed int64) *QueryStream {
+	return workload.NewQueryStream(w, junkRate, seed)
+}
+
+// RandomCoinFlipInstance reproduces the Figure-4 instance construction.
+func RandomCoinFlipInstance(rng *rand.Rand, numVars, numQueries int, rate float64) *AggInstance {
+	return plan.RandomCoinFlipInstance(rng, numVars, numQueries, rate)
+}
+
+// RunGamingScenario reproduces the Section-IV gaming demonstration.
+func RunGamingScenario(seed int64, rounds int, policy BudgetPolicy) (core.GamingResult, error) {
+	return core.RunGamingScenario(seed, rounds, policy)
+}
+
+// RunGamingExperiment averages the gaming scenario over reps seeds.
+func RunGamingExperiment(seed int64, rounds, reps int, policy BudgetPolicy) (core.GamingResult, error) {
+	return core.RunGamingExperiment(seed, rounds, reps, policy)
+}

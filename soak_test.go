@@ -1,0 +1,152 @@
+package sharedwd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/pricing"
+	"sharedwd/internal/workload"
+)
+
+// TestSoakEngine runs a long randomized simulation across engine
+// configurations — random occurrence patterns, bid walks, budget edits on
+// the fly, mixed pricing rules, reserve prices — asserting the global
+// invariants after every round:
+//
+//   - per-advertiser spend never exceeds the (current) budget;
+//   - revenue equals total spend;
+//   - every winner's price is within [reserve, bid];
+//   - winners belong to their phrase's interest set, at most one slot each.
+//
+// Skipped under -short; the full run is the failure-injection gauntlet.
+func TestSoakEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for cfgIdx := 0; cfgIdx < 6; cfgIdx++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.NumAdvertisers = 80 + rng.Intn(120)
+		wcfg.NumPhrases = 6 + rng.Intn(10)
+		wcfg.NumTopics = 2 + rng.Intn(4)
+		wcfg.Slots = 1 + rng.Intn(5)
+		wcfg.Seed = rng.Int63()
+		wcfg.MinBudget, wcfg.MaxBudget = 2, 30 // tight: budget edges matter
+		w := workload.Generate(wcfg)
+
+		ecfg := core.DefaultConfig()
+		ecfg.Policy = core.BudgetPolicy(rng.Intn(2))
+		ecfg.Sharing = core.SharingMode(rng.Intn(2))
+		ecfg.Pricing = []pricing.Rule{pricing.FirstPrice, pricing.GSP, pricing.VCG}[rng.Intn(3)]
+		ecfg.Reserve = []float64{0, 0.5}[rng.Intn(2)]
+		ecfg.ClickHazard = 0.05 + rng.Float64()*0.9
+		ecfg.ClickHorizon = 5 + rng.Intn(40)
+		if rng.Intn(3) == 0 {
+			ecfg.Workers = 2 + rng.Intn(3)
+		}
+		eng, err := core.New(w, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for round := 0; round < 120; round++ {
+			var occ []bool
+			if rng.Intn(4) > 0 {
+				occ = make([]bool, len(w.Interests))
+				for q := range occ {
+					occ[q] = rng.Intn(3) > 0
+				}
+			}
+			rep := eng.Step(occ)
+			for q, slots := range rep.Auctions {
+				seen := map[int]bool{}
+				for _, s := range slots {
+					if seen[s.Advertiser] {
+						t.Fatalf("cfg %d round %d: advertiser %d won two slots", cfgIdx, round, s.Advertiser)
+					}
+					seen[s.Advertiser] = true
+					if !w.Interests[q].Contains(s.Advertiser) {
+						t.Fatalf("cfg %d: winner %d not interested in phrase %d", cfgIdx, s.Advertiser, q)
+					}
+					if s.PricePaid < ecfg.Reserve-1e-9 {
+						t.Fatalf("cfg %d: price %v below reserve %v", cfgIdx, s.PricePaid, ecfg.Reserve)
+					}
+					if s.PricePaid > w.Advertisers[s.Advertiser].Bid+1e-9 {
+						// Throttled bids can sit below the stated bid, and
+						// prices are bounded by the round bid, so the
+						// stated bid is still an upper bound.
+						t.Fatalf("cfg %d: price %v above stated bid", cfgIdx, s.PricePaid)
+					}
+				}
+			}
+			// Mid-flight perturbations: bids drift; occasionally a budget
+			// is raised (never below spend — daily budgets don't shrink).
+			w.PerturbBids(0.1)
+			if rng.Intn(10) == 0 {
+				i := rng.Intn(len(w.Advertisers))
+				w.Advertisers[i].Budget += rng.Float64() * 5
+			}
+			checkAccounting(t, eng, w, cfgIdx, round)
+		}
+		eng.Drain()
+		checkAccounting(t, eng, w, cfgIdx, -1)
+	}
+}
+
+func checkAccounting(t *testing.T, eng *core.Engine, w *workload.Workload, cfg, round int) {
+	t.Helper()
+	total := 0.0
+	for i := range w.Advertisers {
+		spent := eng.Spent(i)
+		if spent > w.Advertisers[i].Budget+1e-6 {
+			t.Fatalf("cfg %d round %d: advertiser %d spent %v of budget %v",
+				cfg, round, i, spent, w.Advertisers[i].Budget)
+		}
+		total += spent
+	}
+	if math.Abs(total-eng.Stats().Revenue) > 1e-6 {
+		t.Fatalf("cfg %d round %d: revenue %v != Σspent %v", cfg, round, eng.Stats().Revenue, total)
+	}
+}
+
+// TestSoakSortEngine is the per-phrase-quality counterpart.
+func TestSoakSortEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(777))
+	for cfgIdx := 0; cfgIdx < 4; cfgIdx++ {
+		wcfg := workload.DefaultConfig()
+		wcfg.NumAdvertisers = 60 + rng.Intn(100)
+		wcfg.NumPhrases = 6 + rng.Intn(8)
+		wcfg.Slots = 1 + rng.Intn(4)
+		wcfg.Seed = rng.Int63()
+		wcfg.PerPhraseQuality = true
+		wcfg.MinBudget, wcfg.MaxBudget = 2, 25
+		w := workload.Generate(wcfg)
+		ecfg := core.DefaultConfig()
+		ecfg.Pricing = []pricing.Rule{pricing.FirstPrice, pricing.GSP, pricing.VCG}[rng.Intn(3)]
+		eng, err := core.NewSortEngine(w, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 100; round++ {
+			rep := eng.Step(nil)
+			for q, slots := range rep.Auctions {
+				for _, s := range slots {
+					if !w.Interests[q].Contains(s.Advertiser) {
+						t.Fatalf("cfg %d: winner %d not interested in phrase %d", cfgIdx, s.Advertiser, q)
+					}
+				}
+			}
+			w.PerturbBids(0.1)
+		}
+		for i := range w.Advertisers {
+			if eng.Spent(i) > w.Advertisers[i].Budget+1e-6 {
+				t.Fatalf("cfg %d: advertiser %d over budget", cfgIdx, i)
+			}
+		}
+	}
+}
