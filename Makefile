@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-json fmt vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# bench-json runs the core round-resolution benchmarks and records them as
+# machine-readable JSON in BENCH_core.json for cross-PR comparison.
+bench-json:
+	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep' -benchmem -benchtime=2s -run='^$$' . \
+		| $(GO) run ./tools/benchjson > BENCH_core.json
+	@cat BENCH_core.json

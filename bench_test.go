@@ -158,6 +158,107 @@ func BenchmarkRoundResolution(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalRounds measures the cross-round incremental cache in
+// the two regimes it targets: sparse occurrence (each round demands a small,
+// rotating subset of phrases, so most of the needed cone was computed in a
+// recent round) and sparse budget change (every phrase occurs but bids are
+// static, so only advertisers whose remaining budget moved below their bid
+// invalidate their cones). Metrics report recomputed vs cached nodes per
+// round; with the cache off, cached/round is zero by construction.
+func BenchmarkIncrementalRounds(b *testing.B) {
+	regimes := []struct {
+		name      string
+		sparseOcc bool
+	}{
+		{"sparseOccurrence", true},
+		{"sparseBudgetChange", false},
+	}
+	for _, rg := range regimes {
+		for _, incremental := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/cache=%v", rg.name, incremental), func(b *testing.B) {
+				wcfg := workload.DefaultConfig()
+				wcfg.NumAdvertisers = 1000
+				wcfg.NumPhrases = 32
+				wcfg.NumTopics = 6
+				w := workload.Generate(wcfg)
+				ecfg := core.DefaultConfig()
+				ecfg.Policy = core.Naive
+				ecfg.IncrementalCache = incremental
+				eng, err := core.New(w, ecfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var occs [][]bool
+				if rg.sparseOcc {
+					// Eight rotating vectors of 4 phrases each.
+					for s := 0; s < 8; s++ {
+						occ := make([]bool, wcfg.NumPhrases)
+						for j := 0; j < 4; j++ {
+							occ[(s*4+j)%wcfg.NumPhrases] = true
+						}
+						occs = append(occs, occ)
+					}
+				} else {
+					occ := make([]bool, wcfg.NumPhrases)
+					for q := range occ {
+						occ[q] = true
+					}
+					occs = [][]bool{occ}
+				}
+				for i := 0; i < 50; i++ {
+					eng.Step(occs[i%len(occs)])
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := eng.Stats()
+				for i := 0; i < b.N; i++ {
+					eng.Step(occs[i%len(occs)])
+				}
+				st := eng.Stats()
+				rounds := float64(st.Rounds - start.Rounds)
+				b.ReportMetric(float64(st.NodesMaterialized-start.NodesMaterialized)/rounds, "recomputed/round")
+				b.ReportMetric(float64(st.NodesCached-start.NodesCached)/rounds, "cached/round")
+			})
+		}
+	}
+}
+
+// BenchmarkSteadyStateStep pins the zero-allocation claim in benchmark form:
+// after warm-up, a shared-mode engine round allocates nothing, with and
+// without the incremental cache (allocs/op must read 0 in both).
+func BenchmarkSteadyStateStep(b *testing.B) {
+	for _, incremental := range []bool{false, true} {
+		b.Run(fmt.Sprintf("cache=%v", incremental), func(b *testing.B) {
+			wcfg := workload.DefaultConfig()
+			wcfg.NumAdvertisers = 1000
+			wcfg.NumPhrases = 32
+			wcfg.NumTopics = 6
+			wcfg.MinBudget = 1e6 // never exhausts: steady display load
+			wcfg.MaxBudget = 2e6
+			w := workload.Generate(wcfg)
+			ecfg := core.DefaultConfig()
+			ecfg.Policy = core.Naive
+			ecfg.IncrementalCache = incremental
+			eng, err := core.New(w, ecfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			occ := make([]bool, len(w.Interests))
+			for q := range occ {
+				occ[q] = q%2 == 0
+			}
+			for i := 0; i < 300; i++ {
+				eng.Step(occ)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step(occ)
+			}
+		})
+	}
+}
+
 // BenchmarkConcurrentRounds is ablation A2: sequential vs parallel shared-
 // plan execution in the engine.
 func BenchmarkConcurrentRounds(b *testing.B) {

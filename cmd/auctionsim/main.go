@@ -32,6 +32,8 @@ func main() {
 	sharingName := flag.String("sharing", "shared", "winner determination: shared|independent")
 	pricingName := flag.String("pricing", "gsp", "pricing rule: first|gsp|vcg")
 	workers := flag.Int("workers", 1, "plan-execution workers")
+	cache := flag.Bool("cache", false, "carry plan results across rounds, re-materializing only dirty nodes")
+	perturb := flag.Float64("perturb", 0.05, "per-round bid random-walk scale (0 = static bids)")
 	csv := flag.Bool("csv", false, "emit per-round CSV instead of a summary")
 	compare := flag.Bool("compare", false, "run every policy × sharing combination and print a comparison table")
 	flag.Parse()
@@ -51,6 +53,7 @@ func main() {
 
 	ecfg := core.DefaultConfig()
 	ecfg.Workers = *workers
+	ecfg.IncrementalCache = *cache
 	switch *policyName {
 	case "naive":
 		ecfg.Policy = core.Naive
@@ -87,6 +90,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer eng.Close()
 	buildTime := time.Since(buildStart)
 
 	if *csv {
@@ -95,7 +99,7 @@ func main() {
 	simStart := time.Now()
 	for r := 0; r < *rounds; r++ {
 		rep := eng.Step(nil)
-		w.PerturbBids(0.05)
+		w.PerturbBids(*perturb)
 		if *csv {
 			fmt.Printf("%d,%d,%d,%d,%.2f\n",
 				rep.Round, len(rep.Auctions), rep.Materialized, len(rep.Clicks), eng.Stats().Revenue)
@@ -116,6 +120,11 @@ func main() {
 		fmt.Printf("auctions resolved:       %d\n", st.AuctionsResolved)
 		fmt.Printf("aggregation ops:         %d (%.1f per auction)\n",
 			st.NodesMaterialized, float64(st.NodesMaterialized)/float64(max(1, st.AuctionsResolved)))
+		if ecfg.IncrementalCache {
+			total := st.NodesMaterialized + st.NodesCached
+			fmt.Printf("cache hits:              %d of %d node demands (%.1f%%)\n",
+				st.NodesCached, total, 100*float64(st.NodesCached)/float64(max(1, total)))
+		}
 		fmt.Printf("ads displayed:           %d\n", st.AdsDisplayed)
 		fmt.Printf("clicks charged/forgiven: %d / %d\n", st.ClicksCharged, st.ClicksForgiven)
 		fmt.Printf("revenue:                 $%.2f (forgiven $%.2f)\n", st.Revenue, st.ForgivenValue)

@@ -9,12 +9,16 @@ import (
 )
 
 // executeConcurrent evaluates the shared plan for one round with parallelism
-// at the query level: each occurring query's DAG walk runs in its own
-// goroutine (bounded by workers), and every node carries a sync.Once so a
-// shared subtree is computed exactly once no matter how many queries race
-// into it. This granularity — whole subtrees per task, synchronization only
-// at shared nodes — beats per-node task scheduling, whose channel overhead
-// exceeds the ~300ns cost of a single top-k merge.
+// at the query level: occurring queries' DAG walks are distributed over at
+// most `workers` goroutines via a shared atomic work index, and every node
+// carries a sync.Once so a shared subtree is computed exactly once no matter
+// how many queries race into it. This granularity — whole subtrees per task,
+// synchronization only at shared nodes — beats per-node task scheduling,
+// whose channel overhead exceeds the ~300ns cost of a single top-k merge.
+// Exactly min(workers, queries) goroutines exist at any moment (earlier
+// versions spawned one goroutine per query and only gated execution with a
+// semaphore, so a round with thousands of occurring queries created
+// thousands of goroutines).
 //
 // Results and materialization counts match plan.Execute exactly.
 func executeConcurrent(p *plan.Plan, leaf func(v int) *topk.List, occurring []bool, workers int) (map[int]*topk.List, int) {
@@ -38,21 +42,40 @@ func executeConcurrent(p *plan.Plan, leaf func(v int) *topk.List, occurring []bo
 		return results[id]
 	}
 
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	roots := make([]int, 0, len(p.QueryNode))
 	out := make(map[int]*topk.List, len(p.QueryNode))
 	for qi, id := range p.QueryNode {
 		if occurring != nil && !occurring[qi] {
 			continue
 		}
-		out[qi] = nil // reserve the key; filled after the walk completes
+		out[qi] = nil // reserve the key; filled after the walks complete
+		roots = append(roots, id)
+	}
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
 		wg.Add(1)
-		go func(id int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			eval(id)
-			<-sem
-		}(id)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(roots) {
+					return
+				}
+				eval(roots[i])
+			}
+		}()
+	}
+	// The caller works too, so workers == 1 runs fully inline.
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(roots) {
+			break
+		}
+		eval(roots[i])
 	}
 	wg.Wait()
 	for qi := range out {

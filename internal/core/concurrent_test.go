@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/topk"
+)
+
+// TestExecuteConcurrentBoundsGoroutines is the regression test for the
+// unbounded-spawn bug: executeConcurrent used to start one goroutine per
+// occurring query and only gate execution with a semaphore, so a round with
+// many queries created many goroutines. Now at most `workers` goroutines
+// (including the caller) may be evaluating at once, and at most workers−1
+// are spawned.
+func TestExecuteConcurrentBoundsGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := plan.RandomOverlapInstance(rng, 128, 64, 8, 1, 1)
+	p := sharedagg.Build(inst)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 2
+	var active, maxActive, peakGoroutines atomic.Int64
+	base := runtime.NumGoroutine()
+	leaf := func(v int) *topk.List {
+		n := active.Add(1)
+		for {
+			m := maxActive.Load()
+			if n <= m || maxActive.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		if g := int64(runtime.NumGoroutine()); g > peakGoroutines.Load() {
+			peakGoroutines.Store(g)
+		}
+		time.Sleep(100 * time.Microsecond) // widen the race window
+		active.Add(-1)
+		l := topk.New(4)
+		l.Push(topk.Entry{ID: v, Score: float64(v + 1)})
+		return l
+	}
+
+	out, _ := executeConcurrent(p, leaf, nil, workers)
+	if len(out) != len(inst.Queries) {
+		t.Fatalf("resolved %d queries, want %d", len(out), len(inst.Queries))
+	}
+	if got := maxActive.Load(); got > workers {
+		t.Errorf("observed %d concurrent leaf evaluations, want ≤ %d", got, workers)
+	}
+	// peakGoroutines is sampled racily (other goroutines may exist), so allow
+	// slack; the old implementation spawned one goroutine per query and blew
+	// far past this bound (base + 64).
+	if got := int(peakGoroutines.Load()); got > base+workers+4 {
+		t.Errorf("peak goroutine count %d (base %d) — spawning is not bounded by workers=%d", got, base, workers)
+	}
+}

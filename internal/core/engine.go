@@ -75,8 +75,18 @@ type Config struct {
 	Pricing pricing.Rule
 	Policy  BudgetPolicy
 	Sharing SharingMode
-	// Workers > 1 evaluates the shared plan's DAG concurrently.
+	// Workers > 1 evaluates the shared plan's DAG concurrently on a
+	// persistent worker pool, scheduling dirty nodes level by level. Call
+	// Close on the engine to stop the pool's goroutines.
 	Workers int
+	// IncrementalCache carries plan-node results across rounds and
+	// re-materializes only the dirty cone: nodes whose descendant
+	// advertiser scores changed, plus nodes the round's occurrence set
+	// demands for the first time. This generalizes the paper's Section
+	// III-B result caching to the Section-II aggregation DAG; with it on,
+	// Stats.NodesMaterialized counts only recomputed nodes and
+	// Stats.NodesCached the cache hits.
+	IncrementalCache bool
 	// ClickHazard and ClickHorizon parameterize the delayed-click model.
 	ClickHazard  float64
 	ClickHorizon int
@@ -113,11 +123,46 @@ type Engine struct {
 	inst *plan.Instance
 	plan *plan.Plan
 
+	// exec owns the dense result slab the shared plan is evaluated into;
+	// pool (Workers > 1) evaluates its DAG levels concurrently.
+	exec   *plan.Executor[*topk.List]
+	pool   *plan.Pool
+	leafFn func(prev *topk.List, v int) *topk.List
+	opFn   func(prev, a, b *topk.List) *topk.List
+
+	// forceMemo routes shared-mode winner determination through the
+	// original map-memo plan.Execute. It exists purely as the reference
+	// strategy for the equivalence tests.
+	forceMemo bool
+
 	clicks *workload.ClickSim
 	spent  []float64 // realized payments per advertiser
 	round  int
 
+	scr roundScratch
+
 	stats Stats
+}
+
+// roundScratch holds every per-round buffer Step reuses, so steady-state
+// rounds allocate nothing. RoundReports returned by Step view into these
+// buffers and are valid until the next Step.
+type roundScratch struct {
+	occ      []bool
+	mCount   []int
+	roundBid []float64
+	// lastScore[i] is the effective score advertiser i's cached leaf value
+	// was computed from (IncrementalCache mode).
+	lastScore []float64
+	ranked    []pricing.Ranked
+	parts     []pricing.Ranked
+	prices    []float64
+	auctions  map[int][]SlotResult
+	slots     [][]SlotResult // per-phrase slot buffers backing auctions
+	indep     []*topk.List   // Independent-mode per-phrase lists
+	outPrices []float64      // outstanding-ad scratch (throttled policy)
+	outCTRs   []float64
+	ads       []budget.OutstandingAd
 }
 
 // Stats accumulates engine-lifetime counters.
@@ -127,10 +172,18 @@ type Stats struct {
 	// NodesMaterialized counts top-k aggregation operations performed (the
 	// Section-II cost metric). For Independent mode it counts the per-scan
 	// pushes equivalent: one per advertiser scanned beyond the first per
-	// auction, to keep the two modes comparable.
+	// auction, to keep the two modes comparable. With IncrementalCache it
+	// counts only nodes actually recomputed — which is exactly the paper's
+	// expected-materialization cost model — while cache hits accumulate in
+	// NodesCached.
 	NodesMaterialized int
-	Revenue           float64
-	ClicksCharged     int
+	// NodesCached counts plan nodes served from the cross-round cache
+	// instead of being recomputed (IncrementalCache mode only).
+	// NodesMaterialized + NodesCached equals what NodesMaterialized would
+	// be with the cache off.
+	NodesCached   int
+	Revenue       float64
+	ClicksCharged int
 	// ClicksForgiven counts clicks whose price exceeded the advertiser's
 	// remaining budget and could not be charged — the paper's lost revenue.
 	ClicksForgiven int
@@ -159,6 +212,12 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 		clicks: workload.NewClickSim(w.Rng(), cfg.ClickHazard, cfg.ClickHorizon),
 		spent:  make([]float64, len(w.Advertisers)),
 	}
+	e.scr.mCount = make([]int, len(w.Advertisers))
+	e.scr.roundBid = make([]float64, len(w.Advertisers))
+	e.scr.lastScore = make([]float64, len(w.Advertisers))
+	e.scr.auctions = make(map[int][]SlotResult, len(w.Interests))
+	e.scr.slots = make([][]SlotResult, len(w.Interests))
+	k := len(w.SlotFactors)
 	if cfg.Sharing == SharedAggregation {
 		queries := make([]plan.Query, len(w.Interests))
 		for q := range w.Interests {
@@ -173,8 +232,45 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 		if err := e.plan.Validate(); err != nil {
 			return nil, fmt.Errorf("core: invalid shared plan: %w", err)
 		}
+		e.exec = plan.NewExecutor[*topk.List](e.plan)
+		if cfg.Workers > 1 {
+			e.pool = plan.NewPool(cfg.Workers)
+			e.exec.SetPool(e.pool)
+		}
+		// The leaf and op closures are built once so steady-state rounds
+		// never allocate func values; both recycle the slab slot's previous
+		// list instead of allocating a new one.
+		e.leafFn = func(prev *topk.List, v int) *topk.List {
+			if prev == nil {
+				prev = topk.New(k + 1)
+			} else {
+				prev.Reset()
+			}
+			if s := e.scr.roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+				prev.Push(topk.Entry{ID: v, Score: s})
+			}
+			return prev
+		}
+		e.opFn = func(prev, a, b *topk.List) *topk.List {
+			if prev == nil {
+				prev = topk.New(k + 1)
+			}
+			return topk.MergeInto(prev, a, b)
+		}
+	} else {
+		e.scr.indep = make([]*topk.List, len(w.Interests))
 	}
 	return e, nil
+}
+
+// Close stops the engine's worker pool, if any; the engine must not be
+// stepped afterwards. Engines with Workers ≤ 1 need no Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+		e.exec.SetPool(nil)
+	}
 }
 
 // Stats returns the accumulated counters.
@@ -229,27 +325,37 @@ type SlotResult struct {
 	PricePaid  float64 // per-click price
 }
 
-// RoundReport is the outcome of one engine step.
+// RoundReport is the outcome of one engine step. Its Auctions map and
+// Clicks slice view engine-owned scratch buffers that the next Step
+// overwrites; callers that retain a report across rounds must copy what
+// they keep.
 type RoundReport struct {
 	Round int
 	// Auctions maps occurring phrase → its filled slots.
 	Auctions map[int][]SlotResult
 	// Clicks that arrived this round (from earlier displays).
 	Clicks []workload.Click
-	// Materialized counts aggregation work performed this round.
+	// Materialized counts aggregation work performed this round; with
+	// IncrementalCache on, only nodes actually recomputed.
 	Materialized int
+	// Cached counts plan nodes served from the cross-round cache this round
+	// (IncrementalCache mode only). Materialized + Cached is what
+	// Materialized would be with the cache off.
+	Cached int
 }
 
 // Step advances one round: occurring[q] says whether phrase q's auction
 // runs. Passing nil samples occurrence from the workload's search rates.
 func (e *Engine) Step(occurring []bool) RoundReport {
 	if occurring == nil {
-		occurring = e.w.SampleRound()
+		e.scr.occ = e.w.SampleRoundInto(e.scr.occ)
+		occurring = e.scr.occ
 	}
 	if len(occurring) != len(e.w.Interests) {
 		panic(fmt.Sprintf("core: %d occurrence flags for %d phrases", len(occurring), len(e.w.Interests)))
 	}
-	rep := RoundReport{Round: e.round, Auctions: make(map[int][]SlotResult)}
+	clear(e.scr.auctions)
+	rep := RoundReport{Round: e.round, Auctions: e.scr.auctions}
 
 	// 1. Deliver clicks from earlier rounds and charge budgets.
 	rep.Clicks = e.clicks.Advance(e.round)
@@ -266,7 +372,10 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 
 	// 2. Per-advertiser round bids under the budget policy.
 	mCount := e.auctionCounts(occurring)
-	roundBid := make([]float64, len(e.w.Advertisers))
+	roundBid := e.scr.roundBid
+	for i := range roundBid {
+		roundBid[i] = 0
+	}
 	for i, a := range e.w.Advertisers {
 		if mCount[i] == 0 {
 			continue
@@ -276,28 +385,56 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 
 	// 3. Winner determination across the occurring auctions.
 	k := len(e.w.SlotFactors)
-	var results map[int]*topk.List
+	var memoResults map[int]*topk.List // forceMemo reference path only
+	var slabResults []*topk.List
 	switch e.cfg.Sharing {
 	case SharedAggregation:
-		leaf := func(v int) *topk.List {
-			l := topk.New(k + 1)
-			if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
-				l.Push(topk.Entry{ID: v, Score: s})
+		if e.forceMemo {
+			leaf := func(v int) *topk.List {
+				l := topk.New(k + 1)
+				if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+					l.Push(topk.Entry{ID: v, Score: s})
+				}
+				return l
 			}
-			return l
+			if e.cfg.Workers > 1 {
+				memoResults, rep.Materialized = executeConcurrent(e.plan, leaf, occurring, e.cfg.Workers)
+			} else {
+				memoResults, rep.Materialized = plan.Execute(e.plan, leaf, topk.Merge, occurring)
+			}
+			break
 		}
-		if e.cfg.Workers > 1 {
-			results, rep.Materialized = executeConcurrent(e.plan, leaf, occurring, e.cfg.Workers)
+		if e.cfg.IncrementalCache {
+			// Invalidate leaves whose effective score changed since the
+			// cached value was computed. Advertisers outside this round's
+			// auctions are skipped: their leaves are not needed, and their
+			// cached values stay tagged with the score they were built from.
+			for i := range mCount {
+				if mCount[i] == 0 {
+					continue
+				}
+				if s := roundBid[i] * e.w.Advertisers[i].Quality; s != e.scr.lastScore[i] {
+					e.exec.Invalidate(i)
+					e.scr.lastScore[i] = s
+				}
+			}
+			rep.Materialized, rep.Cached = e.exec.ExecuteIncremental(e.leafFn, e.opFn, occurring)
 		} else {
-			results, rep.Materialized = plan.Execute(e.plan, leaf, topk.Merge, occurring)
+			rep.Materialized = e.exec.Execute(e.leafFn, e.opFn, occurring)
 		}
+		slabResults = e.exec.Results()
 	case Independent:
-		results = make(map[int]*topk.List)
 		for q, occ := range occurring {
 			if !occ {
 				continue
 			}
-			l := topk.New(k + 1)
+			l := e.scr.indep[q]
+			if l == nil {
+				l = topk.New(k + 1)
+				e.scr.indep[q] = l
+			} else {
+				l.Reset()
+			}
 			scanned := 0
 			e.w.Interests[q].ForEach(func(v int) bool {
 				if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
@@ -309,29 +446,46 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 			if scanned > 1 {
 				rep.Materialized += scanned - 1
 			}
-			results[q] = l
 		}
 	}
 
 	// 4. Assign, price, display — in phrase order, so the click
 	// simulator's random stream is consumed deterministically.
 	for q := 0; q < len(occurring); q++ {
-		list, ok := results[q]
-		if !ok {
+		if !occurring[q] {
+			continue
+		}
+		var list *topk.List
+		switch {
+		case memoResults != nil:
+			list = memoResults[q]
+		case slabResults != nil:
+			list = slabResults[q]
+		default:
+			list = e.scr.indep[q]
+		}
+		if list == nil {
 			continue
 		}
 		e.stats.AuctionsResolved++
-		ranked := make([]pricing.Ranked, 0, list.Len())
-		for _, entry := range list.Entries() {
+		ranked := e.scr.ranked[:0]
+		for i, n := 0, list.Len(); i < n; i++ {
+			entry := list.At(i)
 			ranked = append(ranked, pricing.Ranked{
 				ID:      entry.ID,
 				Bid:     roundBid[entry.ID],
 				Quality: e.w.Advertisers[entry.ID].Quality,
 			})
 		}
-		ranked, prices := pricing.PricesWithReserve(e.cfg.Pricing, ranked, e.w.SlotFactors, e.cfg.Reserve)
+		e.scr.ranked = ranked
+		parts, prices := pricing.AppendPricesWithReserve(e.scr.parts[:0], e.scr.prices[:0], e.cfg.Pricing, ranked, e.w.SlotFactors, e.cfg.Reserve)
+		if e.cfg.Reserve > 0 {
+			e.scr.parts = parts // retain grown capacity across auctions
+		}
+		e.scr.prices = prices
+		slots := e.scr.slots[q][:0]
 		for j := 0; j < len(prices) && j < k; j++ {
-			adv := ranked[j]
+			adv := parts[j]
 			if adv.Bid <= 0 {
 				break
 			}
@@ -341,11 +495,16 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 			}
 			e.clicks.Display(adv.ID, prices[j], ctr, e.round)
 			e.stats.AdsDisplayed++
-			rep.Auctions[q] = append(rep.Auctions[q], SlotResult{Slot: j, Advertiser: adv.ID, PricePaid: prices[j]})
+			slots = append(slots, SlotResult{Slot: j, Advertiser: adv.ID, PricePaid: prices[j]})
+		}
+		e.scr.slots[q] = slots
+		if len(slots) > 0 {
+			rep.Auctions[q] = slots
 		}
 	}
 
 	e.stats.NodesMaterialized += rep.Materialized
+	e.stats.NodesCached += rep.Cached
 	e.stats.Rounds++
 	e.round++
 	return rep
@@ -361,9 +520,13 @@ func (e *Engine) Drain() {
 }
 
 // auctionCounts computes m_i: the number of occurring auctions each
-// advertiser takes part in this round.
+// advertiser takes part in this round. The returned slice is the engine's
+// round scratch, overwritten by the next call.
 func (e *Engine) auctionCounts(occurring []bool) []int {
-	m := make([]int, len(e.w.Advertisers))
+	m := e.scr.mCount
+	for i := range m {
+		m[i] = 0
+	}
 	for q, occ := range occurring {
 		if !occ {
 			continue
@@ -390,7 +553,8 @@ func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
 		}
 		return remaining
 	case Throttled:
-		prices, ctrs := e.clicks.Outstanding(i, e.round)
+		prices, ctrs := e.clicks.AppendOutstanding(e.scr.outPrices[:0], e.scr.outCTRs[:0], i, e.round)
+		e.scr.outPrices, e.scr.outCTRs = prices, ctrs
 		omega := 0.0
 		for _, p := range prices {
 			omega += p
@@ -400,10 +564,11 @@ func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
 		if omega <= remaining-float64(m)*a.Bid {
 			return a.Bid
 		}
-		ads := make([]budget.OutstandingAd, len(prices))
+		ads := e.scr.ads[:0]
 		for j := range prices {
-			ads[j] = budget.OutstandingAd{Price: prices[j], CTR: ctrs[j]}
+			ads = append(ads, budget.OutstandingAd{Price: prices[j], CTR: ctrs[j]})
 		}
+		e.scr.ads = ads
 		if len(ads) <= e.cfg.ThrottleEnumLimit {
 			return budget.ExactThrottledBid(a.Bid, remaining, m, ads)
 		}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sharedwd/internal/pricing"
+	"sharedwd/internal/workload"
+)
+
+// TestEngineStrategyEquivalence is the engine-level equivalence property:
+// over 4 scenarios × 60 randomized rounds (random occurrence vectors, bid
+// perturbation, budgets that exhaust mid-day, GSP and VCG, naive and
+// throttled policies), every execution strategy — memo reference, slab,
+// slab+incremental, each also on a 4-worker pool — must produce identical
+// RoundReports, Stats, and final per-advertiser accounting. Materialization
+// counters are normalized by Materialized + Cached, which must equal the
+// cache-off cost exactly.
+func TestEngineStrategyEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		rule    pricing.Rule
+		policy  BudgetPolicy
+		reserve float64
+	}{
+		{"gsp-naive", pricing.GSP, Naive, 0},
+		{"vcg-naive", pricing.VCG, Naive, 0},
+		{"gsp-throttled", pricing.GSP, Throttled, 0},
+		{"vcg-throttled-reserve", pricing.VCG, Throttled, 0.4},
+	}
+	type variant struct {
+		name        string
+		workers     int
+		incremental bool
+		memo        bool
+	}
+	variants := []variant{
+		{"slab", 1, false, false},
+		{"memo", 1, false, true},
+		{"incremental", 1, true, false},
+		{"pool", 4, false, false},
+		{"pool-incremental", 4, true, false},
+	}
+	for si, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			wcfg := workload.DefaultConfig()
+			wcfg.NumAdvertisers = 120
+			wcfg.NumPhrases = 16
+			wcfg.NumTopics = 4
+			wcfg.MinBudget = 2 // small: many advertisers exhaust mid-run
+			wcfg.MaxBudget = 20
+			wcfg.Seed = int64(100 + si)
+
+			base := DefaultConfig()
+			base.Pricing = sc.rule
+			base.Policy = sc.policy
+			base.Reserve = sc.reserve
+			base.Sharing = SharedAggregation
+
+			engines := make([]*Engine, len(variants))
+			worlds := make([]*workload.Workload, len(variants))
+			for i, v := range variants {
+				cfg := base
+				cfg.Workers = v.workers
+				cfg.IncrementalCache = v.incremental
+				// Each engine gets its own same-seed workload so identical
+				// stepping consumes identical random streams.
+				worlds[i] = workload.Generate(wcfg)
+				eng, err := New(worlds[i], cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.forceMemo = v.memo
+				engines[i] = eng
+				defer eng.Close()
+			}
+
+			rng := rand.New(rand.NewSource(wcfg.Seed * 7))
+			occ := make([]bool, wcfg.NumPhrases)
+			const rounds = 60
+			for round := 0; round < rounds; round++ {
+				for q := range occ {
+					occ[q] = rng.Float64() < 0.6
+				}
+				ref := engines[0].Step(occ)
+				refFull := ref.Materialized + ref.Cached
+				for i := 1; i < len(engines); i++ {
+					rep := engines[i].Step(occ)
+					compareReports(t, variants[i].name, round, ref, rep)
+					if got := rep.Materialized + rep.Cached; got != refFull {
+						t.Fatalf("%s round %d: materialized %d + cached %d, want %d total",
+							variants[i].name, round, rep.Materialized, rep.Cached, refFull)
+					}
+					if !variants[i].incremental && rep.Cached != 0 {
+						t.Fatalf("%s round %d: non-incremental engine reported %d cached nodes",
+							variants[i].name, round, rep.Cached)
+					}
+					if t.Failed() {
+						t.FailNow()
+					}
+				}
+				if round%3 == 2 {
+					for _, w := range worlds {
+						w.PerturbBids(0.15)
+					}
+				}
+			}
+
+			for _, e := range engines {
+				e.Drain()
+			}
+			refStats := engines[0].Stats()
+			for i := 1; i < len(engines); i++ {
+				es := engines[i].Stats()
+				if es.NodesMaterialized+es.NodesCached != refStats.NodesMaterialized {
+					t.Errorf("%s: lifetime materialized %d + cached %d, want %d",
+						variants[i].name, es.NodesMaterialized, es.NodesCached, refStats.NodesMaterialized)
+				}
+				es.NodesMaterialized, es.NodesCached = refStats.NodesMaterialized, refStats.NodesCached
+				if es != refStats {
+					t.Errorf("%s: final stats %+v, want %+v", variants[i].name, es, refStats)
+				}
+				for a := range worlds[0].Advertisers {
+					if got, want := engines[i].Spent(a), engines[0].Spent(a); got != want {
+						t.Errorf("%s: advertiser %d spent %v, want %v", variants[i].name, a, got, want)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func compareReports(t *testing.T, name string, round int, want, got RoundReport) {
+	t.Helper()
+	if got.Round != want.Round {
+		t.Errorf("%s round %d: report round %d, want %d", name, round, got.Round, want.Round)
+	}
+	if len(got.Clicks) != len(want.Clicks) {
+		t.Errorf("%s round %d: %d clicks, want %d", name, round, len(got.Clicks), len(want.Clicks))
+		return
+	}
+	for i := range want.Clicks {
+		if got.Clicks[i] != want.Clicks[i] {
+			t.Errorf("%s round %d: click %d = %+v, want %+v", name, round, i, got.Clicks[i], want.Clicks[i])
+			return
+		}
+	}
+	if len(got.Auctions) != len(want.Auctions) {
+		t.Errorf("%s round %d: %d auctions with slots, want %d", name, round, len(got.Auctions), len(want.Auctions))
+		return
+	}
+	for q, wantSlots := range want.Auctions {
+		gotSlots, ok := got.Auctions[q]
+		if !ok || len(gotSlots) != len(wantSlots) {
+			t.Errorf("%s round %d phrase %d: slots %v, want %v", name, round, q, gotSlots, wantSlots)
+			return
+		}
+		for j := range wantSlots {
+			if gotSlots[j] != wantSlots[j] {
+				t.Errorf("%s round %d phrase %d slot %d: %+v, want %+v",
+					name, round, q, j, gotSlots[j], wantSlots[j])
+				return
+			}
+		}
+	}
+}

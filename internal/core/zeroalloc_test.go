@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"sharedwd/internal/workload"
+)
+
+// TestStepSteadyStateZeroAlloc pins the tentpole guarantee: after warm-up, a
+// shared-mode round with the incremental cache on performs zero heap
+// allocations — every per-round structure (bids, slab values, top-k lists,
+// rankings, prices, slot results, the report's auction map, the click
+// simulator's buffers) is reused from engine scratch.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under the race detector")
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 300
+	wcfg.NumPhrases = 24
+	wcfg.MinBudget = 1e6 // never exhausts: keeps the display load steady
+	wcfg.MaxBudget = 2e6
+	w := workload.Generate(wcfg)
+
+	cfg := DefaultConfig()
+	cfg.Policy = Naive
+	cfg.Sharing = SharedAggregation
+	cfg.Workers = 1
+	cfg.IncrementalCache = true
+	eng, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	occ := make([]bool, wcfg.NumPhrases)
+	for q := range occ {
+		occ[q] = q%2 == 0
+	}
+	// Warm-up: past the click horizon several times over, so the pending-ad
+	// and scratch buffers reach their steady-state high-water capacities.
+	for i := 0; i < 300; i++ {
+		eng.Step(occ)
+	}
+	if avg := testing.AllocsPerRun(200, func() { eng.Step(occ) }); avg != 0 {
+		t.Fatalf("steady-state Step allocates %v times per round, want 0", avg)
+	}
+}

@@ -1,0 +1,229 @@
+package plan
+
+// Executor evaluates one Plan round after round with zero steady-state
+// allocations. Where Execute builds a fresh map memo and result map every
+// round, the Executor owns a dense value slab indexed by node ID plus an
+// epoch-stamp slice: marking the round's needed cone is a stamp write, not a
+// map insert, and node values are (re)computed in place.
+//
+// Two execution modes share the slab:
+//
+//   - Execute recomputes every node in the needed cone, exactly like the
+//     memo-based Execute free function (and with an identical materialized
+//     count).
+//   - ExecuteIncremental reuses any cached node value whose descendant
+//     leaves are unchanged since it was computed — the paper's Section III-B
+//     result-caching argument applied to the Section-II aggregation DAG.
+//     Callers report leaf changes via Invalidate, which marks the leaf's
+//     ancestor cone dirty through a precomputed reverse adjacency.
+//
+// Values are reused in place: the leaf and op callbacks receive the slot's
+// previous value (the zero value of T on first use) and return the slot's
+// new value, so a pointer-typed T can reset and refill one allocation per
+// node for the lifetime of the executor.
+//
+// An Executor is not safe for concurrent use; attach a Pool with SetPool to
+// evaluate each DAG level in parallel instead.
+type Executor[T any] struct {
+	p *Plan
+
+	vals  []T      // value slab, one slot per node
+	need  []uint64 // epoch stamp: node is in this round's cone
+	valid []bool   // slot holds a value consistent with current leaves
+	epoch uint64
+
+	parents [][]int32 // reverse adjacency, for dirty-cone invalidation
+	level   []int32   // DAG depth per node (leaves = 0)
+	stack   []int32   // invalidation scratch
+
+	// Per-level worklists of nodes to recompute this round (pool mode).
+	worklists [][]int32
+
+	qres []T // per-query result slab
+
+	pool  *Pool
+	op    func(prev T, a, b T) T // pinned during a parallel pass
+	runFn func(id int32)
+}
+
+// NewExecutor builds a reusable executor for the plan. The plan must be
+// complete; its node set must not grow afterwards (plans are append-only, so
+// build the full plan first).
+func NewExecutor[T any](p *Plan) *Executor[T] {
+	if !p.Complete() {
+		panic("plan: NewExecutor of incomplete plan")
+	}
+	n := len(p.Nodes)
+	ex := &Executor[T]{
+		p:       p,
+		vals:    make([]T, n),
+		need:    make([]uint64, n),
+		valid:   make([]bool, n),
+		parents: make([][]int32, n),
+		level:   make([]int32, n),
+		qres:    make([]T, len(p.QueryNode)),
+	}
+	maxLevel := int32(0)
+	for id := p.Inst.NumVars; id < n; id++ {
+		nd := p.Nodes[id]
+		ex.parents[nd.Left] = append(ex.parents[nd.Left], int32(id))
+		ex.parents[nd.Right] = append(ex.parents[nd.Right], int32(id))
+		l := ex.level[nd.Left]
+		if r := ex.level[nd.Right]; r > l {
+			l = r
+		}
+		ex.level[id] = l + 1
+		if l+1 > maxLevel {
+			maxLevel = l + 1
+		}
+	}
+	ex.worklists = make([][]int32, maxLevel+1)
+	ex.runFn = func(id int32) {
+		nd := &ex.p.Nodes[id]
+		ex.vals[id] = ex.op(ex.vals[id], ex.vals[nd.Left], ex.vals[nd.Right])
+	}
+	return ex
+}
+
+// Plan returns the plan the executor evaluates.
+func (ex *Executor[T]) Plan() *Plan { return ex.p }
+
+// SetPool attaches (or with nil detaches) a worker pool. With a pool, each
+// DAG level's dirty nodes are computed concurrently; levels run in sequence,
+// so every child is ready before its parent. Results are identical to
+// sequential execution because each node is still computed exactly once from
+// the same inputs.
+func (ex *Executor[T]) SetPool(p *Pool) { ex.pool = p }
+
+// Results returns the per-query result slab: Results()[qi] holds query qi's
+// value if qi
+// occurred in the last Execute/ExecuteIncremental call. Slots of
+// non-occurring queries hold stale values; consult the occurrence vector.
+// The slab is overwritten by the next call.
+func (ex *Executor[T]) Results() []T { return ex.qres }
+
+// Invalidate marks variable leaf v's value changed: v and every ancestor are
+// dropped from the cache so the next ExecuteIncremental recomputes them. The
+// walk prunes at already-invalid nodes, which is sound because an invalid
+// node's ancestors are invalid by construction.
+func (ex *Executor[T]) Invalidate(v int) {
+	if !ex.valid[v] {
+		return
+	}
+	ex.valid[v] = false
+	ex.stack = append(ex.stack[:0], int32(v))
+	for len(ex.stack) > 0 {
+		n := ex.stack[len(ex.stack)-1]
+		ex.stack = ex.stack[:len(ex.stack)-1]
+		for _, p := range ex.parents[n] {
+			if ex.valid[p] {
+				ex.valid[p] = false
+				ex.stack = append(ex.stack, p)
+			}
+		}
+	}
+}
+
+// InvalidateAll drops every cached value.
+func (ex *Executor[T]) InvalidateAll() {
+	for i := range ex.valid {
+		ex.valid[i] = false
+	}
+}
+
+// Execute evaluates every node needed by the occurring queries (nil means
+// all occur), recomputing the full cone. leaf(prev, v) returns the round's
+// value for variable v and op(prev, a, b) returns a⊕b; both receive the
+// slot's previous value for in-place reuse. The returned count is the number
+// of internal nodes materialized — identical to the memo-based Execute.
+func (ex *Executor[T]) Execute(leaf func(prev T, v int) T, op func(prev T, a, b T) T, occurring []bool) (materialized int) {
+	materialized, _ = ex.run(leaf, op, occurring, false)
+	return materialized
+}
+
+// ExecuteIncremental evaluates the occurring queries, reusing every cached
+// node value still consistent with the leaves (see Invalidate). It returns
+// how many internal nodes were recomputed and how many were served from
+// cache; recomputed+cached equals the cone size Execute would materialize.
+func (ex *Executor[T]) ExecuteIncremental(leaf func(prev T, v int) T, op func(prev T, a, b T) T, occurring []bool) (recomputed, cached int) {
+	return ex.run(leaf, op, occurring, true)
+}
+
+func (ex *Executor[T]) run(leaf func(prev T, v int) T, op func(prev T, a, b T) T, occurring []bool, incremental bool) (recomputed, cached int) {
+	ex.epoch++
+	nodes := ex.p.Nodes
+	numVars := ex.p.Inst.NumVars
+
+	// Mark the needed cone top-down. Children precede parents by
+	// construction, so one descending sweep from the highest needed node
+	// reaches every dependency.
+	maxNeeded := -1
+	for qi, id := range ex.p.QueryNode {
+		if occurring != nil && !occurring[qi] {
+			continue
+		}
+		ex.need[id] = ex.epoch
+		if id > maxNeeded {
+			maxNeeded = id
+		}
+	}
+	for id := maxNeeded; id >= numVars; id-- {
+		if ex.need[id] != ex.epoch {
+			continue
+		}
+		nd := &nodes[id]
+		ex.need[nd.Left] = ex.epoch
+		ex.need[nd.Right] = ex.epoch
+	}
+
+	parallel := ex.pool != nil
+	if parallel {
+		for l := range ex.worklists {
+			ex.worklists[l] = ex.worklists[l][:0]
+		}
+	}
+
+	// Evaluate the cone bottom-up (ascending IDs are a topological order).
+	// Leaves are always computed inline — they are cheap and feed every
+	// level — while internal nodes either compute inline (sequential) or
+	// batch into per-level worklists for the pool.
+	for id := 0; id <= maxNeeded; id++ {
+		if ex.need[id] != ex.epoch {
+			continue
+		}
+		if id < numVars {
+			if !incremental || !ex.valid[id] {
+				ex.vals[id] = leaf(ex.vals[id], id)
+				ex.valid[id] = true
+			}
+			continue
+		}
+		if incremental && ex.valid[id] {
+			cached++
+			continue
+		}
+		recomputed++
+		ex.valid[id] = true
+		if parallel {
+			l := ex.level[id]
+			ex.worklists[l] = append(ex.worklists[l], int32(id))
+			continue
+		}
+		nd := &nodes[id]
+		ex.vals[id] = op(ex.vals[id], ex.vals[nd.Left], ex.vals[nd.Right])
+	}
+	if parallel {
+		ex.op = op
+		for _, wl := range ex.worklists {
+			ex.pool.Run(wl, ex.runFn)
+		}
+	}
+
+	for qi, id := range ex.p.QueryNode {
+		if occurring != nil && !occurring[qi] {
+			continue
+		}
+		ex.qres[qi] = ex.vals[id]
+	}
+	return recomputed, cached
+}

@@ -1,0 +1,199 @@
+package plan_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+)
+
+// max2 is an idempotent ⊕, valid on any well-formed plan; maxOp adapts it
+// to the slab executor's prev-reusing signature.
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxOp(prev, a, b int) int { return max2(a, b) }
+
+// TestExecutorMatchesExecute is the executor-level equivalence property:
+// over randomized instances and many rounds of changing leaf values and
+// occurrence vectors, the slab executor, the incremental executor, and the
+// pool-driven executor all reproduce the memo-based Execute bit for bit,
+// and their work counters tie out (recomputed+cached == memo materialized).
+func TestExecutorMatchesExecute(t *testing.T) {
+	pool := plan.NewPool(4)
+	defer pool.Close()
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := plan.RandomOverlapInstance(rng, 40, 12, 4, 0.3, 0.9)
+		for _, p := range []*plan.Plan{sharedagg.Build(inst), plan.NaivePlan(inst)} {
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			leafVal := make([]int, inst.NumVars)
+			for v := range leafVal {
+				leafVal[v] = rng.Intn(1000)
+			}
+			memoLeaf := func(v int) int { return leafVal[v] }
+			slabLeaf := func(prev, v int) int { return leafVal[v] }
+
+			slab := plan.NewExecutor[int](p)
+			incr := plan.NewExecutor[int](p)
+			par := plan.NewExecutor[int](p)
+			parIncr := plan.NewExecutor[int](p)
+			par.SetPool(pool)
+			parIncr.SetPool(pool)
+
+			for round := 0; round < 30; round++ {
+				// Sparse leaf churn, reported to the incremental executors.
+				for i := rng.Intn(6); i > 0; i-- {
+					v := rng.Intn(inst.NumVars)
+					leafVal[v] = rng.Intn(1000)
+					incr.Invalidate(v)
+					parIncr.Invalidate(v)
+				}
+				occ := make([]bool, len(inst.Queries))
+				for q := range occ {
+					occ[q] = rng.Intn(3) > 0
+				}
+				if round%7 == 0 {
+					occ = nil // the "all occur" convention
+				}
+
+				want, wantMat := plan.Execute(p, memoLeaf, max2, occ)
+
+				check := func(name string, got []int, recomputed, cached int, expectCache bool) {
+					t.Helper()
+					if recomputed+cached != wantMat {
+						t.Fatalf("seed %d %s round %d: recomputed %d + cached %d != memo materialized %d",
+							seed, name, round, recomputed, cached, wantMat)
+					}
+					if !expectCache && cached != 0 {
+						t.Fatalf("%s: full executor reported %d cached nodes", name, cached)
+					}
+					for qi, v := range want {
+						if got[qi] != v {
+							t.Fatalf("seed %d %s round %d: query %d = %d, want %d",
+								seed, name, round, qi, got[qi], v)
+						}
+					}
+				}
+				m := slab.Execute(slabLeaf, maxOp, occ)
+				check("slab", slab.Results(), m, 0, false)
+				r, c := incr.ExecuteIncremental(slabLeaf, maxOp, occ)
+				check("incremental", incr.Results(), r, c, true)
+				m = par.Execute(slabLeaf, maxOp, occ)
+				check("pool", par.Results(), m, 0, false)
+				r, c = parIncr.ExecuteIncremental(slabLeaf, maxOp, occ)
+				check("pool+incremental", parIncr.Results(), r, c, true)
+			}
+		}
+	}
+}
+
+// TestExecutorIncrementalCachesSteadyState: with no leaf churn and a fixed
+// occurrence vector, the second round must be served entirely from cache.
+func TestExecutorIncrementalCachesSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inst := plan.RandomOverlapInstance(rng, 30, 8, 3, 0.5, 0.9)
+	p := sharedagg.Build(inst)
+	leafVal := make([]int, inst.NumVars)
+	for v := range leafVal {
+		leafVal[v] = rng.Intn(100)
+	}
+	leaf := func(prev, v int) int { return leafVal[v] }
+	ex := plan.NewExecutor[int](p)
+	occ := make([]bool, len(inst.Queries))
+	for q := range occ {
+		occ[q] = q%2 == 0
+	}
+	r1, c1 := ex.ExecuteIncremental(leaf, maxOp, occ)
+	if r1 == 0 || c1 != 0 {
+		t.Fatalf("first round: recomputed %d, cached %d", r1, c1)
+	}
+	r2, c2 := ex.ExecuteIncremental(leaf, maxOp, occ)
+	if r2 != 0 || c2 != r1 {
+		t.Fatalf("steady round: recomputed %d, cached %d (want 0, %d)", r2, c2, r1)
+	}
+	// A single leaf change recomputes only its ancestor cone.
+	var dirty int
+	for q := range occ {
+		if occ[q] {
+			dirty = inst.Queries[q].Vars.Indices()[0]
+			break
+		}
+	}
+	leafVal[dirty]++
+	ex.Invalidate(dirty)
+	r3, c3 := ex.ExecuteIncremental(leaf, maxOp, occ)
+	if r3 == 0 || r3+c3 != r1 {
+		t.Fatalf("dirty round: recomputed %d, cached %d (cone %d)", r3, c3, r1)
+	}
+	if r3 >= r1 {
+		t.Fatalf("one dirty leaf recomputed the whole cone (%d of %d)", r3, r1)
+	}
+	// InvalidateAll recomputes everything again.
+	ex.InvalidateAll()
+	r4, _ := ex.ExecuteIncremental(leaf, maxOp, occ)
+	if r4 != r1 {
+		t.Fatalf("after InvalidateAll recomputed %d, want %d", r4, r1)
+	}
+}
+
+// TestExecutorValueReuse: the executor must hand each slot's previous value
+// back to leaf/op so pointer-typed values are recycled, not reallocated.
+func TestExecutorValueReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := plan.RandomOverlapInstance(rng, 20, 6, 2, 1, 1)
+	p := sharedagg.Build(inst)
+	type box struct{ v int }
+	var fresh atomic.Int64
+	leaf := func(prev *box, v int) *box {
+		if prev == nil {
+			fresh.Add(1)
+			prev = &box{}
+		}
+		prev.v = v
+		return prev
+	}
+	op := func(prev, a, b *box) *box {
+		if prev == nil {
+			fresh.Add(1)
+			prev = &box{}
+		}
+		prev.v = max2(a.v, b.v)
+		return prev
+	}
+	ex := plan.NewExecutor[*box](p)
+	ex.Execute(leaf, op, nil)
+	warm := fresh.Load()
+	for i := 0; i < 5; i++ {
+		ex.Execute(leaf, op, nil)
+	}
+	if fresh.Load() != warm {
+		t.Fatalf("steady-state rounds allocated %d new boxes", fresh.Load()-warm)
+	}
+}
+
+func TestPoolRunCoversAllIDs(t *testing.T) {
+	pool := plan.NewPool(3)
+	defer pool.Close()
+	for _, n := range []int{0, 1, 2, 3, 7, 100} {
+		ids := make([]int32, n)
+		hit := make([]atomic.Int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		pool.Run(ids, func(id int32) { hit[id].Add(1) })
+		for i := range hit {
+			if hit[i].Load() != 1 {
+				t.Fatalf("n=%d: id %d run %d times", n, i, hit[i].Load())
+			}
+		}
+	}
+}

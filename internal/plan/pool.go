@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a persistent, bounded worker pool for level-parallel plan
+// execution. It replaces the per-round goroutine-per-query pattern: exactly
+// `workers` goroutines are started once and live until Close, and each round
+// the Executor hands them the dirty nodes of one DAG level at a time.
+// Dispatch sends fixed-size task structs over a buffered channel and reuses
+// one WaitGroup, so a steady-state Run performs no allocations.
+type Pool struct {
+	workers int
+	tasks   chan poolTask
+	done    sync.WaitGroup // per-Run barrier (Run is not reentrant)
+	stopped sync.WaitGroup // worker exit barrier for Close
+}
+
+type poolTask struct {
+	ids  []int32
+	fn   func(id int32)
+	done *sync.WaitGroup
+}
+
+// NewPool starts a pool of exactly `workers` goroutines (≥ 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("plan: pool needs ≥ 1 worker, got %d", workers))
+	}
+	p := &Pool{workers: workers, tasks: make(chan poolTask, workers)}
+	p.stopped.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.work()
+	}
+	return p
+}
+
+// Workers returns the pool's fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) work() {
+	defer p.stopped.Done()
+	for t := range p.tasks {
+		for _, id := range t.ids {
+			t.fn(id)
+		}
+		t.done.Done()
+	}
+}
+
+// Run applies fn to every id, splitting the slice into one contiguous chunk
+// per worker, and returns when all chunks finish. fn calls for distinct ids
+// must be independent (the Executor guarantees this within one DAG level).
+// Run must not be called concurrently with itself.
+func (p *Pool) Run(ids []int32, fn func(id int32)) {
+	if len(ids) == 0 {
+		return
+	}
+	if len(ids) == 1 || p.workers == 1 {
+		// Not worth a handoff; run inline on the caller's goroutine.
+		for _, id := range ids {
+			fn(id)
+		}
+		return
+	}
+	chunk := (len(ids) + p.workers - 1) / p.workers
+	tasks := (len(ids) + chunk - 1) / chunk
+	p.done.Add(tasks - 1)
+	for lo := chunk; lo < len(ids); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		p.tasks <- poolTask{ids: ids[lo:hi], fn: fn, done: &p.done}
+	}
+	// The caller works the first chunk itself instead of idling.
+	for _, id := range ids[:chunk] {
+		fn(id)
+	}
+	p.done.Wait()
+}
+
+// Close shuts the workers down and waits for them to exit. The pool must
+// not be used afterwards.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.stopped.Wait()
+}

@@ -54,9 +54,16 @@ func (r Rule) String() string {
 // slot (the price-setter); slotFactors must be descending and positive.
 // The result has min(k, len(ranked)) entries, price[j] for slot j's winner.
 func Prices(rule Rule, ranked []Ranked, slotFactors []float64) []float64 {
+	return AppendPrices(nil, rule, ranked, slotFactors)
+}
+
+// AppendPrices is Prices writing into dst (appending after its length), for
+// hot paths that reuse a price buffer across auctions. Steady-state calls
+// with sufficient capacity perform no allocations for up to 16 slots.
+func AppendPrices(dst []float64, rule Rule, ranked []Ranked, slotFactors []float64) []float64 {
 	k := len(slotFactors)
 	if k == 0 {
-		return nil
+		return dst
 	}
 	for j := 1; j < k; j++ {
 		if slotFactors[j] > slotFactors[j-1] {
@@ -67,7 +74,11 @@ func Prices(rule Rule, ranked []Ranked, slotFactors []float64) []float64 {
 	if len(ranked) < winners {
 		winners = len(ranked)
 	}
-	prices := make([]float64, winners)
+	base := len(dst)
+	for j := 0; j < winners; j++ {
+		dst = append(dst, 0)
+	}
+	prices := dst[base:]
 	switch rule {
 	case FirstPrice:
 		for j := 0; j < winners; j++ {
@@ -86,7 +97,15 @@ func Prices(rule Rule, ranked []Ranked, slotFactors []float64) []float64 {
 		// bottom-up so each winner pays exactly the externality he imposes:
 		//   p_k·c_k·d_k = b_{k+1}·c_{k+1}·d_k
 		//   p_j·c_j·d_j = p_{j+1}·c_{j+1}·d_{j+1} + b_{j+1}·c_{j+1}·(d_j − d_{j+1})
-		expected := make([]float64, winners) // p_j·c_j·d_j, total expected payment
+		// expected[j] is p_j·c_j·d_j, the winner's total expected payment;
+		// auctions of ≤ 16 slots use a stack buffer to stay allocation-free.
+		var expBuf [16]float64
+		var expected []float64
+		if winners > len(expBuf) {
+			expected = make([]float64, winners)
+		} else {
+			expected = expBuf[:winners]
+		}
 		for j := winners - 1; j >= 0; j-- {
 			next := 0.0
 			if j+1 < len(ranked) {
@@ -118,7 +137,7 @@ func Prices(rule Rule, ranked []Ranked, slotFactors []float64) []float64 {
 			prices[j] = 0
 		}
 	}
-	return prices
+	return dst
 }
 
 // FilterReserve returns the prefix-preserving sub-ranking of advertisers
@@ -128,13 +147,18 @@ func FilterReserve(ranked []Ranked, reserve float64) []Ranked {
 	if reserve <= 0 {
 		return ranked
 	}
-	out := make([]Ranked, 0, len(ranked))
+	return AppendFilterReserve(make([]Ranked, 0, len(ranked)), ranked, reserve)
+}
+
+// AppendFilterReserve is FilterReserve appending into dst, for callers that
+// reuse a participants buffer across auctions.
+func AppendFilterReserve(dst, ranked []Ranked, reserve float64) []Ranked {
 	for _, r := range ranked {
 		if r.Bid >= reserve {
-			out = append(out, r)
+			dst = append(dst, r)
 		}
 	}
-	return out
+	return dst
 }
 
 // PricesWithReserve prices the winners of an auction with a per-click
@@ -143,8 +167,25 @@ func FilterReserve(ranked []Ranked, reserve float64) []Ranked {
 // ever pays above his bid. The returned prices align with
 // FilterReserve(ranked, reserve).
 func PricesWithReserve(rule Rule, ranked []Ranked, slotFactors []float64, reserve float64) ([]Ranked, []float64) {
-	participants := FilterReserve(ranked, reserve)
-	prices := Prices(rule, participants, slotFactors)
+	return AppendPricesWithReserve(nil, nil, rule, ranked, slotFactors, reserve)
+}
+
+// AppendPricesWithReserve is PricesWithReserve appending participants and
+// prices into caller-owned buffers (appending after their lengths; the
+// returned slices are the appended portions, which for length-0 buffers are
+// the grown buffers themselves). When reserve ≤ 0 the returned participants
+// slice is `ranked` itself and dstParts is untouched, so the zero-reserve
+// hot path copies nothing.
+func AppendPricesWithReserve(dstParts []Ranked, dstPrices []float64, rule Rule, ranked []Ranked, slotFactors []float64, reserve float64) ([]Ranked, []float64) {
+	participants := ranked
+	if reserve > 0 {
+		base := len(dstParts)
+		dstParts = AppendFilterReserve(dstParts, ranked, reserve)
+		participants = dstParts[base:]
+	}
+	base := len(dstPrices)
+	dstPrices = AppendPrices(dstPrices, rule, participants, slotFactors)
+	prices := dstPrices[base:]
 	for j := range prices {
 		if prices[j] < reserve {
 			prices[j] = reserve

@@ -1,0 +1,51 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchList(rng *rand.Rand, k, pushes, idSpan, idBase int) *List {
+	l := New(k)
+	for i := 0; i < pushes; i++ {
+		l.Push(Entry{ID: idBase + rng.Intn(idSpan), Score: rng.Float64()})
+	}
+	return l
+}
+
+// BenchmarkMergeInto measures the in-place ⊕ the slab executor runs per
+// internal node; steady state must be 0 allocs/op.
+func BenchmarkMergeInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		name string
+		x, y *List
+	}{
+		{"overlapping", benchList(rng, 10, 20, 10000, 0), benchList(rng, 10, 20, 10000, 0)},
+		{"disjoint", benchList(rng, 10, 20, 5000, 0), benchList(rng, 10, 20, 5000, 5000)},
+		{"oneEmpty", benchList(rng, 10, 20, 10000, 0), New(10)},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			dst := New(10)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MergeInto(dst, c.x, c.y)
+			}
+		})
+	}
+}
+
+// BenchmarkMergeAll measures the fold; after the accumulate fix it allocates
+// two accumulators total instead of one fresh list per element.
+func BenchmarkMergeAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	lists := make([]*List, 64)
+	for i := range lists {
+		lists[i] = benchList(rng, 10, 8, 10000, 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeAll(lists...)
+	}
+}

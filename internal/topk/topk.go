@@ -36,6 +36,10 @@ func (e Entry) Less(o Entry) bool {
 type List struct {
 	k       int
 	entries []Entry
+	// minID/maxID bound the IDs of every entry pushed since the last Reset
+	// (monotone: eviction does not narrow them). Merge uses them to prove
+	// two lists share no ID and skip per-entry de-duplication.
+	minID, maxID int
 }
 
 // New returns an empty k-list with capacity k. k must be positive.
@@ -43,7 +47,21 @@ func New(k int) *List {
 	if k <= 0 {
 		panic(fmt.Sprintf("topk: non-positive k %d", k))
 	}
-	return &List{k: k, entries: make([]Entry, 0, k)}
+	l := &List{k: k, entries: make([]Entry, 0, k)}
+	l.resetBounds()
+	return l
+}
+
+func (l *List) resetBounds() {
+	l.minID, l.maxID = int(^uint(0)>>1), -int(^uint(0)>>1)-1
+}
+
+// Reset empties the list in place, retaining its capacity for reuse. The
+// slab executor and engine scratch buffers rely on this to run steady-state
+// rounds without allocating.
+func (l *List) Reset() {
+	l.entries = l.entries[:0]
+	l.resetBounds()
 }
 
 // FromEntries builds a k-list containing the top k of the given entries,
@@ -72,6 +90,17 @@ func (l *List) Entries() []Entry {
 
 // At returns the i-th best entry (0-based).
 func (l *List) At(i int) Entry { return l.entries[i] }
+
+// Each calls fn on every entry in descending rank order, stopping early if
+// fn returns false. Unlike Entries it performs no copy, so hot paths can
+// walk a list without allocating.
+func (l *List) Each(fn func(Entry) bool) {
+	for _, e := range l.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
 
 // Min returns the lowest-ranked entry currently held and whether the list is
 // nonempty. When the list is full, Min is the threshold a new entry must beat.
@@ -124,11 +153,21 @@ func (l *List) insert(e Entry) {
 	l.entries = append(l.entries, Entry{})
 	copy(l.entries[i+1:], l.entries[i:])
 	l.entries[i] = e
+	l.noteID(e.ID)
+}
+
+func (l *List) noteID(id int) {
+	if id < l.minID {
+		l.minID = id
+	}
+	if id > l.maxID {
+		l.maxID = id
+	}
 }
 
 // Clone returns an independent copy of the list.
 func (l *List) Clone() *List {
-	c := &List{k: l.k, entries: make([]Entry, len(l.entries), l.k)}
+	c := &List{k: l.k, entries: make([]Entry, len(l.entries), l.k), minID: l.minID, maxID: l.maxID}
 	copy(c.entries, l.entries)
 	return c
 }
@@ -169,37 +208,100 @@ func Merge(a, b *List) *List {
 	if a.k != b.k {
 		panic(fmt.Sprintf("topk: merge of lists with k=%d and k=%d", a.k, b.k))
 	}
-	out := New(a.k)
+	return MergeInto(New(a.k), a, b)
+}
+
+// copyFrom makes dst an exact copy of src without allocating (both share k).
+func (l *List) copyFrom(src *List) {
+	l.entries = l.entries[:len(src.entries)]
+	copy(l.entries, src.entries)
+	l.minID, l.maxID = src.minID, src.maxID
+}
+
+// MergeInto computes a ⊕ b into dst, reusing dst's storage, and returns dst.
+// dst is reset first and must be distinct from both inputs; all three lists
+// must share the same k. Two fast paths keep the common plan-execution cases
+// cheap: an empty side is answered by copying the other, and inputs whose ID
+// ranges cannot overlap (frequent when fragments partition the advertisers)
+// merge without Push's O(k) de-duplication scan.
+func MergeInto(dst, a, b *List) *List {
+	if a.k != b.k || dst.k != a.k {
+		panic(fmt.Sprintf("topk: merge of lists with k=%d, %d into k=%d", a.k, b.k, dst.k))
+	}
+	if dst == a || dst == b {
+		panic("topk: MergeInto destination aliases an input")
+	}
+	dst.Reset()
+	switch {
+	case len(a.entries) == 0:
+		dst.copyFrom(b)
+		return dst
+	case len(b.entries) == 0:
+		dst.copyFrom(a)
+		return dst
+	}
 	i, j := 0, 0
+	if a.maxID < b.minID || b.maxID < a.minID {
+		// Provably ID-disjoint: a pure two-way merge, no dedup scans.
+		for len(dst.entries) < dst.k && (i < len(a.entries) || j < len(b.entries)) {
+			var e Entry
+			switch {
+			case i == len(a.entries):
+				e = b.entries[j]
+				j++
+			case j == len(b.entries):
+				e = a.entries[i]
+				i++
+			case a.entries[i].Less(b.entries[j]):
+				e = a.entries[i]
+				i++
+			default:
+				e = b.entries[j]
+				j++
+			}
+			dst.entries = append(dst.entries, e)
+			dst.noteID(e.ID)
+		}
+		return dst
+	}
 	// Standard two-way merge over sorted inputs; Push de-duplicates IDs.
-	for out.Len() < a.k && (i < len(a.entries) || j < len(b.entries)) {
+	for len(dst.entries) < dst.k && (i < len(a.entries) || j < len(b.entries)) {
 		switch {
 		case i == len(a.entries):
-			out.Push(b.entries[j])
+			dst.Push(b.entries[j])
 			j++
 		case j == len(b.entries):
-			out.Push(a.entries[i])
+			dst.Push(a.entries[i])
 			i++
 		case a.entries[i].Less(b.entries[j]):
-			out.Push(a.entries[i])
+			dst.Push(a.entries[i])
 			i++
 		default:
-			out.Push(b.entries[j])
+			dst.Push(b.entries[j])
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
 // MergeAll folds Merge over the given lists, returning the top k of all of
-// them. It panics if lists is empty.
+// them. It panics if lists is empty. The fold ping-pongs between two
+// accumulators rather than allocating a fresh list per element.
 func MergeAll(lists ...*List) *List {
 	if len(lists) == 0 {
 		panic("topk: MergeAll of no lists")
 	}
-	acc := lists[0].Clone()
-	for _, l := range lists[1:] {
-		acc = Merge(acc, l)
+	if len(lists) == 1 {
+		return lists[0].Clone()
+	}
+	acc := Merge(lists[0], lists[1])
+	if len(lists) == 2 {
+		return acc
+	}
+	spare := New(acc.k)
+	for _, l := range lists[2:] {
+		MergeInto(spare, acc, l)
+		acc, spare = spare, acc
 	}
 	return acc
 }

@@ -213,6 +213,102 @@ func TestQuickMergeMatchesSort(t *testing.T) {
 	}
 }
 
+// TestQuickMergeIntoMatchesMerge: the in-place merge must be bit-identical
+// to the allocating one, including on empty-side and ID-disjoint inputs that
+// take the fast paths.
+func TestQuickMergeIntoMatchesMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		mk := func() *List {
+			switch rng.Intn(4) {
+			case 0:
+				return New(k) // empty side
+			case 1: // low ID range (disjoint from case 2)
+				l := New(k)
+				for i := rng.Intn(2 * k); i > 0; i-- {
+					l.Push(Entry{ID: rng.Intn(100), Score: float64(rng.Intn(50))})
+				}
+				return l
+			case 2: // high ID range
+				l := New(k)
+				for i := rng.Intn(2 * k); i > 0; i-- {
+					l.Push(Entry{ID: 1000 + rng.Intn(100), Score: float64(rng.Intn(50))})
+				}
+				return l
+			default:
+				return randomList(rng, k, 30)
+			}
+		}
+		a, b := mk(), mk()
+		want := Merge(a, b)
+		dst := New(k)
+		// Pre-dirty dst to prove Reset semantics.
+		dst.Push(Entry{ID: 9999, Score: 1e9})
+		if !MergeInto(dst, a, b).Equal(want) {
+			return false
+		}
+		// Reuse the same dst again.
+		return MergeInto(dst, b, a).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIntoAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when dst aliases an input")
+		}
+	}()
+	l := FromEntries(2, Entry{1, 1})
+	MergeInto(l, l, New(2))
+}
+
+func TestResetReuse(t *testing.T) {
+	l := FromEntries(3, Entry{1, 5}, Entry{2, 3})
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", l.Len())
+	}
+	l.Push(Entry{7, 1})
+	if got := l.IDs(); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("IDs after reuse = %v", got)
+	}
+	// The disjointness bounds must reset too: before the fix a stale maxID
+	// could falsely prove disjointness and skip de-duplication.
+	a := New(3)
+	a.Push(Entry{50, 9})
+	a.Reset()
+	a.Push(Entry{1, 9})
+	b := FromEntries(3, Entry{1, 4}, Entry{2, 2})
+	if got := Merge(a, b).IDs(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("merge after Reset = %v, want [1 2]", got)
+	}
+}
+
+func TestEach(t *testing.T) {
+	l := FromEntries(3, Entry{1, 5}, Entry{2, 3}, Entry{3, 1})
+	var ids []int
+	l.Each(func(e Entry) bool {
+		ids = append(ids, e.ID)
+		return len(ids) < 2
+	})
+	if !reflect.DeepEqual(ids, []int{1, 2}) {
+		t.Fatalf("Each visited %v, want [1 2] (early stop)", ids)
+	}
+}
+
+func TestMergeAllSingleCloneIsIndependent(t *testing.T) {
+	l := FromEntries(2, Entry{1, 1})
+	m := MergeAll(l)
+	m.Push(Entry{2, 9})
+	if l.Len() != 1 {
+		t.Fatal("MergeAll of one list must return an independent copy")
+	}
+}
+
 func BenchmarkPush(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	entries := make([]Entry, 1024)

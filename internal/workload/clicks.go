@@ -38,6 +38,9 @@ type ClickSim struct {
 
 	rng     *rand.Rand
 	pending []pendingAd
+	// clickBuf backs Advance's result so steady-state rounds do not
+	// allocate; it is overwritten by the next Advance.
+	clickBuf []Click
 }
 
 // NewClickSim creates a simulator. hazard must be in (0, 1]; horizon ≥ 1.
@@ -67,9 +70,11 @@ func (cs *ClickSim) Display(advertiser int, price, ctr float64, round int) {
 }
 
 // Advance reveals the clicks that arrive in the given round and drops ads
-// past the horizon. Rounds must be advanced in non-decreasing order.
+// past the horizon. Rounds must be advanced in non-decreasing order. The
+// returned slice is reused by the next Advance call; callers that retain
+// clicks across rounds must copy them.
 func (cs *ClickSim) Advance(round int) []Click {
-	var clicks []Click
+	clicks := cs.clickBuf[:0]
 	keep := cs.pending[:0]
 	for _, p := range cs.pending {
 		switch {
@@ -86,12 +91,20 @@ func (cs *ClickSim) Advance(round int) []Click {
 		}
 	}
 	cs.pending = keep
+	cs.clickBuf = clicks
 	return clicks
 }
 
 // Outstanding returns, for budget throttling, every pending ad of the given
 // advertiser as (price, remaining click probability at the current round).
 func (cs *ClickSim) Outstanding(advertiser, round int) (prices, ctrs []float64) {
+	return cs.AppendOutstanding(nil, nil, advertiser, round)
+}
+
+// AppendOutstanding is Outstanding appending into caller-owned buffers, so
+// the per-round throttling loop can reuse its scratch instead of allocating
+// per advertiser.
+func (cs *ClickSim) AppendOutstanding(prices, ctrs []float64, advertiser, round int) ([]float64, []float64) {
 	for _, p := range cs.pending {
 		if p.advertiser != advertiser {
 			continue

@@ -225,7 +225,17 @@ func (w *Workload) QualityFor(q, i int) float64 {
 // SampleRound draws which phrases occur this round: independent Bernoulli
 // trials with the phrases' search rates, the paper's round model.
 func (w *Workload) SampleRound() []bool {
-	occ := make([]bool, w.Cfg.NumPhrases)
+	return w.SampleRoundInto(make([]bool, w.Cfg.NumPhrases))
+}
+
+// SampleRoundInto is SampleRound writing into occ when its capacity allows,
+// so steady-state engines can reuse one occurrence buffer; a fresh slice is
+// allocated only when occ is too small.
+func (w *Workload) SampleRoundInto(occ []bool) []bool {
+	if cap(occ) < w.Cfg.NumPhrases {
+		occ = make([]bool, w.Cfg.NumPhrases)
+	}
+	occ = occ[:w.Cfg.NumPhrases]
 	for q, r := range w.Rates {
 		occ[q] = w.rng.Float64() < r
 	}
