@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet
+.PHONY: all build test race bench bench-json fmt vet staticcheck
 
 all: build test
 
@@ -19,12 +19,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs the pinned honnef.co analyzer without adding a module
+# dependency (go run fetches the tool into the build cache only).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
+
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# bench-json runs the core round-resolution benchmarks and records them as
-# machine-readable JSON in BENCH_core.json for cross-PR comparison.
+# bench-json runs the core round-resolution and serving benchmarks and
+# records them as machine-readable JSON (BENCH_core.json, BENCH_server.json)
+# for cross-PR comparison.
 bench-json:
 	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_core.json
 	@cat BENCH_core.json
+	$(GO) test -bench='ServerThroughput' -benchmem -benchtime=2s -run='^$$' . \
+		| $(GO) run ./tools/benchjson > BENCH_server.json
+	@cat BENCH_server.json

@@ -7,10 +7,12 @@
 package sharedwd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"sharedwd/internal/analytics"
 	"sharedwd/internal/bitset"
@@ -18,6 +20,7 @@ import (
 	"sharedwd/internal/core"
 	"sharedwd/internal/nonsep"
 	"sharedwd/internal/plan"
+	"sharedwd/internal/server"
 	"sharedwd/internal/sharedagg"
 	"sharedwd/internal/sharedsort"
 	"sharedwd/internal/ta"
@@ -629,6 +632,61 @@ func BenchmarkTopKMerge(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		topk.Merge(x, y)
 	}
+}
+
+// BenchmarkServerThroughput measures the serving tentpole end to end: many
+// concurrent submitters pushing raw queries through admission, batching, and
+// shared winner determination. Rounds close on the size threshold long before
+// the ticker under this load, so throughput is governed by Step time over the
+// batch — the paper's sharing argument in serving form. Reported metrics:
+// sustained queries/sec over the timed region and the p95 Submit-to-answer
+// latency in milliseconds (which must stay bounded by ~the round interval,
+// far inside the §I interactivity tolerances).
+func BenchmarkServerThroughput(b *testing.B) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 400
+	wcfg.NumPhrases = 24
+	wcfg.MinBudget = 1e6 // steady display load, no budget churn
+	wcfg.MaxBudget = 2e6
+	w := workload.Generate(wcfg)
+	cfg := server.DefaultConfig()
+	cfg.RoundInterval = time.Millisecond
+	cfg.MaxBatch = 1024
+	cfg.QueueDepth = 1 << 14
+	s, err := server.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	queries := w.PhraseNames
+	// Winner determination is shared per round, so its cost is independent
+	// of batch size; more concurrent submitters amortize each round over
+	// more answered queries. 256×GOMAXPROCS keeps even a single-core runner
+	// well past the acceptance floor.
+	b.SetParallelism(256)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			// Shed responses are answered requests too; anything else fails.
+			if _, err := s.Submit(ctx, queries[i%len(queries)]); err != nil && err != server.ErrOverloaded {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	snap := s.Snapshot()
+	if sec := elapsed.Seconds(); sec > 0 {
+		b.ReportMetric(float64(snap.Answered)/sec, "queries/sec")
+	}
+	b.ReportMetric(snap.TotalLatency.P95*1e3, "p95ms")
+	b.ReportMetric(float64(snap.Shed), "shed")
 }
 
 // sortIdx sorts ids descending by val, ties by ascending id.

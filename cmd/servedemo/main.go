@@ -1,0 +1,121 @@
+// Command servedemo runs the online round server under synthetic load: a
+// pool of client goroutines draws messy raw queries from a QueryStream
+// (case variants, synonyms, junk) and submits them with per-request
+// deadlines, while the server batches them into rounds and resolves shared
+// winner determination. Live per-second snapshots show throughput, queue
+// depth, shed/timeout counters, and the per-stage latency distribution; a
+// final summary reports the lifetime totals and the wrapped engine's
+// counters.
+//
+// Usage:
+//
+//	servedemo [-advertisers 2000] [-phrases 64] [-seed 1]
+//	          [-clients 64] [-duration 10s] [-round 5ms] [-batch 256]
+//	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharedwd/internal/server"
+	"sharedwd/internal/workload"
+)
+
+func main() {
+	advertisers := flag.Int("advertisers", 2000, "number of advertisers")
+	phrases := flag.Int("phrases", 64, "number of bid phrases")
+	seed := flag.Int64("seed", 1, "random seed")
+	clients := flag.Int("clients", 64, "concurrent client goroutines")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	round := flag.Duration("round", 5*time.Millisecond, "round interval")
+	batch := flag.Int("batch", 256, "max queries per round (early close)")
+	queue := flag.Int("queue", 4096, "admission queue depth")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "per-request deadline")
+	junk := flag.Float64("junk", 0.05, "fraction of junk queries matching no phrase")
+	workers := flag.Int("workers", 1, "engine plan-execution workers")
+	flag.Parse()
+
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = *advertisers
+	wcfg.NumPhrases = *phrases
+	wcfg.Seed = *seed
+	w := workload.Generate(wcfg)
+
+	cfg := server.DefaultConfig()
+	cfg.Engine.Workers = *workers
+	cfg.RoundInterval = *round
+	cfg.MaxBatch = *batch
+	cfg.QueueDepth = *queue
+	cfg.BidWalkScale = 0.02
+	s, err := server.New(w, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %d advertisers, %d phrases (seed %d)\n",
+		*advertisers, *phrases, *seed)
+	fmt.Printf("server:   %v rounds, batch %d, queue %d, %d clients, %v deadlines\n\n",
+		*round, *batch, *queue, *clients, *deadline)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client owns a private stream; distinct seeds keep the
+			// traffic independent.
+			qs := workload.NewQueryStream(w, *junk, *seed+int64(c)*7919)
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			for !stop.Load() {
+				queries := qs.Round()
+				if len(queries) == 0 {
+					continue
+				}
+				query := queries[rng.Intn(len(queries))]
+				ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+				s.Submit(ctx, query) // shed/unmatched/timeout all show in the snapshot
+				cancel()
+			}
+		}(c)
+	}
+
+	ticker := time.NewTicker(time.Second)
+	deadlineAt := time.Now().Add(*duration)
+	fmt.Println("uptime   qps      p50ms   p95ms   queue  shed   timeout unmatched")
+	for now := range ticker.C {
+		snap := s.Snapshot()
+		fmt.Printf("%-8s %-8.0f %-7.2f %-7.2f %-6d %-6d %-7d %d\n",
+			snap.Uptime.Round(time.Second), snap.QueriesPerSec,
+			snap.TotalLatency.P50*1e3, snap.TotalLatency.P95*1e3,
+			snap.QueueDepth, snap.Shed, snap.TimedOut, snap.Unmatched)
+		if now.After(deadlineAt) {
+			break
+		}
+	}
+	ticker.Stop()
+
+	stop.Store(true)
+	wg.Wait()
+	s.Close()
+
+	snap := s.Snapshot()
+	fmt.Printf("\nsubmitted %d, answered %d (%.0f/sec) over %d rounds (%d empty)\n",
+		snap.Submitted, snap.Answered, snap.QueriesPerSec, snap.Rounds, snap.EmptyRounds)
+	fmt.Printf("shed %d, timed out %d, unmatched %d\n", snap.Shed, snap.TimedOut, snap.Unmatched)
+	fmt.Printf("latency ms: admission p95 %.2f, round wait p95 %.2f, total p95 %.2f (max %.2f)\n",
+		snap.AdmissionWait.P95*1e3, snap.RoundWait.P95*1e3,
+		snap.TotalLatency.P95*1e3, snap.TotalLatency.Max*1e3)
+	fmt.Printf("winner determination per round: mean %.3fms, p95 %.3fms\n",
+		snap.WinnerDetermination.Mean*1e3, snap.WinnerDetermination.P95*1e3)
+	fmt.Printf("engine: %d auctions, %d ads displayed, $%.2f revenue\n",
+		snap.Engine.AuctionsResolved, snap.Engine.AdsDisplayed, snap.Engine.Revenue)
+}

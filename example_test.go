@@ -33,14 +33,14 @@ func ExampleBuildSharedPlan() {
 		{Vars: boots, Rate: 1},
 		{Vars: heels, Rate: 1},
 	})
-	shared := sharedwd.BuildSharedPlan(inst)
-	naive := sharedwd.BuildNaivePlan(inst)
+	shared := sharedwd.Must(sharedwd.BuildSharedPlan(inst))
+	naive := sharedwd.Must(sharedwd.BuildNaivePlan(inst))
 	fmt.Println("shared plan aggregations:", shared.TotalCost())
 	fmt.Println("naive plan aggregations: ", naive.TotalCost())
 
 	bids := []float64{5, 9, 2, 7, 4, 8}
 	leaf := func(v int) *sharedwd.TopKList {
-		l := sharedwd.NewTopKList(2)
+		l := sharedwd.Must(sharedwd.NewTopKList(2))
 		l.Push(sharedwd.TopKEntry{ID: v, Score: bids[v]})
 		return l
 	}

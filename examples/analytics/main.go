@@ -15,7 +15,7 @@ import (
 
 func main() {
 	const phrases = 30
-	svc := sharedwd.NewAnalytics(phrases)
+	svc := sharedwd.Must(sharedwd.NewAnalytics(phrases))
 
 	// Phrase universe: 0–9 "music", 10–19 "movies", 20–29 "books".
 	span := func(lo, hi int) sharedwd.AdvertiserSet {

@@ -43,8 +43,11 @@ func main() {
 	wcfg := sharedwd.DefaultWorkloadConfig()
 	wcfg.NumAdvertisers = 200
 	wcfg.NumPhrases = 12
-	w := sharedwd.GenerateWorkload(wcfg)
-	eng, err := sharedwd.NewEngine(w, sharedwd.DefaultEngineConfig())
+	w, err := sharedwd.GenerateWorkload(wcfg)
+	if err != nil {
+		panic(err)
+	}
+	eng, err := sharedwd.NewEngine(w)
 	if err != nil {
 		panic(err)
 	}

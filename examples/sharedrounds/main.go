@@ -38,8 +38,8 @@ func main() {
 		panic(err)
 	}
 
-	shared := sharedwd.BuildSharedPlan(inst)
-	naive := sharedwd.BuildNaivePlan(inst)
+	shared := sharedwd.Must(sharedwd.BuildSharedPlan(inst))
+	naive := sharedwd.Must(sharedwd.BuildNaivePlan(inst))
 	fmt.Println("== Shoe-store example (paper §II-B) ==")
 	fmt.Printf("  advertisers: %d general + %d sports + %d fashion\n", general, sports, fashion)
 	fmt.Printf("  unshared aggregation ops: %d\n", naive.TotalCost())
@@ -54,7 +54,7 @@ func main() {
 	}
 	const k = 4
 	leaf := func(v int) *sharedwd.TopKList {
-		l := sharedwd.NewTopKList(k)
+		l := sharedwd.Must(sharedwd.NewTopKList(k))
 		l.Push(sharedwd.TopKEntry{ID: v, Score: bids[v]})
 		return l
 	}
@@ -82,7 +82,7 @@ func main() {
 	wcfg := sharedwd.DefaultWorkloadConfig()
 	wcfg.NumAdvertisers = 600
 	wcfg.NumPhrases = 24
-	w := sharedwd.GenerateWorkload(wcfg)
+	w := sharedwd.Must(sharedwd.GenerateWorkload(wcfg))
 	queries := make([]sharedwd.AggQuery, len(w.Interests))
 	for q := range w.Interests {
 		queries[q] = sharedwd.AggQuery{Vars: w.Interests[q], Rate: w.Rates[q]}
@@ -91,9 +91,9 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	s2 := sharedwd.BuildSharedPlan(inst2)
-	f2 := sharedwd.BuildFragmentOnlyPlan(inst2)
-	n2 := sharedwd.BuildNaivePlan(inst2)
+	s2 := sharedwd.Must(sharedwd.BuildSharedPlan(inst2))
+	f2 := sharedwd.Must(sharedwd.BuildFragmentOnlyPlan(inst2))
+	n2 := sharedwd.Must(sharedwd.BuildNaivePlan(inst2))
 	fmt.Printf("  naive:          %8.1f expected ops/round\n", n2.ExpectedCost())
 	fmt.Printf("  fragments only: %8.1f expected ops/round\n", f2.ExpectedCost())
 	fmt.Printf("  full heuristic: %8.1f expected ops/round\n", s2.ExpectedCost())

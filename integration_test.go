@@ -45,14 +45,14 @@ func TestFacadeSharedPlanFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, build := range []func(*AggInstance) *AggPlan{BuildSharedPlan, BuildFragmentOnlyPlan, BuildDisjointPlan, BuildNaivePlan} {
-		p := build(inst)
-		if err := p.Validate(); err != nil {
+	for _, build := range []func(*AggInstance) (*AggPlan, error){BuildSharedPlan, BuildFragmentOnlyPlan, BuildDisjointPlan, BuildNaivePlan} {
+		p, err := build(inst)
+		if err != nil {
 			t.Fatal(err)
 		}
 		bids := []float64{5, 9, 2, 7, 4, 8}
 		leaf := func(v int) *TopKList {
-			l := NewTopKList(2)
+			l := Must(NewTopKList(2))
 			l.Push(TopKEntry{ID: v, Score: bids[v]})
 			return l
 		}
@@ -76,8 +76,8 @@ func TestFacadeFullDayBothEngines(t *testing.T) {
 	wcfg.NumAdvertisers = 150
 	wcfg.NumPhrases = 12
 	wcfg.Seed = 99
-	w := GenerateWorkload(wcfg)
-	eng, err := NewEngine(w, DefaultEngineConfig())
+	w := Must(GenerateWorkload(wcfg))
+	eng, err := NewEngine(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +103,8 @@ func TestFacadeFullDayBothEngines(t *testing.T) {
 
 	// Per-phrase-quality regime.
 	wcfg.PerPhraseQuality = true
-	wq := GenerateWorkload(wcfg)
-	seng, err := NewSortEngine(wq, DefaultEngineConfig())
+	wq := Must(GenerateWorkload(wcfg))
+	seng, err := NewSortEngine(wq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,9 +142,9 @@ func TestFacadeMatcherToEngine(t *testing.T) {
 	wcfg := DefaultWorkloadConfig()
 	wcfg.NumAdvertisers = 60
 	wcfg.NumPhrases = 6
-	w := GenerateWorkload(wcfg)
+	w := Must(GenerateWorkload(wcfg))
 	m := NewMatcher(w.PhraseNames)
-	eng, err := NewEngine(w, DefaultEngineConfig())
+	eng, err := NewEngine(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,12 +173,12 @@ func TestRawQueryStreamToEngine(t *testing.T) {
 	wcfg.NumAdvertisers = 80
 	wcfg.NumPhrases = 8
 	wcfg.Seed = 21
-	w := GenerateWorkload(wcfg)
+	w := Must(GenerateWorkload(wcfg))
 	qs := workload.NewQueryStream(w, 0.2, 9)
 	qs.AddSynonym("trail boots", w.PhraseNames[0])
 	m := NewMatcher(w.PhraseNames)
 	m.AddRewrite("trail boots", w.PhraseNames[0])
-	eng, err := NewEngine(w, DefaultEngineConfig())
+	eng, err := NewEngine(w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestAdversarialClickTiming(t *testing.T) {
 			wcfg.NumAdvertisers = 60
 			wcfg.NumPhrases = 6
 			wcfg.Seed = 7
-			w := GenerateWorkload(wcfg)
+			w := Must(GenerateWorkload(wcfg))
 			for i := range w.Advertisers {
 				w.Advertisers[i].Budget = 2.5
 			}
@@ -216,7 +216,7 @@ func TestAdversarialClickTiming(t *testing.T) {
 			cfg.Policy = policy
 			cfg.ClickHazard = hazard
 			cfg.ClickHorizon = 90
-			eng, err := NewEngine(w, cfg)
+			eng, err := NewEngine(w, WithConfig(cfg))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -248,7 +248,7 @@ func TestTraceReplayComparesPolicies(t *testing.T) {
 		wcfg.NumAdvertisers = 80
 		wcfg.NumPhrases = 8
 		wcfg.Seed = 15
-		w := GenerateWorkload(wcfg)
+		w := Must(GenerateWorkload(wcfg))
 		for i := range w.Advertisers {
 			w.Advertisers[i].Budget = 3
 		}
@@ -262,7 +262,7 @@ func TestTraceReplayComparesPolicies(t *testing.T) {
 		cfg.Policy = policy
 		cfg.ClickHazard = 0.15
 		cfg.ClickHorizon = 40
-		eng, err := NewEngine(w, cfg)
+		eng, err := NewEngine(w, WithConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -313,8 +313,8 @@ func TestDeterministicReplay(t *testing.T) {
 		wcfg.NumAdvertisers = 100
 		wcfg.NumPhrases = 10
 		wcfg.Seed = 1234
-		w := GenerateWorkload(wcfg)
-		eng, err := NewEngine(w, DefaultEngineConfig())
+		w := Must(GenerateWorkload(wcfg))
+		eng, err := NewEngine(w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -334,7 +334,7 @@ func TestDeterministicReplay(t *testing.T) {
 
 // TestAnalyticsFacade exercises the Section-VII service via the facade.
 func TestAnalyticsFacade(t *testing.T) {
-	svc := NewAnalytics(8)
+	svc := Must(NewAnalytics(8))
 	id, err := svc.Register(1, AdvertiserSetOf(8, 0, 1, 2, 3))
 	if err != nil {
 		t.Fatal(err)
@@ -368,7 +368,7 @@ func TestCustomWorkloadFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewEngine(w, DefaultEngineConfig())
+	eng, err := NewEngine(w)
 	if err != nil {
 		t.Fatal(err)
 	}

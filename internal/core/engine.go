@@ -116,6 +116,14 @@ func DefaultConfig() Config {
 
 // Engine resolves rounds of simultaneous sponsored-search auctions over a
 // fixed workload.
+//
+// Thread safety: an Engine is single-threaded by contract. Step, Drain,
+// Stats, Spent, and Close must all be called from one goroutine (Workers > 1
+// only parallelizes work inside a Step, behind the same contract). A
+// RoundReport's Auctions field views scratch buffers that the next Step
+// overwrites; callers keeping results across rounds must copy them. The
+// server package wraps an Engine in a round loop to provide a concurrent
+// front end.
 type Engine struct {
 	cfg Config
 	w   *workload.Workload

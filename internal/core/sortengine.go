@@ -20,6 +20,11 @@ import (
 // cached within a round), and a precomputed static order supplies them by
 // descending quality (the paper's footnote: quality factors change rarely
 // and their orderings are precomputed).
+//
+// Thread safety: like Engine, a SortEngine is single-threaded by contract —
+// Step, Drain, Stats, Spent, and Close must run on one goroutine, and
+// RoundReport.Auctions views per-round scratch that must be copied to
+// outlive the next Step.
 type SortEngine struct {
 	cfg Config
 	w   *workload.Workload

@@ -1,0 +1,494 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharedwd/internal/workload"
+)
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 120
+	wcfg.NumPhrases = 12
+	wcfg.NumTopics = 3
+	wcfg.Seed = 7
+	return workload.Generate(wcfg)
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RoundInterval = 2 * time.Millisecond
+	cfg.MaxBatch = 64
+	cfg.QueueDepth = 256
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"zero round interval": func(c *Config) { c.RoundInterval = 0 },
+		"zero queue depth":    func(c *Config) { c.QueueDepth = 0 },
+		"negative max batch":  func(c *Config) { c.MaxBatch = -1 },
+		"negative bid walk":   func(c *Config) { c.BidWalkScale = -0.1 },
+		"negative range":      func(c *Config) { c.LatencyRange = -1 },
+	} {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+		if _, err := New(testWorkload(t), cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", name)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestServerServesQueries is the basic happy path: concurrent raw queries
+// (messy variants of bid phrases) are matched, batched, auctioned, and each
+// caller is woken with its phrase's slot assignment.
+func TestServerServesQueries(t *testing.T) {
+	w := testWorkload(t)
+	s, err := New(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make([]Result, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Messy variant of a real phrase: the matcher normalizes it.
+			q := "  " + w.PhraseNames[i%len(w.PhraseNames)] + "  "
+			res, err := s.Submit(ctx, q)
+			if err != nil {
+				t.Errorf("Submit(%q): %v", q, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if want := i % len(w.PhraseNames); res.Phrase != want {
+			t.Errorf("result %d: phrase %d, want %d", i, res.Phrase, want)
+		}
+		if len(res.Slots) == 0 {
+			t.Errorf("result %d: no slots assigned", i)
+		}
+		for _, sl := range res.Slots {
+			if !w.Interests[res.Phrase].Contains(sl.Advertiser) {
+				t.Errorf("result %d: winner %d not interested in phrase %d", i, sl.Advertiser, res.Phrase)
+			}
+			if sl.PricePaid < 0 {
+				t.Errorf("result %d: negative price %v", i, sl.PricePaid)
+			}
+		}
+		if res.Latency < 0 || res.AdmissionWait < 0 || res.RoundWait < 0 {
+			t.Errorf("result %d: negative latency fields %+v", i, res)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Answered != 8 {
+		t.Errorf("Answered = %d, want 8", snap.Answered)
+	}
+	if snap.TotalLatency.Count != 8 {
+		t.Errorf("TotalLatency.Count = %d, want 8", snap.TotalLatency.Count)
+	}
+	if snap.TotalLatency.Max <= 0 || snap.TotalLatency.P95 < 0 {
+		t.Errorf("latency snapshot not populated: %+v", snap.TotalLatency)
+	}
+}
+
+// TestServerLifecycle covers the failure-mode table: per-request deadlines,
+// queue-full shedding, shutdown with in-flight requests, zero-traffic
+// ticks, unmatched queries, and submission after Close.
+func TestServerLifecycle(t *testing.T) {
+	t.Run("deadline exceeded", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.RoundInterval = time.Hour // rounds effectively never close
+		cfg.MaxBatch = 0
+		s, err := New(testWorkload(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		_, err = s.Submit(ctx, "topic0/phrase-0")
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Submit = %v, want DeadlineExceeded", err)
+		}
+		if got := s.Snapshot().TimedOut; got != 1 {
+			t.Fatalf("TimedOut = %d, want 1", got)
+		}
+	})
+
+	t.Run("queue-full shed", func(t *testing.T) {
+		hold := make(chan struct{})
+		entered := make(chan struct{}, 8)
+		cfg := testConfig()
+		cfg.RoundInterval = time.Hour
+		cfg.MaxBatch = 1 // first admitted request closes a round immediately
+		cfg.QueueDepth = 1
+		cfg.beforeStep = func() {
+			entered <- struct{}{}
+			<-hold
+		}
+		w := testWorkload(t)
+		s, err := New(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		ctx := context.Background()
+		aDone := make(chan error, 1)
+		go func() {
+			_, err := s.Submit(ctx, w.PhraseNames[0])
+			aDone <- err
+		}()
+		<-entered // the loop is now dwelling inside the round, not draining
+
+		bDone := make(chan error, 1)
+		go func() {
+			_, err := s.Submit(ctx, w.PhraseNames[1])
+			bDone <- err
+		}()
+		// Wait until B occupies the queue's single slot.
+		deadline := time.Now().Add(2 * time.Second)
+		for len(s.queue) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("request B never reached the admission queue")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+
+		// The queue is full and the loop is busy: C must shed, not block.
+		if _, err := s.Submit(ctx, w.PhraseNames[2]); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("Submit = %v, want ErrOverloaded", err)
+		}
+		close(hold) // release the round; A resolves now, B next round
+		if err := <-aDone; err != nil {
+			t.Fatalf("request A failed: %v", err)
+		}
+		if err := <-bDone; err != nil {
+			t.Fatalf("request B failed: %v", err)
+		}
+		if got := s.Snapshot().Shed; got != 1 {
+			t.Fatalf("Shed = %d, want 1", got)
+		}
+	})
+
+	t.Run("shutdown with in-flight requests", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.RoundInterval = time.Hour // only Close can resolve these
+		cfg.MaxBatch = 0
+		w := testWorkload(t)
+		s, err := New(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Admit synchronously (deterministic), then listen for replies.
+		reqs := make([]*request, 3)
+		for i := range reqs {
+			reqs[i] = &request{
+				phrase:   i,
+				enqueued: time.Now(),
+				done:     make(chan reply, 1),
+			}
+			if err := s.admit(reqs[i]); err != nil {
+				t.Fatalf("admit %d: %v", i, err)
+			}
+		}
+		s.Close() // must resolve all three in the final round
+		for i, req := range reqs {
+			select {
+			case r := <-req.done:
+				if r.err != nil {
+					t.Fatalf("request %d: %v", i, r.err)
+				}
+				if r.res.Phrase != i {
+					t.Fatalf("request %d: phrase %d", i, r.res.Phrase)
+				}
+			default:
+				t.Fatalf("request %d unresolved after Close", i)
+			}
+		}
+		if _, err := s.Submit(context.Background(), w.PhraseNames[0]); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+		}
+	})
+
+	t.Run("zero-traffic ticks", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.RoundInterval = time.Millisecond
+		s, err := New(testWorkload(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(25 * time.Millisecond)
+		s.Close()
+		snap := s.Snapshot()
+		if snap.Rounds < 5 {
+			t.Fatalf("Rounds = %d, want ≥ 5 idle ticks", snap.Rounds)
+		}
+		if snap.EmptyRounds != snap.Rounds {
+			t.Fatalf("EmptyRounds = %d of %d rounds with no traffic", snap.EmptyRounds, snap.Rounds)
+		}
+		if snap.Answered != 0 || snap.Engine.AuctionsResolved != 0 {
+			t.Fatalf("idle server answered %d / resolved %d auctions", snap.Answered, snap.Engine.AuctionsResolved)
+		}
+		// The engine still advanced rounds (delayed-click clock keeps moving).
+		if snap.Engine.Rounds < 5 {
+			t.Fatalf("engine rounds = %d, want ≥ 5", snap.Engine.Rounds)
+		}
+	})
+
+	t.Run("unmatched query", func(t *testing.T) {
+		s, err := New(testWorkload(t), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Submit(context.Background(), "zzz no such phrase"); !errors.Is(err, ErrNoAuction) {
+			t.Fatalf("Submit = %v, want ErrNoAuction", err)
+		}
+		if got := s.Snapshot().Unmatched; got != 1 {
+			t.Fatalf("Unmatched = %d, want 1", got)
+		}
+	})
+
+	t.Run("close is idempotent", func(t *testing.T) {
+		s, err := New(testWorkload(t), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); s.Close() }()
+		}
+		wg.Wait()
+	})
+}
+
+// TestServerRewrites exercises the two-stage matcher through the server: a
+// registered synonym maps to its bid phrase's auction.
+func TestServerRewrites(t *testing.T) {
+	w := testWorkload(t)
+	cfg := testConfig()
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Matcher().AddRewrite("sneakers", w.PhraseNames[3])
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := s.Submit(ctx, "  SNEAKERS ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phrase != 3 {
+		t.Fatalf("rewrite matched phrase %d, want 3", res.Phrase)
+	}
+}
+
+// TestServerConcurrentAdmissionAndSnapshots is the concurrency-contract
+// test: many goroutines submit (including junk and tight deadlines) while
+// others continuously read Snapshot — exercised under -race in CI. The
+// engine runs with a worker pool so pool shutdown is covered too.
+func TestServerConcurrentAdmissionAndSnapshots(t *testing.T) {
+	w := testWorkload(t)
+	cfg := testConfig()
+	cfg.RoundInterval = time.Millisecond
+	cfg.MaxBatch = 16
+	cfg.BidWalkScale = 0.05
+	cfg.Engine.Workers = 2
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const submitters, perSubmitter = 8, 100
+	var ok, noAuction, timedOut, shedded atomic.Int64
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := s.Snapshot()
+					if snap.Answered < 0 || snap.QueueDepth > snap.QueueCap {
+						t.Error("inconsistent snapshot")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				q := w.PhraseNames[(g+i)%len(w.PhraseNames)]
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				switch i % 10 {
+				case 3:
+					q = fmt.Sprintf("junk query %d-%d", g, i)
+				case 7:
+					// A deadline tight enough to sometimes fire.
+					ctx, cancel = context.WithTimeout(ctx, 500*time.Microsecond)
+				}
+				_, err := s.Submit(ctx, q)
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case errors.Is(err, ErrNoAuction):
+					noAuction.Add(1)
+				case errors.Is(err, context.DeadlineExceeded):
+					timedOut.Add(1)
+				case errors.Is(err, ErrOverloaded):
+					shedded.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	s.Close()
+
+	snap := s.Snapshot()
+	if snap.Submitted != submitters*perSubmitter {
+		t.Fatalf("Submitted = %d, want %d", snap.Submitted, submitters*perSubmitter)
+	}
+	// A request can be resolved by the loop in the same instant its deadline
+	// fires — the submitter sees ctx.Err() while the loop counts it answered
+	// — so Answered may exceed ok by at most the timed-out count.
+	if snap.Answered < ok.Load() || snap.Answered > ok.Load()+timedOut.Load() {
+		t.Fatalf("Answered = %d outside [%d, %d]", snap.Answered, ok.Load(), ok.Load()+timedOut.Load())
+	}
+	if snap.Unmatched != noAuction.Load() {
+		t.Fatalf("Unmatched = %d, ErrNoAuction count = %d", snap.Unmatched, noAuction.Load())
+	}
+	if snap.Shed != shedded.Load() {
+		t.Fatalf("Shed = %d, ErrOverloaded count = %d", snap.Shed, shedded.Load())
+	}
+	if snap.Engine.Rounds == 0 || snap.RoundsPerSec <= 0 {
+		t.Fatalf("no rounds recorded: %+v", snap)
+	}
+	if ok.Load() > 0 && snap.TotalLatency.Count == 0 {
+		t.Fatal("latency histogram empty despite answered queries")
+	}
+}
+
+// TestServerBudgetAccounting: the serving layer preserves the engine's
+// budget invariant — no advertiser is charged beyond the daily budget —
+// and Close's drain settles all outstanding clicks.
+func TestServerBudgetAccounting(t *testing.T) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 60
+	wcfg.NumPhrases = 8
+	wcfg.MinBudget, wcfg.MaxBudget = 2, 20 // tight budgets: edges matter
+	wcfg.Seed = 11
+	w := workload.Generate(wcfg)
+	cfg := testConfig()
+	cfg.RoundInterval = 500 * time.Microsecond
+	cfg.MaxBatch = 8
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				_, _ = s.Submit(ctx, w.PhraseNames[(g*3+i)%len(w.PhraseNames)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	snap := s.Snapshot()
+	if snap.Engine.ClicksCharged == 0 {
+		t.Fatal("no clicks charged — drain did not settle outstanding ads?")
+	}
+	if snap.Engine.Revenue <= 0 {
+		t.Fatalf("revenue = %v", snap.Engine.Revenue)
+	}
+}
+
+func TestTuneRoundInterval(t *testing.T) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 40
+	wcfg.NumPhrases = 4
+	wcfg.NumTopics = 2
+	w := workload.Generate(wcfg)
+	arrivals := []float64{0.5, 0.4, 0.3, 0.2} // queries/sec per phrase
+
+	// Median latency ≈ roundLen/2, so 4 s (median 2 s ≤ 2.2 s) is the
+	// longest tolerable of these; 8 s (median 4 s) is too long.
+	candidates := []time.Duration{time.Second, 4 * time.Second, 8 * time.Second}
+	got, err := TuneRoundInterval(w, arrivals, 1e-7, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4*time.Second {
+		t.Fatalf("TuneRoundInterval = %v, want 4s", got)
+	}
+
+	if _, err := TuneRoundInterval(w, arrivals[:2], 1e-7, candidates); err == nil {
+		t.Fatal("accepted mismatched arrival rates")
+	}
+	if _, err := TuneRoundInterval(w, arrivals, 1e-7, nil); err == nil {
+		t.Fatal("accepted empty candidates")
+	}
+	if _, err := TuneRoundInterval(w, arrivals, 1e-7, []time.Duration{-time.Second}); err == nil {
+		t.Fatal("accepted negative candidate")
+	}
+	if _, err := TuneRoundInterval(w, arrivals, 1e-7, []time.Duration{20 * time.Second}); err == nil {
+		t.Fatal("accepted a round length beyond the latency tolerance")
+	}
+
+	// The engine config the tuner feeds must also work end to end.
+	cfg := testConfig()
+	cfg.RoundInterval = got / 1000 // scaled down: tests should not sleep 4s
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+}

@@ -1,6 +1,11 @@
 // Package stats provides the small statistics toolkit used by the benchmark
-// harness: means, variances, confidence intervals, and fixed-width
-// histograms for summarizing per-round measurements.
+// harness and the round server's observability: means, variances,
+// confidence intervals, fixed-width histograms, and histogram quantile
+// estimation for summarizing per-round and per-request measurements.
+//
+// Thread safety: no type in this package is safe for concurrent use; each
+// Summary/Histogram must be owned by one goroutine or guarded externally
+// (internal/server guards its histograms with a mutex).
 package stats
 
 import (
@@ -142,6 +147,44 @@ func (h *Histogram) Add(x float64) {
 
 // N returns the number of recorded observations.
 func (h *Histogram) N() int { return h.n }
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Buckets = append([]int(nil), h.Buckets...)
+	return &c
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation within the bucket containing the target rank. The
+// estimate is exact up to bucket resolution; observations clamped into the
+// edge buckets bias the extreme quantiles toward the range bounds. Returns
+// 0 on an empty histogram; panics on q outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if h.n == 0 {
+		return 0
+	}
+	target := q * float64(h.n)
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	cum := 0.0
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
+			frac := (target - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum += float64(c)
+	}
+	return h.Hi
+}
 
 // String renders an ASCII bar chart, one bucket per line.
 func (h *Histogram) String() string {

@@ -136,3 +136,45 @@ func TestHistogramPanics(t *testing.T) {
 	}()
 	NewHistogram(5, 5, 3)
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5) // one observation per bucket
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0, 0, 1.01},
+		{0.5, 50, 1.01},
+		{0.95, 95, 1.01},
+		{1, 100, 0.01},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if got := NewHistogram(0, 1, 4).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on q > 1")
+			}
+		}()
+		h.Quantile(1.5)
+	}()
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(3)
+	c := h.Clone()
+	c.Add(7)
+	if h.N() != 1 || c.N() != 2 {
+		t.Fatalf("clone not independent: h.N=%d c.N=%d", h.N(), c.N())
+	}
+	if h.Buckets[3] != 0 || c.Buckets[3] != 1 {
+		t.Fatalf("clone shares buckets: %v vs %v", h.Buckets, c.Buckets)
+	}
+}

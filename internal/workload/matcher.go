@@ -8,6 +8,11 @@ import (
 // assumes (Radlinski et al. [11]): a raw search query is first mapped into
 // the lower-dimensional bid-phrase space (normalization plus a rewrite
 // table), then matched to advertisers' bid phrases by exact match.
+//
+// Thread safety: Match is safe for concurrent use once configuration is
+// done — the server's admission path calls it from many goroutines —
+// but AddRewrite mutates the table and must complete before any
+// concurrent Match begins.
 type Matcher struct {
 	phraseID map[string]int
 	rewrites map[string]string

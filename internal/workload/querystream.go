@@ -11,6 +11,10 @@ import (
 // variants (case, whitespace) of bid phrases or as known synonyms that the
 // matcher's rewrite table maps back — plus a fraction of junk queries that
 // match nothing and trigger no auction.
+//
+// Thread safety: a QueryStream owns a private random stream and is not safe
+// for concurrent use; give each load-generating goroutine its own stream
+// (distinct seeds keep them independent).
 type QueryStream struct {
 	phrases  []string
 	rates    []float64
@@ -83,7 +87,7 @@ func (qs *QueryStream) render(phrase string) string {
 	case 0:
 		s = strings.ToUpper(s)
 	case 1:
-		s = strings.Title(s) //nolint:staticcheck // deliberate messy input
+		s = titleCase(s)
 	}
 	if qs.rng.Intn(3) == 0 {
 		s = "  " + s + " "
@@ -92,6 +96,18 @@ func (qs *QueryStream) render(phrase string) string {
 		s = strings.ReplaceAll(s, " ", "   ")
 	}
 	return s
+}
+
+// titleCase upper-cases the first letter of each ASCII word — deliberately
+// messy user-style capitalization, not linguistic title casing.
+func titleCase(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		if f[0] >= 'a' && f[0] <= 'z' {
+			fields[i] = string(f[0]-'a'+'A') + f[1:]
+		}
+	}
+	return strings.Join(fields, " ")
 }
 
 // Occurrences maps a batch of raw queries to the per-phrase occurrence

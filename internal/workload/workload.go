@@ -57,7 +57,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration can generate a workload: all
+// dimensions positive and ranges non-inverted. Generate panics on exactly
+// the configurations Validate rejects.
+func (c Config) Validate() error {
+	if c.NumAdvertisers <= 0 || c.NumPhrases <= 0 || c.NumTopics <= 0 || c.Slots <= 0 {
+		return fmt.Errorf("workload: non-positive dimensions in %+v", c)
+	}
+	if c.MinBid > c.MaxBid || c.MinBudget > c.MaxBudget {
+		return fmt.Errorf("workload: inverted bid or budget range in %+v", c)
+	}
+	return nil
+}
+
 // Workload is a generated auction universe.
+//
+// Thread safety: a Workload is not safe for concurrent use. The engine (or
+// server) stepping it owns its random stream and bid vector; mutators
+// (PerturbBids, budget edits) must run on the same goroutine as Step.
 type Workload struct {
 	Cfg         Config
 	Advertisers []auction.Advertiser
@@ -80,11 +97,8 @@ type Workload struct {
 // configuration and panics on nonsensical values, since configurations are
 // authored by harness code, not end users.
 func Generate(cfg Config) *Workload {
-	if cfg.NumAdvertisers <= 0 || cfg.NumPhrases <= 0 || cfg.NumTopics <= 0 || cfg.Slots <= 0 {
-		panic(fmt.Sprintf("workload: non-positive dimensions in %+v", cfg))
-	}
-	if cfg.MinBid > cfg.MaxBid || cfg.MinBudget > cfg.MaxBudget {
-		panic("workload: inverted ranges")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w := &Workload{Cfg: cfg, rng: rng}

@@ -33,14 +33,36 @@
 //
 // The Engine ties the pieces into a round-based auction processor with GSP /
 // VCG / first-price pricing, a delayed-click simulator, and strict budget
-// accounting; the workload generator produces the topic-structured synthetic
+// accounting; the Server wraps it in a concurrent online serving layer that
+// admits raw queries, batches them into rounds, and answers each within its
+// deadline; the workload generator produces the topic-structured synthetic
 // traces the benchmark harness (bench_test.go, cmd/fig4, cmd/fig5,
-// cmd/gaming, cmd/auctionsim) runs on. See DESIGN.md for the full system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// cmd/gaming, cmd/auctionsim, cmd/servedemo) runs on. See DESIGN.md for the
+// full system inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// # Error contract
+//
+// Facade constructors validate their inputs and return an error on any
+// violated invariant; none panic on bad caller input. Must wraps any
+// (value, error) pair for examples and static configurations known to be
+// valid. Methods on already-constructed values (Engine.Step, plan
+// execution) treat caller contract violations — e.g. an occurrence vector
+// of the wrong length — as programming errors and panic; each documents
+// its invariants.
+//
+// # Thread safety
+//
+// Server is safe for concurrent use. Everything else — Engine, SortEngine,
+// Workload, plans, lists, throttlers, streams — is single-goroutine unless
+// its documentation says otherwise; the Server owns the serialization of
+// its Engine and Workload. Matcher.Match is safe concurrently after
+// configuration.
 package sharedwd
 
 import (
+	"fmt"
 	"math/rand"
+	"time"
 
 	"sharedwd/internal/analytics"
 	"sharedwd/internal/auction"
@@ -50,12 +72,25 @@ import (
 	"sharedwd/internal/nonsep"
 	"sharedwd/internal/plan"
 	"sharedwd/internal/pricing"
+	"sharedwd/internal/server"
 	"sharedwd/internal/sharedagg"
 	"sharedwd/internal/sharedsort"
 	"sharedwd/internal/ta"
 	"sharedwd/internal/topk"
 	"sharedwd/internal/workload"
 )
+
+// Must unwraps a constructor's (value, error) result, panicking on error.
+// It is the thin escape hatch for examples, tests, and static
+// configurations known to be valid:
+//
+//	l := sharedwd.Must(sharedwd.NewTopKList(4))
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // Domain model (see internal/auction).
 type (
@@ -79,16 +114,24 @@ func SolveGeneral(bids []float64, ctr [][]float64) Assignment {
 
 // Top-k aggregation primitives (see internal/topk).
 type (
-	// TopKList is a bounded descending list of scored advertisers.
+	// TopKList is a bounded descending list of scored advertisers. Not safe
+	// for concurrent use.
 	TopKList = topk.List
 	// TopKEntry is one (advertiser, score) element.
 	TopKEntry = topk.Entry
 )
 
-// NewTopKList returns an empty k-list.
-func NewTopKList(k int) *TopKList { return topk.New(k) }
+// NewTopKList returns an empty k-list. It returns an error unless k ≥ 1.
+func NewTopKList(k int) (*TopKList, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sharedwd: top-k list needs k ≥ 1, got %d", k)
+	}
+	return topk.New(k), nil
+}
 
-// MergeTopK is the binary top-k aggregation operator ⊕.
+// MergeTopK is the binary top-k aggregation operator ⊕. Both inputs must
+// have the same k (an invariant of plan construction); mismatched lists
+// are a programming error and panic.
 func MergeTopK(a, b *TopKList) *TopKList { return topk.Merge(a, b) }
 
 // Shared aggregation planning (see internal/plan, internal/sharedagg).
@@ -107,14 +150,32 @@ func NewAggInstance(numVars int, queries []AggQuery) (*AggInstance, error) {
 }
 
 // BuildSharedPlan runs the paper's two-stage heuristic (fragments + greedy
-// expected-coverage completion) and returns a complete plan.
-func BuildSharedPlan(inst *AggInstance) *AggPlan { return sharedagg.Build(inst) }
+// expected-coverage completion) and returns a complete, validated plan. It
+// returns an error on a nil instance or if the built plan fails validation.
+func BuildSharedPlan(inst *AggInstance) (*AggPlan, error) {
+	return buildPlan("BuildSharedPlan", inst, sharedagg.Build)
+}
 
 // BuildFragmentOnlyPlan is the stage-1-only ablation baseline.
-func BuildFragmentOnlyPlan(inst *AggInstance) *AggPlan { return sharedagg.BuildFragmentOnly(inst) }
+func BuildFragmentOnlyPlan(inst *AggInstance) (*AggPlan, error) {
+	return buildPlan("BuildFragmentOnlyPlan", inst, sharedagg.BuildFragmentOnly)
+}
 
 // BuildNaivePlan is the unshared per-query baseline.
-func BuildNaivePlan(inst *AggInstance) *AggPlan { return plan.NaivePlan(inst) }
+func BuildNaivePlan(inst *AggInstance) (*AggPlan, error) {
+	return buildPlan("BuildNaivePlan", inst, plan.NaivePlan)
+}
+
+func buildPlan(name string, inst *AggInstance, build func(*AggInstance) *AggPlan) (*AggPlan, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("sharedwd: %s of nil instance", name)
+	}
+	p := build(inst)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sharedwd: %s produced an invalid plan: %w", name, err)
+	}
+	return p, nil
+}
 
 // ExecutePlan evaluates a plan for one round with the top-k merge operator:
 // leaf(i) supplies advertiser i's singleton k-list; occurring selects the
@@ -189,13 +250,21 @@ type (
 	AnalyticsResult = analytics.Result
 )
 
-// NewAnalytics creates an analytics service over a phrase universe.
-func NewAnalytics(numPhrases int) *AnalyticsService { return analytics.New(numPhrases) }
+// NewAnalytics creates an analytics service over a phrase universe. It
+// returns an error unless numPhrases ≥ 1. The service is single-goroutine.
+func NewAnalytics(numPhrases int) (*AnalyticsService, error) {
+	if numPhrases <= 0 {
+		return nil, fmt.Errorf("sharedwd: analytics needs a positive phrase universe, got %d", numPhrases)
+	}
+	return analytics.New(numPhrases), nil
+}
 
 // BuildDisjointPlan builds a shared plan whose every aggregation joins
 // variable-disjoint children — required for multiset-semantics aggregates
 // (sum, count) as opposed to idempotent ones (top-k, max).
-func BuildDisjointPlan(inst *AggInstance) *AggPlan { return sharedagg.BuildDisjoint(inst) }
+func BuildDisjointPlan(inst *AggInstance) (*AggPlan, error) {
+	return buildPlan("BuildDisjointPlan", inst, sharedagg.BuildDisjoint)
+}
 
 // NonSepResult is the outcome of pruned non-separable winner determination.
 type NonSepResult = nonsep.Result
@@ -229,13 +298,16 @@ func Prices(rule PricingRule, ranked []RankedBidder, slotFactors []float64) []fl
 
 // Engine and workloads (see internal/core, internal/workload).
 type (
-	// Engine resolves rounds of simultaneous auctions.
+	// Engine resolves rounds of simultaneous auctions. Single-goroutine:
+	// Step, Stats, Report, Drain, and Close must all be called from one
+	// goroutine (the Server owns that serialization in the online setting).
 	Engine = core.Engine
 	// EngineConfig parameterizes the engine.
 	EngineConfig = core.Config
 	// EngineStats holds the engine's lifetime counters.
 	EngineStats = core.Stats
-	// RoundReport is one round's outcome.
+	// RoundReport is one round's outcome. Its slices view engine scratch
+	// overwritten by the next Step; copy what you keep.
 	RoundReport = core.RoundReport
 	// BudgetPolicy selects naive vs throttled bidding.
 	BudgetPolicy = core.BudgetPolicy
@@ -243,21 +315,56 @@ type (
 	SharingMode = core.SharingMode
 	// SortEngine resolves rounds in the per-phrase-quality regime
 	// (Section III: shared merge-sort + threshold algorithm).
+	// Single-goroutine, like Engine.
 	SortEngine = core.SortEngine
 	// SortEngineStats holds the sort engine's counters.
 	SortEngineStats = core.SortStats
-	// Workload is a generated auction universe.
+	// Workload is a generated auction universe. Not safe for concurrent
+	// use; owned by whichever engine or server steps it.
 	Workload = workload.Workload
 	// WorkloadConfig parameterizes workload generation.
 	WorkloadConfig = workload.Config
-	// Matcher maps raw queries to bid phrases (two-stage).
+	// Matcher maps raw queries to bid phrases (two-stage). Match is safe
+	// for concurrent use once rewrites are configured.
 	Matcher = workload.Matcher
 	// QueryStream generates raw search-query traffic for the matcher.
+	// Single-goroutine; give each load generator its own stream.
 	QueryStream = workload.QueryStream
 	// Trace is a recorded round sequence for replayable comparisons.
 	Trace = workload.Trace
-	// AdvertiserSet is a set of advertiser indices.
+	// AdvertiserSet is a set of advertiser indices. Not safe for
+	// concurrent mutation.
 	AdvertiserSet = bitset.Set
+)
+
+// Online serving layer (see internal/server).
+type (
+	// Server is the long-lived concurrent round server: it admits raw
+	// queries through a bounded queue, batches them into engine rounds,
+	// and wakes each caller with its auction's outcome. Safe for
+	// concurrent use.
+	Server = server.Server
+	// ServerConfig parameterizes the server (round interval, batch
+	// threshold, queue depth, wrapped engine configuration).
+	ServerConfig = server.Config
+	// ServerSnapshot is a point-in-time observability view: counters,
+	// queue depth, per-stage latency distributions, throughput.
+	ServerSnapshot = server.Snapshot
+	// ServerLatencyStats summarizes one serving stage's latency (seconds).
+	ServerLatencyStats = server.LatencyStats
+	// QueryResult is one answered query: phrase, round, slot assignment
+	// with per-click prices, and per-stage waits.
+	QueryResult = server.Result
+)
+
+// Serving errors (see Server.Submit).
+var (
+	// ErrOverloaded: the admission queue was full and the query was shed.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrServerClosed: the server no longer admits queries.
+	ErrServerClosed = server.ErrClosed
+	// ErrNoAuction: the query matched no bid phrase, so no auction ran.
+	ErrNoAuction = server.ErrNoAuction
 )
 
 // NewAdvertiserSet returns an empty set holding indices in [0, n).
@@ -279,19 +386,155 @@ const (
 // DefaultEngineConfig returns a GSP, throttled, shared configuration.
 func DefaultEngineConfig() EngineConfig { return core.DefaultConfig() }
 
+// DefaultServerConfig returns the default serving configuration: 5 ms
+// rounds, early close at 256 pending queries, a 4096-deep admission queue,
+// and the default engine configuration with the incremental cache on.
+func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
+
 // DefaultWorkloadConfig returns a mid-sized workload configuration.
 func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
 
-// GenerateWorkload builds a synthetic workload.
-func GenerateWorkload(cfg WorkloadConfig) *Workload { return workload.Generate(cfg) }
+// GenerateWorkload builds a synthetic workload. It returns an error when
+// the configuration is invalid (non-positive dimensions, inverted ranges).
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return workload.Generate(cfg), nil
+}
 
-// NewEngine builds an engine (and its offline shared plan) for a workload.
-func NewEngine(w *Workload, cfg EngineConfig) (*Engine, error) { return core.New(w, cfg) }
+// An EngineOption adjusts an EngineConfig at construction. Options are
+// applied in order over DefaultEngineConfig, so later options win; start
+// from an explicit struct with WithConfig.
+type EngineOption func(*EngineConfig)
+
+// WithConfig replaces the whole configuration — the bridge for callers
+// that assemble an EngineConfig struct (DefaultEngineConfig remains the
+// canonical starting point). Options after it apply on top.
+func WithConfig(cfg EngineConfig) EngineOption { return func(c *EngineConfig) { *c = cfg } }
+
+// WithPricing selects the pricing rule (FirstPrice, GSP, VCG).
+func WithPricing(rule PricingRule) EngineOption { return func(c *EngineConfig) { c.Pricing = rule } }
+
+// WithBudgetPolicy selects naive vs throttled bidding (Section IV).
+func WithBudgetPolicy(p BudgetPolicy) EngineOption { return func(c *EngineConfig) { c.Policy = p } }
+
+// WithSharing selects shared-plan vs independent winner determination.
+func WithSharing(m SharingMode) EngineOption { return func(c *EngineConfig) { c.Sharing = m } }
+
+// WithWorkers sets the shared-plan worker-pool size (> 1 evaluates the
+// DAG concurrently; remember to Close the engine).
+func WithWorkers(n int) EngineOption { return func(c *EngineConfig) { c.Workers = n } }
+
+// WithIncrementalCache toggles cross-round plan-result caching: only the
+// dirty cone of changed bids is re-materialized each round.
+func WithIncrementalCache(on bool) EngineOption {
+	return func(c *EngineConfig) { c.IncrementalCache = on }
+}
+
+// WithReserve sets the per-click reserve price (0 disables it).
+func WithReserve(price float64) EngineOption { return func(c *EngineConfig) { c.Reserve = price } }
+
+// WithClickModel sets the delayed-click hazard and horizon.
+func WithClickModel(hazard float64, horizon int) EngineOption {
+	return func(c *EngineConfig) {
+		c.ClickHazard = hazard
+		c.ClickHorizon = horizon
+	}
+}
+
+// NewEngine builds an engine (and its offline shared plan) for a workload,
+// starting from DefaultEngineConfig and applying the options in order:
+//
+//	eng, err := sharedwd.NewEngine(w,
+//	    sharedwd.WithPricing(sharedwd.VCG),
+//	    sharedwd.WithBudgetPolicy(sharedwd.Throttled),
+//	    sharedwd.WithWorkers(4),
+//	    sharedwd.WithIncrementalCache(true))
+//
+// It returns an error for invalid configurations or a per-phrase-quality
+// workload (use NewSortEngine there).
+func NewEngine(w *Workload, opts ...EngineOption) (*Engine, error) {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.New(w, cfg)
+}
 
 // NewSortEngine builds the Section III pipeline (shared merge-sort feeding
-// the threshold algorithm) for a per-phrase-quality workload.
-func NewSortEngine(w *Workload, cfg EngineConfig) (*SortEngine, error) {
+// the threshold algorithm) for a per-phrase-quality workload. Options as
+// for NewEngine; it returns an error for invalid configurations or a
+// global-quality workload.
+func NewSortEngine(w *Workload, opts ...EngineOption) (*SortEngine, error) {
+	cfg := core.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return core.NewSortEngine(w, cfg)
+}
+
+// A ServerOption adjusts a ServerConfig at construction, applied in order
+// over DefaultServerConfig.
+type ServerOption func(*ServerConfig)
+
+// WithServerConfig replaces the whole serving configuration; options after
+// it apply on top.
+func WithServerConfig(cfg ServerConfig) ServerOption { return func(c *ServerConfig) { *c = cfg } }
+
+// WithRoundInterval sets the ticker period at which rounds close — the
+// paper's §I latency/sharing tradeoff knob (see TuneRoundInterval).
+func WithRoundInterval(d time.Duration) ServerOption {
+	return func(c *ServerConfig) { c.RoundInterval = d }
+}
+
+// WithMaxBatch closes rounds early once n requests are pending (0 disables
+// the size threshold).
+func WithMaxBatch(n int) ServerOption { return func(c *ServerConfig) { c.MaxBatch = n } }
+
+// WithQueueDepth bounds the admission queue; beyond it Submit sheds with
+// ErrOverloaded.
+func WithQueueDepth(n int) ServerOption { return func(c *ServerConfig) { c.QueueDepth = n } }
+
+// WithBidWalk applies one step of the workload's bid random walk after
+// every round (automated bidding programs running between rounds).
+func WithBidWalk(scale float64) ServerOption { return func(c *ServerConfig) { c.BidWalkScale = scale } }
+
+// WithServerEngine applies engine options to the server's wrapped engine.
+func WithServerEngine(opts ...EngineOption) ServerOption {
+	return func(c *ServerConfig) {
+		for _, opt := range opts {
+			opt(&c.Engine)
+		}
+	}
+}
+
+// NewServer builds the engine for the workload and starts the serving
+// round loop:
+//
+//	srv, err := sharedwd.NewServer(w,
+//	    sharedwd.WithRoundInterval(5*time.Millisecond),
+//	    sharedwd.WithQueueDepth(4096))
+//	defer srv.Close()
+//	res, err := srv.Submit(ctx, "hiking boots")
+//
+// The server takes ownership of the workload; do not mutate or step it
+// while the server runs. Close resolves in-flight requests, drains
+// outstanding clicks, and stops every goroutine the server started.
+func NewServer(w *Workload, opts ...ServerOption) (*Server, error) {
+	cfg := server.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return server.New(w, cfg)
+}
+
+// TuneRoundInterval picks the longest round length whose simulated median
+// query latency stays within the paper's 2.2 s user-tolerance threshold,
+// by replaying the §I batching model (internal/batching) against the
+// workload's shared plan at the given per-phrase Poisson arrival rates.
+func TuneRoundInterval(w *Workload, arrivalsPerSecond []float64, wdSecondsPerOp float64, candidates []time.Duration) (time.Duration, error) {
+	return server.TuneRoundInterval(w, arrivalsPerSecond, wdSecondsPerOp, candidates)
 }
 
 // NewMatcher indexes bid phrases for two-stage query matching.
@@ -303,8 +546,12 @@ func RecordTrace(w *Workload, rounds int, walkScale float64) *Trace {
 }
 
 // NewQueryStream builds a raw-query generator over the workload's phrases.
-func NewQueryStream(w *Workload, junkRate float64, seed int64) *QueryStream {
-	return workload.NewQueryStream(w, junkRate, seed)
+// It returns an error unless junkRate is in [0, 1).
+func NewQueryStream(w *Workload, junkRate float64, seed int64) (*QueryStream, error) {
+	if junkRate < 0 || junkRate >= 1 {
+		return nil, fmt.Errorf("sharedwd: junk rate %v outside [0,1)", junkRate)
+	}
+	return workload.NewQueryStream(w, junkRate, seed), nil
 }
 
 // RandomCoinFlipInstance reproduces the Figure-4 instance construction.

@@ -1,12 +1,17 @@
 package sharedwd
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"sharedwd/internal/core"
 	"sharedwd/internal/pricing"
+	"sharedwd/internal/server"
 	"sharedwd/internal/workload"
 )
 
@@ -148,5 +153,84 @@ func TestSoakSortEngine(t *testing.T) {
 				t.Fatalf("cfg %d: advertiser %d over budget", cfgIdx, i)
 			}
 		}
+	}
+}
+
+// TestSoakServer hammers the round server from many goroutines with the full
+// traffic mix — matched phrases, junk queries, and aggressive deadlines —
+// then shuts it down and verifies no goroutine leaks: everything the server
+// started (round loop, engine worker pool) must be gone after Close.
+func TestSoakServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 120
+	wcfg.NumPhrases = 12
+	wcfg.Seed = 31
+	w := workload.Generate(wcfg)
+	cfg := server.DefaultConfig()
+	cfg.Engine.Workers = 2 // exercise the engine pool's shutdown too
+	cfg.RoundInterval = time.Millisecond
+	cfg.MaxBatch = 64
+	cfg.QueueDepth = 512
+	cfg.BidWalkScale = 0.05
+	s, err := server.New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < 300; i++ {
+				query := w.PhraseNames[rng.Intn(len(w.PhraseNames))]
+				switch rng.Intn(10) {
+				case 0: // junk that matches no phrase
+					if _, err := s.Submit(context.Background(), "zzz no such phrase"); err != server.ErrNoAuction {
+						t.Errorf("junk query: err = %v, want ErrNoAuction", err)
+					}
+				case 1: // deadline likely to fire mid-round
+					ctx, cancel := context.WithTimeout(context.Background(), 300*time.Microsecond)
+					s.Submit(ctx, query) // success and ctx error both legal
+					cancel()
+				default:
+					if _, err := s.Submit(context.Background(), query); err != nil && err != server.ErrOverloaded {
+						t.Errorf("submit: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	if snap.Answered == 0 {
+		t.Fatal("soak answered no queries")
+	}
+	if snap.Unmatched == 0 {
+		t.Fatal("soak exercised no unmatched queries")
+	}
+	s.Close()
+	if _, err := s.Submit(context.Background(), w.PhraseNames[0]); err != server.ErrClosed {
+		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	}
+
+	// Goroutine-leak check: after Close returns, the round loop and the
+	// engine's worker pool must have exited. Poll briefly — runtime
+	// bookkeeping for exiting goroutines is asynchronous.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after close\n%s", before, after, buf[:n])
 	}
 }
