@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet staticcheck
+.PHONY: all build test race bench bench-shard bench-json fmt vet staticcheck
 
 all: build test
 
@@ -27,13 +27,19 @@ staticcheck:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+# bench-shard runs only the shard-count throughput sweep (1/2/4/8 shards
+# over the same serving load) for quick scaling checks.
+bench-shard:
+	$(GO) test -bench='ShardedThroughput' -benchmem -benchtime=2s -run='^$$' .
+
 # bench-json runs the core round-resolution and serving benchmarks and
 # records them as machine-readable JSON (BENCH_core.json, BENCH_server.json)
-# for cross-PR comparison.
+# for cross-PR comparison. The serving file carries both the single-server
+# throughput benchmark and the shard sweep.
 bench-json:
 	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_core.json
 	@cat BENCH_core.json
-	$(GO) test -bench='ServerThroughput' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='ServerThroughput|ShardedThroughput' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_server.json
 	@cat BENCH_server.json

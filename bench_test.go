@@ -8,6 +8,7 @@ package sharedwd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -687,6 +688,67 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	b.ReportMetric(snap.TotalLatency.P95*1e3, "p95ms")
 	b.ReportMetric(float64(snap.Shed), "shed")
+}
+
+// BenchmarkShardedThroughput sweeps the shard count over the same serving
+// load, measuring how partitioning the phrase universe scales winner
+// determination. The workload is sized so the per-round fixed cost — the
+// throttled policy's outstanding-ad scan over every advertiser active in
+// the round — dominates per-query work; each shard pays only its
+// partition's share of that scan, so sharding amortizes the fixed cost
+// into smaller independent rounds and throughput rises even on a single
+// core (and further with real cores). Traffic is shard-local by
+// construction: every query names one phrase, and each phrase lives on
+// exactly one shard.
+func BenchmarkShardedThroughput(b *testing.B) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 2000
+	wcfg.NumPhrases = 64
+	wcfg.MinBudget = 1e6 // steady display load, no budget churn
+	wcfg.MaxBudget = 2e6
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			w := workload.Generate(wcfg)
+			s, err := NewShardedServer(w,
+				WithShards(shards),
+				WithRoundInterval(time.Millisecond),
+				WithMaxBatch(256),
+				WithQueueDepth(1<<14))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			queries := w.PhraseNames
+			// Enough concurrent submitters to keep every shard's queue at
+			// the batch threshold: rounds then close on size, not the
+			// ticker, and each shard's fixed per-round cost amortizes over
+			// full batches.
+			b.SetParallelism(4096)
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					// Shed responses are answered requests too; anything
+					// else fails.
+					if _, err := s.Submit(ctx, queries[i%len(queries)]); err != nil && !errors.Is(err, ErrOverloaded) {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			elapsed := time.Since(start)
+			b.StopTimer()
+			m := s.Metrics()
+			s.Close()
+			if sec := elapsed.Seconds(); sec > 0 {
+				b.ReportMetric(float64(m.Answered)/sec, "queries/sec")
+			}
+			b.ReportMetric(m.TotalLatency.P95()*1e3, "p95ms")
+			b.ReportMetric(float64(m.Shed), "shed")
+		})
+	}
 }
 
 // sortIdx sorts ids descending by val, ties by ascending id.

@@ -2,16 +2,19 @@
 // pool of client goroutines draws messy raw queries from a QueryStream
 // (case variants, synonyms, junk) and submits them with per-request
 // deadlines, while the server batches them into rounds and resolves shared
-// winner determination. Live per-second snapshots show throughput, queue
-// depth, shed/timeout counters, and the per-stage latency distribution; a
-// final summary reports the lifetime totals and the wrapped engine's
-// counters.
+// winner determination. With -shards > 1 the bid-phrase universe is
+// partitioned across that many engine shards — each with its own round
+// loop — and advertiser budgets settle through the central ledger. Live
+// per-second snapshots show throughput, queue depth, shed/timeout
+// counters, and the per-stage latency distribution; a final summary
+// reports the lifetime totals and the engines' counters.
 //
 // Usage:
 //
 //	servedemo [-advertisers 2000] [-phrases 64] [-seed 1]
 //	          [-clients 64] [-duration 10s] [-round 5ms] [-batch 256]
 //	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
+//	          [-shards 1] [-router hash|fragment]
 package main
 
 import (
@@ -25,8 +28,17 @@ import (
 	"time"
 
 	"sharedwd/internal/server"
+	"sharedwd/internal/shard"
 	"sharedwd/internal/workload"
 )
+
+// roundServer is what the load loop needs; both the single-engine server
+// and the sharded server satisfy it.
+type roundServer interface {
+	Submit(ctx context.Context, query string) (server.Result, error)
+	Metrics() server.Metrics
+	Close()
+}
 
 func main() {
 	advertisers := flag.Int("advertisers", 2000, "number of advertisers")
@@ -36,10 +48,12 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
 	round := flag.Duration("round", 5*time.Millisecond, "round interval")
 	batch := flag.Int("batch", 256, "max queries per round (early close)")
-	queue := flag.Int("queue", 4096, "admission queue depth")
+	queue := flag.Int("queue", 4096, "admission queue depth (per shard)")
 	deadline := flag.Duration("deadline", 100*time.Millisecond, "per-request deadline")
 	junk := flag.Float64("junk", 0.05, "fraction of junk queries matching no phrase")
-	workers := flag.Int("workers", 1, "engine plan-execution workers")
+	workers := flag.Int("workers", 1, "engine plan-execution workers (per shard)")
+	shards := flag.Int("shards", 1, "engine shards (each phrase partition gets its own round loop)")
+	router := flag.String("router", "hash", "phrase-to-shard router: hash or fragment")
 	flag.Parse()
 
 	wcfg := workload.DefaultConfig()
@@ -54,7 +68,24 @@ func main() {
 	cfg.MaxBatch = *batch
 	cfg.QueueDepth = *queue
 	cfg.BidWalkScale = 0.02
-	s, err := server.New(w, cfg)
+
+	var s roundServer
+	var err error
+	if *shards > 1 {
+		scfg := shard.Config{Worker: cfg, Shards: *shards}
+		switch *router {
+		case "hash":
+			scfg.Router = shard.HashRouter{}
+		case "fragment":
+			scfg.Router = shard.FragmentRouter{}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -router %q (want hash or fragment)\n", *router)
+			os.Exit(1)
+		}
+		s, err = shard.New(w, scfg)
+	} else {
+		s, err = server.New(w, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -62,8 +93,8 @@ func main() {
 
 	fmt.Printf("workload: %d advertisers, %d phrases (seed %d)\n",
 		*advertisers, *phrases, *seed)
-	fmt.Printf("server:   %v rounds, batch %d, queue %d, %d clients, %v deadlines\n\n",
-		*round, *batch, *queue, *clients, *deadline)
+	fmt.Printf("server:   %d shard(s) [%s router], %v rounds, batch %d, queue %d, %d clients, %v deadlines\n\n",
+		*shards, *router, *round, *batch, *queue, *clients, *deadline)
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -92,11 +123,11 @@ func main() {
 	deadlineAt := time.Now().Add(*duration)
 	fmt.Println("uptime   qps      p50ms   p95ms   queue  shed   timeout unmatched")
 	for now := range ticker.C {
-		snap := s.Snapshot()
+		m := s.Metrics()
 		fmt.Printf("%-8s %-8.0f %-7.2f %-7.2f %-6d %-6d %-7d %d\n",
-			snap.Uptime.Round(time.Second), snap.QueriesPerSec,
-			snap.TotalLatency.P50*1e3, snap.TotalLatency.P95*1e3,
-			snap.QueueDepth, snap.Shed, snap.TimedOut, snap.Unmatched)
+			m.Uptime.Round(time.Second), m.QueriesPerSec,
+			m.TotalLatency.P50()*1e3, m.TotalLatency.P95()*1e3,
+			m.QueueDepth, m.Shed, m.TimedOut, m.Unmatched)
 		if now.After(deadlineAt) {
 			break
 		}
@@ -107,15 +138,24 @@ func main() {
 	wg.Wait()
 	s.Close()
 
-	snap := s.Snapshot()
+	m := s.Metrics()
 	fmt.Printf("\nsubmitted %d, answered %d (%.0f/sec) over %d rounds (%d empty)\n",
-		snap.Submitted, snap.Answered, snap.QueriesPerSec, snap.Rounds, snap.EmptyRounds)
-	fmt.Printf("shed %d, timed out %d, unmatched %d\n", snap.Shed, snap.TimedOut, snap.Unmatched)
+		m.Submitted, m.Answered, m.QueriesPerSec, m.Rounds, m.EmptyRounds)
+	fmt.Printf("shed %d, timed out %d, unmatched %d\n", m.Shed, m.TimedOut, m.Unmatched)
 	fmt.Printf("latency ms: admission p95 %.2f, round wait p95 %.2f, total p95 %.2f (max %.2f)\n",
-		snap.AdmissionWait.P95*1e3, snap.RoundWait.P95*1e3,
-		snap.TotalLatency.P95*1e3, snap.TotalLatency.Max*1e3)
+		m.AdmissionWait.P95()*1e3, m.RoundWait.P95()*1e3,
+		m.TotalLatency.P95()*1e3, m.TotalLatency.Max()*1e3)
 	fmt.Printf("winner determination per round: mean %.3fms, p95 %.3fms\n",
-		snap.WinnerDetermination.Mean*1e3, snap.WinnerDetermination.P95*1e3)
+		m.WinnerDetermination.Mean()*1e3, m.WinnerDetermination.P95()*1e3)
 	fmt.Printf("engine: %d auctions, %d ads displayed, $%.2f revenue\n",
-		snap.Engine.AuctionsResolved, snap.Engine.AdsDisplayed, snap.Engine.Revenue)
+		m.Engine.AuctionsResolved, m.Engine.AdsDisplayed, m.Engine.Revenue)
+	if sh, ok := s.(*shard.Server); ok {
+		fmt.Printf("ledger:  $%.2f settled across %d shards\n",
+			sh.Ledger().TotalSpent(), sh.Shards())
+		for i := 0; i < sh.Shards(); i++ {
+			sm := sh.ShardMetrics(i)
+			fmt.Printf("  shard %d: answered %d over %d rounds, p95 %.2fms\n",
+				i, sm.Answered, sm.Rounds, sm.TotalLatency.P95()*1e3)
+		}
+	}
 }

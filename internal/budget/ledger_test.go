@@ -1,0 +1,112 @@
+package budget
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLedgerBasics(t *testing.T) {
+	l := NewLedger([]float64{10, 0, -5})
+	if l.N() != 3 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if l.Remaining(0) != 10 || l.Remaining(1) != 0 || l.Remaining(2) != 0 {
+		t.Fatalf("remaining = %v %v %v", l.Remaining(0), l.Remaining(1), l.Remaining(2))
+	}
+	if !l.TryCharge(0, 4) {
+		t.Fatal("charge within budget refused")
+	}
+	if got := l.Remaining(0); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("Remaining = %v, want 6", got)
+	}
+	if got := l.Spent(0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Spent = %v, want 4", got)
+	}
+	if l.TryCharge(0, 6.001) {
+		t.Fatal("overdraft accepted")
+	}
+	if !l.TryCharge(0, 6) {
+		t.Fatal("exact-remaining charge refused")
+	}
+	if l.Remaining(0) != 0 {
+		t.Fatalf("Remaining = %v, want 0", l.Remaining(0))
+	}
+	if l.TryCharge(1, 0.01) {
+		t.Fatal("charge against zero budget accepted")
+	}
+	// Zero-price charges succeed without moving anything; negative fail.
+	if !l.TryCharge(1, 0) || l.TryCharge(1, -1) {
+		t.Fatal("zero/negative price handling wrong")
+	}
+	if got := l.TotalSpent(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("TotalSpent = %v, want 10", got)
+	}
+}
+
+func TestLedgerEpsilonMatchesEngine(t *testing.T) {
+	// The single-engine path accepts a click when spent+price ≤ budget+1e-9;
+	// the ledger must accept the same boundary cases.
+	l := NewLedger([]float64{1})
+	if !l.TryCharge(0, 1+0.5e-9) {
+		t.Fatal("charge inside the accounting epsilon refused")
+	}
+	if l.Remaining(0) != 0 {
+		t.Fatalf("Remaining = %v, want clamped 0", l.Remaining(0))
+	}
+}
+
+func TestLedgerDeposit(t *testing.T) {
+	l := NewLedger([]float64{1})
+	if l.TryCharge(0, 5) {
+		t.Fatal("charge beyond budget accepted")
+	}
+	l.Deposit(0, 4)
+	l.Deposit(0, -3) // ignored
+	if !l.TryCharge(0, 5) {
+		t.Fatal("charge after deposit refused")
+	}
+	if got := l.Spent(0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Spent = %v, want 5", got)
+	}
+}
+
+// TestLedgerConcurrentExactness races many goroutines charging one
+// advertiser and checks the Section IV invariant: total settled spend never
+// exceeds the budget, and every successful charge is accounted for.
+func TestLedgerConcurrentExactness(t *testing.T) {
+	const (
+		workers = 16
+		charges = 2000
+		price   = 1.0
+		budget  = workers * charges / 4 // only a quarter of attempts can win
+	)
+	l := NewLedger([]float64{budget})
+	var wg sync.WaitGroup
+	var won [workers]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < charges; k++ {
+				if l.TryCharge(0, price) {
+					won[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range won {
+		total += n
+	}
+	if total != budget {
+		t.Fatalf("successful charges = %d, want exactly %d", total, budget)
+	}
+	if got := l.Spent(0); math.Abs(got-budget) > 1e-6 {
+		t.Fatalf("Spent = %v, want %v", got, float64(budget))
+	}
+	if got := l.Remaining(0); got != 0 {
+		t.Fatalf("Remaining = %v, want 0", got)
+	}
+}

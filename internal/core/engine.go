@@ -70,6 +70,23 @@ func (m SharingMode) String() string {
 	return "shared"
 }
 
+// BudgetLedger is the engine's hook for external budget authority. When a
+// Config carries one, remaining-budget reads and click charges go through
+// it instead of the engine-private spend table, so several engines (the
+// shards of a sharded server) can share one advertiser budget pool with
+// exact global accounting. budget.Ledger implements it.
+//
+// Implementations must be safe for concurrent use: each engine calls from
+// its own goroutine, but the ledger is shared across engines.
+type BudgetLedger interface {
+	// Remaining returns the advertiser's current remaining budget.
+	Remaining(advertiser int) float64
+	// TryCharge atomically deducts price from the advertiser's remaining
+	// budget, returning false (and charging nothing) if the budget does not
+	// cover it.
+	TryCharge(advertiser int, price float64) bool
+}
+
 // Config parameterizes the engine.
 type Config struct {
 	Pricing pricing.Rule
@@ -98,6 +115,19 @@ type Config struct {
 	// Reserve is the per-click reserve price: bidders below it do not
 	// participate, and no winner pays less. Zero disables it.
 	Reserve float64
+	// Ledger, when non-nil, is the shared budget authority consulted for
+	// remaining budgets and charged for clicks in place of the
+	// engine-private spend table. The engine still accumulates its local
+	// Spent view (this engine's share of each advertiser's spend), but the
+	// admit/forgive decision for every click is the ledger's. Used by the
+	// sharded server to keep Section IV accounting exact across shards.
+	Ledger BudgetLedger
+	// ClickOutcome, when non-nil, replaces the click simulator's random
+	// draws with a deterministic outcome function (see
+	// workload.OutcomeFunc). Sharded and single-engine runs given the same
+	// pure function see identical click fates, which is what the
+	// equivalence property tests rely on.
+	ClickOutcome workload.OutcomeFunc
 }
 
 // DefaultConfig returns a GSP, throttled, shared configuration.
@@ -199,6 +229,21 @@ type Stats struct {
 	AdsDisplayed   int
 }
 
+// Add returns the field-wise sum of two stat sets — the aggregation used to
+// roll per-shard engine counters up into one fleet-wide view.
+func (s Stats) Add(o Stats) Stats {
+	s.Rounds += o.Rounds
+	s.AuctionsResolved += o.AuctionsResolved
+	s.NodesMaterialized += o.NodesMaterialized
+	s.NodesCached += o.NodesCached
+	s.Revenue += o.Revenue
+	s.ClicksCharged += o.ClicksCharged
+	s.ClicksForgiven += o.ClicksForgiven
+	s.ForgivenValue += o.ForgivenValue
+	s.AdsDisplayed += o.AdsDisplayed
+	return s
+}
+
 // New builds an engine (and, in shared mode, the offline aggregation plan)
 // for the workload.
 func New(w *workload.Workload, cfg Config) (*Engine, error) {
@@ -219,6 +264,9 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 		w:      w,
 		clicks: workload.NewClickSim(w.Rng(), cfg.ClickHazard, cfg.ClickHorizon),
 		spent:  make([]float64, len(w.Advertisers)),
+	}
+	if cfg.ClickOutcome != nil {
+		e.clicks.SetOutcome(cfg.ClickOutcome)
 	}
 	e.scr.mCount = make([]int, len(w.Advertisers))
 	e.scr.roundBid = make([]float64, len(w.Advertisers))
@@ -287,11 +335,19 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Round returns the number of the next round to be stepped.
 func (e *Engine) Round() int { return e.round }
 
-// Spent returns how much advertiser i has paid so far.
+// Spent returns how much advertiser i has paid so far through this engine.
+// With a shared ledger this is the engine's share of the global spend; the
+// ledger's Spent is the cross-shard total.
 func (e *Engine) Spent(i int) float64 { return e.spent[i] }
 
-// Remaining returns advertiser i's remaining budget.
-func (e *Engine) Remaining(i int) float64 { return e.w.Advertisers[i].Budget - e.spent[i] }
+// Remaining returns advertiser i's remaining budget — from the shared
+// ledger when one is configured, else from this engine's own accounting.
+func (e *Engine) Remaining(i int) float64 {
+	if e.cfg.Ledger != nil {
+		return e.cfg.Ledger.Remaining(i)
+	}
+	return e.w.Advertisers[i].Budget - e.spent[i]
+}
 
 // AdvertiserReport summarizes one advertiser's day so far.
 type AdvertiserReport struct {
@@ -320,7 +376,7 @@ func (e *Engine) Report(i int) AdvertiserReport {
 		Bid:                 a.Bid,
 		Budget:              a.Budget,
 		Spent:               e.spent[i],
-		Remaining:           a.Budget - e.spent[i],
+		Remaining:           e.Remaining(i),
 		Outstanding:         len(prices),
 		OutstandingExposure: exposure,
 	}
@@ -365,10 +421,19 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 	clear(e.scr.auctions)
 	rep := RoundReport{Round: e.round, Auctions: e.scr.auctions}
 
-	// 1. Deliver clicks from earlier rounds and charge budgets.
+	// 1. Deliver clicks from earlier rounds and charge budgets. With a
+	// shared ledger the admit/forgive decision is its atomic TryCharge
+	// (reserve and settle in one CAS); e.spent then tracks this engine's
+	// share of the global spend.
 	rep.Clicks = e.clicks.Advance(e.round)
 	for _, c := range rep.Clicks {
-		if e.spent[c.Advertiser]+c.Price <= e.w.Advertisers[c.Advertiser].Budget+1e-9 {
+		var charged bool
+		if e.cfg.Ledger != nil {
+			charged = e.cfg.Ledger.TryCharge(c.Advertiser, c.Price)
+		} else {
+			charged = e.spent[c.Advertiser]+c.Price <= e.w.Advertisers[c.Advertiser].Budget+1e-9
+		}
+		if charged {
 			e.spent[c.Advertiser] += c.Price
 			e.stats.Revenue += c.Price
 			e.stats.ClicksCharged++
@@ -550,7 +615,7 @@ func (e *Engine) auctionCounts(occurring []bool) []int {
 // policyBid computes the advertiser's bid for this round under the
 // configured budget policy.
 func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
-	remaining := a.Budget - e.spent[i]
+	remaining := e.Remaining(i)
 	if remaining <= 0 {
 		return 0
 	}

@@ -1,0 +1,87 @@
+// Package serr is the serving layer's error taxonomy — the single home for
+// the sentinel errors every serving front end (the single-engine
+// server.Server, the multi-core shard.Server) returns from Submit, plus the
+// QueryError wrapper that attaches shard and phrase context to a per-query
+// failure.
+//
+// The contract, shared by all front ends:
+//
+//   - Sentinels are compared with errors.Is, never string matching.
+//   - Wrapping preserves identity: a QueryError (or any %w chain) around a
+//     sentinel still satisfies errors.Is(err, ErrOverloaded) etc., so
+//     callers write one retry/backoff policy that works against both the
+//     single server and the sharded server.
+//   - ErrOverloaded is retryable (backpressure), ErrClosed is terminal,
+//     ErrNoAuction is a property of the query, not of server health.
+//
+// The facade package sharedwd re-exports the sentinels; internal/server
+// keeps deprecated aliases for one release.
+package serr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by the serving front ends' Submit methods.
+var (
+	// ErrOverloaded is the backpressure signal: the admission queue of the
+	// shard (or server) that would serve the query is full, and the query
+	// was shed without being enqueued. Callers should back off or retry —
+	// against another replica, or later.
+	ErrOverloaded = errors.New("sharedwd: overloaded, admission queue full")
+	// ErrClosed means the server is shutting down (or shut down) and admits
+	// no new queries.
+	ErrClosed = errors.New("sharedwd: server closed")
+	// ErrNoAuction means the query matched no bid phrase after the
+	// two-stage mapping, so no auction runs for it (the paper's unmatched
+	// traffic).
+	ErrNoAuction = errors.New("sharedwd: query matches no bid phrase")
+)
+
+// QueryError decorates a per-query serving failure with the routing context
+// the error occurred in: which shard refused the query and which bid phrase
+// it had matched. It wraps the underlying cause, so errors.Is against the
+// sentinels (and errors such as context.DeadlineExceeded) keeps working.
+type QueryError struct {
+	// Shard is the shard that served or refused the query; -1 when the
+	// failure happened before routing (e.g. an unmatched query).
+	Shard int
+	// Phrase is the global bid-phrase ID the query matched; -1 when it
+	// matched none.
+	Phrase int
+	// Err is the underlying cause (a sentinel or a context error).
+	Err error
+}
+
+// Error renders "shard 2, phrase 17: <cause>", omitting fields that are
+// unknown (-1).
+func (e *QueryError) Error() string {
+	switch {
+	case e.Shard < 0 && e.Phrase < 0:
+		return e.Err.Error()
+	case e.Shard < 0:
+		return fmt.Sprintf("phrase %d: %v", e.Phrase, e.Err)
+	case e.Phrase < 0:
+		return fmt.Sprintf("shard %d: %v", e.Shard, e.Err)
+	default:
+		return fmt.Sprintf("shard %d, phrase %d: %v", e.Shard, e.Phrase, e.Err)
+	}
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// Wrap returns err decorated with shard and phrase context, or nil when err
+// is nil. An err that is already a *QueryError is returned unchanged (the
+// innermost context — recorded where the failure happened — wins).
+func Wrap(shard, phrase int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return err
+	}
+	return &QueryError{Shard: shard, Phrase: phrase, Err: err}
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"time"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/stats"
+)
+
+// LatencyDist is one pipeline stage's latency distribution (seconds): an
+// exact streaming summary (count, mean, min, max) plus the bucketed
+// histogram quantiles are estimated from. The zero value is an empty
+// distribution. Merge combines distributions from different workers, so a
+// sharded server's fleet-wide P95 is computed over the union of samples,
+// not averaged per shard.
+type LatencyDist struct {
+	// Summary carries the exact count, mean, min, max, and variance.
+	Summary stats.Summary
+	// Hist is the bucketed distribution behind Quantile; nil when empty.
+	Hist *stats.Histogram
+}
+
+// Count returns the number of observations.
+func (d LatencyDist) Count() int { return d.Summary.N() }
+
+// Mean returns the exact mean (0 when empty).
+func (d LatencyDist) Mean() float64 { return d.Summary.Mean() }
+
+// Max returns the exact maximum (0 when empty).
+func (d LatencyDist) Max() float64 { return d.Summary.Max() }
+
+// Quantile estimates the q-quantile from the histogram (0 when empty).
+func (d LatencyDist) Quantile(q float64) float64 {
+	if d.Hist == nil {
+		return 0
+	}
+	return d.Hist.Quantile(q)
+}
+
+// P50 estimates the median.
+func (d LatencyDist) P50() float64 { return d.Quantile(0.5) }
+
+// P95 estimates the 95th percentile.
+func (d LatencyDist) P95() float64 { return d.Quantile(0.95) }
+
+// Merge returns the distribution of the union of both sample streams. The
+// summary combine is exact; histogram counts merge bucket-wise when the
+// geometries match (they do whenever the workers share a config) and by
+// midpoint re-adding otherwise. Neither operand is mutated.
+func (d LatencyDist) Merge(o LatencyDist) LatencyDist {
+	out := d
+	out.Summary.Merge(o.Summary)
+	switch {
+	case d.Hist == nil && o.Hist == nil:
+		out.Hist = nil
+	case d.Hist == nil:
+		out.Hist = o.Hist.Clone()
+	default:
+		out.Hist = d.Hist.Clone()
+		out.Hist.Merge(o.Hist)
+	}
+	return out
+}
+
+// Stats projects the distribution onto the legacy LatencyStats view.
+func (d LatencyDist) Stats() LatencyStats {
+	return LatencyStats{
+		Count: d.Count(),
+		Mean:  d.Mean(),
+		P50:   d.P50(),
+		P95:   d.P95(),
+		Max:   d.Max(),
+	}
+}
+
+// Metrics is the unified observability view across the serving stack: one
+// type carries the admission counters, queue occupancy, round/throughput
+// rates, per-stage latency distributions, and the engine's lifetime
+// counters — whether they describe one core.Engine, one server.Worker, or
+// a whole sharded fleet. Merge aggregates worker metrics into fleet
+// metrics; the legacy core.Engine Stats and server Snapshot views are thin
+// projections (Engine field, Snapshot method).
+type Metrics struct {
+	// Uptime is the time since the (oldest merged) worker started.
+	Uptime time.Duration
+
+	// Admission counters. Submitted = Answered + in flight + Unmatched +
+	// Shed + TimedOut (+ Expired requests answered with their ctx error).
+	Submitted, Answered, Unmatched, Shed, TimedOut, Expired int64
+
+	// QueueDepth is the current admission-queue occupancy summed across
+	// workers; QueueCap the summed bound.
+	QueueDepth, QueueCap int
+
+	// Rounds counts engine rounds closed across workers; EmptyRounds those
+	// with no live request (zero-traffic ticks). RoundsPerSec and
+	// QueriesPerSec are lifetime rates over Uptime.
+	Rounds, EmptyRounds         int64
+	RoundsPerSec, QueriesPerSec float64
+
+	// Per-stage latency (seconds): time in the admission queue, time
+	// waiting for the round to close, winner-determination time per
+	// non-empty round, and total submit-to-answer latency.
+	AdmissionWait, RoundWait, WinnerDetermination, TotalLatency LatencyDist
+
+	// Engine is the engine-lifetime counter sum as of the last closed
+	// round on each worker.
+	Engine core.Stats
+}
+
+// Merge returns the aggregate of two metric sets: counters and engine
+// stats sum, latency distributions merge sample-exactly, Uptime is the
+// larger of the two (the workers ran concurrently, not serially), and the
+// lifetime rates are recomputed over it. Neither operand is mutated.
+func (m Metrics) Merge(o Metrics) Metrics {
+	out := m
+	if o.Uptime > out.Uptime {
+		out.Uptime = o.Uptime
+	}
+	out.Submitted += o.Submitted
+	out.Answered += o.Answered
+	out.Unmatched += o.Unmatched
+	out.Shed += o.Shed
+	out.TimedOut += o.TimedOut
+	out.Expired += o.Expired
+	out.QueueDepth += o.QueueDepth
+	out.QueueCap += o.QueueCap
+	out.Rounds += o.Rounds
+	out.EmptyRounds += o.EmptyRounds
+	out.AdmissionWait = m.AdmissionWait.Merge(o.AdmissionWait)
+	out.RoundWait = m.RoundWait.Merge(o.RoundWait)
+	out.WinnerDetermination = m.WinnerDetermination.Merge(o.WinnerDetermination)
+	out.TotalLatency = m.TotalLatency.Merge(o.TotalLatency)
+	out.Engine = m.Engine.Add(o.Engine)
+	out.RoundsPerSec, out.QueriesPerSec = 0, 0
+	if sec := out.Uptime.Seconds(); sec > 0 {
+		out.RoundsPerSec = float64(out.Rounds) / sec
+		out.QueriesPerSec = float64(out.Answered) / sec
+	}
+	return out
+}
+
+// Snapshot projects the metrics onto the legacy Snapshot view.
+func (m Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Uptime:              m.Uptime,
+		Submitted:           m.Submitted,
+		Answered:            m.Answered,
+		Unmatched:           m.Unmatched,
+		Shed:                m.Shed,
+		TimedOut:            m.TimedOut,
+		Expired:             m.Expired,
+		QueueDepth:          m.QueueDepth,
+		QueueCap:            m.QueueCap,
+		Rounds:              m.Rounds,
+		EmptyRounds:         m.EmptyRounds,
+		RoundsPerSec:        m.RoundsPerSec,
+		QueriesPerSec:       m.QueriesPerSec,
+		AdmissionWait:       m.AdmissionWait.Stats(),
+		RoundWait:           m.RoundWait.Stats(),
+		WinnerDetermination: m.WinnerDetermination.Stats(),
+		TotalLatency:        m.TotalLatency.Stats(),
+		Engine:              m.Engine,
+	}
+}
+
+// LatencyStats summarizes one pipeline stage's latency distribution in
+// seconds. Quantiles are histogram estimates (see stats.Histogram.Quantile);
+// Mean and Max are exact.
+//
+// Deprecated: LatencyStats remains as the projection LatencyDist.Stats
+// returns inside the legacy Snapshot; new code should read LatencyDist on
+// Metrics, which additionally supports Merge and arbitrary quantiles.
+type LatencyStats struct {
+	Count          int
+	Mean, P50, P95 float64
+	Max            float64
+}
+
+// Snapshot is a point-in-time view of the server's health: admission and
+// shed counters, queue depth, round and throughput rates, per-stage latency
+// distributions, and the wrapped engine's lifetime counters.
+//
+// Deprecated: Snapshot remains as a projection of Metrics (see
+// Metrics.Snapshot); new code should use Metrics, which additionally
+// supports cross-shard Merge and histogram-backed quantiles.
+type Snapshot struct {
+	Uptime time.Duration
+
+	// Admission counters. Submitted = answered + in flight + Unmatched +
+	// Shed + TimedOut (+ Expired requests answered with their ctx error).
+	Submitted, Answered, Unmatched, Shed, TimedOut, Expired int64
+
+	// QueueDepth is the current admission-queue occupancy; QueueCap its
+	// bound.
+	QueueDepth, QueueCap int
+
+	// Rounds counts engine rounds closed; EmptyRounds those with no live
+	// request (zero-traffic ticks). RoundsPerSec and QueriesPerSec are
+	// lifetime rates.
+	Rounds, EmptyRounds         int64
+	RoundsPerSec, QueriesPerSec float64
+
+	// Per-stage latency (seconds): time in the admission queue, time
+	// waiting for the round to close, winner-determination time per
+	// non-empty round, and total Submit-to-answer latency.
+	AdmissionWait, RoundWait, WinnerDetermination, TotalLatency LatencyStats
+
+	// Engine is the wrapped engine's lifetime counters as of the last
+	// closed round.
+	Engine core.Stats
+}

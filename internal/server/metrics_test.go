@@ -1,0 +1,112 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/stats"
+)
+
+func distOf(lo, hi float64, xs ...float64) LatencyDist {
+	d := LatencyDist{Hist: stats.NewHistogram(lo, hi, 64)}
+	for _, x := range xs {
+		d.Summary.Add(x)
+		d.Hist.Add(x)
+	}
+	return d
+}
+
+func TestLatencyDistMerge(t *testing.T) {
+	a := distOf(0, 1, 0.1, 0.2, 0.3)
+	b := distOf(0, 1, 0.4, 0.9)
+	m := a.Merge(b)
+	if m.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", m.Count())
+	}
+	if want := (0.1 + 0.2 + 0.3 + 0.4 + 0.9) / 5; math.Abs(m.Mean()-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", m.Mean(), want)
+	}
+	if m.Max() != 0.9 {
+		t.Fatalf("Max = %v, want 0.9", m.Max())
+	}
+	if m.Hist.N() != 5 {
+		t.Fatalf("merged hist N = %d, want 5", m.Hist.N())
+	}
+	// Operands are untouched (Merge clones).
+	if a.Count() != 3 || a.Hist.N() != 3 || b.Hist.N() != 2 {
+		t.Fatal("Merge mutated an operand")
+	}
+	// Zero-value distributions are identity elements.
+	var zero LatencyDist
+	if got := zero.Merge(a); got.Count() != 3 || got.Hist.N() != 3 {
+		t.Fatalf("zero.Merge = %+v", got)
+	}
+	if got := a.Merge(zero); got.Count() != 3 {
+		t.Fatalf("a.Merge(zero) = %+v", got)
+	}
+	if got := zero.Merge(zero); got.Count() != 0 || got.P95() != 0 {
+		t.Fatalf("zero.Merge(zero) = %+v", got)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a := Metrics{
+		Uptime: 2 * time.Second, Submitted: 10, Answered: 8, Unmatched: 1,
+		Shed: 1, Rounds: 4, EmptyRounds: 1, QueueDepth: 2, QueueCap: 16,
+		TotalLatency: distOf(0, 1, 0.1, 0.2),
+		Engine:       core.Stats{Rounds: 4, Revenue: 3.5, ClicksCharged: 2},
+	}
+	b := Metrics{
+		Uptime: 3 * time.Second, Submitted: 20, Answered: 19, TimedOut: 1,
+		Rounds: 6, QueueDepth: 1, QueueCap: 16,
+		TotalLatency: distOf(0, 1, 0.4),
+		Engine:       core.Stats{Rounds: 6, Revenue: 1.5, AdsDisplayed: 7},
+	}
+	m := a.Merge(b)
+	if m.Uptime != 3*time.Second {
+		t.Fatalf("Uptime = %v, want max (3s)", m.Uptime)
+	}
+	if m.Submitted != 30 || m.Answered != 27 || m.Unmatched != 1 || m.Shed != 1 || m.TimedOut != 1 {
+		t.Fatalf("counters wrong: %+v", m)
+	}
+	if m.Rounds != 10 || m.EmptyRounds != 1 || m.QueueDepth != 3 || m.QueueCap != 32 {
+		t.Fatalf("round/queue counters wrong: %+v", m)
+	}
+	if want := 27.0 / 3.0; math.Abs(m.QueriesPerSec-want) > 1e-9 {
+		t.Fatalf("QueriesPerSec = %v, want %v", m.QueriesPerSec, want)
+	}
+	if want := 10.0 / 3.0; math.Abs(m.RoundsPerSec-want) > 1e-9 {
+		t.Fatalf("RoundsPerSec = %v, want %v", m.RoundsPerSec, want)
+	}
+	if m.TotalLatency.Count() != 3 {
+		t.Fatalf("TotalLatency.Count = %d, want 3", m.TotalLatency.Count())
+	}
+	if m.Engine.Rounds != 10 || math.Abs(m.Engine.Revenue-5) > 1e-12 ||
+		m.Engine.ClicksCharged != 2 || m.Engine.AdsDisplayed != 7 {
+		t.Fatalf("engine stats wrong: %+v", m.Engine)
+	}
+
+	// The legacy projection carries the merged numbers.
+	snap := m.Snapshot()
+	if snap.Answered != 27 || snap.TotalLatency.Count != 3 ||
+		math.Abs(snap.TotalLatency.Mean-m.TotalLatency.Mean()) > 1e-12 {
+		t.Fatalf("snapshot projection wrong: %+v", snap)
+	}
+}
+
+// TestServerMetricsMatchesSnapshot: the deprecated Snapshot and the new
+// Metrics must agree on a live server.
+func TestServerMetricsMatchesSnapshot(t *testing.T) {
+	s, err := New(testWorkload(t), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := s.Metrics()
+	snap := s.Snapshot()
+	if snap.QueueCap != m.QueueCap || snap.Rounds < m.Rounds {
+		t.Fatalf("Snapshot %+v disagrees with Metrics %+v", snap, m)
+	}
+}

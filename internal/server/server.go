@@ -5,57 +5,71 @@
 // (Sears–Jacko–Borella: median ≤ 2.2 s tolerated, ≥ 3.6 s too long — see
 // internal/batching).
 //
-// Server wraps the single-goroutine core.Engine in a long-lived round loop:
+// The serving unit is Worker: one bounded admission queue feeding one
+// round loop pinned to one single-goroutine core.Engine:
 //
-//	callers ──Submit──▶ bounded admission queue ──▶ round loop ──▶ Engine.Step
-//	   ▲                      (shed when full)        │
-//	   └────────── per-request result channel ◀───────┘
+//	callers ──SubmitPhrase──▶ bounded admission queue ──▶ round loop ──▶ Engine.Step
+//	   ▲                           (shed when full)         │
+//	   └─────────── per-request result channel ◀────────────┘
 //
-// Raw query strings are admitted concurrently through a bounded queue
-// (backpressure: ErrOverloaded when full; per-request deadlines via
-// context.Context), mapped to bid phrases with workload.Matcher, and
-// batched until the round closes — on a ticker or when MaxBatch requests
-// are pending, whichever first. The loop drives Engine.Step once per round
-// and wakes every waiting request with its auction's slot assignment and
-// per-click prices. Close stops admission, resolves in-flight requests in
-// a final round, drains the engine's outstanding clicks, and stops every
-// goroutine the server started.
+// Server is the single-engine front end over one worker: raw query strings
+// are admitted concurrently, mapped to bid phrases with workload.Matcher,
+// and batched until the round closes — on a ticker or when MaxBatch
+// requests are pending, whichever first. The shard package runs one worker
+// per engine shard behind the same contract to scale across cores.
+// Backpressure is ErrOverloaded when the queue is full; per-request
+// deadlines come from context.Context. Close stops admission, resolves
+// in-flight requests in a final round, drains the engine's outstanding
+// clicks, and stops every goroutine the server started.
+//
+// Observability is the Metrics type — counters, queue occupancy, and
+// per-stage latency distributions with exact means and histogram quantiles
+// — which merges across workers (Metrics.Merge) into fleet-wide views; the
+// legacy Snapshot remains as a deprecated projection.
 //
 // Thread safety: Server is safe for concurrent use — any number of
-// goroutines may call Submit and Snapshot while the round loop runs. The
-// wrapped Engine, Workload, and Matcher are owned by the server once New
-// returns and must not be used concurrently by the caller.
+// goroutines may call Submit, Metrics, and Snapshot while the round loop
+// runs. The wrapped Engine, Workload, and Matcher are owned by the server
+// once New returns and must not be used concurrently by the caller.
 package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"sharedwd/internal/core"
-	"sharedwd/internal/stats"
+	"sharedwd/internal/serr"
 	"sharedwd/internal/workload"
 )
 
-// Sentinel errors returned by Submit.
+// The serving sentinels live in internal/serr (re-exported by the sharedwd
+// facade); these aliases keep the original identities so existing errors.Is
+// and == comparisons against the server package continue to match.
 var (
 	// ErrOverloaded is the backpressure signal: the admission queue is full
-	// and the query was shed without being enqueued. Callers should back off
-	// or retry against another replica.
-	ErrOverloaded = errors.New("server: overloaded, admission queue full")
+	// and the query was shed without being enqueued.
+	//
+	// Deprecated: use serr.ErrOverloaded (sharedwd.ErrOverloaded). Same
+	// value; errors.Is matches either spelling.
+	ErrOverloaded = serr.ErrOverloaded
 	// ErrClosed means the server is shutting down (or shut down) and admits
 	// no new queries.
-	ErrClosed = errors.New("server: closed")
+	//
+	// Deprecated: use serr.ErrClosed (sharedwd.ErrClosed). Same value;
+	// errors.Is matches either spelling.
+	ErrClosed = serr.ErrClosed
 	// ErrNoAuction means the query matched no bid phrase after the two-stage
 	// mapping, so no auction runs for it (the paper's unmatched traffic).
-	ErrNoAuction = errors.New("server: query matches no bid phrase")
+	//
+	// Deprecated: use serr.ErrNoAuction (sharedwd.ErrNoAuction). Same
+	// value; errors.Is matches either spelling.
+	ErrNoAuction = serr.ErrNoAuction
 )
 
-// Config parameterizes the round server. The zero value is not valid; start
-// from DefaultConfig.
+// Config parameterizes a round worker (and hence the single-worker Server).
+// The zero value is not valid; start from DefaultConfig.
 type Config struct {
 	// Engine configures the wrapped winner-determination engine.
 	Engine core.Config
@@ -80,10 +94,12 @@ type Config struct {
 	// into the top bucket, biasing high quantiles toward the bound.
 	LatencyRange float64
 
-	// beforeStep, when set, runs on the round loop immediately before each
-	// non-empty Engine.Step — a test hook for making the loop dwell so that
-	// admission-queue backpressure can be exercised deterministically.
-	beforeStep func()
+	// BeforeStep, when set, runs on the round loop immediately before each
+	// non-empty Engine.Step. It is test instrumentation: blocking in it
+	// makes the loop dwell, so admission-queue backpressure and shutdown
+	// under full queues can be exercised deterministically (see the soak
+	// tests). Leave nil in production configurations.
+	BeforeStep func()
 }
 
 // DefaultConfig returns a serving configuration suited to the synthetic
@@ -125,9 +141,15 @@ func (c Config) Validate() error {
 // matched, in the round that served it. Slots is an independent copy — it
 // remains valid after later rounds.
 type Result struct {
-	// Phrase is the bid-phrase ID the query matched.
+	// Phrase is the bid-phrase ID the query matched. On the single-engine
+	// Server this is the workload's phrase ID; on the sharded server it is
+	// the global phrase ID (the shard's local ID is translated back).
 	Phrase int
-	// Round is the engine round that resolved the auction.
+	// Shard is the engine shard that served the query; always 0 on the
+	// single-engine Server.
+	Shard int
+	// Round is the engine round that resolved the auction (shard-local
+	// under sharding: each shard counts its own rounds).
 	Round int
 	// Slots is the auction's slot assignment with per-click prices; empty
 	// when no advertiser placed a positive effective bid.
@@ -138,61 +160,14 @@ type Result struct {
 	AdmissionWait, RoundWait, Latency time.Duration
 }
 
-type reply struct {
-	res Result
-	err error
-}
-
-type request struct {
-	phrase   int
-	enqueued time.Time
-	dequeued time.Time
-	ctx      context.Context
-	done     chan reply // buffered(1): the loop never blocks on delivery
-}
-
-// Server is a long-lived, concurrent round server over a single workload.
-// It is safe for concurrent use by multiple goroutines.
+// Server is a long-lived, concurrent round server over a single workload:
+// a query matcher in front of one Worker. It is safe for concurrent use by
+// multiple goroutines.
 type Server struct {
-	cfg     Config
-	eng     *core.Engine
-	w       *workload.Workload
+	worker  *Worker
 	matcher *workload.Matcher
 
-	queue chan *request
-
-	// admitMu makes Submit-vs-Close admission exact: Submit enqueues under
-	// the read lock; Close flips closed under the write lock, after which no
-	// request can enter the queue and the loop's final drain is complete.
-	admitMu sync.RWMutex
-	closed  bool
-
-	closing   chan struct{}
-	loopDone  chan struct{}
-	closeOnce sync.Once
-
-	// Counters on the admission fast path (Submit-side).
-	submitted atomic.Int64
 	unmatched atomic.Int64
-	shed      atomic.Int64
-	timedOut  atomic.Int64
-
-	// Loop-owned observability, guarded by mu for Snapshot.
-	mu            sync.Mutex
-	start         time.Time
-	rounds        int64
-	emptyRounds   int64
-	answered      int64
-	expired       int64
-	admissionHist *stats.Histogram
-	roundHist     *stats.Histogram
-	wdHist        *stats.Histogram
-	latencyHist   *stats.Histogram
-	admissionSum  stats.Summary
-	roundSum      stats.Summary
-	wdSummary     stats.Summary
-	latencySum    stats.Summary
-	engStats      core.Stats
 }
 
 // New builds the engine for the workload and starts the round loop. The
@@ -200,34 +175,11 @@ type Server struct {
 // step it while the server runs. Close must be called to release the loop
 // (and the engine's worker pool, if any).
 func New(w *workload.Workload, cfg Config) (*Server, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	eng, err := core.New(w, cfg.Engine)
+	worker, err := NewWorker(w, cfg)
 	if err != nil {
 		return nil, err
 	}
-	hi := cfg.LatencyRange
-	if hi <= 0 {
-		hi = 10 * cfg.RoundInterval.Seconds()
-	}
-	s := &Server{
-		cfg:      cfg,
-		eng:      eng,
-		w:        w,
-		matcher:  workload.NewMatcher(w.PhraseNames),
-		queue:    make(chan *request, cfg.QueueDepth),
-		closing:  make(chan struct{}),
-		loopDone: make(chan struct{}),
-		start:    time.Now(),
-
-		admissionHist: stats.NewHistogram(0, hi, 256),
-		roundHist:     stats.NewHistogram(0, hi, 256),
-		wdHist:        stats.NewHistogram(0, hi, 256),
-		latencyHist:   stats.NewHistogram(0, hi, 256),
-	}
-	go s.loop()
-	return s, nil
+	return &Server{worker: worker, matcher: workload.NewMatcher(w.PhraseNames)}, nil
 }
 
 // Matcher exposes the server's query-to-phrase matcher so callers can
@@ -241,279 +193,31 @@ func (s *Server) Matcher() *workload.Matcher { return s.matcher }
 // backpressure signal), ErrClosed, or ctx.Err() once the deadline expires.
 // Safe for concurrent use.
 func (s *Server) Submit(ctx context.Context, query string) (Result, error) {
-	s.submitted.Add(1)
 	phrase, ok := s.matcher.Match(query)
 	if !ok {
 		s.unmatched.Add(1)
 		return Result{}, ErrNoAuction
 	}
-	req := &request{
-		phrase:   phrase,
-		enqueued: time.Now(),
-		ctx:      ctx,
-		done:     make(chan reply, 1),
-	}
-	if err := s.admit(req); err != nil {
-		return Result{}, err
-	}
-	select {
-	case r := <-req.done:
-		return r.res, r.err
-	case <-ctx.Done():
-		s.timedOut.Add(1)
-		return Result{}, ctx.Err()
-	}
-}
-
-func (s *Server) admit(req *request) error {
-	s.admitMu.RLock()
-	defer s.admitMu.RUnlock()
-	if s.closed {
-		return ErrClosed
-	}
-	select {
-	case s.queue <- req:
-		return nil
-	default:
-		s.shed.Add(1)
-		return ErrOverloaded
-	}
+	return s.worker.SubmitPhrase(ctx, phrase)
 }
 
 // Close stops admission, resolves every in-flight request in a final round,
 // drains the engine's outstanding clicks (so end-of-day budget accounting
 // is complete), stops the engine's worker pool, and waits for the round
 // loop to exit. It is idempotent and safe to call concurrently.
-func (s *Server) Close() {
-	s.closeOnce.Do(func() {
-		s.admitMu.Lock()
-		s.closed = true
-		s.admitMu.Unlock()
-		close(s.closing)
-		<-s.loopDone
-	})
+func (s *Server) Close() { s.worker.Close() }
+
+// Metrics returns the server's current observability counters and latency
+// distributions. Safe for concurrent use with Submit and the round loop.
+func (s *Server) Metrics() Metrics {
+	m := s.worker.Metrics()
+	m.Unmatched = s.unmatched.Load()
+	m.Submitted += m.Unmatched // unmatched queries never reach the worker
+	return m
 }
 
-// loop is the single goroutine that owns the engine: it batches admitted
-// requests and closes rounds on the ticker or the MaxBatch threshold.
-func (s *Server) loop() {
-	defer close(s.loopDone)
-	ticker := time.NewTicker(s.cfg.RoundInterval)
-	defer ticker.Stop()
-
-	var pending []*request
-	occ := make([]bool, len(s.w.Interests))
-	for {
-		// Stop pulling from the queue while the batch is full so that
-		// backpressure propagates: the queue fills, and Submit sheds.
-		in := s.queue
-		if s.cfg.MaxBatch > 0 && len(pending) >= s.cfg.MaxBatch {
-			in = nil
-		}
-		select {
-		case req := <-in:
-			req.dequeued = time.Now()
-			pending = append(pending, req)
-			pending = s.drainInto(pending)
-			if s.cfg.MaxBatch > 0 && len(pending) >= s.cfg.MaxBatch {
-				pending = s.closeRound(pending, occ)
-			}
-		case <-ticker.C:
-			pending = s.drainInto(pending)
-			pending = s.closeRound(pending, occ)
-		case <-s.closing:
-			// closed was set before closing fired, so the queue can no
-			// longer grow: one final drain sees every admitted request.
-			pending = s.drainInto(pending)
-			s.closeRound(pending, occ)
-			s.eng.Drain()
-			s.mu.Lock()
-			s.engStats = s.eng.Stats()
-			s.mu.Unlock()
-			s.eng.Close()
-			return
-		}
-	}
-}
-
-// drainInto moves whatever is queued into the batch, up to MaxBatch.
-func (s *Server) drainInto(pending []*request) []*request {
-	now := time.Now()
-	for s.cfg.MaxBatch == 0 || len(pending) < s.cfg.MaxBatch {
-		select {
-		case req := <-s.queue:
-			req.dequeued = now
-			pending = append(pending, req)
-		default:
-			return pending
-		}
-	}
-	return pending
-}
-
-// closeRound resolves one round for the pending batch and wakes every
-// waiter. Empty rounds still step the engine with no occurring auctions so
-// that delayed clicks keep arriving and budgets keep settling in real time
-// (zero-traffic ticks are not a stall). Returns the reusable empty batch.
-func (s *Server) closeRound(pending []*request, occ []bool) []*request {
-	closeStart := time.Now()
-	for i := range occ {
-		occ[i] = false
-	}
-	live := pending[:0]
-	expired := int64(0)
-	for _, req := range pending {
-		if req.ctx != nil && req.ctx.Err() != nil {
-			// The waiter is gone; skip so an abandoned query does not force
-			// an auction, but keep the buffered reply harmless to send.
-			req.done <- reply{err: req.ctx.Err()}
-			expired++
-			continue
-		}
-		occ[req.phrase] = true
-		live = append(live, req)
-	}
-
-	if len(live) > 0 && s.cfg.beforeStep != nil {
-		s.cfg.beforeStep()
-	}
-	wdStart := time.Now()
-	rep := s.eng.Step(occ)
-	wdDur := time.Since(wdStart)
-	if s.cfg.BidWalkScale > 0 {
-		s.w.PerturbBids(s.cfg.BidWalkScale)
-	}
-
-	// Copy each occurring phrase's slots once; RoundReport views engine
-	// scratch that the next Step overwrites.
-	var slotCopies map[int][]core.SlotResult
-	if len(live) > 0 && len(rep.Auctions) > 0 {
-		slotCopies = make(map[int][]core.SlotResult, len(rep.Auctions))
-		for q, slots := range rep.Auctions {
-			slotCopies[q] = append([]core.SlotResult(nil), slots...)
-		}
-	}
-	answerTime := time.Now()
-	for _, req := range live {
-		res := Result{
-			Phrase:        req.phrase,
-			Round:         rep.Round,
-			Slots:         slotCopies[req.phrase],
-			AdmissionWait: req.dequeued.Sub(req.enqueued),
-			RoundWait:     closeStart.Sub(req.dequeued),
-			Latency:       answerTime.Sub(req.enqueued),
-		}
-		req.done <- reply{res: res}
-	}
-
-	s.mu.Lock()
-	s.rounds++
-	if len(live) == 0 {
-		s.emptyRounds++
-	} else {
-		s.wdHist.Add(wdDur.Seconds())
-		s.wdSummary.Add(wdDur.Seconds())
-	}
-	s.answered += int64(len(live))
-	s.expired += expired
-	for _, req := range live {
-		adm := req.dequeued.Sub(req.enqueued).Seconds()
-		rw := closeStart.Sub(req.dequeued).Seconds()
-		s.admissionHist.Add(adm)
-		s.admissionSum.Add(adm)
-		s.roundHist.Add(rw)
-		s.roundSum.Add(rw)
-		lat := answerTime.Sub(req.enqueued).Seconds()
-		s.latencyHist.Add(lat)
-		s.latencySum.Add(lat)
-	}
-	s.engStats = s.eng.Stats()
-	s.mu.Unlock()
-
-	return pending[:0]
-}
-
-// LatencyStats summarizes one pipeline stage's latency distribution in
-// seconds. Quantiles are histogram estimates (see stats.Histogram.Quantile);
-// Mean and Max are exact.
-type LatencyStats struct {
-	Count          int
-	Mean, P50, P95 float64
-	Max            float64
-}
-
-func latencyStats(h *stats.Histogram, max float64) LatencyStats {
-	ls := LatencyStats{Count: h.N(), Max: max}
-	if h.N() == 0 {
-		return ls
-	}
-	ls.P50 = h.Quantile(0.5)
-	ls.P95 = h.Quantile(0.95)
-	return ls
-}
-
-// Snapshot is a point-in-time view of the server's health: admission and
-// shed counters, queue depth, round and throughput rates, per-stage latency
-// distributions, and the wrapped engine's lifetime counters.
-type Snapshot struct {
-	Uptime time.Duration
-
-	// Admission counters. Submitted = answered + in flight + Unmatched +
-	// Shed + TimedOut (+ Expired requests answered with their ctx error).
-	Submitted, Answered, Unmatched, Shed, TimedOut, Expired int64
-
-	// QueueDepth is the current admission-queue occupancy; QueueCap its
-	// bound.
-	QueueDepth, QueueCap int
-
-	// Rounds counts engine rounds closed; EmptyRounds those with no live
-	// request (zero-traffic ticks). RoundsPerSec and QueriesPerSec are
-	// lifetime rates.
-	Rounds, EmptyRounds         int64
-	RoundsPerSec, QueriesPerSec float64
-
-	// Per-stage latency (seconds): time in the admission queue, time
-	// waiting for the round to close, winner-determination time per
-	// non-empty round, and total Submit-to-answer latency.
-	AdmissionWait, RoundWait, WinnerDetermination, TotalLatency LatencyStats
-
-	// Engine is the wrapped engine's lifetime counters as of the last
-	// closed round.
-	Engine core.Stats
-}
-
-// Snapshot returns current observability counters. Safe for concurrent use
-// with Submit and the round loop.
-func (s *Server) Snapshot() Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	up := time.Since(s.start)
-	snap := Snapshot{
-		Uptime:      up,
-		Submitted:   s.submitted.Load(),
-		Answered:    s.answered,
-		Unmatched:   s.unmatched.Load(),
-		Shed:        s.shed.Load(),
-		TimedOut:    s.timedOut.Load(),
-		Expired:     s.expired,
-		QueueDepth:  len(s.queue),
-		QueueCap:    cap(s.queue),
-		Rounds:      s.rounds,
-		EmptyRounds: s.emptyRounds,
-		Engine:      s.engStats,
-
-		AdmissionWait:       latencyStats(s.admissionHist, s.admissionSum.Max()),
-		RoundWait:           latencyStats(s.roundHist, s.roundSum.Max()),
-		WinnerDetermination: latencyStats(s.wdHist, s.wdSummary.Max()),
-		TotalLatency:        latencyStats(s.latencyHist, s.latencySum.Max()),
-	}
-	snap.AdmissionWait.Mean = s.admissionSum.Mean()
-	snap.RoundWait.Mean = s.roundSum.Mean()
-	snap.WinnerDetermination.Mean = s.wdSummary.Mean()
-	snap.TotalLatency.Mean = s.latencySum.Mean()
-	if sec := up.Seconds(); sec > 0 {
-		snap.RoundsPerSec = float64(s.rounds) / sec
-		snap.QueriesPerSec = float64(s.answered) / sec
-	}
-	return snap
-}
+// Snapshot returns current observability counters.
+//
+// Deprecated: Snapshot is a projection of Metrics kept for one release;
+// use Metrics.
+func (s *Server) Snapshot() Snapshot { return s.Metrics().Snapshot() }

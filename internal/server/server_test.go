@@ -144,7 +144,7 @@ func TestServerLifecycle(t *testing.T) {
 		cfg.RoundInterval = time.Hour
 		cfg.MaxBatch = 1 // first admitted request closes a round immediately
 		cfg.QueueDepth = 1
-		cfg.beforeStep = func() {
+		cfg.BeforeStep = func() {
 			entered <- struct{}{}
 			<-hold
 		}
@@ -170,7 +170,7 @@ func TestServerLifecycle(t *testing.T) {
 		}()
 		// Wait until B occupies the queue's single slot.
 		deadline := time.Now().Add(2 * time.Second)
-		for len(s.queue) == 0 {
+		for len(s.worker.queue) == 0 {
 			if time.Now().After(deadline) {
 				t.Fatal("request B never reached the admission queue")
 			}
@@ -210,7 +210,7 @@ func TestServerLifecycle(t *testing.T) {
 				enqueued: time.Now(),
 				done:     make(chan reply, 1),
 			}
-			if err := s.admit(reqs[i]); err != nil {
+			if err := s.worker.admit(reqs[i]); err != nil {
 				t.Fatalf("admit %d: %v", i, err)
 			}
 		}

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/stats"
+	"sharedwd/internal/workload"
+)
+
+type reply struct {
+	res Result
+	err error
+}
+
+type request struct {
+	phrase   int
+	enqueued time.Time
+	dequeued time.Time
+	ctx      context.Context
+	done     chan reply // buffered(1): the loop never blocks on delivery
+}
+
+// Worker is one admission queue + round loop pinned to one core.Engine —
+// the per-shard serving unit. Server wraps a single worker behind a query
+// matcher; shard.Server runs one worker per shard behind a partitioned
+// matcher. A worker speaks phrase IDs local to its workload; query-string
+// matching (and the ErrNoAuction path) belongs to the front end.
+//
+// Thread safety: SubmitPhrase, Metrics, and Close are safe for concurrent
+// use by any number of goroutines. The worker owns its workload and engine
+// once NewWorker returns.
+type Worker struct {
+	cfg Config
+	eng *core.Engine
+	w   *workload.Workload
+
+	queue chan *request
+
+	// admitMu makes SubmitPhrase-vs-Close admission exact: requests enqueue
+	// under the read lock; Close flips closed under the write lock, after
+	// which no request can enter the queue and the loop's final drain is
+	// complete.
+	admitMu sync.RWMutex
+	closed  bool
+
+	closing   chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+
+	// Counters on the admission fast path (submit-side).
+	submitted atomic.Int64
+	shed      atomic.Int64
+	timedOut  atomic.Int64
+
+	// Loop-owned observability, guarded by mu for Metrics.
+	mu            sync.Mutex
+	start         time.Time
+	rounds        int64
+	emptyRounds   int64
+	answered      int64
+	expired       int64
+	admissionHist *stats.Histogram
+	roundHist     *stats.Histogram
+	wdHist        *stats.Histogram
+	latencyHist   *stats.Histogram
+	admissionSum  stats.Summary
+	roundSum      stats.Summary
+	wdSummary     stats.Summary
+	latencySum    stats.Summary
+	engStats      core.Stats
+}
+
+// NewWorker builds the engine for the workload and starts the round loop.
+// The worker takes ownership of the workload: the caller must not mutate or
+// step it while the worker runs. Close must be called to release the loop
+// (and the engine's worker pool, if any).
+func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := core.New(w, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	hi := cfg.LatencyRange
+	if hi <= 0 {
+		hi = 10 * cfg.RoundInterval.Seconds()
+	}
+	wk := &Worker{
+		cfg:      cfg,
+		eng:      eng,
+		w:        w,
+		queue:    make(chan *request, cfg.QueueDepth),
+		closing:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+		start:    time.Now(),
+
+		admissionHist: stats.NewHistogram(0, hi, 256),
+		roundHist:     stats.NewHistogram(0, hi, 256),
+		wdHist:        stats.NewHistogram(0, hi, 256),
+		latencyHist:   stats.NewHistogram(0, hi, 256),
+	}
+	go wk.loop()
+	return wk, nil
+}
+
+// SubmitPhrase admits one already-matched phrase (an ID into this worker's
+// workload) and blocks until its round resolves, the context is done, or
+// the worker refuses it. Errors: ErrOverloaded (admission queue full),
+// ErrClosed, or ctx.Err() once the deadline expires. Safe for concurrent
+// use.
+func (wk *Worker) SubmitPhrase(ctx context.Context, phrase int) (Result, error) {
+	wk.submitted.Add(1)
+	req := &request{
+		phrase:   phrase,
+		enqueued: time.Now(),
+		ctx:      ctx,
+		done:     make(chan reply, 1),
+	}
+	if err := wk.admit(req); err != nil {
+		return Result{}, err
+	}
+	select {
+	case r := <-req.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		wk.timedOut.Add(1)
+		return Result{}, ctx.Err()
+	}
+}
+
+func (wk *Worker) admit(req *request) error {
+	wk.admitMu.RLock()
+	defer wk.admitMu.RUnlock()
+	if wk.closed {
+		return ErrClosed
+	}
+	select {
+	case wk.queue <- req:
+		return nil
+	default:
+		wk.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// Close stops admission, resolves every in-flight request in a final round,
+// drains the engine's outstanding clicks (so end-of-day budget accounting
+// is complete), stops the engine's worker pool, and waits for the round
+// loop to exit. It is idempotent and safe to call concurrently.
+func (wk *Worker) Close() {
+	wk.closeOnce.Do(func() {
+		wk.admitMu.Lock()
+		wk.closed = true
+		wk.admitMu.Unlock()
+		close(wk.closing)
+		<-wk.loopDone
+	})
+}
+
+// loop is the single goroutine that owns the engine: it batches admitted
+// requests and closes rounds on the ticker or the MaxBatch threshold.
+func (wk *Worker) loop() {
+	defer close(wk.loopDone)
+	ticker := time.NewTicker(wk.cfg.RoundInterval)
+	defer ticker.Stop()
+
+	var pending []*request
+	occ := make([]bool, len(wk.w.Interests))
+	for {
+		// Stop pulling from the queue while the batch is full so that
+		// backpressure propagates: the queue fills, and submits shed.
+		in := wk.queue
+		if wk.cfg.MaxBatch > 0 && len(pending) >= wk.cfg.MaxBatch {
+			in = nil
+		}
+		select {
+		case req := <-in:
+			req.dequeued = time.Now()
+			pending = append(pending, req)
+			pending = wk.drainInto(pending)
+			if wk.cfg.MaxBatch > 0 && len(pending) >= wk.cfg.MaxBatch {
+				pending = wk.closeRound(pending, occ)
+			}
+		case <-ticker.C:
+			pending = wk.drainInto(pending)
+			pending = wk.closeRound(pending, occ)
+		case <-wk.closing:
+			// closed was set before closing fired, so the queue can no
+			// longer grow — but it can hold many more requests than one
+			// MaxBatch round. Keep resolving bounded rounds until every
+			// admitted request has been answered; a single capped drain
+			// here would strand the rest of a full queue forever.
+			for {
+				pending = wk.drainInto(pending)
+				pending = wk.closeRound(pending, occ)
+				if len(wk.queue) == 0 {
+					break
+				}
+			}
+			wk.eng.Drain()
+			wk.mu.Lock()
+			wk.engStats = wk.eng.Stats()
+			wk.mu.Unlock()
+			wk.eng.Close()
+			return
+		}
+	}
+}
+
+// drainInto moves whatever is queued into the batch, up to MaxBatch.
+func (wk *Worker) drainInto(pending []*request) []*request {
+	now := time.Now()
+	for wk.cfg.MaxBatch == 0 || len(pending) < wk.cfg.MaxBatch {
+		select {
+		case req := <-wk.queue:
+			req.dequeued = now
+			pending = append(pending, req)
+		default:
+			return pending
+		}
+	}
+	return pending
+}
+
+// closeRound resolves one round for the pending batch and wakes every
+// waiter. Empty rounds still step the engine with no occurring auctions so
+// that delayed clicks keep arriving and budgets keep settling in real time
+// (zero-traffic ticks are not a stall). Returns the reusable empty batch.
+func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
+	closeStart := time.Now()
+	for i := range occ {
+		occ[i] = false
+	}
+	live := pending[:0]
+	expired := int64(0)
+	for _, req := range pending {
+		if req.ctx != nil && req.ctx.Err() != nil {
+			// The waiter is gone; skip so an abandoned query does not force
+			// an auction, but keep the buffered reply harmless to send.
+			req.done <- reply{err: req.ctx.Err()}
+			expired++
+			continue
+		}
+		occ[req.phrase] = true
+		live = append(live, req)
+	}
+
+	if len(live) > 0 && wk.cfg.BeforeStep != nil {
+		wk.cfg.BeforeStep()
+	}
+	wdStart := time.Now()
+	rep := wk.eng.Step(occ)
+	wdDur := time.Since(wdStart)
+	if wk.cfg.BidWalkScale > 0 {
+		wk.w.PerturbBids(wk.cfg.BidWalkScale)
+	}
+
+	// Copy each occurring phrase's slots once; RoundReport views engine
+	// scratch that the next Step overwrites.
+	var slotCopies map[int][]core.SlotResult
+	if len(live) > 0 && len(rep.Auctions) > 0 {
+		slotCopies = make(map[int][]core.SlotResult, len(rep.Auctions))
+		for q, slots := range rep.Auctions {
+			slotCopies[q] = append([]core.SlotResult(nil), slots...)
+		}
+	}
+	answerTime := time.Now()
+	for _, req := range live {
+		res := Result{
+			Phrase:        req.phrase,
+			Round:         rep.Round,
+			Slots:         slotCopies[req.phrase],
+			AdmissionWait: req.dequeued.Sub(req.enqueued),
+			RoundWait:     closeStart.Sub(req.dequeued),
+			Latency:       answerTime.Sub(req.enqueued),
+		}
+		req.done <- reply{res: res}
+	}
+
+	wk.mu.Lock()
+	wk.rounds++
+	if len(live) == 0 {
+		wk.emptyRounds++
+	} else {
+		wk.wdHist.Add(wdDur.Seconds())
+		wk.wdSummary.Add(wdDur.Seconds())
+	}
+	wk.answered += int64(len(live))
+	wk.expired += expired
+	for _, req := range live {
+		adm := req.dequeued.Sub(req.enqueued).Seconds()
+		rw := closeStart.Sub(req.dequeued).Seconds()
+		wk.admissionHist.Add(adm)
+		wk.admissionSum.Add(adm)
+		wk.roundHist.Add(rw)
+		wk.roundSum.Add(rw)
+		lat := answerTime.Sub(req.enqueued).Seconds()
+		wk.latencyHist.Add(lat)
+		wk.latencySum.Add(lat)
+	}
+	wk.engStats = wk.eng.Stats()
+	wk.mu.Unlock()
+
+	return pending[:0]
+}
+
+// Metrics returns the worker's current observability counters and latency
+// distributions. Safe for concurrent use with SubmitPhrase and the round
+// loop.
+func (wk *Worker) Metrics() Metrics {
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	up := time.Since(wk.start)
+	m := Metrics{
+		Uptime:      up,
+		Submitted:   wk.submitted.Load(),
+		Answered:    wk.answered,
+		Shed:        wk.shed.Load(),
+		TimedOut:    wk.timedOut.Load(),
+		Expired:     wk.expired,
+		QueueDepth:  len(wk.queue),
+		QueueCap:    cap(wk.queue),
+		Rounds:      wk.rounds,
+		EmptyRounds: wk.emptyRounds,
+		Engine:      wk.engStats,
+
+		AdmissionWait:       LatencyDist{Summary: wk.admissionSum, Hist: wk.admissionHist.Clone()},
+		RoundWait:           LatencyDist{Summary: wk.roundSum, Hist: wk.roundHist.Clone()},
+		WinnerDetermination: LatencyDist{Summary: wk.wdSummary, Hist: wk.wdHist.Clone()},
+		TotalLatency:        LatencyDist{Summary: wk.latencySum, Hist: wk.latencyHist.Clone()},
+	}
+	if sec := up.Seconds(); sec > 0 {
+		m.RoundsPerSec = float64(wk.rounds) / sec
+		m.QueriesPerSec = float64(wk.answered) / sec
+	}
+	return m
+}

@@ -1,0 +1,255 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sharedwd/internal/budget"
+	"sharedwd/internal/core"
+	"sharedwd/internal/workload"
+)
+
+// detOutcome is a pure click-fate function (splitmix64 over the display
+// facts), so every simulator that displays the same ad in the same round
+// sees the same click — the determinism the equivalence property needs.
+// The price is deliberately excluded from the hash: it reflects budget
+// state, which transiently differs between fleets at exhaustion edges, and
+// hashing it would turn a one-ulp price difference into a flipped click
+// fate that compounds. CTR comes from the immutable workload, so it adds
+// per-slot variety without breaking alignment.
+func detOutcome(horizon int) workload.OutcomeFunc {
+	return func(adv int, price, ctr float64, round int) (bool, int) {
+		x := uint64(adv)*0x9E3779B97F4A7C15 ^ math.Float64bits(ctr) ^ uint64(round)*0xBF58476D1CE4E5B9
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		clicked := float64(x>>40)/float64(1<<24) < ctr
+		delay := 1 + int((x&0xFFFF)%uint64(horizon-1))
+		return clicked, delay
+	}
+}
+
+// shardedFleet is the equivalence tests' hand-built analogue of Server's
+// engine layer: partitioned sub-workloads, one engine per shard, one
+// central ledger — without the round loops, so rounds can be driven in
+// lockstep with a single reference engine.
+type shardedFleet struct {
+	engines []*core.Engine
+	idx     *workload.PartitionIndex
+	ledger  *budget.Ledger
+}
+
+func newFleet(t *testing.T, w *workload.Workload, shards int, router Router, ecfg core.Config) *shardedFleet {
+	t.Helper()
+	assign, err := router.Assign(w, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebalance(assign, w.Rates, shards); err != nil {
+		t.Fatal(err)
+	}
+	parts, idx, err := workload.Partition(w, assign, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := make([]float64, len(w.Advertisers))
+	for i, a := range w.Advertisers {
+		budgets[i] = a.Budget
+	}
+	f := &shardedFleet{idx: idx, ledger: budget.NewLedger(budgets)}
+	ecfg.Ledger = f.ledger
+	for s := 0; s < shards; s++ {
+		eng, err := core.New(parts[s], ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.engines = append(f.engines, eng)
+	}
+	return f
+}
+
+// step drives one lockstep round: the global occurrence vector is sliced
+// per shard and every shard's engine steps concurrently (the round loops
+// of the real server run on separate goroutines too, sharing only the
+// ledger). Returns each shard's report.
+func (f *shardedFleet) step(occ []bool) []core.RoundReport {
+	occL := make([][]bool, len(f.engines))
+	for s, eng := range f.engines {
+		_ = eng
+		occL[s] = make([]bool, len(f.idx.GlobalID[s]))
+	}
+	for q, on := range occ {
+		if on {
+			occL[f.idx.ShardOf[q]][f.idx.LocalID[q]] = true
+		}
+	}
+	reps := make([]core.RoundReport, len(f.engines))
+	var wg sync.WaitGroup
+	for s := range f.engines {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			reps[s] = f.engines[s].Step(occL[s])
+		}(s)
+	}
+	wg.Wait()
+	return reps
+}
+
+func (f *shardedFleet) drain() {
+	var wg sync.WaitGroup
+	for _, eng := range f.engines {
+		wg.Add(1)
+		go func(eng *core.Engine) {
+			defer wg.Done()
+			eng.Drain()
+		}(eng)
+	}
+	wg.Wait()
+}
+
+func equivalenceWorkloadConfig(minBudget, maxBudget float64) workload.Config {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 180
+	wcfg.NumPhrases = 20
+	wcfg.NumTopics = 4
+	wcfg.Seed = 23
+	wcfg.MinBudget, wcfg.MaxBudget = minBudget, maxBudget
+	return wcfg
+}
+
+// TestShardedEquivalenceUnlimitedBudgets is the exactness half of the
+// property: with budgets that never bind, a sharded fleet (any router,
+// either budget policy, shards stepping concurrently) resolves every
+// auction with exactly the winner sets and prices of one reference engine
+// over the same workload and round sequence.
+func TestShardedEquivalenceUnlimitedBudgets(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy core.BudgetPolicy
+		router Router
+		shards int
+	}{
+		{"naive/hash/4", core.Naive, HashRouter{}, 4},
+		{"throttled/hash/4", core.Throttled, HashRouter{}, 4},
+		{"throttled/fragment/3", core.Throttled, FragmentRouter{}, 3},
+		{"naive/fragment/8", core.Naive, FragmentRouter{}, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wcfg := equivalenceWorkloadConfig(1e9, 1e9)
+			ecfg := core.DefaultConfig()
+			ecfg.Policy = tc.policy
+			ecfg.ClickOutcome = detOutcome(ecfg.ClickHorizon)
+
+			single, err := core.New(workload.Generate(wcfg), ecfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wFleet := workload.Generate(wcfg)
+			fleet := newFleet(t, wFleet, tc.shards, tc.router, ecfg)
+
+			occRng := rand.New(rand.NewSource(99))
+			occ := make([]bool, wcfg.NumPhrases)
+			for round := 0; round < 60; round++ {
+				for q := range occ {
+					occ[q] = occRng.Float64() < wFleet.Rates[q]
+				}
+				repS := single.Step(occ)
+				reps := fleet.step(occ)
+				for q, on := range occ {
+					if !on {
+						continue
+					}
+					sh, local := fleet.idx.ShardOf[q], fleet.idx.LocalID[q]
+					want := repS.Auctions[q]
+					got := reps[sh].Auctions[local]
+					if len(want) != len(got) {
+						t.Fatalf("round %d phrase %d: %d slots sharded vs %d single", round, q, len(got), len(want))
+					}
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("round %d phrase %d slot %d: sharded %+v, single %+v", round, q, j, got[j], want[j])
+						}
+					}
+				}
+			}
+			single.Drain()
+			fleet.drain()
+			if s, f := single.Stats(), totalStats(fleet); s.ClicksCharged != f.ClicksCharged || s.AdsDisplayed != f.AdsDisplayed {
+				t.Fatalf("click accounting diverged: single %+v, fleet %+v", s, f)
+			}
+			singleSpend := single.Stats().Revenue
+			if fleetSpend := fleet.ledger.TotalSpent(); math.Abs(singleSpend-fleetSpend) > 1e-6 {
+				t.Fatalf("total spend %v sharded vs %v single", fleetSpend, singleSpend)
+			}
+		})
+	}
+}
+
+func totalStats(f *shardedFleet) core.Stats {
+	var total core.Stats
+	for _, eng := range f.engines {
+		total = total.Add(eng.Stats())
+	}
+	return total
+}
+
+// TestShardedEquivalenceBindingBudgets is the accounting half: when
+// budgets bind, per-advertiser spend respects the budget exactly on both
+// sides, and total spend matches within accounting order (the only
+// divergence source: which of a round's simultaneous clicks hits an
+// almost-empty budget first).
+func TestShardedEquivalenceBindingBudgets(t *testing.T) {
+	wcfg := equivalenceWorkloadConfig(1, 8)
+	ecfg := core.DefaultConfig()
+	ecfg.Policy = core.Naive // naive spends fastest: maximal budget-edge traffic
+	ecfg.ClickOutcome = detOutcome(ecfg.ClickHorizon)
+
+	wSingle := workload.Generate(wcfg)
+	budgets := make([]float64, len(wSingle.Advertisers))
+	for i, a := range wSingle.Advertisers {
+		budgets[i] = a.Budget
+	}
+	single, err := core.New(wSingle, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFleet := workload.Generate(wcfg)
+	fleet := newFleet(t, wFleet, 4, HashRouter{}, ecfg)
+
+	occRng := rand.New(rand.NewSource(99))
+	occ := make([]bool, wcfg.NumPhrases)
+	for round := 0; round < 80; round++ {
+		for q := range occ {
+			occ[q] = occRng.Float64() < wFleet.Rates[q]
+		}
+		single.Step(occ)
+		fleet.step(occ)
+	}
+	single.Drain()
+	fleet.drain()
+
+	for i, b := range budgets {
+		if got := single.Spent(i); got > b+1e-9 {
+			t.Fatalf("single: advertiser %d spent %v over budget %v", i, got, b)
+		}
+		if got := fleet.ledger.Spent(i); got > b+1e-9 {
+			t.Fatalf("sharded: advertiser %d spent %v over budget %v", i, got, b)
+		}
+	}
+	singleSpend := single.Stats().Revenue
+	fleetSpend := fleet.ledger.TotalSpent()
+	if singleSpend <= 0 || fleetSpend <= 0 {
+		t.Fatalf("degenerate run: spend %v single, %v sharded", singleSpend, fleetSpend)
+	}
+	// Budget-edge charge order is the only divergence; it is a per-click
+	// effect, not a drift, so totals stay within a few percent.
+	tol := 0.05*math.Max(singleSpend, fleetSpend) + 1
+	if diff := math.Abs(singleSpend - fleetSpend); diff > tol {
+		t.Fatalf("total spend diverged: single %v, sharded %v (diff %v > tol %v)", singleSpend, fleetSpend, diff, tol)
+	}
+}

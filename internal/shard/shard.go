@@ -1,0 +1,208 @@
+// Package shard scales the round server across cores: a Server partitions
+// the bid-phrase universe over N engine shards, each a server.Worker — its
+// own bounded admission queue and round loop pinned to its own
+// core.Engine — so rounds for different phrase partitions close
+// independently and in parallel:
+//
+//	        ┌─▶ worker 0: queue ─▶ round loop ─▶ Engine (phrases of shard 0) ─┐
+//	Submit ─┼─▶ worker 1: queue ─▶ round loop ─▶ Engine (phrases of shard 1) ─┼─▶ budget.Ledger
+//	        └─▶ worker N: queue ─▶ round loop ─▶ Engine (phrases of shard N) ─┘   (atomic TryCharge)
+//
+// Queries route by phrase: a Router fixes each phrase's shard at
+// construction (stable name hash by default; FragmentRouter co-locates
+// phrases sharing Section II plan fragments to preserve intra-shard
+// sharing). Winner determination never crosses a shard — each auction's
+// advertisers are evaluated on the shard owning its phrase — but
+// advertiser budgets do: all shards charge clicks against one central
+// budget.Ledger whose combined atomic reserve/settle keeps the Section IV
+// invariant (spend ≤ budget) globally exact. The per-shard throttled bid
+// uses the ledger's global remaining budget with shard-local outstanding
+// ads, an approximation that errs toward over-throttling when an
+// advertiser has exposure on other shards; accounting itself is never
+// approximate.
+//
+// Thread safety: Server is safe for concurrent use — any number of
+// goroutines may call Submit and Metrics while the round loops run. Close
+// drains all workers concurrently.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sharedwd/internal/budget"
+	"sharedwd/internal/serr"
+	"sharedwd/internal/server"
+	"sharedwd/internal/workload"
+)
+
+// Config parameterizes the sharded server. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Worker configures every shard's round loop and engine (round
+	// interval, batch threshold, queue depth — each shard gets its own
+	// queue of this depth). Worker.Engine.Ledger is overwritten with the
+	// server's central ledger.
+	Worker server.Config
+	// Shards is the number of engine shards (≥ 1).
+	Shards int
+	// Router fixes the phrase → shard assignment; nil means HashRouter.
+	Router Router
+}
+
+// DefaultConfig returns the per-worker DefaultConfig across one shard per
+// available CPU.
+func DefaultConfig() Config {
+	return Config{
+		Worker: server.DefaultConfig(),
+		Shards: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Validate reports whether the sharded configuration is usable.
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: non-positive shard count %d", c.Shards)
+	}
+	return c.Worker.Validate()
+}
+
+// Server is the multi-core serving front end: a partitioned matcher
+// routing raw queries to per-shard workers, with cross-shard budgets held
+// exact by a central ledger. It is safe for concurrent use by multiple
+// goroutines.
+type Server struct {
+	cfg     Config
+	workers []*server.Worker
+	matcher *workload.PartitionedMatcher
+	idx     *workload.PartitionIndex
+	ledger  *budget.Ledger
+
+	unmatched atomic.Int64
+}
+
+// New partitions the workload, builds one engine + round loop per shard,
+// and starts serving. The server takes ownership of the workload. Close
+// must be called to release the loops.
+func New(w *workload.Workload, cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	router := cfg.Router
+	if router == nil {
+		router = HashRouter{}
+	}
+	assign, err := router.Assign(w, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := rebalance(assign, w.Rates, cfg.Shards); err != nil {
+		return nil, err
+	}
+	parts, idx, err := workload.Partition(w, assign, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	budgets := make([]float64, len(w.Advertisers))
+	for i, a := range w.Advertisers {
+		budgets[i] = a.Budget
+	}
+	s := &Server{
+		cfg:     cfg,
+		workers: make([]*server.Worker, cfg.Shards),
+		matcher: workload.NewPartitionedMatcher(w.PhraseNames, idx),
+		idx:     idx,
+		ledger:  budget.NewLedger(budgets),
+	}
+	wcfg := cfg.Worker
+	wcfg.Engine.Ledger = s.ledger
+	for sh := range s.workers {
+		wk, err := server.NewWorker(parts[sh], wcfg)
+		if err != nil {
+			// Drain the workers already started before reporting failure.
+			for _, started := range s.workers[:sh] {
+				started.Close()
+			}
+			return nil, err
+		}
+		s.workers[sh] = wk
+	}
+	return s, nil
+}
+
+// Shards returns the number of engine shards.
+func (s *Server) Shards() int { return len(s.workers) }
+
+// Assignment returns a copy of the phrase → shard routing table.
+func (s *Server) Assignment() []int {
+	return append([]int(nil), s.idx.ShardOf...)
+}
+
+// Ledger exposes the central budget ledger for accounting reads (Remaining,
+// Spent) and mid-run Deposit top-ups. Safe for concurrent use.
+func (s *Server) Ledger() *budget.Ledger { return s.ledger }
+
+// Matcher exposes the partitioned query matcher so callers can register
+// rewrites before serving traffic; AddRewrite is not safe concurrently
+// with Submit.
+func (s *Server) Matcher() *workload.PartitionedMatcher { return s.matcher }
+
+// Submit admits one raw query, routes it to the shard owning its phrase,
+// and blocks until that shard's round resolves. The result carries the
+// global phrase ID and the serving shard. Failures with routing context
+// are wrapped in *serr.QueryError; errors.Is against the sentinels
+// (ErrNoAuction, ErrOverloaded, ErrClosed) and context errors matches
+// through the wrapper. Safe for concurrent use.
+func (s *Server) Submit(ctx context.Context, query string) (server.Result, error) {
+	sh, local, global, ok := s.matcher.Match(query)
+	if !ok {
+		s.unmatched.Add(1)
+		return server.Result{}, serr.ErrNoAuction
+	}
+	res, err := s.workers[sh].SubmitPhrase(ctx, local)
+	if err != nil {
+		return server.Result{}, serr.Wrap(sh, global, err)
+	}
+	res.Phrase = global
+	res.Shard = sh
+	return res, nil
+}
+
+// Metrics returns the fleet-wide aggregate of every shard's counters and
+// latency distributions (see server.Metrics.Merge). Safe for concurrent
+// use with Submit and the round loops.
+func (s *Server) Metrics() server.Metrics {
+	m := s.workers[0].Metrics()
+	for _, wk := range s.workers[1:] {
+		m = m.Merge(wk.Metrics())
+	}
+	m.Unmatched = s.unmatched.Load()
+	m.Submitted += m.Unmatched // unmatched queries never reach a worker
+	return m
+}
+
+// ShardMetrics returns one shard's own metrics, for per-shard dashboards
+// and balance inspection.
+func (s *Server) ShardMetrics(shard int) server.Metrics {
+	return s.workers[shard].Metrics()
+}
+
+// Close stops admission on every shard and drains them concurrently: each
+// worker resolves its in-flight requests in a final round and settles its
+// outstanding clicks against the ledger. Close returns when the last
+// worker's loop has exited; it is idempotent and safe to call
+// concurrently.
+func (s *Server) Close() {
+	var wg sync.WaitGroup
+	for _, wk := range s.workers {
+		wg.Add(1)
+		go func(wk *server.Worker) {
+			defer wg.Done()
+			wk.Close()
+		}(wk)
+	}
+	wg.Wait()
+}

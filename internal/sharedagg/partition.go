@@ -1,0 +1,155 @@
+package sharedagg
+
+import (
+	"sort"
+
+	"sharedwd/internal/bitset"
+	"sharedwd/internal/plan"
+)
+
+// PartitionQueries assigns the instance's queries to shards so that queries
+// sharing plan fragments co-locate. Sharding destroys exactly the sharing
+// the Section II plan exploits across the cut, so the partitioner's
+// objective is the same quantity stage 1 identifies: fragments — variable
+// groups with identical query membership. Each query is placed on the shard
+// already holding the largest variable mass of its fragments, subject to a
+// load cap that keeps per-shard expected work (Σ rate·|X_q|) balanced
+// within one average query of the lightest shard.
+//
+// Queries are placed in descending rate·|X_q| order (heavy, share-rich
+// queries seed the shards; light ones fill in around them), and the whole
+// procedure is deterministic for a given instance. The returned slice maps
+// query index → shard in [0, shards); every shard receives at least one
+// query whenever len(queries) ≥ shards.
+func PartitionQueries(inst *plan.Instance, shards int) []int {
+	assign := make([]int, len(inst.Queries))
+	if shards <= 1 {
+		return assign
+	}
+
+	// Stage-1 fragments: group variables by query-membership signature.
+	m := len(inst.Queries)
+	sig := make([]bitset.Set, inst.NumVars)
+	for v := range sig {
+		sig[v] = bitset.New(m)
+	}
+	for qi, q := range inst.Queries {
+		q.Vars.ForEach(func(v int) bool {
+			sig[v].Add(qi)
+			return true
+		})
+	}
+	fragOf := make([]int, inst.NumVars) // variable → fragment index
+	fragIdx := make(map[string]int)
+	var fragSize []int // fragment → variable count
+	for v := 0; v < inst.NumVars; v++ {
+		if sig[v].IsEmpty() {
+			fragOf[v] = -1
+			continue
+		}
+		k := sig[v].Key()
+		f, ok := fragIdx[k]
+		if !ok {
+			f = len(fragSize)
+			fragIdx[k] = f
+			fragSize = append(fragSize, 0)
+		}
+		fragOf[v] = f
+		fragSize[f]++
+	}
+
+	// Heavy queries first: descending rate·|X_q|, index as tie-break.
+	weight := make([]float64, m)
+	totalWeight := 0.0
+	order := make([]int, m)
+	for qi, q := range inst.Queries {
+		order[qi] = qi
+		weight[qi] = q.Rate * float64(q.Vars.Count())
+		totalWeight += weight[qi]
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if weight[order[i]] != weight[order[j]] {
+			return weight[order[i]] > weight[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	// Greedy placement under a balance cap: a shard is eligible while its
+	// load stays within one average query weight of the lightest shard.
+	slack := totalWeight / float64(m)
+	load := make([]float64, shards)
+	queries := make([]int, shards) // queries placed per shard
+	onShard := make([]map[int]bool, shards)
+	for s := range onShard {
+		onShard[s] = make(map[int]bool)
+	}
+	fragsOf := func(qi int) []int {
+		var fs []int
+		seen := make(map[int]bool)
+		inst.Queries[qi].Vars.ForEach(func(v int) bool {
+			if f := fragOf[v]; f >= 0 && !seen[f] {
+				seen[f] = true
+				fs = append(fs, f)
+			}
+			return true
+		})
+		return fs
+	}
+	for _, qi := range order {
+		minLoad := load[0]
+		for s := 1; s < shards; s++ {
+			if load[s] < minLoad {
+				minLoad = load[s]
+			}
+		}
+		frags := fragsOf(qi)
+		best, bestAffinity := -1, -1
+		for s := 0; s < shards; s++ {
+			if load[s] > minLoad+slack {
+				continue
+			}
+			affinity := 0
+			for _, f := range frags {
+				if onShard[s][f] {
+					affinity += fragSize[f]
+				}
+			}
+			// Prefer co-located fragment mass; break ties toward the
+			// lightest eligible shard, then the lowest index.
+			if affinity > bestAffinity ||
+				(affinity == bestAffinity && best >= 0 && load[s] < load[best]) {
+				best, bestAffinity = s, affinity
+			}
+		}
+		assign[qi] = best
+		load[best] += weight[qi]
+		queries[best]++
+		for _, f := range frags {
+			onShard[best][f] = true
+		}
+	}
+
+	// Guarantee non-empty shards: move the lightest query off the
+	// most-populated shard into each empty one.
+	for s := 0; s < shards; s++ {
+		if queries[s] > 0 {
+			continue
+		}
+		donor, victim := -1, -1
+		for _, qi := range order {
+			d := assign[qi]
+			if queries[d] > 1 && (donor == -1 || weight[qi] < weight[victim]) {
+				donor, victim = d, qi
+			}
+		}
+		if donor == -1 {
+			break // fewer queries than shards; Partition will reject
+		}
+		assign[victim] = s
+		queries[donor]--
+		queries[s]++
+		load[donor] -= weight[victim]
+		load[s] += weight[victim]
+	}
+	return assign
+}

@@ -1,0 +1,87 @@
+package sharedagg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sharedwd/internal/plan"
+)
+
+func TestPartitionQueriesCoLocatesFragments(t *testing.T) {
+	// Two independent fragment clusters: queries {0,1} share fragment
+	// {0,1}, queries {2,3} share fragment {4,5}. Two shards must separate
+	// the clusters, not split one.
+	inst := plan.MustInstance(8, []plan.Query{
+		q(8, 1, 0, 1, 2),
+		q(8, 1, 0, 1, 3),
+		q(8, 1, 4, 5, 6),
+		q(8, 1, 4, 5, 7),
+	})
+	assign := PartitionQueries(inst, 2)
+	if assign[0] != assign[1] || assign[2] != assign[3] {
+		t.Fatalf("fragment cluster split across shards: %v", assign)
+	}
+	if assign[0] == assign[2] {
+		t.Fatalf("both clusters on one shard: %v", assign)
+	}
+}
+
+func TestPartitionQueriesBalancedAndTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nVars, nQueries = 60, 40
+	queries := make([]plan.Query, nQueries)
+	for i := range queries {
+		vars := rng.Perm(nVars)[:3+rng.Intn(8)]
+		queries[i] = q(nVars, 0.05+0.9*rng.Float64(), vars...)
+	}
+	inst := plan.MustInstance(nVars, queries)
+	for _, shards := range []int{1, 2, 4, 8} {
+		assign := PartitionQueries(inst, shards)
+		if len(assign) != nQueries {
+			t.Fatalf("%d shards: %d assignments", shards, len(assign))
+		}
+		load := make([]float64, shards)
+		count := make([]int, shards)
+		totalWeight := 0.0
+		for qi, s := range assign {
+			if s < 0 || s >= shards {
+				t.Fatalf("%d shards: query %d assigned to %d", shards, qi, s)
+			}
+			w := queries[qi].Rate * float64(queries[qi].Vars.Count())
+			load[s] += w
+			totalWeight += w
+			count[s]++
+		}
+		minLoad, maxLoad := load[0], load[0]
+		for _, l := range load[1:] {
+			if l < minLoad {
+				minLoad = l
+			}
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		// The balance cap admits one average query of slack above the
+		// lightest shard at placement time, plus the placed query itself.
+		avg := totalWeight / float64(nQueries)
+		maxQ := 0.0
+		for _, qu := range queries {
+			if w := qu.Rate * float64(qu.Vars.Count()); w > maxQ {
+				maxQ = w
+			}
+		}
+		if maxLoad > minLoad+avg+maxQ+1e-9 {
+			t.Fatalf("%d shards: loads %v exceed balance bound", shards, load)
+		}
+		for s, c := range count {
+			if c == 0 {
+				t.Fatalf("%d shards: shard %d empty (%v)", shards, s, count)
+			}
+		}
+		// Deterministic: same instance, same assignment.
+		if again := PartitionQueries(inst, shards); !reflect.DeepEqual(assign, again) {
+			t.Fatalf("%d shards: non-deterministic assignment", shards)
+		}
+	}
+}

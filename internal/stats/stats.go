@@ -76,6 +76,31 @@ func (s *Summary) StderrMean() float64 {
 // the mean (normal approximation; fine for the harness's n ≥ 30 runs).
 func (s *Summary) CI95() float64 { return 1.96 * s.StderrMean() }
 
+// Merge folds another summary into s as if every observation recorded in o
+// had been recorded in s, using the Chan et al. parallel variant of
+// Welford's update. Mean, variance, min, max, and N are all exact, so
+// per-shard summaries can be combined into one fleet-wide summary.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	d := o.mean - s.mean
+	s.mean += d * n2 / (n1 + n2)
+	s.m2 += o.m2 + d*d*n1*n2/(n1+n2)
+	s.n += o.n
+}
+
 // String renders "mean ± ci95 (n=..., min=..., max=...)".
 func (s *Summary) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d, min=%.4g, max=%.4g)",
@@ -153,6 +178,35 @@ func (h *Histogram) Clone() *Histogram {
 	c := *h
 	c.Buckets = append([]int(nil), h.Buckets...)
 	return &c
+}
+
+// Merge folds another histogram into h. When the two histograms share the
+// same geometry (Lo, Hi, bucket count) — the common case, since every shard
+// worker builds its histograms from the same config — counts merge
+// bucket-wise and the result is exact. Otherwise each of o's occupied
+// buckets is re-added at its midpoint, which preserves N and is accurate to
+// h's bucket resolution.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.Lo == o.Lo && h.Hi == o.Hi && len(h.Buckets) == len(o.Buckets) {
+		for i, c := range o.Buckets {
+			h.Buckets[i] += c
+		}
+		h.n += o.n
+		return
+	}
+	width := (o.Hi - o.Lo) / float64(len(o.Buckets))
+	for i, c := range o.Buckets {
+		if c == 0 {
+			continue
+		}
+		mid := o.Lo + (float64(i)+0.5)*width
+		for k := 0; k < c; k++ {
+			h.Add(mid)
+		}
+	}
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by

@@ -166,6 +166,92 @@ func TestHistogramQuantile(t *testing.T) {
 	}()
 }
 
+func TestSummaryMerge(t *testing.T) {
+	// Merging two halves must equal adding the whole stream to one summary.
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 5
+	}
+	var whole, a, b Summary
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 100 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-6 {
+		t.Fatalf("Variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+
+	// Merging into or from an empty summary is the identity.
+	var empty Summary
+	c := a
+	c.Merge(empty)
+	if c != a {
+		t.Fatal("merge of empty summary changed the receiver")
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Fatal("merge into empty summary should copy")
+	}
+}
+
+func TestHistogramMergeSameGeometry(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 5)
+	for _, x := range []float64{1, 3, 5} {
+		a.Add(x)
+	}
+	for _, x := range []float64{3, 7, 9, 11} {
+		b.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != 7 {
+		t.Fatalf("N = %d, want 7", a.N())
+	}
+	want := []int{1, 2, 1, 1, 2}
+	for i, c := range want {
+		if a.Buckets[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, a.Buckets[i], c, a.Buckets)
+		}
+	}
+	if b.N() != 4 {
+		t.Fatal("merge mutated its argument")
+	}
+	a.Merge(nil)
+	if a.N() != 7 {
+		t.Fatal("merge of nil histogram changed the receiver")
+	}
+}
+
+func TestHistogramMergeDifferentGeometry(t *testing.T) {
+	a := NewHistogram(0, 10, 10)
+	b := NewHistogram(0, 20, 4) // midpoints 2.5, 7.5, 12.5, 17.5
+	b.Add(2)
+	b.Add(6)
+	b.Add(19)
+	a.Merge(b)
+	if a.N() != 3 {
+		t.Fatalf("N = %d, want 3", a.N())
+	}
+	if a.Buckets[2] != 1 || a.Buckets[7] != 1 || a.Buckets[9] != 1 {
+		t.Fatalf("midpoint re-add landed wrong: %v", a.Buckets)
+	}
+}
+
 func TestHistogramClone(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
 	h.Add(3)

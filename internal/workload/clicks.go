@@ -23,6 +23,16 @@ type pendingAd struct {
 	clickRound int
 }
 
+// OutcomeFunc decides a displayed ad's click fate deterministically:
+// whether it is clicked and, if so, after how many rounds. It must be a
+// pure function of its arguments so that runs that display the same ads
+// (e.g. a sharded and a single-engine run over the same workload) see the
+// same clicks regardless of how displays are distributed over simulators.
+// A returned delay < 1 or ≥ the simulator's horizon means no click: delays
+// of 0 cannot be observed (the display round's Advance has already run),
+// and the simulator never delivers past its horizon.
+type OutcomeFunc func(advertiser int, price, ctr float64, round int) (clicked bool, delay int)
+
 // ClickSim simulates delayed clicks: a displayed ad with click-through rate
 // ctr is eventually clicked with probability ctr; the delay is geometric
 // with per-round continuation (1 − Hazard), truncated at Horizon rounds.
@@ -37,6 +47,7 @@ type ClickSim struct {
 	Horizon int
 
 	rng     *rand.Rand
+	outcome OutcomeFunc
 	pending []pendingAd
 	// clickBuf backs Advance's result so steady-state rounds do not
 	// allocate; it is overwritten by the next Advance.
@@ -51,13 +62,22 @@ func NewClickSim(rng *rand.Rand, hazard float64, horizon int) *ClickSim {
 	return &ClickSim{Hazard: hazard, Horizon: horizon, rng: rng}
 }
 
+// SetOutcome replaces the simulator's random draws with a deterministic
+// outcome function (nil restores random draws). With an outcome set,
+// Display consumes nothing from the random stream.
+func (cs *ClickSim) SetOutcome(f OutcomeFunc) { cs.outcome = f }
+
 // Display registers a shown ad: the advertiser, the price a click will
 // cost, the click-through rate of (advertiser, slot), and the display
 // round. The click outcome and delay are drawn immediately (but revealed
 // only as rounds advance).
 func (cs *ClickSim) Display(advertiser int, price, ctr float64, round int) {
 	p := pendingAd{advertiser: advertiser, price: price, ctr0: ctr, displayed: round, clickRound: -1}
-	if cs.rng.Float64() < ctr {
+	if cs.outcome != nil {
+		if clicked, delay := cs.outcome(advertiser, price, ctr, round); clicked && delay >= 1 && delay < cs.Horizon {
+			p.clickRound = round + delay
+		}
+	} else if cs.rng.Float64() < ctr {
 		delay := 0
 		for cs.rng.Float64() >= cs.Hazard {
 			delay++

@@ -50,13 +50,24 @@
 // of the wrong length — as programming errors and panic; each documents
 // its invariants.
 //
+// Serving failures follow one taxonomy across the single-engine Server and
+// the ShardedServer. Three sentinels classify every per-query failure:
+// ErrOverloaded (the admission queue was full; retryable), ErrServerClosed
+// (the server is shutting down; terminal), and ErrNoAuction (the query
+// matched no bid phrase; a property of the query, not the server). Submit
+// may wrap a sentinel — the sharded server attaches the serving shard and
+// global phrase ID via *QueryError — but wrapping always preserves
+// identity: test failures with errors.Is against the sentinels (or
+// errors.Is(err, context.DeadlineExceeded) for deadline expiry), never
+// with string matching, and recover routing context with errors.As.
+//
 // # Thread safety
 //
-// Server is safe for concurrent use. Everything else — Engine, SortEngine,
-// Workload, plans, lists, throttlers, streams — is single-goroutine unless
-// its documentation says otherwise; the Server owns the serialization of
-// its Engine and Workload. Matcher.Match is safe concurrently after
-// configuration.
+// Server and ShardedServer are safe for concurrent use. Everything else —
+// Engine, SortEngine, Workload, plans, lists, throttlers, streams — is
+// single-goroutine unless its documentation says otherwise; the servers
+// own the serialization of their engines and workloads. Matcher.Match is
+// safe concurrently after configuration.
 package sharedwd
 
 import (
@@ -72,7 +83,9 @@ import (
 	"sharedwd/internal/nonsep"
 	"sharedwd/internal/plan"
 	"sharedwd/internal/pricing"
+	"sharedwd/internal/serr"
 	"sharedwd/internal/server"
+	"sharedwd/internal/shard"
 	"sharedwd/internal/sharedagg"
 	"sharedwd/internal/sharedsort"
 	"sharedwd/internal/ta"
@@ -304,7 +317,8 @@ type (
 	Engine = core.Engine
 	// EngineConfig parameterizes the engine.
 	EngineConfig = core.Config
-	// EngineStats holds the engine's lifetime counters.
+	// EngineStats holds one engine's lifetime counters; Add combines
+	// counters from multiple engines (Metrics does this per fleet).
 	EngineStats = core.Stats
 	// RoundReport is one round's outcome. Its slices view engine scratch
 	// overwritten by the next Step; copy what you keep.
@@ -337,7 +351,7 @@ type (
 	AdvertiserSet = bitset.Set
 )
 
-// Online serving layer (see internal/server).
+// Online serving layer (see internal/server, internal/shard).
 type (
 	// Server is the long-lived concurrent round server: it admits raw
 	// queries through a bounded queue, batches them into engine rounds,
@@ -347,24 +361,63 @@ type (
 	// ServerConfig parameterizes the server (round interval, batch
 	// threshold, queue depth, wrapped engine configuration).
 	ServerConfig = server.Config
-	// ServerSnapshot is a point-in-time observability view: counters,
-	// queue depth, per-stage latency distributions, throughput.
+	// ShardedServer partitions the bid-phrase universe across N engine
+	// shards, each with its own admission queue and round loop, with
+	// cross-shard advertiser budgets held exact by a central atomic
+	// ledger. Safe for concurrent use.
+	ShardedServer = shard.Server
+	// ShardRouter fixes the phrase → shard assignment at construction.
+	ShardRouter = shard.Router
+	// HashShardRouter is the stable default router (FNV-1a on the
+	// normalized phrase name).
+	HashShardRouter = shard.HashRouter
+	// FragmentShardRouter co-locates phrases sharing Section II plan
+	// fragments to preserve intra-shard sharing.
+	FragmentShardRouter = shard.FragmentRouter
+	// BudgetLedger is the cross-shard budget authority: per-advertiser
+	// remaining/spent reads and the atomic TryCharge that keeps the
+	// Section IV invariant exact fleet-wide.
+	BudgetLedger = budget.Ledger
+	// Metrics is the unified observability view shared by Server,
+	// ShardedServer, and per-shard workers: lifetime counters, queue
+	// depth, per-stage latency distributions, derived rates, and the
+	// engine's own statistics. Metrics from different workers combine
+	// with Merge.
+	Metrics = server.Metrics
+	// LatencyDist is one serving stage's mergeable latency distribution
+	// (exact moments plus a fixed-geometry histogram for quantiles).
+	LatencyDist = server.LatencyDist
+	// ServerSnapshot is a point-in-time observability view.
+	//
+	// Deprecated: use Metrics (Server.Metrics / ShardedServer.Metrics),
+	// which carries the same numbers plus queryable distributions and
+	// merges across shards. Snapshot remains as a projection of Metrics.
 	ServerSnapshot = server.Snapshot
 	// ServerLatencyStats summarizes one serving stage's latency (seconds).
+	//
+	// Deprecated: use LatencyDist, which adds quantiles and Merge.
 	ServerLatencyStats = server.LatencyStats
 	// QueryResult is one answered query: phrase, round, slot assignment
-	// with per-click prices, and per-stage waits.
+	// with per-click prices, per-stage waits, and the serving shard.
 	QueryResult = server.Result
+	// QueryError attaches routing context (shard, global phrase ID) to a
+	// per-query serving failure; errors.Is still matches the wrapped
+	// sentinel and errors.As recovers the context.
+	QueryError = serr.QueryError
 )
 
-// Serving errors (see Server.Submit).
+// Serving errors — the package-wide taxonomy every Submit failure reduces
+// to (see the package comment's Error contract). The server and shard
+// packages alias these same values, so errors.Is matches across spellings.
 var (
 	// ErrOverloaded: the admission queue was full and the query was shed.
-	ErrOverloaded = server.ErrOverloaded
-	// ErrServerClosed: the server no longer admits queries.
-	ErrServerClosed = server.ErrClosed
+	// Retryable after backoff.
+	ErrOverloaded = serr.ErrOverloaded
+	// ErrServerClosed: the server no longer admits queries. Terminal.
+	ErrServerClosed = serr.ErrClosed
 	// ErrNoAuction: the query matched no bid phrase, so no auction ran.
-	ErrNoAuction = server.ErrNoAuction
+	// A property of the query; retrying it unchanged cannot succeed.
+	ErrNoAuction = serr.ErrNoAuction
 )
 
 // NewAdvertiserSet returns an empty set holding indices in [0, n).
@@ -474,40 +527,65 @@ func NewSortEngine(w *Workload, opts ...EngineOption) (*SortEngine, error) {
 	return core.NewSortEngine(w, cfg)
 }
 
-// A ServerOption adjusts a ServerConfig at construction, applied in order
-// over DefaultServerConfig.
-type ServerOption func(*ServerConfig)
+// serveConfig is the ServerOption target: the per-worker serving
+// configuration plus the sharding knobs that only the sharded constructor
+// consumes.
+type serveConfig struct {
+	srv    server.Config
+	shards int
+	router shard.Router
+}
 
-// WithServerConfig replaces the whole serving configuration; options after
-// it apply on top.
-func WithServerConfig(cfg ServerConfig) ServerOption { return func(c *ServerConfig) { *c = cfg } }
+// A ServerOption adjusts the serving configuration at construction,
+// applied in order over DefaultServerConfig. The same options configure
+// NewServer and NewShardedServer; the sharding options (WithShards,
+// WithShardRouter) are meaningful only to the latter.
+type ServerOption func(*serveConfig)
+
+// WithServerConfig replaces the whole per-worker serving configuration
+// (round interval, batch threshold, queue depth, engine); options after it
+// apply on top. Sharding options are untouched.
+func WithServerConfig(cfg ServerConfig) ServerOption { return func(c *serveConfig) { c.srv = cfg } }
 
 // WithRoundInterval sets the ticker period at which rounds close — the
 // paper's §I latency/sharing tradeoff knob (see TuneRoundInterval).
 func WithRoundInterval(d time.Duration) ServerOption {
-	return func(c *ServerConfig) { c.RoundInterval = d }
+	return func(c *serveConfig) { c.srv.RoundInterval = d }
 }
 
 // WithMaxBatch closes rounds early once n requests are pending (0 disables
 // the size threshold).
-func WithMaxBatch(n int) ServerOption { return func(c *ServerConfig) { c.MaxBatch = n } }
+func WithMaxBatch(n int) ServerOption { return func(c *serveConfig) { c.srv.MaxBatch = n } }
 
-// WithQueueDepth bounds the admission queue; beyond it Submit sheds with
-// ErrOverloaded.
-func WithQueueDepth(n int) ServerOption { return func(c *ServerConfig) { c.QueueDepth = n } }
+// WithQueueDepth bounds the admission queue — each shard gets its own
+// queue of this depth; beyond it Submit sheds with ErrOverloaded.
+func WithQueueDepth(n int) ServerOption { return func(c *serveConfig) { c.srv.QueueDepth = n } }
 
 // WithBidWalk applies one step of the workload's bid random walk after
 // every round (automated bidding programs running between rounds).
-func WithBidWalk(scale float64) ServerOption { return func(c *ServerConfig) { c.BidWalkScale = scale } }
+func WithBidWalk(scale float64) ServerOption {
+	return func(c *serveConfig) { c.srv.BidWalkScale = scale }
+}
 
 // WithServerEngine applies engine options to the server's wrapped engine.
 func WithServerEngine(opts ...EngineOption) ServerOption {
-	return func(c *ServerConfig) {
+	return func(c *serveConfig) {
 		for _, opt := range opts {
-			opt(&c.Engine)
+			opt(&c.srv.Engine)
 		}
 	}
 }
+
+// WithShards sets the engine-shard count for NewShardedServer (default:
+// one shard per available CPU). NewServer rejects n > 1 — build a
+// ShardedServer to scale out.
+func WithShards(n int) ServerOption { return func(c *serveConfig) { c.shards = n } }
+
+// WithShardRouter selects the phrase → shard assignment policy for
+// NewShardedServer: HashShardRouter (default) for stable name-hash
+// routing, FragmentShardRouter to co-locate phrases that share plan
+// fragments.
+func WithShardRouter(r ShardRouter) ServerOption { return func(c *serveConfig) { c.router = r } }
 
 // NewServer builds the engine for the workload and starts the serving
 // round loop:
@@ -521,12 +599,48 @@ func WithServerEngine(opts ...EngineOption) ServerOption {
 // The server takes ownership of the workload; do not mutate or step it
 // while the server runs. Close resolves in-flight requests, drains
 // outstanding clicks, and stops every goroutine the server started.
+// NewServer is the single-engine constructor; it returns an error if
+// WithShards(n > 1) was given (use NewShardedServer).
 func NewServer(w *Workload, opts ...ServerOption) (*Server, error) {
-	cfg := server.DefaultConfig()
+	cfg := applyServerOptions(opts)
+	if cfg.shards > 1 {
+		return nil, fmt.Errorf("sharedwd: NewServer is single-engine; use NewShardedServer for %d shards", cfg.shards)
+	}
+	return server.New(w, cfg.srv)
+}
+
+// NewShardedServer partitions the workload's phrase universe across engine
+// shards — one admission queue + round loop + engine per shard, advertiser
+// budgets shared through a central atomic ledger — and starts serving:
+//
+//	srv, err := sharedwd.NewShardedServer(w,
+//	    sharedwd.WithShards(4),
+//	    sharedwd.WithShardRouter(sharedwd.FragmentShardRouter{}),
+//	    sharedwd.WithRoundInterval(5*time.Millisecond))
+//	defer srv.Close()
+//	res, err := srv.Submit(ctx, "hiking boots")
+//
+// Without WithShards it uses one shard per available CPU. Submit, Metrics,
+// and Close mirror Server's; results additionally carry the serving shard,
+// and failures wrap shard + phrase context as *QueryError. The server
+// takes ownership of the workload.
+func NewShardedServer(w *Workload, opts ...ServerOption) (*ShardedServer, error) {
+	cfg := applyServerOptions(opts)
+	scfg := shard.DefaultConfig()
+	scfg.Worker = cfg.srv
+	if cfg.shards > 0 {
+		scfg.Shards = cfg.shards
+	}
+	scfg.Router = cfg.router
+	return shard.New(w, scfg)
+}
+
+func applyServerOptions(opts []ServerOption) serveConfig {
+	cfg := serveConfig{srv: server.DefaultConfig()}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return server.New(w, cfg)
+	return cfg
 }
 
 // TuneRoundInterval picks the longest round length whose simulated median

@@ -2,10 +2,12 @@ package sharedwd
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -224,6 +226,139 @@ func TestSoakServer(t *testing.T) {
 	// Goroutine-leak check: after Close returns, the round loop and the
 	// engine's worker pool must have exited. Poll briefly — runtime
 	// bookkeeping for exiting goroutines is asynchronous.
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after close\n%s", before, after, buf[:n])
+	}
+}
+
+// TestSoakShardedCloseFullQueues is the shutdown regression for the sharded
+// server: Close while every shard's round loop is stalled mid-round and
+// every admission queue is full must resolve all blocked submitters and
+// leak no goroutines. The BeforeStep hook makes the scenario deterministic:
+// each shard's first query enters a round and parks the loop; the next
+// QueueDepth queries fill that shard's queue behind it; one more sheds.
+// Only then is Close raced against the release of the stalled rounds.
+func TestSoakShardedCloseFullQueues(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const shards, queueDepth = 2, 3
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 60
+	wcfg.NumPhrases = 10
+	wcfg.Seed = 57
+	w := workload.Generate(wcfg)
+
+	var stalled atomic.Int32
+	release := make(chan struct{})
+	scfg := DefaultServerConfig()
+	scfg.RoundInterval = time.Hour // rounds close on MaxBatch only
+	scfg.MaxBatch = 1
+	scfg.QueueDepth = queueDepth
+	scfg.BeforeStep = func() {
+		stalled.Add(1)
+		<-release
+	}
+	s, err := NewShardedServer(w, WithServerConfig(scfg), WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One phrase per shard to address its queue directly.
+	phraseOn := make([]int, shards)
+	for sh := range phraseOn {
+		phraseOn[sh] = -1
+	}
+	for q, sh := range s.Assignment() {
+		if phraseOn[sh] == -1 {
+			phraseOn[sh] = q
+		}
+	}
+
+	ctx := context.Background()
+	var inflight sync.WaitGroup
+	submit := func(sh int) {
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			// Under shutdown either outcome is legal: answered by a drain
+			// round or refused with ErrClosed. Returning is the point.
+			if _, err := s.Submit(ctx, w.PhraseNames[phraseOn[sh]]); err != nil && !errors.Is(err, ErrServerClosed) {
+				t.Errorf("shard %d submitter: %v", sh, err)
+			}
+		}()
+	}
+
+	// Step 1: park every shard's round loop inside a one-query round.
+	for sh := 0; sh < shards; sh++ {
+		submit(sh)
+	}
+	for stalled.Load() < shards {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Step 2: fill every stalled shard's admission queue to the brim.
+	for sh := 0; sh < shards; sh++ {
+		for i := 0; i < queueDepth; i++ {
+			submit(sh)
+		}
+	}
+	for s.Metrics().QueueDepth < shards*queueDepth {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Step 3: the queues are provably full — one more query per shard must
+	// shed deterministically, with routing context on the error.
+	for sh := 0; sh < shards; sh++ {
+		_, err := s.Submit(ctx, w.PhraseNames[phraseOn[sh]])
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("shard %d: full-queue submit = %v, want ErrOverloaded", sh, err)
+		}
+		var qe *QueryError
+		if !errors.As(err, &qe) || qe.Shard != sh {
+			t.Fatalf("shard %d: shed error lacks shard context: %v", sh, err)
+		}
+	}
+
+	// Step 4: race Close against the stalled rounds, then release them.
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	time.Sleep(5 * time.Millisecond) // let Close reach the stalled workers
+	close(release)
+
+	done := make(chan struct{})
+	go func() {
+		inflight.Wait()
+		close(done)
+	}()
+	for _, ch := range []struct {
+		name string
+		c    chan struct{}
+	}{{"Close", closed}, {"submitters", done}} {
+		select {
+		case <-ch.c:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s did not finish: shutdown deadlocked with full queues", ch.name)
+		}
+	}
+
+	// Every admitted query was resolved by a drain round, none abandoned.
+	m := s.Metrics()
+	if want := int64(shards * (1 + queueDepth)); m.Answered != want {
+		t.Fatalf("Answered = %d, want %d (drain rounds must resolve the full queues)", m.Answered, want)
+	}
+	if m.Shed != int64(shards) {
+		t.Fatalf("Shed = %d, want %d", m.Shed, shards)
+	}
+
 	deadline := time.Now().Add(3 * time.Second)
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
