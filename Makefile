@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-shard bench-json fmt vet staticcheck
+.PHONY: all build test race bench bench-shard bench-json bench-compare fmt vet staticcheck
 
 all: build test
 
@@ -43,3 +43,10 @@ bench-json:
 	$(GO) test -bench='ServerThroughput|ShardedThroughput' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_server.json
 	@cat BENCH_server.json
+
+# bench-compare reruns the core round-resolution benchmarks and diffs them
+# against the committed BENCH_core.json, failing on a >20% ns/op regression
+# (the CI regression gate runs the same comparison).
+bench-compare:
+	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep' -benchmem -benchtime=2s -run='^$$' . \
+		| $(GO) run ./tools/benchjson -compare BENCH_core.json

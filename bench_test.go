@@ -129,36 +129,57 @@ func BenchmarkPlanQuality(b *testing.B) {
 
 // BenchmarkRoundResolution compares shared-plan winner determination with
 // independent per-auction scans inside the full engine (Section II's point,
-// end to end), reporting aggregation operations per auction.
+// end to end), reporting both wall-clock and aggregation operations per
+// auction. Two workload presets: the default topic-clustered mix (the
+// original benchmark, whose sub-benchmark names are unchanged so historical
+// BENCH_core.json records stay comparable) and a broad-match-heavy
+// high-overlap preset where the occurring auctions share most of their
+// participants — the fairness case for sharing, where the shared plan must
+// beat the independent scans on wall-clock, not just operator counts.
 func BenchmarkRoundResolution(b *testing.B) {
-	for _, mode := range []core.SharingMode{core.SharedAggregation, core.Independent} {
-		wcfg := workload.DefaultConfig()
-		wcfg.NumAdvertisers = 1000
-		wcfg.NumPhrases = 32
-		wcfg.NumTopics = 6
-		w := workload.Generate(wcfg)
-		ecfg := core.DefaultConfig()
-		ecfg.Sharing = mode
-		ecfg.Policy = core.Naive
-		eng, err := core.New(w, ecfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		occ := make([]bool, len(w.Interests))
-		for q := range occ {
-			occ[q] = q%2 == 0
-		}
-		b.Run(mode.String(), func(b *testing.B) {
-			b.ReportAllocs()
-			start := eng.Stats()
-			for i := 0; i < b.N; i++ {
-				eng.Step(occ)
+	presets := []struct {
+		prefix string
+		wcfg   workload.Config
+	}{
+		{"", workload.DefaultConfig()},
+		{"highOverlap/", workload.HighOverlapConfig()},
+	}
+	for _, preset := range presets {
+		for _, mode := range []core.SharingMode{core.SharedAggregation, core.Independent} {
+			wcfg := preset.wcfg
+			wcfg.NumAdvertisers = 1000
+			wcfg.NumPhrases = 32
+			wcfg.NumTopics = 6
+			// Budgets that never exhaust keep every round identical, so
+			// ns/op is independent of how many iterations ran before it —
+			// without this, longer runs drain budgets, zero out bids, and
+			// measure cheaper rounds, making baselines incomparable.
+			wcfg.MinBudget = 1e6
+			wcfg.MaxBudget = 2e6
+			w := workload.Generate(wcfg)
+			ecfg := core.DefaultConfig()
+			ecfg.Sharing = mode
+			ecfg.Policy = core.Naive
+			eng, err := core.New(w, ecfg)
+			if err != nil {
+				b.Fatal(err)
 			}
-			st := eng.Stats()
-			if auctions := st.AuctionsResolved - start.AuctionsResolved; auctions > 0 {
-				b.ReportMetric(float64(st.NodesMaterialized-start.NodesMaterialized)/float64(auctions), "aggOps/auction")
+			occ := make([]bool, len(w.Interests))
+			for q := range occ {
+				occ[q] = q%2 == 0
 			}
-		})
+			b.Run(preset.prefix+mode.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				start := eng.Stats()
+				for i := 0; i < b.N; i++ {
+					eng.Step(occ)
+				}
+				st := eng.Stats()
+				if auctions := st.AuctionsResolved - start.AuctionsResolved; auctions > 0 {
+					b.ReportMetric(float64(st.NodesMaterialized-start.NodesMaterialized)/float64(auctions), "aggOps/auction")
+				}
+			})
+		}
 	}
 }
 
@@ -188,6 +209,19 @@ func BenchmarkIncrementalRounds(b *testing.B) {
 				ecfg := core.DefaultConfig()
 				ecfg.Policy = core.Naive
 				ecfg.IncrementalCache = incremental
+				// A shared ledger topped back up every refillEvery rounds
+				// makes the budget-crossing sequence periodic. Without
+				// refills budgets drain monotonically, rounds get cheaper as
+				// bids zero out, and ns/op depends on how many iterations ran
+				// before it — baselines recorded at different -benchtime
+				// would not be comparable.
+				budgets := make([]float64, wcfg.NumAdvertisers)
+				for i := range budgets {
+					budgets[i] = w.Advertisers[i].Budget
+				}
+				ledger := budget.NewLedger(budgets)
+				ecfg.Ledger = ledger
+				const refillEvery = 512
 				eng, err := core.New(w, ecfg)
 				if err != nil {
 					b.Fatal(err)
@@ -209,14 +243,22 @@ func BenchmarkIncrementalRounds(b *testing.B) {
 					}
 					occs = [][]bool{occ}
 				}
+				step := func() {
+					if r := eng.Round(); r%refillEvery == 0 && r > 0 {
+						for i := range budgets {
+							ledger.Deposit(i, budgets[i]-ledger.Remaining(i))
+						}
+					}
+					eng.Step(occs[eng.Round()%len(occs)])
+				}
 				for i := 0; i < 50; i++ {
-					eng.Step(occs[i%len(occs)])
+					step()
 				}
 				b.ReportAllocs()
 				b.ResetTimer()
 				start := eng.Stats()
 				for i := 0; i < b.N; i++ {
-					eng.Step(occs[i%len(occs)])
+					step()
 				}
 				st := eng.Stats()
 				rounds := float64(st.Rounds - start.Rounds)

@@ -15,6 +15,12 @@
 //	          [-clients 64] [-duration 10s] [-round 5ms] [-batch 256]
 //	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
 //	          [-shards 1] [-router hash|fragment]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -cpuprofile and -memprofile write pprof profiles of the whole run (load
+// generation plus serving), for digging into where round time goes — e.g.
+// confirming the flat-compiled plan executor's kernels dominate shared
+// winner determination. Inspect with `go tool pprof`.
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,7 +62,37 @@ func main() {
 	workers := flag.Int("workers", 1, "engine plan-execution workers (per shard)")
 	shards := flag.Int("shards", 1, "engine shards (each phrase partition gets its own round loop)")
 	router := flag.String("router", "hash", "phrase-to-shard router: hash or fragment")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	wcfg := workload.DefaultConfig()
 	wcfg.NumAdvertisers = *advertisers

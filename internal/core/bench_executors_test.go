@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"sharedwd/internal/workload"
+)
+
+// BenchmarkExecutorRound compares the shared-plan execution strategies —
+// original map-memo Execute, generic slab executor, flat-compiled runner —
+// and the Independent baseline on the same workload BenchmarkRoundResolution
+// uses (1000 advertisers, 32 phrases, half occurring each round,
+// non-exhausting budgets so every round is identical). The memo/slab force
+// flags are package-private, which is why this benchmark lives in package
+// core; the README's executor table is regenerated from it.
+func BenchmarkExecutorRound(b *testing.B) {
+	variants := []struct {
+		name        string
+		memo, slab  bool
+		independent bool
+	}{
+		{name: "memo", memo: true},
+		{name: "slab", slab: true},
+		{name: "compiled"},
+		{name: "independent", independent: true},
+	}
+	for _, v := range variants {
+		wcfg := workload.DefaultConfig()
+		wcfg.NumAdvertisers = 1000
+		wcfg.NumPhrases = 32
+		wcfg.NumTopics = 6
+		wcfg.MinBudget = 1e6 // never exhausts: every round costs the same
+		wcfg.MaxBudget = 2e6
+		w := workload.Generate(wcfg)
+		cfg := DefaultConfig()
+		cfg.Policy = Naive
+		if v.independent {
+			cfg.Sharing = Independent
+		}
+		eng, err := New(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.forceMemo = v.memo
+		eng.forceSlab = v.slab
+		occ := make([]bool, wcfg.NumPhrases)
+		for q := range occ {
+			occ[q] = q%2 == 0
+		}
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Step(occ)
+			}
+		})
+	}
+}

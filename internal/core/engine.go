@@ -161,17 +161,25 @@ type Engine struct {
 	inst *plan.Instance
 	plan *plan.Plan
 
-	// exec owns the dense result slab the shared plan is evaluated into;
-	// pool (Workers > 1) evaluates its DAG levels concurrently.
-	exec   *plan.Executor[*topk.List]
+	// runner executes the flat-compiled instruction stream (prog) over
+	// dense entry slabs — the default shared-mode path; pool (Workers > 1)
+	// evaluates its DAG levels concurrently.
+	prog   *plan.Program
+	runner *plan.Runner
 	pool   *plan.Pool
+
+	// exec owns the per-node *topk.List slab of the original slab
+	// executor, kept as a reference strategy for the equivalence tests.
+	exec   *plan.Executor[*topk.List]
 	leafFn func(prev *topk.List, v int) *topk.List
 	opFn   func(prev, a, b *topk.List) *topk.List
 
 	// forceMemo routes shared-mode winner determination through the
-	// original map-memo plan.Execute. It exists purely as the reference
-	// strategy for the equivalence tests.
+	// original map-memo plan.Execute; forceSlab through the generic slab
+	// executor. Both exist purely as reference strategies for the
+	// equivalence tests — the compiled runner is the production path.
 	forceMemo bool
+	forceSlab bool
 
 	clicks *workload.ClickSim
 	spent  []float64 // realized payments per advertiser
@@ -189,6 +197,10 @@ type roundScratch struct {
 	occ      []bool
 	mCount   []int
 	roundBid []float64
+	// score[i] is the round's effective score b̂_i·c_i, computed once per
+	// round; every execution strategy (compiled, slab, memo, independent)
+	// reads leaf values from this one slab so they score bit-identically.
+	score []float64
 	// lastScore[i] is the effective score advertiser i's cached leaf value
 	// was computed from (IncrementalCache mode).
 	lastScore []float64
@@ -270,6 +282,7 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 	}
 	e.scr.mCount = make([]int, len(w.Advertisers))
 	e.scr.roundBid = make([]float64, len(w.Advertisers))
+	e.scr.score = make([]float64, len(w.Advertisers))
 	e.scr.lastScore = make([]float64, len(w.Advertisers))
 	e.scr.auctions = make(map[int][]SlotResult, len(w.Interests))
 	e.scr.slots = make([][]SlotResult, len(w.Interests))
@@ -284,13 +297,16 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("core: building plan instance: %w", err)
 		}
 		e.inst = inst
-		e.plan = sharedagg.Build(inst)
-		if err := e.plan.Validate(); err != nil {
-			return nil, fmt.Errorf("core: invalid shared plan: %w", err)
+		var perr error
+		e.plan, e.prog, perr = sharedagg.BuildCompiled(inst)
+		if perr != nil {
+			return nil, fmt.Errorf("core: %w", perr)
 		}
+		e.runner = plan.NewRunner(e.prog, k+1)
 		e.exec = plan.NewExecutor[*topk.List](e.plan)
 		if cfg.Workers > 1 {
 			e.pool = plan.NewPool(cfg.Workers)
+			e.runner.SetPool(e.pool)
 			e.exec.SetPool(e.pool)
 		}
 		// The leaf and op closures are built once so steady-state rounds
@@ -302,7 +318,7 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 			} else {
 				prev.Reset()
 			}
-			if s := e.scr.roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+			if s := e.scr.score[v]; s > 0 {
 				prev.Push(topk.Entry{ID: v, Score: s})
 			}
 			return prev
@@ -325,6 +341,7 @@ func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.Close()
 		e.pool = nil
+		e.runner.SetPool(nil)
 		e.exec.SetPool(nil)
 	}
 }
@@ -443,29 +460,37 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 		}
 	}
 
-	// 2. Per-advertiser round bids under the budget policy.
+	// 2. Per-advertiser round bids under the budget policy, and the shared
+	// score slab: score[i] = b̂_i·c_i is computed exactly once here, so
+	// every execution strategy reads identical leaf values (no per-path
+	// float recomputation to diverge on).
 	mCount := e.auctionCounts(occurring)
 	roundBid := e.scr.roundBid
+	score := e.scr.score
 	for i := range roundBid {
 		roundBid[i] = 0
+		score[i] = 0
 	}
 	for i, a := range e.w.Advertisers {
 		if mCount[i] == 0 {
 			continue
 		}
 		roundBid[i] = e.policyBid(i, a, mCount[i])
+		score[i] = roundBid[i] * a.Quality
 	}
 
 	// 3. Winner determination across the occurring auctions.
 	k := len(e.w.SlotFactors)
 	var memoResults map[int]*topk.List // forceMemo reference path only
-	var slabResults []*topk.List
+	var slabResults []*topk.List       // forceSlab reference path only
+	compiled := false
 	switch e.cfg.Sharing {
 	case SharedAggregation:
-		if e.forceMemo {
+		switch {
+		case e.forceMemo:
 			leaf := func(v int) *topk.List {
 				l := topk.New(k + 1)
-				if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+				if s := score[v]; s > 0 {
 					l.Push(topk.Entry{ID: v, Score: s})
 				}
 				return l
@@ -475,27 +500,24 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 			} else {
 				memoResults, rep.Materialized = plan.Execute(e.plan, leaf, topk.Merge, occurring)
 			}
-			break
-		}
-		if e.cfg.IncrementalCache {
-			// Invalidate leaves whose effective score changed since the
-			// cached value was computed. Advertisers outside this round's
-			// auctions are skipped: their leaves are not needed, and their
-			// cached values stay tagged with the score they were built from.
-			for i := range mCount {
-				if mCount[i] == 0 {
-					continue
-				}
-				if s := roundBid[i] * e.w.Advertisers[i].Quality; s != e.scr.lastScore[i] {
-					e.exec.Invalidate(i)
-					e.scr.lastScore[i] = s
-				}
+		case e.forceSlab:
+			if e.cfg.IncrementalCache {
+				e.invalidateChangedScores(mCount, e.exec.Invalidate)
+				rep.Materialized, rep.Cached = e.exec.ExecuteIncremental(e.leafFn, e.opFn, occurring)
+			} else {
+				rep.Materialized = e.exec.Execute(e.leafFn, e.opFn, occurring)
 			}
-			rep.Materialized, rep.Cached = e.exec.ExecuteIncremental(e.leafFn, e.opFn, occurring)
-		} else {
-			rep.Materialized = e.exec.Execute(e.leafFn, e.opFn, occurring)
+			slabResults = e.exec.Results()
+		default:
+			// Production path: the flat-compiled instruction stream.
+			if e.cfg.IncrementalCache {
+				e.invalidateChangedScores(mCount, e.runner.Invalidate)
+				rep.Materialized, rep.Cached = e.runner.RunIncremental(score, occurring)
+			} else {
+				rep.Materialized = e.runner.Run(score, occurring)
+			}
+			compiled = true
 		}
-		slabResults = e.exec.Results()
 	case Independent:
 		for q, occ := range occurring {
 			if !occ {
@@ -510,7 +532,7 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 			}
 			scanned := 0
 			e.w.Interests[q].ForEach(func(v int) bool {
-				if s := roundBid[v] * e.w.Advertisers[v].Quality; s > 0 {
+				if s := score[v]; s > 0 {
 					l.Push(topk.Entry{ID: v, Score: s})
 				}
 				scanned++
@@ -523,32 +545,43 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 	}
 
 	// 4. Assign, price, display — in phrase order, so the click
-	// simulator's random stream is consumed deterministically.
+	// simulator's random stream is consumed deterministically. Every
+	// occurring auction is resolved (possibly with an empty ranking when
+	// no participant has a positive score).
 	for q := 0; q < len(occurring); q++ {
 		if !occurring[q] {
 			continue
 		}
-		var list *topk.List
-		switch {
-		case memoResults != nil:
-			list = memoResults[q]
-		case slabResults != nil:
-			list = slabResults[q]
-		default:
-			list = e.scr.indep[q]
-		}
-		if list == nil {
-			continue
-		}
 		e.stats.AuctionsResolved++
 		ranked := e.scr.ranked[:0]
-		for i, n := 0, list.Len(); i < n; i++ {
-			entry := list.At(i)
-			ranked = append(ranked, pricing.Ranked{
-				ID:      entry.ID,
-				Bid:     roundBid[entry.ID],
-				Quality: e.w.Advertisers[entry.ID].Quality,
-			})
+		if compiled {
+			for _, entry := range e.runner.QueryRun(q) {
+				ranked = append(ranked, pricing.Ranked{
+					ID:      entry.ID,
+					Bid:     roundBid[entry.ID],
+					Quality: e.w.Advertisers[entry.ID].Quality,
+				})
+			}
+		} else {
+			var list *topk.List
+			switch {
+			case memoResults != nil:
+				list = memoResults[q]
+			case slabResults != nil:
+				list = slabResults[q]
+			default:
+				list = e.scr.indep[q]
+			}
+			if list != nil {
+				for i, n := 0, list.Len(); i < n; i++ {
+					entry := list.At(i)
+					ranked = append(ranked, pricing.Ranked{
+						ID:      entry.ID,
+						Bid:     roundBid[entry.ID],
+						Quality: e.w.Advertisers[entry.ID].Quality,
+					})
+				}
+			}
 		}
 		e.scr.ranked = ranked
 		parts, prices := pricing.AppendPricesWithReserve(e.scr.parts[:0], e.scr.prices[:0], e.cfg.Pricing, ranked, e.w.SlotFactors, e.cfg.Reserve)
@@ -589,6 +622,26 @@ func (e *Engine) Drain() {
 	none := make([]bool, len(e.w.Interests))
 	for e.clicks.PendingCount() > 0 {
 		e.Step(none)
+	}
+}
+
+// invalidateChangedScores drops cached plan values for every leaf whose
+// effective score changed since its cached value was computed
+// (IncrementalCache mode). Advertisers outside this round's auctions are
+// skipped: their leaves are not needed, and their cached values stay tagged
+// with the score they were built from. The invalidate func is the active
+// executor's (compiled runner or reference slab executor).
+func (e *Engine) invalidateChangedScores(mCount []int, invalidate func(int)) {
+	score := e.scr.score
+	last := e.scr.lastScore
+	for i := range mCount {
+		if mCount[i] == 0 {
+			continue
+		}
+		if s := score[i]; s != last[i] {
+			invalidate(i)
+			last[i] = s
+		}
 	}
 }
 

@@ -1,0 +1,235 @@
+package plan
+
+// Flat plan compilation. Compile lowers a Plan's pointer-and-struct DAG
+// into a Program: a topologically ordered instruction stream over dense
+// int32 arrays, so execution is a single cache-friendly loop with no
+// per-node map lookups, interface dispatch, or closure calls (see
+// DESIGN.md §8). Two lowering steps do the work:
+//
+//   - Fusion. An internal node with exactly one parent that computes no
+//     query exists only to feed that parent, so its value never needs to
+//     be materialized separately: the compiler absorbs such single-use
+//     subtrees into their consumer, producing one n-ary instruction per
+//     materialization point. Fragment chains — the left-deep towers
+//     sharedagg builds over each fragment's leaves — collapse this way
+//     into a single fold over the leaf score slab, which is exactly the
+//     linear top-k scan the independent baseline runs, while shared
+//     interior nodes (multiple parents, or query outputs) remain
+//     individually materialized and cacheable.
+//
+//   - Linearization. Instructions are emitted level-major (DAG depth, then
+//     node ID), which is a topological order, keeps each pool level's
+//     worklist contiguous, and preserves the descending-sweep cone-marking
+//     trick of the slab executor at instruction granularity.
+//
+// The lowering preserves the Plan's cost accounting exactly: a fused
+// instruction spans the internal nodes it absorbed, an instruction is in a
+// round's cone iff all its spanned nodes are, and Σ Span over a cone
+// equals the node count plan.Execute would materialize — invariants the
+// compile property tests assert on random plans.
+
+// Instruction kinds.
+const (
+	// OpMerge2 merges the runs of two materialized child nodes with the
+	// two-pointer kernel.
+	OpMerge2 OpKind = iota
+	// OpFold folds an argument span — leaf scores and/or materialized
+	// runs — into the output run by insertion-merge.
+	OpFold
+)
+
+// OpKind discriminates the execution kernel of one instruction.
+type OpKind uint8
+
+// Program is the flat compilation of a complete Plan. All per-instruction
+// arrays are indexed by instruction; CSR spans (ArgStart, NodeStart) are
+// one longer than the instruction count. Node IDs are the Plan's.
+type Program struct {
+	NumVars  int // leaf count (advertisers)
+	NumNodes int // total plan nodes, leaves included
+
+	Kind []OpKind
+	Out  []int32 // output node ID per instruction
+	// Args[ArgStart[i]:ArgStart[i+1]] are instruction i's inputs in plan
+	// order; an argument < NumVars is a leaf read from the score slab,
+	// anything else is the output of an earlier instruction.
+	ArgStart []int32
+	Args     []int32
+	// NodeIDs[NodeStart[i]:NodeStart[i+1]] are the internal plan nodes
+	// instruction i materializes (its output plus fused descendants);
+	// Span[i] is their count — the instruction's contribution to the
+	// paper's aggregation-operation cost.
+	NodeStart []int32
+	NodeIDs   []int32
+	Span      []int32
+	// Level is the instruction's DAG depth (leaves sit at depth 0, so an
+	// instruction over leaves alone has level 1); instructions are ordered
+	// by (Level, Out), so each level is a contiguous index range and every
+	// argument precedes its consumer.
+	Level    []int32
+	MaxLevel int32
+
+	// InstrOf maps a node ID to the instruction producing it, or -1 for
+	// leaves and fused interior nodes (which no instruction outputs).
+	InstrOf []int32
+
+	// QueryNode maps each query to the node computing it (leaf IDs
+	// included); LeafQueries lists the distinct leaf nodes among them,
+	// which the runner materializes directly from the score slab.
+	QueryNode   []int32
+	LeafQueries []int32
+
+	// Reverse adjacency of the *original* DAG in CSR form
+	// (Parents[ParentStart[v]:ParentStart[v+1]]), used for dirty-cone
+	// invalidation: fused interior nodes keep their edges so validity
+	// propagates through chains exactly as in the slab executor.
+	ParentStart []int32
+	Parents     []int32
+}
+
+// NumInstr returns the instruction count.
+func (pr *Program) NumInstr() int { return len(pr.Out) }
+
+// Compile lowers a complete plan into a Program. The plan must not grow
+// afterwards (plans are append-only, so build the full plan first).
+func Compile(p *Plan) *Program {
+	if !p.Complete() {
+		panic("plan: Compile of incomplete plan")
+	}
+	n := len(p.Nodes)
+	numVars := p.Inst.NumVars
+
+	parentCount := make([]int32, n)
+	for id := numVars; id < n; id++ {
+		parentCount[p.Nodes[id].Left]++
+		parentCount[p.Nodes[id].Right]++
+	}
+	isQuery := make([]bool, n)
+	for _, id := range p.QueryNode {
+		isQuery[id] = true
+	}
+	// fused[v]: internal node absorbed into its single consumer — never
+	// individually materialized, queried, or shared.
+	fused := make([]bool, n)
+	for id := numVars; id < n; id++ {
+		fused[id] = parentCount[id] == 1 && !isQuery[id]
+	}
+
+	pr := &Program{
+		NumVars:  numVars,
+		NumNodes: n,
+		InstrOf:  make([]int32, n),
+	}
+
+	// Emit one instruction per materialized internal node, in node order
+	// first; the level-major permutation is applied below.
+	type instr struct {
+		out   int32
+		args  []int32
+		nodes []int32
+		level int32
+	}
+	var instrs []instr
+	nodeLevel := make([]int32, n) // level of materialized nodes (leaves 0)
+	var expand func(ins *instr, c int)
+	expand = func(ins *instr, c int) {
+		if c >= numVars && fused[c] {
+			ins.nodes = append(ins.nodes, int32(c))
+			expand(ins, p.Nodes[c].Left)
+			expand(ins, p.Nodes[c].Right)
+			return
+		}
+		ins.args = append(ins.args, int32(c))
+		if nodeLevel[c]+1 > ins.level {
+			ins.level = nodeLevel[c] + 1
+		}
+	}
+	for id := numVars; id < n; id++ {
+		if fused[id] {
+			continue
+		}
+		ins := instr{out: int32(id), nodes: []int32{int32(id)}}
+		expand(&ins, p.Nodes[id].Left)
+		expand(&ins, p.Nodes[id].Right)
+		nodeLevel[id] = ins.level
+		if ins.level > pr.MaxLevel {
+			pr.MaxLevel = ins.level
+		}
+		instrs = append(instrs, ins)
+	}
+
+	// Level-major order: counting sort by level keeps ascending node order
+	// within each level, so the result is topological and deterministic.
+	levelStart := make([]int32, pr.MaxLevel+2)
+	for i := range instrs {
+		levelStart[instrs[i].level+1]++
+	}
+	for l := 1; l < len(levelStart); l++ {
+		levelStart[l] += levelStart[l-1]
+	}
+	order := make([]int32, len(instrs))
+	next := make([]int32, pr.MaxLevel+1)
+	copy(next, levelStart)
+	for i := range instrs {
+		l := instrs[i].level
+		order[next[l]] = int32(i)
+		next[l]++
+	}
+
+	pr.Kind = make([]OpKind, len(instrs))
+	pr.Out = make([]int32, len(instrs))
+	pr.Span = make([]int32, len(instrs))
+	pr.Level = make([]int32, len(instrs))
+	pr.ArgStart = make([]int32, len(instrs)+1)
+	pr.NodeStart = make([]int32, len(instrs)+1)
+	for v := range pr.InstrOf {
+		pr.InstrOf[v] = -1
+	}
+	for pos, idx := range order {
+		ins := &instrs[idx]
+		pr.Out[pos] = ins.out
+		pr.Span[pos] = int32(len(ins.nodes))
+		pr.Level[pos] = ins.level
+		pr.InstrOf[ins.out] = int32(pos)
+		pr.ArgStart[pos+1] = pr.ArgStart[pos] + int32(len(ins.args))
+		pr.NodeStart[pos+1] = pr.NodeStart[pos] + int32(len(ins.nodes))
+		pr.Args = append(pr.Args, ins.args...)
+		pr.NodeIDs = append(pr.NodeIDs, ins.nodes...)
+		if len(ins.args) == 2 && ins.args[0] >= int32(numVars) && ins.args[1] >= int32(numVars) {
+			pr.Kind[pos] = OpMerge2
+		} else {
+			pr.Kind[pos] = OpFold
+		}
+	}
+
+	pr.QueryNode = make([]int32, len(p.QueryNode))
+	seenLeaf := make(map[int32]bool)
+	for qi, id := range p.QueryNode {
+		pr.QueryNode[qi] = int32(id)
+		if id < numVars && !seenLeaf[int32(id)] {
+			seenLeaf[int32(id)] = true
+			pr.LeafQueries = append(pr.LeafQueries, int32(id))
+		}
+	}
+
+	// Reverse adjacency CSR over the full original DAG.
+	pr.ParentStart = make([]int32, n+1)
+	for id := numVars; id < n; id++ {
+		pr.ParentStart[p.Nodes[id].Left+1]++
+		pr.ParentStart[p.Nodes[id].Right+1]++
+	}
+	for v := 1; v <= n; v++ {
+		pr.ParentStart[v] += pr.ParentStart[v-1]
+	}
+	pr.Parents = make([]int32, pr.ParentStart[n])
+	fill := make([]int32, n)
+	copy(fill, pr.ParentStart[:n])
+	for id := numVars; id < n; id++ {
+		nd := p.Nodes[id]
+		pr.Parents[fill[nd.Left]] = int32(id)
+		fill[nd.Left]++
+		pr.Parents[fill[nd.Right]] = int32(id)
+		fill[nd.Right]++
+	}
+	return pr
+}

@@ -1,0 +1,261 @@
+package plan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sharedwd/internal/plan"
+	"sharedwd/internal/sharedagg"
+	"sharedwd/internal/topk"
+)
+
+// randomPlans yields validated shared and naive plans over random overlap
+// instances, the same universe the executor equivalence test runs on.
+func randomPlans(t *testing.T, seed int64) (*plan.Instance, []*plan.Plan) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst := plan.RandomOverlapInstance(rng, 40, 12, 4, 0.3, 0.9)
+	plans := []*plan.Plan{sharedagg.Build(inst), plan.NaivePlan(inst)}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return inst, plans
+}
+
+// TestCompileInvariants pins the structural contract of Compile on random
+// plans: the instructions partition the internal nodes (so Σ Span equals the
+// plan's TotalCost), the level-major order is topological, the kind
+// discrimination matches the argument shape, and the Parents CSR reproduces
+// the original DAG's reverse adjacency.
+func TestCompileInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		inst, plans := randomPlans(t, seed)
+		for _, p := range plans {
+			pr := plan.Compile(p)
+			if pr.NumVars != inst.NumVars || pr.NumNodes != len(p.Nodes) {
+				t.Fatalf("seed %d: program dims %d/%d, plan %d/%d",
+					seed, pr.NumVars, pr.NumNodes, inst.NumVars, len(p.Nodes))
+			}
+
+			// Partition: every internal node covered exactly once.
+			covered := make([]int, pr.NumNodes)
+			spanSum := 0
+			for ins := 0; ins < pr.NumInstr(); ins++ {
+				nodes := pr.NodeIDs[pr.NodeStart[ins]:pr.NodeStart[ins+1]]
+				if len(nodes) != int(pr.Span[ins]) {
+					t.Fatalf("seed %d ins %d: %d covered nodes, span %d", seed, ins, len(nodes), pr.Span[ins])
+				}
+				spanSum += len(nodes)
+				for _, nd := range nodes {
+					covered[nd]++
+				}
+				if pr.InstrOf[pr.Out[ins]] != int32(ins) {
+					t.Fatalf("seed %d ins %d: InstrOf(out %d) = %d", seed, ins, pr.Out[ins], pr.InstrOf[pr.Out[ins]])
+				}
+			}
+			if spanSum != p.TotalCost() {
+				t.Fatalf("seed %d: Σ span %d, plan TotalCost %d", seed, spanSum, p.TotalCost())
+			}
+			for nd := inst.NumVars; nd < pr.NumNodes; nd++ {
+				if covered[nd] != 1 {
+					t.Fatalf("seed %d: internal node %d covered %d times", seed, nd, covered[nd])
+				}
+			}
+			for v := 0; v < inst.NumVars; v++ {
+				if covered[v] != 0 || pr.InstrOf[v] != -1 {
+					t.Fatalf("seed %d: leaf %d covered %d, InstrOf %d", seed, v, covered[v], pr.InstrOf[v])
+				}
+			}
+
+			// Topological order and kind discrimination.
+			for ins := 0; ins < pr.NumInstr(); ins++ {
+				if ins > 0 && pr.Level[ins] < pr.Level[ins-1] {
+					t.Fatalf("seed %d: level order broken at %d", seed, ins)
+				}
+				args := pr.Args[pr.ArgStart[ins]:pr.ArgStart[ins+1]]
+				internal := 0
+				for _, a := range args {
+					if a >= int32(pr.NumVars) {
+						internal++
+						dep := pr.InstrOf[a]
+						if dep < 0 || dep >= int32(ins) {
+							t.Fatalf("seed %d ins %d: arg %d produced by instruction %d", seed, ins, a, dep)
+						}
+						if pr.Level[dep] >= pr.Level[ins] {
+							t.Fatalf("seed %d ins %d: arg level %d >= %d", seed, ins, pr.Level[dep], pr.Level[ins])
+						}
+					}
+				}
+				wantMerge2 := len(args) == 2 && internal == 2
+				if (pr.Kind[ins] == plan.OpMerge2) != wantMerge2 {
+					t.Fatalf("seed %d ins %d: kind %v for %d args (%d internal)",
+						seed, ins, pr.Kind[ins], len(args), internal)
+				}
+			}
+
+			// Parents CSR == reverse adjacency of the original DAG.
+			wantParents := make(map[int32]map[int32]bool)
+			for id := inst.NumVars; id < len(p.Nodes); id++ {
+				nd := p.Nodes[id]
+				for _, c := range []int{nd.Left, nd.Right} {
+					if wantParents[int32(c)] == nil {
+						wantParents[int32(c)] = map[int32]bool{}
+					}
+					wantParents[int32(c)][int32(id)] = true
+				}
+			}
+			for v := int32(0); v < int32(pr.NumNodes); v++ {
+				ps := pr.Parents[pr.ParentStart[v]:pr.ParentStart[v+1]]
+				if len(ps) != len(wantParents[v]) {
+					t.Fatalf("seed %d node %d: %d parents, want %d", seed, v, len(ps), len(wantParents[v]))
+				}
+				for _, par := range ps {
+					if !wantParents[v][par] {
+						t.Fatalf("seed %d node %d: spurious parent %d", seed, v, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerMatchesExecute is the compiled-path equivalence property: over
+// random plans and rounds of changing leaf scores and occurrence vectors,
+// the flat runner — full, incremental, and pool-driven — must reproduce the
+// memo-based Execute's query results entry for entry, and its work counters
+// must tie out against the memo materialization count.
+func TestRunnerMatchesExecute(t *testing.T) {
+	const k = 5
+	pool := plan.NewPool(4)
+	defer pool.Close()
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed * 31))
+		inst, plans := randomPlans(t, seed)
+		for _, p := range plans {
+			pr := plan.Compile(p)
+			scores := make([]float64, inst.NumVars)
+			for v := range scores {
+				if rng.Intn(4) > 0 {
+					scores[v] = 1 + rng.Float64()*9
+				}
+			}
+			memoLeaf := func(v int) *topk.List {
+				l := topk.New(k)
+				if s := scores[v]; s > 0 {
+					l.Push(topk.Entry{ID: v, Score: s})
+				}
+				return l
+			}
+
+			full := plan.NewRunner(pr, k)
+			incr := plan.NewRunner(pr, k)
+			par := plan.NewRunner(pr, k)
+			par.SetPool(pool)
+
+			for round := 0; round < 30; round++ {
+				// Sparse score churn, reported to the incremental runner.
+				for i := rng.Intn(6); i > 0; i-- {
+					v := rng.Intn(inst.NumVars)
+					if rng.Intn(5) == 0 {
+						scores[v] = 0 // advertiser drops out entirely
+					} else {
+						scores[v] = 1 + rng.Float64()*9
+					}
+					incr.Invalidate(v)
+				}
+				occ := make([]bool, len(inst.Queries))
+				for q := range occ {
+					occ[q] = rng.Intn(3) > 0
+				}
+				if round%7 == 0 {
+					occ = nil // the "all occur" convention
+				}
+
+				want, wantMat := plan.Execute(p, memoLeaf, topk.Merge, occ)
+
+				check := func(name string, r *plan.Runner, recomputed, cached int, expectCache bool) {
+					t.Helper()
+					if recomputed+cached != wantMat {
+						t.Fatalf("seed %d %s round %d: recomputed %d + cached %d != memo materialized %d",
+							seed, name, round, recomputed, cached, wantMat)
+					}
+					if !expectCache && cached != 0 {
+						t.Fatalf("%s: full runner reported %d cached nodes", name, cached)
+					}
+					for qi, l := range want {
+						if occ != nil && !occ[qi] {
+							continue
+						}
+						run := r.QueryRun(qi)
+						if len(run) != l.Len() {
+							t.Fatalf("seed %d %s round %d: query %d has %d entries, want %v",
+								seed, name, round, qi, len(run), l)
+						}
+						for i, e := range run {
+							if l.At(i) != e {
+								t.Fatalf("seed %d %s round %d: query %d entry %d = %+v, want %+v",
+									seed, name, round, qi, i, e, l.At(i))
+							}
+						}
+					}
+				}
+				check("full", full, full.Run(scores, occ), 0, false)
+				r, c := incr.RunIncremental(scores, occ)
+				check("incremental", incr, r, c, true)
+				check("pool", par, par.Run(scores, occ), 0, false)
+			}
+		}
+	}
+}
+
+// TestRunnerIncrementalSteadyState mirrors the slab executor's caching test
+// on the compiled layout: unchanged scores and occurrence serve the whole
+// cone from cache, a single dirty leaf recomputes only part of it, and
+// InvalidateAll forces a full recompute.
+func TestRunnerIncrementalSteadyState(t *testing.T) {
+	const k = 5
+	rng := rand.New(rand.NewSource(42))
+	inst := plan.RandomOverlapInstance(rng, 30, 8, 3, 0.5, 0.9)
+	p := sharedagg.Build(inst)
+	pr := plan.Compile(p)
+	scores := make([]float64, inst.NumVars)
+	for v := range scores {
+		scores[v] = 1 + rng.Float64()*9
+	}
+	r := plan.NewRunner(pr, k)
+	occ := make([]bool, len(inst.Queries))
+	for q := range occ {
+		occ[q] = q%2 == 0
+	}
+	r1, c1 := r.RunIncremental(scores, occ)
+	if r1 == 0 || c1 != 0 {
+		t.Fatalf("first round: recomputed %d, cached %d", r1, c1)
+	}
+	r2, c2 := r.RunIncremental(scores, occ)
+	if r2 != 0 || c2 != r1 {
+		t.Fatalf("steady round: recomputed %d, cached %d (want 0, %d)", r2, c2, r1)
+	}
+	var dirty int
+	for q := range occ {
+		if occ[q] {
+			dirty = inst.Queries[q].Vars.Indices()[0]
+			break
+		}
+	}
+	scores[dirty] *= 2
+	r.Invalidate(dirty)
+	r3, c3 := r.RunIncremental(scores, occ)
+	if r3 == 0 || r3+c3 != r1 {
+		t.Fatalf("dirty round: recomputed %d, cached %d (cone %d)", r3, c3, r1)
+	}
+	if r3 >= r1 {
+		t.Fatalf("one dirty leaf recomputed the whole cone (%d of %d)", r3, r1)
+	}
+	r.InvalidateAll()
+	r4, _ := r.RunIncremental(scores, occ)
+	if r4 != r1 {
+		t.Fatalf("after InvalidateAll recomputed %d, want %d", r4, r1)
+	}
+}

@@ -1,0 +1,251 @@
+package plan
+
+import (
+	"fmt"
+
+	"sharedwd/internal/topk"
+)
+
+// Runner executes a compiled Program over dense top-k entry slabs, round
+// after round, with zero steady-state allocations. It is the flat,
+// operator-specialized counterpart of Executor[*topk.List]: node values are
+// fixed-stride segments of one contiguous []topk.Entry slab instead of
+// heap-allocated lists, leaves are scored once per round into a caller-
+// provided score slab instead of through a closure per node, and each
+// instruction dispatches to one of two concrete merge kernels instead of a
+// generic op callback.
+//
+// The three execution modes of the slab executor carry over unchanged:
+//
+//   - Run recomputes every instruction in the round's needed cone, marked
+//     by epoch stamps (a stamp write per instruction, no clearing pass).
+//   - RunIncremental additionally skips instructions whose output node is
+//     still valid — i.e. no descendant leaf score changed since it was
+//     computed (see Invalidate) — preserving the Section III-B dirty-cone
+//     caching semantics at instruction granularity.
+//   - SetPool schedules each DAG level's dirty instructions on a worker
+//     pool; levels run in sequence so every argument is ready before its
+//     consumer, and instructions within a level write disjoint segments.
+//
+// A Runner is not safe for concurrent use (the pool only parallelizes work
+// inside one Run call).
+type Runner struct {
+	prog *Program
+	k    int // run capacity per node (slots+1 in the engine)
+
+	ents []topk.Entry // value slab: NumNodes segments of stride k
+	lens []int32      // entries held per node segment
+
+	need  []uint64 // per-instruction epoch stamp: in this round's cone
+	epoch uint64
+	valid []bool  // per-node: value consistent with current leaf scores
+	stack []int32 // invalidation scratch
+
+	worklists [][]int32 // per-level dirty instructions (pool mode)
+
+	pool   *Pool
+	scores []float64 // pinned during a parallel pass
+	runFn  func(ins int32)
+}
+
+// NewRunner builds a reusable runner for the program with per-node run
+// capacity k (the engine passes slots+1, matching its top-k lists).
+func NewRunner(prog *Program, k int) *Runner {
+	if k <= 0 {
+		panic(fmt.Sprintf("plan: non-positive run capacity %d", k))
+	}
+	r := &Runner{
+		prog:      prog,
+		k:         k,
+		ents:      make([]topk.Entry, prog.NumNodes*k),
+		lens:      make([]int32, prog.NumNodes),
+		need:      make([]uint64, prog.NumInstr()),
+		valid:     make([]bool, prog.NumNodes),
+		worklists: make([][]int32, prog.MaxLevel+1),
+	}
+	r.runFn = func(ins int32) { r.exec(ins, r.scores) }
+	return r
+}
+
+// Program returns the compiled program the runner executes.
+func (r *Runner) Program() *Program { return r.prog }
+
+// SetPool attaches (or with nil detaches) a worker pool for level-parallel
+// execution. Results are identical to sequential execution because each
+// instruction still runs exactly once from the same inputs.
+func (r *Runner) SetPool(p *Pool) { r.pool = p }
+
+// seg returns node id's slab segment (full capacity; r.lens[id] holds the
+// live length).
+func (r *Runner) seg(id int32) []topk.Entry {
+	base := int(id) * r.k
+	return r.ents[base : base+r.k]
+}
+
+// QueryRun returns query qi's result run from the last Run/RunIncremental
+// call, in rank order. The returned slice views the slab and is overwritten
+// by the next call; it is only meaningful if qi occurred in that round.
+func (r *Runner) QueryRun(qi int) []topk.Entry {
+	id := r.prog.QueryNode[qi]
+	return r.seg(id)[:r.lens[id]]
+}
+
+// Invalidate marks leaf v's score changed: every ancestor's cached value is
+// dropped so the next RunIncremental recomputes its instruction. The walk
+// prunes at already-invalid nodes, which is sound because an invalid node's
+// ancestors are invalid by construction (fused interior nodes keep their
+// DAG edges, so validity propagates through chains).
+func (r *Runner) Invalidate(v int) {
+	r.valid[v] = false
+	r.stack = append(r.stack[:0], int32(v))
+	for len(r.stack) > 0 {
+		nd := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		for _, p := range r.prog.Parents[r.prog.ParentStart[nd]:r.prog.ParentStart[nd+1]] {
+			if r.valid[p] {
+				r.valid[p] = false
+				r.stack = append(r.stack, p)
+			}
+		}
+	}
+}
+
+// InvalidateAll drops every cached value.
+func (r *Runner) InvalidateAll() {
+	for i := range r.valid {
+		r.valid[i] = false
+	}
+}
+
+// Run evaluates every instruction needed by the occurring queries (nil
+// means all occur), recomputing the full cone. scores[v] is leaf v's value
+// for the round (b̂_v·c_v in the engine); entries are emitted only for
+// strictly positive scores. The returned count is the number of internal
+// plan nodes materialized — identical to the memo-based Execute on the same
+// occurrence vector.
+func (r *Runner) Run(scores []float64, occurring []bool) (materialized int) {
+	materialized, _ = r.run(scores, occurring, false)
+	return materialized
+}
+
+// RunIncremental evaluates the occurring queries, reusing every cached
+// instruction output still consistent with the leaf scores (see
+// Invalidate). It returns how many internal plan nodes were recomputed and
+// how many were served from cache; recomputed+cached equals the cone size
+// Run would materialize. Fused chains cache as one unit, so the split can
+// be coarser than the node-granular slab executor's — the sum invariant is
+// what both guarantee.
+func (r *Runner) RunIncremental(scores []float64, occurring []bool) (recomputed, cached int) {
+	return r.run(scores, occurring, true)
+}
+
+func (r *Runner) run(scores []float64, occurring []bool, incremental bool) (recomputed, cached int) {
+	if len(scores) < r.prog.NumVars {
+		panic(fmt.Sprintf("plan: %d leaf scores for %d variables", len(scores), r.prog.NumVars))
+	}
+	r.epoch++
+	prog := r.prog
+
+	// Leaf-assigned queries are materialized straight from the score slab;
+	// no instruction produces them.
+	for _, id := range prog.LeafQueries {
+		if s := scores[id]; s > 0 {
+			r.seg(id)[0] = topk.Entry{ID: int(id), Score: s}
+			r.lens[id] = 1
+		} else {
+			r.lens[id] = 0
+		}
+	}
+
+	// Mark the needed cone top-down. Arguments' instructions precede their
+	// consumers in the level-major order, so one descending sweep from the
+	// highest needed instruction reaches every dependency.
+	maxI := int32(-1)
+	for qi, id := range prog.QueryNode {
+		if occurring != nil && !occurring[qi] {
+			continue
+		}
+		ins := prog.InstrOf[id]
+		if ins < 0 {
+			continue // leaf query, handled above
+		}
+		r.need[ins] = r.epoch
+		if ins > maxI {
+			maxI = ins
+		}
+	}
+	numVars := int32(prog.NumVars)
+	for ins := maxI; ins >= 0; ins-- {
+		if r.need[ins] != r.epoch {
+			continue
+		}
+		for _, a := range prog.Args[prog.ArgStart[ins]:prog.ArgStart[ins+1]] {
+			if a >= numVars {
+				r.need[prog.InstrOf[a]] = r.epoch
+			}
+		}
+	}
+
+	parallel := r.pool != nil
+	if parallel {
+		for l := range r.worklists {
+			r.worklists[l] = r.worklists[l][:0]
+		}
+	}
+
+	// Execute the cone bottom-up (ascending instruction index is a
+	// topological order). Validity is settled at schedule time so the
+	// parallel pass only runs kernels.
+	for ins := int32(0); ins <= maxI; ins++ {
+		if r.need[ins] != r.epoch {
+			continue
+		}
+		span := int(prog.Span[ins])
+		if incremental && r.valid[prog.Out[ins]] {
+			cached += span
+			continue
+		}
+		recomputed += span
+		for _, nd := range prog.NodeIDs[prog.NodeStart[ins]:prog.NodeStart[ins+1]] {
+			r.valid[nd] = true
+		}
+		if parallel {
+			l := prog.Level[ins]
+			r.worklists[l] = append(r.worklists[l], ins)
+			continue
+		}
+		r.exec(ins, scores)
+	}
+	if parallel {
+		r.scores = scores
+		for _, wl := range r.worklists {
+			r.pool.Run(wl, r.runFn)
+		}
+	}
+	return recomputed, cached
+}
+
+// exec runs one instruction's kernel.
+func (r *Runner) exec(ins int32, scores []float64) {
+	prog := r.prog
+	out := prog.Out[ins]
+	dst := r.seg(out)
+	args := prog.Args[prog.ArgStart[ins]:prog.ArgStart[ins+1]]
+	if prog.Kind[ins] == OpMerge2 {
+		a, b := args[0], args[1]
+		r.lens[out] = int32(topk.MergeRuns(dst, r.k, r.seg(a)[:r.lens[a]], r.seg(b)[:r.lens[b]]))
+		return
+	}
+	numVars := int32(prog.NumVars)
+	n := 0
+	for _, a := range args {
+		if a < numVars {
+			if s := scores[a]; s > 0 {
+				n = topk.PushRun(dst, n, r.k, topk.Entry{ID: int(a), Score: s})
+			}
+			continue
+		}
+		n = topk.FoldRun(dst, n, r.k, r.seg(a)[:r.lens[a]])
+	}
+	r.lens[out] = int32(n)
+}

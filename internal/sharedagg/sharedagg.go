@@ -21,6 +21,7 @@
 package sharedagg
 
 import (
+	"fmt"
 	"sort"
 
 	"sharedwd/internal/bitset"
@@ -47,6 +48,23 @@ func Build(inst *plan.Instance) *plan.Plan {
 	b.initCovers()
 	b.completeGreedy()
 	return b.p
+}
+
+// BuildCompiled runs the full heuristic, validates the resulting plan, and
+// lowers it to the flat instruction stream the round engine executes
+// (plan.Compile). The heuristic's output is deliberately compiler-friendly:
+// stage 1 emits each fragment as a left-deep chain whose interior nodes
+// have exactly one consumer, so the compiler fuses every fragment into a
+// single fold over its leaves' scores, while stage-2 aggregates — the nodes
+// that actually carry cross-query sharing — stay individually materialized
+// and cacheable. Returning both forms lets callers keep the Plan for cost
+// accounting, serialization, and visualization while executing the Program.
+func BuildCompiled(inst *plan.Instance) (*plan.Plan, *plan.Program, error) {
+	p := Build(inst)
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("sharedagg: invalid plan: %w", err)
+	}
+	return p, plan.Compile(p), nil
 }
 
 // BuildDisjoint runs the same heuristic constrained so that every

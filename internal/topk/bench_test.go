@@ -36,6 +36,69 @@ func BenchmarkMergeInto(b *testing.B) {
 	}
 }
 
+// BenchmarkTopKMergeKernel compares the flat merge kernels against the
+// generic list path on the same data: MergeRuns vs MergeInto for a binary
+// merge of two short runs, and FoldRun vs a MergeInto fold for the n-way
+// case the compiler emits for fused fragment chains. The kernel rows must be
+// 0 allocs/op; their ns/op advantage is the per-node saving the flat
+// executor multiplies across the plan.
+func BenchmarkTopKMergeKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const k = 10
+	binCases := []struct {
+		name string
+		x, y *List
+	}{
+		{"overlapping", benchList(rng, k, 20, 10000, 0), benchList(rng, k, 20, 10000, 0)},
+		{"disjoint", benchList(rng, k, 20, 5000, 0), benchList(rng, k, 20, 5000, 5000)},
+	}
+	for _, c := range binCases {
+		xr, yr := c.x.Entries(), c.y.Entries()
+		b.Run("mergeRuns/"+c.name, func(b *testing.B) {
+			dst := make([]Entry, k)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MergeRuns(dst, k, xr, yr)
+			}
+		})
+		b.Run("mergeInto/"+c.name, func(b *testing.B) {
+			dst := New(k)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MergeInto(dst, c.x, c.y)
+			}
+		})
+	}
+	// High-fanout fold: 16 short runs into one accumulator.
+	lists := make([]*List, 16)
+	runs := make([][]Entry, 16)
+	for i := range lists {
+		lists[i] = benchList(rng, k, 8, 10000, 0)
+		runs[i] = lists[i].Entries()
+	}
+	b.Run("foldRun/fanout=16", func(b *testing.B) {
+		run := make([]Entry, k)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, src := range runs {
+				n = FoldRun(run, n, k, src)
+			}
+		}
+	})
+	b.Run("mergeIntoFold/fanout=16", func(b *testing.B) {
+		acc, tmp := New(k), New(k)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc.Reset()
+			for _, l := range lists {
+				MergeInto(tmp, acc, l)
+				acc, tmp = tmp, acc
+			}
+		}
+	})
+}
+
 // BenchmarkMergeAll measures the fold; after the accumulate fix it allocates
 // two accumulators total instead of one fresh list per element.
 func BenchmarkMergeAll(b *testing.B) {

@@ -39,6 +39,13 @@ type Config struct {
 	// PerPhraseQuality makes the advertiser-specific CTR factor c_i^q vary
 	// by phrase (the Section III regime); otherwise a single c_i is used.
 	PerPhraseQuality bool
+	// BroadMatchFraction, when positive, overrides the default 1/3 chance
+	// that an advertiser is "general" (bidding across topics). High values
+	// model broad-match-heavy campaigns where most advertisers appear in
+	// most auctions — the overlap regime the paper's sharing heuristic
+	// targets. Zero keeps the default behaviour (and, deliberately, the
+	// default random stream: existing seeds reproduce bit-identically).
+	BroadMatchFraction float64
 }
 
 // DefaultConfig returns a mid-sized workload configuration.
@@ -55,6 +62,18 @@ func DefaultConfig() Config {
 		MinBudget:      20,
 		MaxBudget:      200,
 	}
+}
+
+// HighOverlapConfig returns a broad-match-heavy workload configuration:
+// most advertisers are general (85% broad match), so the occurring
+// auctions share most of their participant sets. This is the regime where
+// the Section-II sharing heuristic finds large common fragments and shared
+// winner determination should beat per-auction scans on wall-clock, not
+// just operator counts — the crossover the benchmarks measure.
+func HighOverlapConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BroadMatchFraction = 0.85
+	return cfg
 }
 
 // Validate reports whether the configuration can generate a workload: all
@@ -110,7 +129,14 @@ func Generate(cfg Config) *Workload {
 	w.Advertisers = make([]auction.Advertiser, cfg.NumAdvertisers)
 	for i := range w.Advertisers {
 		topicOf[i] = rng.Intn(cfg.NumTopics)
-		general[i] = rng.Intn(3) == 0
+		// The branch keeps the default path's random stream untouched:
+		// configs with BroadMatchFraction == 0 consume the same draws as
+		// before the knob existed, so seeded workloads stay reproducible.
+		if cfg.BroadMatchFraction > 0 {
+			general[i] = rng.Float64() < cfg.BroadMatchFraction
+		} else {
+			general[i] = rng.Intn(3) == 0
+		}
 		w.Advertisers[i] = auction.Advertiser{
 			ID:      i,
 			Bid:     cfg.MinBid + rng.Float64()*(cfg.MaxBid-cfg.MinBid),
@@ -131,7 +157,14 @@ func Generate(cfg Config) *Workload {
 		for i := 0; i < cfg.NumAdvertisers; i++ {
 			switch {
 			case general[i]:
-				if rng.Float64() < 0.8 {
+				// Broad-match campaigns match every phrase by definition —
+				// identical interest signatures are what lets the sharing
+				// heuristic put all of them in one shared fragment. The
+				// default mix keeps the original probabilistic membership
+				// (and random stream).
+				if cfg.BroadMatchFraction > 0 {
+					in.Add(i)
+				} else if rng.Float64() < 0.8 {
 					in.Add(i)
 				}
 			case topicOf[i] == topic:

@@ -198,6 +198,41 @@ func ExecutePlan(p *AggPlan, leaf func(v int) *TopKList, occurring []bool) (map[
 	return plan.Execute(p, leaf, topk.Merge, occurring)
 }
 
+type (
+	// AggProgram is the flat compilation of a complete plan: a
+	// topologically ordered instruction stream over dense arrays, with
+	// single-consumer chains fused into n-ary folds (DESIGN.md §8).
+	AggProgram = plan.Program
+	// AggRunner executes an AggProgram over dense top-k entry slabs with
+	// zero steady-state allocations — the engine's production shared path.
+	AggRunner = plan.Runner
+)
+
+// CompilePlan lowers a complete plan into its flat instruction stream. It
+// returns an error on a nil or invalid plan; the plan must not grow after
+// compilation.
+func CompilePlan(p *AggPlan) (*AggProgram, error) {
+	if p == nil {
+		return nil, fmt.Errorf("sharedwd: CompilePlan of nil plan")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sharedwd: CompilePlan of invalid plan: %w", err)
+	}
+	return plan.Compile(p), nil
+}
+
+// NewPlanRunner builds a reusable flat executor for the program with
+// per-node run capacity k (slots+1 for auction use, matching top-k lists).
+func NewPlanRunner(prog *AggProgram, k int) (*AggRunner, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("sharedwd: NewPlanRunner of nil program")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("sharedwd: non-positive run capacity %d", k)
+	}
+	return plan.NewRunner(prog, k), nil
+}
+
 // Shared sorting (see internal/sharedsort, internal/ta).
 type (
 	// SortPlan is a shared merge-sort forest with one root per phrase.
@@ -446,6 +481,11 @@ func DefaultServerConfig() ServerConfig { return server.DefaultConfig() }
 
 // DefaultWorkloadConfig returns a mid-sized workload configuration.
 func DefaultWorkloadConfig() WorkloadConfig { return workload.DefaultConfig() }
+
+// HighOverlapWorkloadConfig returns a broad-match-heavy configuration (85%
+// of advertisers match every phrase), the high-overlap regime where shared
+// winner determination beats independent scans on wall-clock.
+func HighOverlapWorkloadConfig() WorkloadConfig { return workload.HighOverlapConfig() }
 
 // GenerateWorkload builds a synthetic workload. It returns an error when
 // the configuration is invalid (non-positive dimensions, inverted ranges).

@@ -6,13 +6,23 @@
 // allocs/op fields plus any custom b.ReportMetric units (e.g.
 // "aggOps/auction"). Non-benchmark lines (goos/goarch/cpu headers, PASS/ok)
 // are captured as environment metadata or ignored.
+//
+// With -compare old.json, the fresh run on stdin is instead diffed against
+// the committed baseline: every benchmark present in both gets a per-name
+// ns/op delta line, and the command exits nonzero if any benchmark regressed
+// by more than -threshold (default 0.20 = 20%). Benchmarks present on only
+// one side are reported but never fail the comparison, so adding or
+// renaming benchmarks does not break the CI gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,8 +45,40 @@ type document struct {
 }
 
 func main() {
+	comparePath := flag.String("compare", "", "baseline JSON to diff the fresh run against (no JSON output in this mode)")
+	threshold := flag.Float64("threshold", 0.20, "fractional ns/op regression that fails -compare (0.20 = 20%)")
+	flag.Parse()
+
+	doc, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *comparePath != "" {
+		old, err := loadDoc(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !compare(os.Stdout, old, doc, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench reads `go test -bench` output into a document.
+func parseBench(in io.Reader) (document, error) {
 	doc := document{Results: []result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -55,16 +97,68 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// loadDoc reads a previously committed benchjson document.
+func loadDoc(path string) (document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return document{}, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return document{}, fmt.Errorf("%s: %w", path, err)
 	}
+	return doc, nil
+}
+
+// compare prints a per-benchmark ns/op delta report of fresh against old and
+// reports whether the run is acceptable: no benchmark present in both
+// documents may regress by more than threshold. Only intersecting names are
+// judged; one-sided benchmarks are listed as informational.
+func compare(w io.Writer, old, fresh document, threshold float64) bool {
+	oldBy := make(map[string]result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	names := make([]string, 0, len(fresh.Results))
+	freshBy := make(map[string]result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		names = append(names, r.Name)
+		freshBy[r.Name] = r
+	}
+	sort.Strings(names)
+
+	ok := true
+	for _, name := range names {
+		nw := freshBy[name]
+		od, found := oldBy[name]
+		if !found {
+			fmt.Fprintf(w, "  new   %-60s %12.0f ns/op (no baseline)\n", name, nw.NsPerOp)
+			continue
+		}
+		if od.NsPerOp <= 0 {
+			continue
+		}
+		delta := nw.NsPerOp/od.NsPerOp - 1
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "  %-5s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			verdict, name, od.NsPerOp, nw.NsPerOp, 100*delta)
+	}
+	for _, r := range old.Results {
+		if _, found := freshBy[r.Name]; !found {
+			fmt.Fprintf(w, "  gone  %-60s %12.0f ns/op (not in fresh run)\n", r.Name, r.NsPerOp)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% threshold\n", 100*threshold)
+	}
+	return ok
 }
 
 // parseLine parses one benchmark result line of the form
