@@ -37,7 +37,7 @@ bench-shard:
 # for cross-PR comparison. The serving file carries both the single-server
 # throughput benchmark and the shard sweep.
 bench-json:
-	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_core.json
 	@cat BENCH_core.json
 	$(GO) test -bench='ServerThroughput|ShardedThroughput' -benchmem -benchtime=2s -run='^$$' . \
@@ -48,5 +48,5 @@ bench-json:
 # against the committed BENCH_core.json, failing on a >20% ns/op regression
 # (the CI regression gate runs the same comparison).
 bench-compare:
-	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson -compare BENCH_core.json

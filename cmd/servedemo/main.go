@@ -15,7 +15,16 @@
 //	          [-clients 64] [-duration 10s] [-round 5ms] [-batch 256]
 //	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
 //	          [-shards 1] [-router hash|fragment]
+//	          [-replan] [-drift]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -replan turns on online adaptive replanning: each round loop tracks the
+// arrival rates it observes and hot-swaps a freshly compiled shared plan
+// when they drift from the rates the live plan was built for. -drift
+// injects the drift to react to: halfway through the run every client
+// rotates its query stream's rates by half the phrase universe, so popular
+// phrases go quiet and quiet ones go popular while the server keeps
+// serving. The final summary then reports builds, swaps, and swap latency.
 //
 // -cpuprofile and -memprofile write pprof profiles of the whole run (load
 // generation plus serving), for digging into where round time goes — e.g.
@@ -35,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sharedwd/internal/replan"
 	"sharedwd/internal/server"
 	"sharedwd/internal/shard"
 	"sharedwd/internal/workload"
@@ -62,6 +72,8 @@ func main() {
 	workers := flag.Int("workers", 1, "engine plan-execution workers (per shard)")
 	shards := flag.Int("shards", 1, "engine shards (each phrase partition gets its own round loop)")
 	router := flag.String("router", "hash", "phrase-to-shard router: hash or fragment")
+	replanOn := flag.Bool("replan", false, "adaptive replanning: hot-swap the shared plan when observed rates drift")
+	drift := flag.Bool("drift", false, "inject traffic drift halfway through (rotate arrival rates by half the phrases)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -106,6 +118,15 @@ func main() {
 	cfg.MaxBatch = *batch
 	cfg.QueueDepth = *queue
 	cfg.BidWalkScale = 0.02
+	if *replanOn {
+		// The demo runs for seconds, not days: tighten the warmup and
+		// hysteresis so a mid-run drift is caught within the run.
+		rc := replan.DefaultConfig()
+		rc.WarmupRounds = 100
+		rc.CheckEvery = 25
+		rc.CooldownRounds = 200
+		cfg.Replan = &rc
+	}
 
 	var s roundServer
 	var err error
@@ -135,16 +156,23 @@ func main() {
 		*shards, *router, *round, *batch, *queue, *clients, *deadline)
 
 	var stop atomic.Bool
+	driftAt := time.Now().Add(*duration / 2)
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			// Each client owns a private stream; distinct seeds keep the
-			// traffic independent.
+			// traffic independent. The stream holds a private rate copy, so
+			// drift injection below never touches the server-owned workload.
 			qs := workload.NewQueryStream(w, *junk, *seed+int64(c)*7919)
 			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			drifted := false
 			for !stop.Load() {
+				if *drift && !drifted && time.Now().After(driftAt) {
+					qs.RotateRates(*phrases / 2)
+					drifted = true
+				}
 				queries := qs.Round()
 				if len(queries) == 0 {
 					continue
@@ -187,6 +215,11 @@ func main() {
 		m.WinnerDetermination.Mean()*1e3, m.WinnerDetermination.P95()*1e3)
 	fmt.Printf("engine: %d auctions, %d ads displayed, $%.2f revenue\n",
 		m.Engine.AuctionsResolved, m.Engine.AdsDisplayed, m.Engine.Revenue)
+	if *replanOn {
+		fmt.Printf("replan: %d builds, %d plan swaps, swap install mean %.3gms (max %.3gms)\n",
+			m.ReplanBuilds, m.PlanSwaps,
+			m.PlanSwapLatency.Mean()*1e3, m.PlanSwapLatency.Max()*1e3)
+	}
 	if sh, ok := s.(*shard.Server); ok {
 		fmt.Printf("ledger:  $%.2f settled across %d shards\n",
 			sh.Ledger().TotalSpent(), sh.Shards())

@@ -311,20 +311,103 @@ func TestLargestPriceFirstExpansionIsEffective(t *testing.T) {
 }
 
 func TestDecayedCTR(t *testing.T) {
-	if got := DecayedCTR(0.4, 0, 10, 100); got != 0.4 {
-		t.Fatalf("age 0: %v", got)
+	cases := []struct {
+		name                       string
+		ctr0, age, halfLife, horiz float64
+		want                       float64
+	}{
+		{"age zero", 0.4, 0, 10, 100, 0.4},
+		{"one half-life", 0.4, 10, 10, 100, 0.2},
+		{"at horizon", 0.4, 100, 10, 100, 0},
+		{"beyond horizon", 0.4, 150, 10, 100, 0},
+		{"negative age clamps to just-displayed", 0.4, -1, 10, 100, 0.4},
+		{"zero ctr0", 0, 5, 10, 100, 0},
+		{"negative ctr0", -0.2, 5, 10, 100, 0},
+		{"negative ctr0 and negative age", -0.2, -5, 10, 100, 0},
+		{"zero half-life (would be NaN at age 0)", 0.4, 0, 0, 100, 0},
+		{"zero half-life, positive age", 0.4, 5, 0, 100, 0},
+		{"negative half-life (would be +Inf)", 0.4, 5, -10, 100, 0},
+		{"zero horizon", 0.4, 0, 10, 0, 0},
+		{"negative horizon, negative age", 0.4, -5, 10, -1, 0},
 	}
-	if got := DecayedCTR(0.4, 10, 10, 100); !almostEq(got, 0.2, 1e-12) {
-		t.Fatalf("one half-life: %v", got)
+	for _, c := range cases {
+		got := DecayedCTR(c.ctr0, c.age, c.halfLife, c.horiz)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: DecayedCTR(%v, %v, %v, %v) = %v, want finite",
+				c.name, c.ctr0, c.age, c.halfLife, c.horiz, got)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("%s: DecayedCTR(%v, %v, %v, %v) = %v, want %v",
+				c.name, c.ctr0, c.age, c.halfLife, c.horiz, got, c.want)
+		}
 	}
-	if got := DecayedCTR(0.4, 100, 10, 100); got != 0 {
-		t.Fatalf("beyond horizon: %v", got)
+}
+
+// TestThrottledBidDPNeverNegative is the regression for the saturation sign
+// bug: one 0.9-CTR $1 ad against a $0.60 budget on a $1 grid saturates the
+// DP at cell 1, and β − 1·unit = −0.4 used to leak through unclamped,
+// yielding b̂ = −0.30 where enumeration gives +0.06.
+func TestThrottledBidDPNeverNegative(t *testing.T) {
+	ads := []OutstandingAd{{Price: 1, CTR: 0.9}}
+	got := ExactThrottledBidDP(1.0, 0.6, 1, ads, 1.0)
+	want := ExactThrottledBid(1.0, 0.6, 1, ads) // 0.1·0.6 + 0.9·0 = 0.06
+	if got < 0 {
+		t.Fatalf("DP throttled bid is negative: %v", got)
 	}
-	if got := DecayedCTR(0.4, -1, 10, 100); got != 0.4 {
-		t.Fatalf("negative age clamps: %v", got)
+	if !almostEq(want, 0.06, 1e-12) {
+		t.Fatalf("enumeration sanity: %v, want 0.06", want)
 	}
-	if got := DecayedCTR(0, 5, 10, 100); got != 0 {
-		t.Fatalf("zero ctr0: %v", got)
+	// unit-multiple prices: DP error is below unit/(2m).
+	if !almostEq(got, want, 1.0/2) {
+		t.Fatalf("DP %v vs enumeration %v beyond grid resolution", got, want)
+	}
+}
+
+// TestQuickDPMatchesEnumerationOffGridBudget cross-validates the DP against
+// enumeration when the budget is deliberately NOT a unit multiple — the
+// regime of the saturation clamp. With unit-multiple prices the documented
+// error bound is unit/(2m); with arbitrary prices, (l+1)·unit/(2m). The DP
+// must also never leave [0, bid].
+func TestQuickDPMatchesEnumerationOffGridBudget(t *testing.T) {
+	const unit = 0.05
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 1 + rng.Intn(8)
+		onGridPrices := seed%2 == 0
+		ads := make([]OutstandingAd, l)
+		for i := range ads {
+			var price float64
+			if onGridPrices {
+				price = unit * float64(1+rng.Intn(60))
+			} else {
+				price = 0.01 + rng.Float64()*3
+			}
+			ads[i] = OutstandingAd{Price: price, CTR: rng.Float64()}
+		}
+		bid := 0.1 + rng.Float64()*3
+		m := 1 + rng.Intn(3)
+		// An off-grid budget: a grid point plus a fraction strictly inside
+		// (0, unit), so saturation truncation is exercised.
+		budgetLeft := unit*float64(rng.Intn(40)) + unit*(0.1+0.8*rng.Float64())
+		a := ExactThrottledBid(bid, budgetLeft, m, ads)
+		b := ExactThrottledBidDP(bid, budgetLeft, m, ads, unit)
+		if b < 0 || b > bid+1e-12 {
+			t.Logf("seed %d: DP %v outside [0, %v]", seed, b, bid)
+			return false
+		}
+		tol := unit / (2 * float64(m))
+		if !onGridPrices {
+			tol = float64(l+1) * unit / (2 * float64(m))
+		}
+		if !almostEq(a, b, tol+1e-9) {
+			t.Logf("seed %d: enum %v vs DP %v beyond tolerance %v (l=%d m=%d onGrid=%v)",
+				seed, a, b, tol, l, m, onGridPrices)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
 	}
 }
 

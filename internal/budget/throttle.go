@@ -286,6 +286,12 @@ func ExactThrottledBid(bid, budget float64, auctions int, ads []OutstandingAd) f
 // units: the distribution of min(β, S) on a grid of `unit`-sized steps
 // (e.g. cents). Exact when every price and the budget are multiples of
 // unit; runs in O(l · β/unit) — the paper's O(β) alternative.
+//
+// Grid resolution: with prices that are unit multiples but an off-grid
+// budget, the only error source is grid saturation at round(β/unit), so
+// |DP − exact| < unit/(2m). With arbitrary prices each of the l prices
+// additionally rounds by at most unit/2, giving |DP − exact| ≤
+// (l+1)·unit/(2m). The result is always in [0, bid].
 func ExactThrottledBidDP(bid, budget float64, auctions int, ads []OutstandingAd, unit float64) float64 {
 	if auctions < 1 || unit <= 0 {
 		panic("budget: invalid auctions or unit")
@@ -321,7 +327,12 @@ func ExactThrottledBidDP(bid, budget float64, auctions int, ads []OutstandingAd,
 		if p == 0 {
 			continue
 		}
-		total += p * math.Min(bid, (budget-float64(s)*unit)/m)
+		// The max(0, ·) clamp mirrors the formula (and the enumeration
+		// path): when the grid saturates at cap < β/unit — a budget that is
+		// not a unit multiple — β − s·unit can go negative for outcomes whose
+		// true spend S exceeds β, and those outcomes contribute 0, not a
+		// negative bid.
+		total += p * math.Min(bid, math.Max(0, budget-float64(s)*unit)/m)
 	}
 	return total
 }
@@ -330,11 +341,19 @@ func ExactThrottledBidDP(bid, budget float64, auctions int, ads []OutstandingAd,
 // the ad's age: ctr(t) = ctr0 · 2^(−age/halfLife), truncated to zero beyond
 // horizon — the shape Section IV suggests, which lets old unclicked ads be
 // discarded.
+//
+// Edge behavior: a non-positive ctr0, halfLife, or horizon yields 0 (an ad
+// with no click mass, an instantly-decayed model, and an already-passed
+// truncation point respectively — never NaN or ±Inf); a negative age is
+// clamped to 0, treating the ad as just displayed.
 func DecayedCTR(ctr0, age, halfLife, horizon float64) float64 {
-	if age < 0 || age >= horizon || ctr0 <= 0 {
-		if age < 0 {
-			return ctr0
-		}
+	if ctr0 <= 0 || halfLife <= 0 || horizon <= 0 {
+		return 0
+	}
+	if age < 0 {
+		age = 0
+	}
+	if age >= horizon {
 		return 0
 	}
 	return ctr0 * math.Exp2(-age/halfLife)

@@ -335,6 +335,51 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// PlanInstance returns the planning instance the engine's live shared plan
+// was built from (nil in Independent mode). The online replanner re-poses
+// it under observed rates; callers must treat it as immutable.
+func (e *Engine) PlanInstance() *plan.Instance { return e.inst }
+
+// InstallPlan hot-swaps the engine's shared aggregation plan for a freshly
+// compiled one over the same queries and universe — the replanner's swap
+// step. Because all complete plans for the same queries are A-equivalent
+// (Lemma 1), swapping changes only the cost of winner determination, never
+// its results; the swap is therefore safe at any round boundary.
+//
+// The swap installs a fresh Runner and Executor, which starts a clean
+// incremental-cache epoch: every node of the new plan is invalid until its
+// first materialization, and the lastScore tags are zeroed to match the
+// empty cache. Must be called from the engine's owning goroutine, between
+// Steps — the server's round loop does exactly that.
+func (e *Engine) InstallPlan(inst *plan.Instance, p *plan.Plan, prog *plan.Program) error {
+	if e.cfg.Sharing != SharedAggregation {
+		return fmt.Errorf("core: InstallPlan on a %v engine", e.cfg.Sharing)
+	}
+	if inst == nil || p == nil || prog == nil {
+		return fmt.Errorf("core: InstallPlan with nil instance, plan, or program")
+	}
+	if inst.NumVars != len(e.w.Advertisers) {
+		return fmt.Errorf("core: plan instance has %d variables, engine %d advertisers", inst.NumVars, len(e.w.Advertisers))
+	}
+	if len(inst.Queries) != len(e.w.Interests) {
+		return fmt.Errorf("core: plan instance has %d queries, engine %d phrases", len(inst.Queries), len(e.w.Interests))
+	}
+	k := len(e.w.SlotFactors)
+	e.inst = inst
+	e.plan = p
+	e.prog = prog
+	e.runner = plan.NewRunner(prog, k+1)
+	e.exec = plan.NewExecutor[*topk.List](p)
+	if e.pool != nil {
+		e.runner.SetPool(e.pool)
+		e.exec.SetPool(e.pool)
+	}
+	for i := range e.scr.lastScore {
+		e.scr.lastScore[i] = 0
+	}
+	return nil
+}
+
 // Close stops the engine's worker pool, if any; the engine must not be
 // stepped afterwards. Engines with Workers ≤ 1 need no Close.
 func (e *Engine) Close() {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"time"
 
 	"sharedwd/internal/core"
@@ -106,6 +107,41 @@ type Metrics struct {
 	// Engine is the engine-lifetime counter sum as of the last closed
 	// round on each worker.
 	Engine core.Stats
+
+	// Observed is the adaptive replanner's per-phrase arrival-rate
+	// estimate, one sample per phrase keyed by global phrase ID and sorted
+	// by it. Empty when replanning is off. Merging workers concatenates
+	// their samples — a sharded fleet partitions the phrase universe, so
+	// the union is the fleet-wide estimate.
+	Observed []RateSample
+	// PlanSwaps counts plans hot-swapped into engines; ReplanBuilds counts
+	// background rebuilds started (a build in flight when the server closes
+	// is started but never swapped).
+	PlanSwaps, ReplanBuilds int64
+	// PlanSwapLatency is the distribution of in-loop swap installation
+	// times (seconds) — the round-loop stall a hot swap actually costs.
+	PlanSwapLatency stats.Summary
+}
+
+// RateSample is one phrase's observed arrival-rate estimate.
+type RateSample struct {
+	// Phrase is the global phrase ID.
+	Phrase int
+	// Rate is the exponentially-decayed occurrence-rate estimate in [0,1].
+	Rate float64
+}
+
+// ObservedRates projects the Observed samples onto a dense vector over a
+// global phrase universe of size n: out[id] is phrase id's observed rate, 0
+// for phrases with no sample. Samples outside [0,n) are dropped.
+func (m Metrics) ObservedRates(n int) []float64 {
+	out := make([]float64, n)
+	for _, s := range m.Observed {
+		if s.Phrase >= 0 && s.Phrase < n {
+			out[s.Phrase] = s.Rate
+		}
+	}
+	return out
 }
 
 // Merge returns the aggregate of two metric sets: counters and engine
@@ -132,6 +168,15 @@ func (m Metrics) Merge(o Metrics) Metrics {
 	out.WinnerDetermination = m.WinnerDetermination.Merge(o.WinnerDetermination)
 	out.TotalLatency = m.TotalLatency.Merge(o.TotalLatency)
 	out.Engine = m.Engine.Add(o.Engine)
+	if len(m.Observed)+len(o.Observed) > 0 {
+		out.Observed = make([]RateSample, 0, len(m.Observed)+len(o.Observed))
+		out.Observed = append(out.Observed, m.Observed...)
+		out.Observed = append(out.Observed, o.Observed...)
+		sort.Slice(out.Observed, func(i, j int) bool { return out.Observed[i].Phrase < out.Observed[j].Phrase })
+	}
+	out.PlanSwaps += o.PlanSwaps
+	out.ReplanBuilds += o.ReplanBuilds
+	out.PlanSwapLatency.Merge(o.PlanSwapLatency)
 	out.RoundsPerSec, out.QueriesPerSec = 0, 0
 	if sec := out.Uptime.Seconds(); sec > 0 {
 		out.RoundsPerSec = float64(out.Rounds) / sec

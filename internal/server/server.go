@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"sharedwd/internal/core"
+	"sharedwd/internal/replan"
 	"sharedwd/internal/serr"
 	"sharedwd/internal/workload"
 )
@@ -100,6 +101,21 @@ type Config struct {
 	// under full queues can be exercised deterministically (see the soak
 	// tests). Leave nil in production configurations.
 	BeforeStep func()
+
+	// Replan, when non-nil, turns on online adaptive replanning: the round
+	// loop tracks observed per-phrase arrival rates, and when they drift far
+	// enough from the rates the live plan was built for, a fresh plan is
+	// compiled on a background goroutine and hot-swapped into the engine at
+	// a round boundary — admission never pauses, and results are unchanged
+	// (all complete plans are A-equivalent). Requires a SharedAggregation
+	// engine. See internal/replan.
+	Replan *replan.Config
+
+	// PhraseIDs maps this worker's local phrase IDs to global ones in the
+	// Observed rate samples it reports (the sharded server sets it to the
+	// shard's partition index row). Nil means the identity mapping; when
+	// non-nil its length must equal the workload's phrase count.
+	PhraseIDs []int
 }
 
 // DefaultConfig returns a serving configuration suited to the synthetic
@@ -133,6 +149,14 @@ func (c Config) Validate() error {
 	}
 	if c.LatencyRange < 0 {
 		return fmt.Errorf("server: negative latency range %v", c.LatencyRange)
+	}
+	if c.Replan != nil {
+		if err := c.Replan.Validate(); err != nil {
+			return err
+		}
+		if c.Engine.Sharing != core.SharedAggregation {
+			return fmt.Errorf("server: replanning requires a shared-aggregation engine")
+		}
 	}
 	return nil
 }

@@ -2,11 +2,14 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sharedwd/internal/core"
+	"sharedwd/internal/replan"
 	"sharedwd/internal/stats"
 	"sharedwd/internal/workload"
 )
@@ -72,6 +75,15 @@ type Worker struct {
 	wdSummary     stats.Summary
 	latencySum    stats.Summary
 	engStats      core.Stats
+
+	// Adaptive replanning (nil planner when Config.Replan is nil). The
+	// planner is driven only by the round loop; the mu-guarded copies below
+	// are what Metrics reads.
+	planner     *replan.Planner
+	observed    []float64 // latest per-phrase rate estimate (local IDs)
+	planSwaps   int64
+	swapSum     stats.Summary
+	replanStats replan.Stats
 }
 
 // NewWorker builds the engine for the workload and starts the round loop.
@@ -82,9 +94,20 @@ func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.PhraseIDs != nil && len(cfg.PhraseIDs) != len(w.Interests) {
+		return nil, fmt.Errorf("server: %d phrase IDs for %d phrases", len(cfg.PhraseIDs), len(w.Interests))
+	}
 	eng, err := core.New(w, cfg.Engine)
 	if err != nil {
 		return nil, err
+	}
+	var planner *replan.Planner
+	if cfg.Replan != nil {
+		planner, err = replan.New(eng.PlanInstance(), *cfg.Replan)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
 	}
 	hi := cfg.LatencyRange
 	if hi <= 0 {
@@ -103,6 +126,11 @@ func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
 		roundHist:     stats.NewHistogram(0, hi, 256),
 		wdHist:        stats.NewHistogram(0, hi, 256),
 		latencyHist:   stats.NewHistogram(0, hi, 256),
+
+		planner: planner,
+	}
+	if planner != nil {
+		wk.observed = planner.ObservedRates()
 	}
 	go wk.loop()
 	return wk, nil
@@ -207,6 +235,9 @@ func (wk *Worker) loop() {
 			wk.engStats = wk.eng.Stats()
 			wk.mu.Unlock()
 			wk.eng.Close()
+			if wk.planner != nil {
+				wk.planner.Close() // safe: no more Observe calls
+			}
 			return
 		}
 	}
@@ -260,6 +291,26 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 		wk.w.PerturbBids(wk.cfg.BidWalkScale)
 	}
 
+	// Adaptive replanning: fold this round's occurrence vector into the
+	// rate tracker and, when a background rebuild has finished, hot-swap it
+	// into the engine right here — between Steps, on the loop goroutine, so
+	// the engine's single-owner contract holds and admission never pauses.
+	var swapDur time.Duration
+	swapped := false
+	if wk.planner != nil {
+		if b := wk.planner.Observe(occ); b != nil {
+			swapStart := time.Now()
+			if err := wk.eng.InstallPlan(b.Inst, b.Plan, b.Prog); err != nil {
+				// Builds come from the engine's own instance, so a shape
+				// mismatch is an internal invariant violation, not a
+				// runtime condition to tolerate.
+				panic(fmt.Sprintf("server: installing rebuilt plan: %v", err))
+			}
+			swapDur = time.Since(swapStart)
+			swapped = true
+		}
+	}
+
 	// Copy each occurring phrase's slots once; RoundReport views engine
 	// scratch that the next Step overwrites.
 	var slotCopies map[int][]core.SlotResult
@@ -303,6 +354,14 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 		wk.latencyHist.Add(lat)
 		wk.latencySum.Add(lat)
 	}
+	if wk.planner != nil {
+		if swapped {
+			wk.planSwaps++
+			wk.swapSum.Add(swapDur.Seconds())
+		}
+		wk.observed = wk.planner.ObservedRatesInto(wk.observed)
+		wk.replanStats = wk.planner.Stats()
+	}
 	wk.engStats = wk.eng.Stats()
 	wk.mu.Unlock()
 
@@ -333,6 +392,21 @@ func (wk *Worker) Metrics() Metrics {
 		RoundWait:           LatencyDist{Summary: wk.roundSum, Hist: wk.roundHist.Clone()},
 		WinnerDetermination: LatencyDist{Summary: wk.wdSummary, Hist: wk.wdHist.Clone()},
 		TotalLatency:        LatencyDist{Summary: wk.latencySum, Hist: wk.latencyHist.Clone()},
+
+		PlanSwaps:       wk.planSwaps,
+		ReplanBuilds:    int64(wk.replanStats.Builds),
+		PlanSwapLatency: wk.swapSum,
+	}
+	if wk.planner != nil {
+		m.Observed = make([]RateSample, len(wk.observed))
+		for q, r := range wk.observed {
+			id := q
+			if wk.cfg.PhraseIDs != nil {
+				id = wk.cfg.PhraseIDs[q]
+			}
+			m.Observed[q] = RateSample{Phrase: id, Rate: r}
+		}
+		sort.Slice(m.Observed, func(i, j int) bool { return m.Observed[i].Phrase < m.Observed[j].Phrase })
 	}
 	if sec := up.Seconds(); sec > 0 {
 		m.RoundsPerSec = float64(wk.rounds) / sec

@@ -120,6 +120,11 @@ func New(w *workload.Workload, cfg Config) (*Server, error) {
 	wcfg := cfg.Worker
 	wcfg.Engine.Ledger = s.ledger
 	for sh := range s.workers {
+		// Each shard's worker reports observed rates under global phrase
+		// IDs, so fleet-wide merges of replanning metrics line up. Each
+		// shard replans independently: its planner sees only its own
+		// partition's traffic, which is exactly the plan it owns.
+		wcfg.PhraseIDs = idx.GlobalID[sh]
 		wk, err := server.NewWorker(parts[sh], wcfg)
 		if err != nil {
 			// Drain the workers already started before reporting failure.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"sharedwd/internal/replan"
 	"sharedwd/internal/serr"
 	"sharedwd/internal/server"
 	"sharedwd/internal/workload"
@@ -281,5 +282,97 @@ func TestRebalance(t *testing.T) {
 	}
 	if err := rebalance([]int{0, 0}, []float64{1}, 2); err == nil {
 		t.Fatal("accepted length mismatch")
+	}
+}
+
+// TestShardedReplanHotSwap is the hot-swap stress test CI runs under -race:
+// every shard replans aggressively while concurrent clients hammer a phrase
+// subset far from the planned rates, so background plan builds, round-loop
+// installs, admission, and Metrics reads all overlap. The run must stay
+// data-race free, keep answering, and actually swap plans on at least one
+// shard.
+func TestShardedReplanHotSwap(t *testing.T) {
+	w := testWorkload(t, 150, 16, 23)
+	cfg := testConfig(4)
+	cfg.Worker.RoundInterval = 500 * time.Microsecond
+	cfg.Worker.MaxBatch = 32
+	cfg.Worker.Replan = &replan.Config{
+		Alpha:          0.2,
+		WarmupRounds:   20,
+		CheckEvery:     5,
+		MaxRatio:       1.5,
+		MinKL:          0.02,
+		CooldownRounds: 20,
+		RateFloor:      0.01,
+	}
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Drifted traffic: only every fourth phrase ever arrives, so the
+	// observed rates on every shard diverge from the planned ones fast.
+	var hot []string
+	for q, name := range w.PhraseNames {
+		if q%4 == 0 {
+			hot = append(hot, name)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _ = s.Submit(ctx, hot[(g+i)%len(hot)])
+			}
+		}(g)
+	}
+	// Poll fleet metrics concurrently with the swaps until one lands (or
+	// the deadline shows something is stuck).
+	deadline := time.Now().Add(15 * time.Second)
+	var m server.Metrics
+	for {
+		m = s.Metrics()
+		if m.PlanSwaps > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	s.Close()
+
+	m = s.Metrics()
+	if m.PlanSwaps == 0 {
+		t.Fatalf("no plan swaps under sustained drift: %+v", m)
+	}
+	if m.ReplanBuilds < m.PlanSwaps {
+		t.Fatalf("swaps (%d) exceed builds (%d)", m.PlanSwaps, m.ReplanBuilds)
+	}
+	if m.PlanSwapLatency.N() != int(m.PlanSwaps) {
+		t.Fatalf("swap latency samples %d, swaps %d", m.PlanSwapLatency.N(), m.PlanSwaps)
+	}
+	if m.Answered == 0 {
+		t.Fatal("nothing answered while replanning")
+	}
+	// Observed rates report under global phrase IDs, each exactly once.
+	if len(m.Observed) != len(w.PhraseNames) {
+		t.Fatalf("observed %d phrases, want %d", len(m.Observed), len(w.PhraseNames))
+	}
+	seen := make(map[int]bool)
+	for _, rs := range m.Observed {
+		if rs.Phrase < 0 || rs.Phrase >= len(w.PhraseNames) || seen[rs.Phrase] {
+			t.Fatalf("bad observed sample %+v", rs)
+		}
+		seen[rs.Phrase] = true
 	}
 }

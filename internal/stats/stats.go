@@ -158,7 +158,18 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 }
 
 // Add records one observation.
-func (h *Histogram) Add(x float64) {
+func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
+
+// AddN records n identical observations in one bucket update — what a
+// histogram merge across mismatched geometries uses to stay O(buckets)
+// instead of O(observations). n must be non-negative; n = 0 is a no-op.
+func (h *Histogram) AddN(x float64, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("stats: AddN of %d observations", n))
+	}
+	if n == 0 {
+		return
+	}
 	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
 	if i < 0 {
 		i = 0
@@ -166,8 +177,8 @@ func (h *Histogram) Add(x float64) {
 	if i >= len(h.Buckets) {
 		i = len(h.Buckets) - 1
 	}
-	h.Buckets[i]++
-	h.n++
+	h.Buckets[i] += n
+	h.n += n
 }
 
 // N returns the number of recorded observations.
@@ -197,15 +208,15 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.n += o.n
 		return
 	}
+	// One weighted add per occupied bucket keeps the merge O(buckets) —
+	// re-adding count-by-count would be O(total observations), pathological
+	// for soak-length shard merges — while preserving N exactly.
 	width := (o.Hi - o.Lo) / float64(len(o.Buckets))
 	for i, c := range o.Buckets {
 		if c == 0 {
 			continue
 		}
-		mid := o.Lo + (float64(i)+0.5)*width
-		for k := 0; k < c; k++ {
-			h.Add(mid)
-		}
+		h.AddN(o.Lo+(float64(i)+0.5)*width, c)
 	}
 }
 

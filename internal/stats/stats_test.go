@@ -252,6 +252,98 @@ func TestHistogramMergeDifferentGeometry(t *testing.T) {
 	}
 }
 
+// TestQuickHistogramMerge is the Merge property test: for matching
+// geometries the merge is exact (bucket-wise identical to recording both
+// streams into one histogram); for mismatched geometries the weighted
+// single-add per occupied bucket must land every observation exactly where
+// midpoint re-adding (Add(mid) repeated count times) would, preserving N.
+func TestQuickHistogramMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		newGeom := func() (lo, hi float64, buckets int) {
+			lo = rng.Float64()*20 - 10
+			hi = lo + 0.5 + rng.Float64()*30
+			return lo, hi, 1 + rng.Intn(24)
+		}
+		lo, hi, nb := newGeom()
+		h := NewHistogram(lo, hi, nb)
+		ref := NewHistogram(lo, hi, nb)
+		fill := func(dst *Histogram, n int, sampleLo, sampleHi float64) []float64 {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = sampleLo + rng.Float64()*(sampleHi-sampleLo)
+				dst.Add(xs[i])
+			}
+			return xs
+		}
+		for _, x := range fill(h, rng.Intn(50), lo-5, hi+5) {
+			ref.Add(x)
+		}
+
+		var o *Histogram
+		matching := seed%2 == 0
+		if matching {
+			o = NewHistogram(lo, hi, nb)
+			for _, x := range fill(o, 1+rng.Intn(500), lo-5, hi+5) {
+				ref.Add(x)
+			}
+		} else {
+			olo, ohi, onb := newGeom()
+			o = NewHistogram(olo, ohi, onb)
+			fill(o, 1+rng.Intn(500), olo-5, ohi+5)
+			// The reference replays each occupied bucket with the old
+			// O(observations) per-midpoint loop.
+			width := (o.Hi - o.Lo) / float64(len(o.Buckets))
+			for i, c := range o.Buckets {
+				mid := o.Lo + (float64(i)+0.5)*width
+				for k := 0; k < c; k++ {
+					ref.Add(mid)
+				}
+			}
+		}
+
+		before := o.Clone()
+		h.Merge(o)
+		if h.N() != ref.N() {
+			t.Logf("seed %d: merged N %d, want %d", seed, h.N(), ref.N())
+			return false
+		}
+		for i := range h.Buckets {
+			if h.Buckets[i] != ref.Buckets[i] {
+				t.Logf("seed %d (matching=%v): bucket %d = %d, want %d",
+					seed, matching, i, h.Buckets[i], ref.Buckets[i])
+				return false
+			}
+		}
+		for i := range o.Buckets {
+			if o.Buckets[i] != before.Buckets[i] || o.N() != before.N() {
+				t.Logf("seed %d: Merge mutated its argument", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddN(3, 4)
+	h.AddN(99, 2) // clamps into the top bucket
+	h.AddN(1, 0)  // no-op
+	if h.N() != 6 || h.Buckets[1] != 4 || h.Buckets[4] != 2 {
+		t.Fatalf("AddN landed wrong: N=%d buckets=%v", h.N(), h.Buckets)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddN with negative count should panic")
+		}
+	}()
+	h.AddN(1, -1)
+}
+
 func TestHistogramClone(t *testing.T) {
 	h := NewHistogram(0, 10, 5)
 	h.Add(3)
