@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-shard bench-json bench-compare fmt vet staticcheck
+.PHONY: all build test race bench bench-shard bench-parallel bench-json bench-compare fmt vet staticcheck
 
 all: build test
 
@@ -32,12 +32,21 @@ bench:
 bench-shard:
 	$(GO) test -bench='ShardedThroughput' -benchmem -benchtime=2s -run='^$$' .
 
+# bench-parallel runs the cost-aware parallel-execution sweeps: the
+# shards × workers round-wave benchmark (same total core budget spent as
+# many small shards vs one wide pool) and the executor comparison's pooled
+# compiled/workers=N rows. tools/benchjson derives a `speedup` metric for
+# each workers=N row against its workers=1 sibling.
+bench-parallel:
+	$(GO) test -bench='ParallelScaling' -benchmem -benchtime=2s -run='^$$' .
+	$(GO) test -bench='ExecutorRound' -benchmem -benchtime=2s -run='^$$' ./internal/core
+
 # bench-json runs the core round-resolution and serving benchmarks and
 # records them as machine-readable JSON (BENCH_core.json, BENCH_server.json)
 # for cross-PR comparison. The serving file carries both the single-server
 # throughput benchmark and the shard sweep.
 bench-json:
-	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap|ParallelScaling' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_core.json
 	@cat BENCH_core.json
 	$(GO) test -bench='ServerThroughput|ShardedThroughput' -benchmem -benchtime=2s -run='^$$' . \
@@ -46,7 +55,8 @@ bench-json:
 
 # bench-compare reruns the core round-resolution benchmarks and diffs them
 # against the committed BENCH_core.json, failing on a >20% ns/op regression
-# (the CI regression gate runs the same comparison).
+# or a >20% drop in any workers=N row's derived parallel speedup (the CI
+# regression gate runs the same comparison).
 bench-compare:
-	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap|ParallelScaling' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson -compare BENCH_core.json

@@ -92,9 +92,13 @@ type Config struct {
 	Pricing pricing.Rule
 	Policy  BudgetPolicy
 	Sharing SharingMode
-	// Workers > 1 evaluates the shared plan's DAG concurrently on a
-	// persistent worker pool, scheduling dirty nodes level by level. Call
-	// Close on the engine to stop the pool's goroutines.
+	// Workers > 1 runs each round's heavy phases on a persistent worker
+	// pool: leaf scoring (throttled-bid computation) splits the advertiser
+	// range across workers, and the compiled plan's dirty cone is executed
+	// through the cost-aware frontier scheduler — Span-balanced chunks plus
+	// dependency-release, see DESIGN.md §11 — rather than level barriers.
+	// Small dirty cones (the incremental-cache steady state) still run
+	// inline. Call Close on the engine to stop the pool's goroutines.
 	Workers int
 	// IncrementalCache carries plan-node results across rounds and
 	// re-materializes only the dirty cone: nodes whose descendant
@@ -163,7 +167,8 @@ type Engine struct {
 
 	// runner executes the flat-compiled instruction stream (prog) over
 	// dense entry slabs — the default shared-mode path; pool (Workers > 1)
-	// evaluates its DAG levels concurrently.
+	// drives its cost-aware frontier scheduler and the parallel leaf
+	// scoring pass.
 	prog   *plan.Program
 	runner *plan.Runner
 	pool   *plan.Pool
@@ -186,6 +191,10 @@ type Engine struct {
 	round  int
 
 	scr roundScratch
+	// tscr[w] is pool worker w's throttled-bid scratch; tscr[0] serves the
+	// sequential path. scoreFn is the pinned parallel-scoring body.
+	tscr    []throttleScratch
+	scoreFn func(worker, lo, hi int)
 
 	stats Stats
 }
@@ -210,10 +219,24 @@ type roundScratch struct {
 	auctions  map[int][]SlotResult
 	slots     [][]SlotResult // per-phrase slot buffers backing auctions
 	indep     []*topk.List   // Independent-mode per-phrase lists
-	outPrices []float64      // outstanding-ad scratch (throttled policy)
+}
+
+// throttleScratch is one worker's outstanding-ad buffers for the throttled
+// bid computation. The engine owns one per pool worker (index 0 doubles as
+// the sequential path's scratch), so parallel leaf scoring never shares
+// append targets; the pad keeps adjacent workers' slice headers — rewritten
+// on every AppendOutstanding — off each other's cache lines.
+type throttleScratch struct {
+	outPrices []float64
 	outCTRs   []float64
 	ads       []budget.OutstandingAd
+	_         [56]byte
 }
+
+// scoreGrain is the advertiser-range claim unit for parallel leaf scoring:
+// coarse enough that cursor traffic is negligible, fine enough that a run
+// of expensive throttled bids (deep outstanding sets) can be stolen.
+const scoreGrain = 64
 
 // Stats accumulates engine-lifetime counters.
 type Stats struct {
@@ -284,6 +307,24 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 	e.scr.roundBid = make([]float64, len(w.Advertisers))
 	e.scr.score = make([]float64, len(w.Advertisers))
 	e.scr.lastScore = make([]float64, len(w.Advertisers))
+	nscr := cfg.Workers
+	if nscr < 1 {
+		nscr = 1
+	}
+	e.tscr = make([]throttleScratch, nscr)
+	e.scoreFn = func(worker, lo, hi int) {
+		ts := &e.tscr[worker]
+		mCount := e.scr.mCount
+		for i := lo; i < hi; i++ {
+			if mCount[i] == 0 {
+				continue
+			}
+			a := e.w.Advertisers[i]
+			b := e.policyBid(i, a, mCount[i], ts)
+			e.scr.roundBid[i] = b
+			e.scr.score[i] = b * a.Quality
+		}
+	}
 	e.scr.auctions = make(map[int][]SlotResult, len(w.Interests))
 	e.scr.slots = make([][]SlotResult, len(w.Interests))
 	k := len(w.SlotFactors)
@@ -381,7 +422,11 @@ func (e *Engine) InstallPlan(inst *plan.Instance, p *plan.Plan, prog *plan.Progr
 }
 
 // Close stops the engine's worker pool, if any; the engine must not be
-// stepped afterwards. Engines with Workers ≤ 1 need no Close.
+// stepped afterwards. Close is idempotent: repeated calls are no-ops.
+// Engines with Workers ≤ 1 need no Close. Like every Engine method it must
+// be called from the owning goroutine — the server's round loop guarantees
+// no Step is in flight (the pool's own Close is additionally safe against
+// concurrent pool.Close calls).
 func (e *Engine) Close() {
 	if e.pool != nil {
 		e.pool.Close()
@@ -516,12 +561,22 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 		roundBid[i] = 0
 		score[i] = 0
 	}
-	for i, a := range e.w.Advertisers {
-		if mCount[i] == 0 {
-			continue
+	if e.pool != nil && e.cfg.Policy == Throttled {
+		// Parallel leaf scoring: per-advertiser work under the throttled
+		// policy is an exact enumeration or DP over the outstanding-ad
+		// set, so the pool claims advertiser ranges from a shared cursor
+		// and each worker appends into its own padded scratch. Writes per
+		// advertiser are disjoint and every bid is a pure function of
+		// round-start state, so scores are bit-identical to sequential.
+		e.pool.RunRange(len(e.w.Advertisers), scoreGrain, e.scoreFn)
+	} else {
+		for i, a := range e.w.Advertisers {
+			if mCount[i] == 0 {
+				continue
+			}
+			roundBid[i] = e.policyBid(i, a, mCount[i], &e.tscr[0])
+			score[i] = roundBid[i] * a.Quality
 		}
-		roundBid[i] = e.policyBid(i, a, mCount[i])
-		score[i] = roundBid[i] * a.Quality
 	}
 
 	// 3. Winner determination across the occurring auctions.
@@ -711,8 +766,9 @@ func (e *Engine) auctionCounts(occurring []bool) []int {
 }
 
 // policyBid computes the advertiser's bid for this round under the
-// configured budget policy.
-func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
+// configured budget policy. ts is the calling worker's scratch; parallel
+// scoring passes a distinct one per worker, the sequential path tscr[0].
+func (e *Engine) policyBid(i int, a auction.Advertiser, m int, ts *throttleScratch) float64 {
 	remaining := e.Remaining(i)
 	if remaining <= 0 {
 		return 0
@@ -724,8 +780,8 @@ func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
 		}
 		return remaining
 	case Throttled:
-		prices, ctrs := e.clicks.AppendOutstanding(e.scr.outPrices[:0], e.scr.outCTRs[:0], i, e.round)
-		e.scr.outPrices, e.scr.outCTRs = prices, ctrs
+		prices, ctrs := e.clicks.AppendOutstanding(ts.outPrices[:0], ts.outCTRs[:0], i, e.round)
+		ts.outPrices, ts.outCTRs = prices, ctrs
 		omega := 0.0
 		for _, p := range prices {
 			omega += p
@@ -735,11 +791,11 @@ func (e *Engine) policyBid(i int, a auction.Advertiser, m int) float64 {
 		if omega <= remaining-float64(m)*a.Bid {
 			return a.Bid
 		}
-		ads := e.scr.ads[:0]
+		ads := ts.ads[:0]
 		for j := range prices {
 			ads = append(ads, budget.OutstandingAd{Price: prices[j], CTR: ctrs[j]})
 		}
-		e.scr.ads = ads
+		ts.ads = ads
 		if len(ads) <= e.cfg.ThrottleEnumLimit {
 			return budget.ExactThrottledBid(a.Bid, remaining, m, ads)
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sharedwd/internal/pricing"
+	"sharedwd/internal/sharedagg"
 	"sharedwd/internal/workload"
 )
 
@@ -12,9 +13,11 @@ import (
 // over 4 scenarios × 60 randomized rounds (random occurrence vectors, bid
 // perturbation, budgets that exhaust mid-day, GSP and VCG, naive and
 // throttled policies), every execution strategy — slab reference, memo,
-// flat-compiled, incremental variants of both slab and compiled, each also
-// on a 4-worker pool, plus the unshared Independent baseline — must produce
-// identical RoundReports, Stats, and final per-advertiser accounting.
+// flat-compiled, incremental variants of both slab and compiled, pooled
+// variants at 2, 4, and 8 workers (including forced-frontier scheduling and
+// mid-run plan hot-swaps), plus the unshared Independent baseline — must
+// produce identical RoundReports, Stats, and final per-advertiser
+// accounting.
 // Materialization counters for the shared strategies are normalized by
 // Materialized + Cached, which must equal the cache-off cost exactly
 // (Independent uses a different cost metric and is exempt from that check,
@@ -38,6 +41,15 @@ func TestEngineStrategyEquivalence(t *testing.T) {
 		memo        bool
 		slab        bool
 		independent bool
+		// frontier drops the pooled runner's sequential cutoff to 0, so
+		// every dirty cone — even the small cached-steady-state ones —
+		// exercises the dependency-release scheduler.
+		frontier bool
+		// swap hot-swaps a freshly compiled plan (rotated rates) into the
+		// engine every 20 rounds; results must be unchanged (Lemma 1), and
+		// the swap must reset the new runner's frontier state, not just the
+		// score slab.
+		swap bool
 	}
 	variants := []variant{
 		{name: "slab", workers: 1, slab: true}, // reference
@@ -49,6 +61,11 @@ func TestEngineStrategyEquivalence(t *testing.T) {
 		{name: "compiled-pool", workers: 4},
 		{name: "slab-pool-incremental", workers: 4, slab: true, incremental: true},
 		{name: "compiled-pool-incremental", workers: 4, incremental: true},
+		{name: "compiled-pool2-incremental", workers: 2, incremental: true},
+		{name: "compiled-pool8-frontier", workers: 8, frontier: true},
+		{name: "compiled-pool8-incremental-frontier", workers: 8, incremental: true, frontier: true},
+		{name: "compiled-pool-swap", workers: 4, frontier: true, swap: true},
+		{name: "compiled-pool-incremental-swap", workers: 4, incremental: true, frontier: true, swap: true},
 		{name: "independent", workers: 1, independent: true},
 	}
 	for si, sc := range scenarios {
@@ -86,6 +103,9 @@ func TestEngineStrategyEquivalence(t *testing.T) {
 				}
 				eng.forceMemo = v.memo
 				eng.forceSlab = v.slab
+				if v.frontier {
+					eng.runner.SetSequentialCutoff(0)
+				}
 				engines[i] = eng
 				defer eng.Close()
 			}
@@ -102,7 +122,12 @@ func TestEngineStrategyEquivalence(t *testing.T) {
 				for i := 1; i < len(engines); i++ {
 					rep := engines[i].Step(occ)
 					compareReports(t, variants[i].name, round, ref, rep)
-					if got := rep.Materialized + rep.Cached; got != refFull && !variants[i].independent {
+					// Swap variants run a structurally different (but
+					// A-equivalent) plan after their first hot-swap, so
+					// their aggregation cost legitimately diverges; results
+					// above must still match exactly.
+					exemptCost := variants[i].independent || (variants[i].swap && round >= 20)
+					if got := rep.Materialized + rep.Cached; got != refFull && !exemptCost {
 						t.Fatalf("%s round %d: materialized %d + cached %d, want %d total",
 							variants[i].name, round, rep.Materialized, rep.Cached, refFull)
 					}
@@ -119,6 +144,31 @@ func TestEngineStrategyEquivalence(t *testing.T) {
 						w.PerturbBids(0.15)
 					}
 				}
+				// Hot-swap a replan into the swap variants mid-run: a plan
+				// rebuilt under rotated rates has different structure but,
+				// being A-equivalent, must not perturb any later report.
+				if round%20 == 19 {
+					for i, v := range variants {
+						if !v.swap {
+							continue
+						}
+						base := engines[i].PlanInstance()
+						rates := make([]float64, len(base.Queries))
+						for q := range rates {
+							rates[q] = base.Queries[(q+round)%len(rates)].Rate + 0.01
+						}
+						inst2, p2, prog2, err := sharedagg.BuildCompiledWithRates(base, rates)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := engines[i].InstallPlan(inst2, p2, prog2); err != nil {
+							t.Fatal(err)
+						}
+						if v.frontier {
+							engines[i].runner.SetSequentialCutoff(0)
+						}
+					}
+				}
 			}
 
 			for _, e := range engines {
@@ -127,7 +177,7 @@ func TestEngineStrategyEquivalence(t *testing.T) {
 			refStats := engines[0].Stats()
 			for i := 1; i < len(engines); i++ {
 				es := engines[i].Stats()
-				if es.NodesMaterialized+es.NodesCached != refStats.NodesMaterialized && !variants[i].independent {
+				if es.NodesMaterialized+es.NodesCached != refStats.NodesMaterialized && !variants[i].independent && !variants[i].swap {
 					t.Errorf("%s: lifetime materialized %d + cached %d, want %d",
 						variants[i].name, es.NodesMaterialized, es.NodesCached, refStats.NodesMaterialized)
 				}

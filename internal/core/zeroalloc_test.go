@@ -10,38 +10,63 @@ import (
 // shared-mode round with the incremental cache on performs zero heap
 // allocations — every per-round structure (bids, slab values, top-k lists,
 // rankings, prices, slot results, the report's auction map, the click
-// simulator's buffers) is reused from engine scratch.
+// simulator's buffers) is reused from engine scratch. The guarantee holds in
+// pool mode too: worker dispatch sends pinned closures in fixed-size task
+// structs, and the frontier scheduler's per-round state is preallocated —
+// AllocsPerRun counts every goroutine's allocations, so a single stray
+// worker-side allocation would fail the Workers > 1 cases.
 func TestStepSteadyStateZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("AllocsPerRun is unreliable under the race detector")
 	}
-	wcfg := workload.DefaultConfig()
-	wcfg.NumAdvertisers = 300
-	wcfg.NumPhrases = 24
-	wcfg.MinBudget = 1e6 // never exhausts: keeps the display load steady
-	wcfg.MaxBudget = 2e6
-	w := workload.Generate(wcfg)
+	cases := []struct {
+		name string
+		// workers is the engine pool size; forceParallel drops the runner's
+		// sequential cutoff to 0 so even the steady state's small dirty
+		// cones exercise the full frontier scheduler, not the inline path.
+		workers       int
+		forceParallel bool
+	}{
+		{"workers=1", 1, false},
+		{"workers=4", 4, false},
+		{"workers=4/frontier", 4, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wcfg := workload.DefaultConfig()
+			wcfg.NumAdvertisers = 300
+			wcfg.NumPhrases = 24
+			wcfg.MinBudget = 1e6 // never exhausts: keeps the display load steady
+			wcfg.MaxBudget = 2e6
+			w := workload.Generate(wcfg)
 
-	cfg := DefaultConfig()
-	cfg.Policy = Naive
-	cfg.Sharing = SharedAggregation
-	cfg.Workers = 1
-	cfg.IncrementalCache = true
-	eng, err := New(w, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+			cfg := DefaultConfig()
+			cfg.Policy = Naive
+			cfg.Sharing = SharedAggregation
+			cfg.Workers = tc.workers
+			cfg.IncrementalCache = true
+			eng, err := New(w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			if tc.forceParallel {
+				eng.runner.SetSequentialCutoff(0)
+			}
 
-	occ := make([]bool, wcfg.NumPhrases)
-	for q := range occ {
-		occ[q] = q%2 == 0
-	}
-	// Warm-up: past the click horizon several times over, so the pending-ad
-	// and scratch buffers reach their steady-state high-water capacities.
-	for i := 0; i < 300; i++ {
-		eng.Step(occ)
-	}
-	if avg := testing.AllocsPerRun(200, func() { eng.Step(occ) }); avg != 0 {
-		t.Fatalf("steady-state Step allocates %v times per round, want 0", avg)
+			occ := make([]bool, wcfg.NumPhrases)
+			for q := range occ {
+				occ[q] = q%2 == 0
+			}
+			// Warm-up: past the click horizon several times over, so the
+			// pending-ad and scratch buffers reach their steady-state
+			// high-water capacities.
+			for i := 0; i < 300; i++ {
+				eng.Step(occ)
+			}
+			if avg := testing.AllocsPerRun(200, func() { eng.Step(occ) }); avg != 0 {
+				t.Fatalf("steady-state Step allocates %v times per round, want 0", avg)
+			}
+		})
 	}
 }

@@ -153,6 +153,15 @@ func TestRunnerMatchesExecute(t *testing.T) {
 			incr := plan.NewRunner(pr, k)
 			par := plan.NewRunner(pr, k)
 			par.SetPool(pool)
+			// parAll and parIncr force every cone through the frontier
+			// scheduler (cutoff 0), covering the dependency-release path
+			// even on cones the default cutoff would run inline.
+			parAll := plan.NewRunner(pr, k)
+			parAll.SetPool(pool)
+			parAll.SetSequentialCutoff(0)
+			parIncr := plan.NewRunner(pr, k)
+			parIncr.SetPool(pool)
+			parIncr.SetSequentialCutoff(0)
 
 			for round := 0; round < 30; round++ {
 				// Sparse score churn, reported to the incremental runner.
@@ -164,6 +173,7 @@ func TestRunnerMatchesExecute(t *testing.T) {
 						scores[v] = 1 + rng.Float64()*9
 					}
 					incr.Invalidate(v)
+					parIncr.Invalidate(v)
 				}
 				occ := make([]bool, len(inst.Queries))
 				for q := range occ {
@@ -205,6 +215,9 @@ func TestRunnerMatchesExecute(t *testing.T) {
 				r, c := incr.RunIncremental(scores, occ)
 				check("incremental", incr, r, c, true)
 				check("pool", par, par.Run(scores, occ), 0, false)
+				check("pool-frontier", parAll, parAll.Run(scores, occ), 0, false)
+				r, c = parIncr.RunIncremental(scores, occ)
+				check("pool-incremental", parIncr, r, c, true)
 			}
 		}
 	}

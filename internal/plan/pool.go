@@ -3,88 +3,207 @@ package plan
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Pool is a persistent, bounded worker pool for level-parallel plan
-// execution. It replaces the per-round goroutine-per-query pattern: exactly
-// `workers` goroutines are started once and live until Close, and each round
-// the Executor hands them the dirty nodes of one DAG level at a time.
-// Dispatch sends fixed-size task structs over a buffered channel and reuses
-// one WaitGroup, so a steady-state Run performs no allocations.
+// Pool is a persistent, bounded worker group for parallel plan execution.
+// A pool of size w provides w-way parallelism counting the caller: w−1
+// helper goroutines are started once and live until Close, and the caller's
+// goroutine always works alongside them as worker 0. Work is distributed
+// dynamically — helpers and caller claim cost-balanced chunks from a shared
+// atomic cursor — so a straggling chunk is stolen, not waited on.
+//
+// Three entry points share the helpers:
+//
+//   - Broadcast hands every worker (caller included) one call of fn with a
+//     stable worker index in [0, Workers) — the primitive the Runner's
+//     frontier executor builds on, and the hook for per-worker scratch.
+//   - Run applies fn to each id of a worklist, claiming fixed-size chunks
+//     off a shared cursor (the slab Executor's per-level scheduling).
+//   - RunRange splits [0, n) into grain-sized half-open intervals claimed
+//     the same way, for data-parallel loops such as leaf scoring.
+//
+// Dispatch sends fixed-size task structs over per-helper buffered channels
+// and reuses pinned closures plus one WaitGroup, so a steady-state call
+// performs no allocations. None of the entry points are reentrant or safe
+// for concurrent use with each other; the engine serializes them within a
+// round.
 type Pool struct {
 	workers int
-	tasks   chan poolTask
-	done    sync.WaitGroup // per-Run barrier (Run is not reentrant)
-	stopped sync.WaitGroup // worker exit barrier for Close
+	tasks   []chan poolTask // one per helper goroutine (workers 1..w−1)
+	done    sync.WaitGroup  // per-call barrier
+	stopped sync.WaitGroup  // helper exit barrier for Close
+	closed  sync.Once
+
+	// cursor is the shared claim point of Run/RunRange, padded so helpers
+	// hammering it do not false-share the pool's cold fields.
+	cursor paddedCounter
+
+	// Pinned dispatch state (set before a Broadcast, read after the
+	// channel-send happens-before edge) and pinned worker closures, so
+	// steady-state calls allocate nothing.
+	runIDs    []int32
+	runFn     func(id int32)
+	runChunk  int32
+	rangeN    int
+	rangeGrin int
+	rangeFn   func(worker, lo, hi int)
+	runWkr    func(worker int)
+	rangeWkr  func(worker int)
+}
+
+// paddedCounter is an atomic counter alone on its cache line.
+type paddedCounter struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [64]byte
 }
 
 type poolTask struct {
-	ids  []int32
-	fn   func(id int32)
+	fn   func(worker int)
 	done *sync.WaitGroup
 }
 
-// NewPool starts a pool of exactly `workers` goroutines (≥ 1).
+// minRunChunk is the smallest worklist chunk Run hands out: claiming work
+// finer than this costs more cursor traffic than the kernels it covers.
+const minRunChunk = 8
+
+// chunksPerWorker over-partitions Run worklists so an unlucky worker can
+// shed load to idle ones instead of serializing the tail.
+const chunksPerWorker = 4
+
+// NewPool starts a pool providing `workers`-way parallelism (≥ 1): the
+// caller's goroutine plus workers−1 helpers.
 func NewPool(workers int) *Pool {
 	if workers < 1 {
 		panic(fmt.Sprintf("plan: pool needs ≥ 1 worker, got %d", workers))
 	}
-	p := &Pool{workers: workers, tasks: make(chan poolTask, workers)}
-	p.stopped.Add(workers)
-	for i := 0; i < workers; i++ {
-		go p.work()
+	p := &Pool{workers: workers, tasks: make([]chan poolTask, workers-1)}
+	p.runWkr = func(int) {
+		ids, fn, chunk := p.runIDs, p.runFn, int64(p.runChunk)
+		n := int64(len(ids))
+		for {
+			lo := p.cursor.v.Add(chunk) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for _, id := range ids[lo:hi] {
+				fn(id)
+			}
+		}
+	}
+	p.rangeWkr = func(worker int) {
+		n, grain, fn := int64(p.rangeN), int64(p.rangeGrin), p.rangeFn
+		for {
+			lo := p.cursor.v.Add(grain) - grain
+			if lo >= n {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(worker, int(lo), int(hi))
+		}
+	}
+	p.stopped.Add(workers - 1)
+	for i := range p.tasks {
+		ch := make(chan poolTask, 1)
+		p.tasks[i] = ch
+		go p.work(ch, i+1)
 	}
 	return p
 }
 
-// Workers returns the pool's fixed worker count.
+// Workers returns the pool's parallelism (caller included).
 func (p *Pool) Workers() int { return p.workers }
 
-func (p *Pool) work() {
+func (p *Pool) work(ch chan poolTask, worker int) {
 	defer p.stopped.Done()
-	for t := range p.tasks {
-		for _, id := range t.ids {
-			t.fn(id)
-		}
+	for t := range ch {
+		t.fn(worker)
 		t.done.Done()
 	}
 }
 
-// Run applies fn to every id, splitting the slice into one contiguous chunk
-// per worker, and returns when all chunks finish. fn calls for distinct ids
-// must be independent (the Executor guarantees this within one DAG level).
-// Run must not be called concurrently with itself.
+// Broadcast calls fn once on every worker — the caller as worker 0 and each
+// helper with its fixed index — and returns when all calls finish. fn must
+// claim actual work from shared state (e.g. an atomic cursor): worker
+// indices name scratch regions, they do not partition work. Broadcast must
+// not be called concurrently with itself, Run, or RunRange.
+func (p *Pool) Broadcast(fn func(worker int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	p.done.Add(len(p.tasks))
+	for _, ch := range p.tasks {
+		ch <- poolTask{fn: fn, done: &p.done}
+	}
+	fn(0)
+	p.done.Wait()
+}
+
+// Run applies fn to every id and returns when all calls finish. Workers
+// claim contiguous fixed-size chunks from a shared cursor, so no worker
+// idles while another holds a long tail, and short worklists (at most one
+// chunk) run inline on the caller with no handoff at all — there are never
+// degenerate empty or singleton chunks. fn calls for distinct ids must be
+// independent.
 func (p *Pool) Run(ids []int32, fn func(id int32)) {
 	if len(ids) == 0 {
 		return
 	}
-	if len(ids) == 1 || p.workers == 1 {
-		// Not worth a handoff; run inline on the caller's goroutine.
+	chunk := (len(ids) + p.workers*chunksPerWorker - 1) / (p.workers * chunksPerWorker)
+	if chunk < minRunChunk {
+		chunk = minRunChunk
+	}
+	if p.workers == 1 || len(ids) <= chunk {
 		for _, id := range ids {
 			fn(id)
 		}
 		return
 	}
-	chunk := (len(ids) + p.workers - 1) / p.workers
-	tasks := (len(ids) + chunk - 1) / chunk
-	p.done.Add(tasks - 1)
-	for lo := chunk; lo < len(ids); lo += chunk {
-		hi := lo + chunk
-		if hi > len(ids) {
-			hi = len(ids)
-		}
-		p.tasks <- poolTask{ids: ids[lo:hi], fn: fn, done: &p.done}
-	}
-	// The caller works the first chunk itself instead of idling.
-	for _, id := range ids[:chunk] {
-		fn(id)
-	}
-	p.done.Wait()
+	p.runIDs, p.runFn, p.runChunk = ids, fn, int32(chunk)
+	p.cursor.v.Store(0)
+	p.Broadcast(p.runWkr)
+	p.runIDs, p.runFn = nil, nil
 }
 
-// Close shuts the workers down and waits for them to exit. The pool must
-// not be used afterwards.
+// RunRange applies fn to half-open sub-intervals covering [0, n), each at
+// most grain wide, claimed from a shared cursor like Run's chunks. fn
+// additionally receives the executing worker's index for per-worker
+// scratch. Single-worker pools and ranges of at most grain elements run as
+// one inline fn(0, 0, n) call on the caller.
+func (p *Pool) RunRange(n, grain int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.workers == 1 || n <= grain {
+		fn(0, 0, n)
+		return
+	}
+	p.rangeN, p.rangeGrin, p.rangeFn = n, grain, fn
+	p.cursor.v.Store(0)
+	p.Broadcast(p.rangeWkr)
+	p.rangeFn = nil
+}
+
+// Close shuts the helpers down and waits for them to exit. Close is
+// idempotent and safe to call from multiple goroutines; every call returns
+// only once the helpers are gone. The pool must not be used afterwards.
 func (p *Pool) Close() {
-	close(p.tasks)
+	p.closed.Do(func() {
+		for _, ch := range p.tasks {
+			close(ch)
+		}
+	})
 	p.stopped.Wait()
 }

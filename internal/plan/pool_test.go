@@ -1,0 +1,116 @@
+package plan_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sharedwd/internal/plan"
+)
+
+// TestPoolRunCoverage pins Run's contract across the chunking regimes: every
+// id is visited exactly once whether the worklist is shorter than one chunk
+// (inline path — the degenerate-chunk fix), spans a few chunks, or
+// over-partitions heavily.
+func TestPoolRunCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, workers := range []int{1, 2, 3, 8} {
+		pool := plan.NewPool(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 64, 1000} {
+			ids := make([]int32, n)
+			for i := range ids {
+				ids[i] = int32(rng.Intn(1 << 20))
+			}
+			hits := make(map[int32]int, n)
+			var mu sync.Mutex
+			pool.Run(ids, func(id int32) {
+				mu.Lock()
+				hits[id]++
+				mu.Unlock()
+			})
+			total := 0
+			for _, c := range hits {
+				total += c
+			}
+			if total != n {
+				t.Fatalf("workers=%d n=%d: %d calls", workers, n, total)
+			}
+			for _, id := range ids {
+				if hits[id] == 0 {
+					t.Fatalf("workers=%d n=%d: id %d never visited", workers, n, id)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolRunRange pins RunRange: the claimed intervals tile [0, n) exactly,
+// each at most grain wide, and worker indices stay within [0, Workers).
+func TestPoolRunRange(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		pool := plan.NewPool(workers)
+		for _, n := range []int{0, 1, 5, 64, 777} {
+			covered := make([]int32, n)
+			pool.RunRange(n, 16, func(worker, lo, hi int) {
+				if worker < 0 || worker >= pool.Workers() {
+					t.Errorf("worker index %d out of range", worker)
+				}
+				if lo >= hi {
+					t.Errorf("bad interval [%d, %d)", lo, hi)
+				}
+				if workers > 1 && hi-lo > 16 {
+					t.Errorf("interval [%d, %d) wider than grain", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&covered[i], 1)
+				}
+			})
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolBroadcast pins the per-worker contract: fn runs exactly once per
+// worker index, 0 through Workers−1, with the caller as worker 0.
+func TestPoolBroadcast(t *testing.T) {
+	for _, workers := range []int{1, 2, 6} {
+		pool := plan.NewPool(workers)
+		seen := make([]int32, workers)
+		for round := 0; round < 3; round++ {
+			pool.Broadcast(func(w int) {
+				atomic.AddInt32(&seen[w], 1)
+			})
+		}
+		for w, c := range seen {
+			if c != 3 {
+				t.Fatalf("workers=%d: worker %d ran %d times, want 3", workers, w, c)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolCloseIdempotent pins the hardening satellite: Close may be called
+// repeatedly and concurrently, and every call returns only after the helper
+// goroutines have exited.
+func TestPoolCloseIdempotent(t *testing.T) {
+	pool := plan.NewPool(4)
+	pool.Run([]int32{1, 2, 3}, func(int32) {})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Close()
+		}()
+	}
+	wg.Wait()
+	pool.Close() // and once more, sequentially
+}

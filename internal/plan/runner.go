@@ -2,6 +2,8 @@ package plan
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"sharedwd/internal/topk"
 )
@@ -15,7 +17,7 @@ import (
 // instruction dispatches to one of two concrete merge kernels instead of a
 // generic op callback.
 //
-// The three execution modes of the slab executor carry over unchanged:
+// The three execution modes of the slab executor carry over:
 //
 //   - Run recomputes every instruction in the round's needed cone, marked
 //     by epoch stamps (a stamp write per instruction, no clearing pass).
@@ -23,9 +25,15 @@ import (
 //     still valid — i.e. no descendant leaf score changed since it was
 //     computed (see Invalidate) — preserving the Section III-B dirty-cone
 //     caching semantics at instruction granularity.
-//   - SetPool schedules each DAG level's dirty instructions on a worker
-//     pool; levels run in sequence so every argument is ready before its
-//     consumer, and instructions within a level write disjoint segments.
+//   - SetPool runs the round's dirty cone on a worker pool through a
+//     cost-aware scheduler (see DESIGN.md §11): the initial dependency-free
+//     frontier is split into chunks balanced by Span — the instruction's
+//     exact aggregation-op cost — and claimed from a shared cursor, and
+//     every later instruction is released the moment its last argument
+//     finishes, through per-instruction pending counters, instead of
+//     waiting for a per-level barrier. Dirty cones cheaper than the
+//     sequential cutoff run inline, so the cached steady state never pays
+//     a rendezvous.
 //
 // A Runner is not safe for concurrent use (the pool only parallelizes work
 // inside one Run call).
@@ -41,12 +49,43 @@ type Runner struct {
 	valid []bool  // per-node: value consistent with current leaf scores
 	stack []int32 // invalidation scratch
 
-	worklists [][]int32 // per-level dirty instructions (pool mode)
+	// Instruction-level consumer CSR: cons[consStart[i]:consStart[i+1]]
+	// lists the instructions reading instruction i's output, one entry per
+	// argument edge. Built once at NewRunner from Args/InstrOf.
+	consStart []int32
+	cons      []int32
+
+	// Per-round frontier state (pool mode). dirty is the round's scheduled
+	// instructions in topological (ascending) order; live stamps them for
+	// the round; pending[i] counts i's not-yet-finished live argument
+	// edges; ready holds the initial pending==0 frontier, cut into
+	// cost-balanced chunks ending at chunkEnd; slots is the release ring
+	// late instructions flow through (holding ins+1, 0 = empty).
+	dirty     []int32
+	live      []uint64
+	pending   []atomic.Int32
+	ready     []int32
+	chunkEnd  []int32
+	slots     []atomic.Int32
+	lateTotal int64
+
+	chunkCursor paddedCounter
+	claimHead   paddedCounter
+	pushTail    paddedCounter
+
+	seqCutoff int
 
 	pool   *Pool
 	scores []float64 // pinned during a parallel pass
-	runFn  func(ins int32)
+	parFn  func(worker int)
 }
+
+// DefaultSequentialCutoff is the dirty-cone cost (in Span units, i.e.
+// aggregation ops) below which a pooled Runner executes inline: the cached
+// steady state's dirty cones are far below it, so the 0-alloc fast path
+// never pays worker rendezvous, while full recomputes on shared plans sit
+// far above it.
+const DefaultSequentialCutoff = 256
 
 // NewRunner builds a reusable runner for the program with per-node run
 // capacity k (the engine passes slots+1, matching its top-k lists).
@@ -54,26 +93,67 @@ func NewRunner(prog *Program, k int) *Runner {
 	if k <= 0 {
 		panic(fmt.Sprintf("plan: non-positive run capacity %d", k))
 	}
+	n := prog.NumInstr()
 	r := &Runner{
 		prog:      prog,
 		k:         k,
 		ents:      make([]topk.Entry, prog.NumNodes*k),
 		lens:      make([]int32, prog.NumNodes),
-		need:      make([]uint64, prog.NumInstr()),
+		need:      make([]uint64, n),
 		valid:     make([]bool, prog.NumNodes),
-		worklists: make([][]int32, prog.MaxLevel+1),
+		dirty:     make([]int32, 0, n),
+		live:      make([]uint64, n),
+		pending:   make([]atomic.Int32, n),
+		ready:     make([]int32, 0, n),
+		chunkEnd:  make([]int32, 0, n),
+		slots:     make([]atomic.Int32, n),
+		seqCutoff: DefaultSequentialCutoff,
 	}
-	r.runFn = func(ins int32) { r.exec(ins, r.scores) }
+	// Consumer CSR: one edge per materialized (non-leaf) argument. The
+	// argument is always an earlier instruction's output, so InstrOf
+	// resolves it directly.
+	numVars := int32(prog.NumVars)
+	r.consStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		for _, a := range prog.Args[prog.ArgStart[i]:prog.ArgStart[i+1]] {
+			if a >= numVars {
+				r.consStart[prog.InstrOf[a]+1]++
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		r.consStart[i] += r.consStart[i-1]
+	}
+	r.cons = make([]int32, r.consStart[n])
+	fill := make([]int32, n)
+	copy(fill, r.consStart[:n])
+	for i := 0; i < n; i++ {
+		for _, a := range prog.Args[prog.ArgStart[i]:prog.ArgStart[i+1]] {
+			if a >= numVars {
+				p := prog.InstrOf[a]
+				r.cons[fill[p]] = int32(i)
+				fill[p]++
+			}
+		}
+	}
+	r.parFn = r.parallelWorker
 	return r
 }
 
 // Program returns the compiled program the runner executes.
 func (r *Runner) Program() *Program { return r.prog }
 
-// SetPool attaches (or with nil detaches) a worker pool for level-parallel
-// execution. Results are identical to sequential execution because each
-// instruction still runs exactly once from the same inputs.
+// SetPool attaches (or with nil detaches) a worker pool for cost-aware
+// parallel execution of each round's dirty cone. Results are identical to
+// sequential execution because each instruction still runs exactly once,
+// after all its arguments, from the same inputs.
 func (r *Runner) SetPool(p *Pool) { r.pool = p }
+
+// SetSequentialCutoff overrides the dirty-cone cost (in Span units) below
+// which a pooled runner executes inline. 0 forces every dirty cone through
+// the parallel scheduler — useful in tests; the default is
+// DefaultSequentialCutoff.
+func (r *Runner) SetSequentialCutoff(spans int) { r.seqCutoff = spans }
 
 // seg returns node id's slab segment (full capacity; r.lens[id] holds the
 // live length).
@@ -188,13 +268,12 @@ func (r *Runner) run(scores []float64, occurring []bool, incremental bool) (reco
 
 	parallel := r.pool != nil
 	if parallel {
-		for l := range r.worklists {
-			r.worklists[l] = r.worklists[l][:0]
-		}
+		r.dirty = r.dirty[:0]
 	}
+	dirtySpan := 0
 
-	// Execute the cone bottom-up (ascending instruction index is a
-	// topological order). Validity is settled at schedule time so the
+	// Schedule the cone bottom-up (ascending instruction index is a
+	// topological order). Validity is settled here, single-threaded, so the
 	// parallel pass only runs kernels.
 	for ins := int32(0); ins <= maxI; ins++ {
 		if r.need[ins] != r.epoch {
@@ -210,19 +289,141 @@ func (r *Runner) run(scores []float64, occurring []bool, incremental bool) (reco
 			r.valid[nd] = true
 		}
 		if parallel {
-			l := prog.Level[ins]
-			r.worklists[l] = append(r.worklists[l], ins)
+			r.dirty = append(r.dirty, ins)
+			r.live[ins] = r.epoch
+			dirtySpan += span
 			continue
 		}
 		r.exec(ins, scores)
 	}
 	if parallel {
-		r.scores = scores
-		for _, wl := range r.worklists {
-			r.pool.Run(wl, r.runFn)
+		if dirtySpan < r.seqCutoff || len(r.dirty) < 2 {
+			// Sequential cutoff: a small dirty cone (the incremental-cache
+			// steady state) is cheaper to run inline than to hand to the
+			// pool. dirty is in topological order, so inline execution is
+			// safe.
+			for _, ins := range r.dirty {
+				r.exec(ins, scores)
+			}
+		} else {
+			r.runParallel(scores)
 		}
 	}
 	return recomputed, cached
+}
+
+// runParallel executes the round's dirty cone on the pool: cost-balanced
+// chunks of the dependency-free frontier first, then dependency-released
+// instructions as they unlock.
+func (r *Runner) runParallel(scores []float64) {
+	prog := r.prog
+	numVars := int32(prog.NumVars)
+
+	// Reset the frontier from this round's cone: pending[i] counts i's
+	// argument edges into live (scheduled) instructions; cached and leaf
+	// arguments are already materialized and count for nothing.
+	r.ready = r.ready[:0]
+	readySpan := 0
+	for _, ins := range r.dirty {
+		n := int32(0)
+		for _, a := range prog.Args[prog.ArgStart[ins]:prog.ArgStart[ins+1]] {
+			if a >= numVars && r.live[prog.InstrOf[a]] == r.epoch {
+				n++
+			}
+		}
+		r.pending[ins].Store(n)
+		if n == 0 {
+			r.ready = append(r.ready, ins)
+			readySpan += int(prog.Span[ins])
+		}
+	}
+
+	// Cut the ready list into chunks balanced by Span — the exact
+	// aggregation-op cost of each instruction — so one fat fold does not
+	// serialize the frontier while count-equal chunks idle.
+	r.chunkEnd = r.chunkEnd[:0]
+	target := readySpan / (r.pool.Workers() * chunksPerWorker)
+	if target < 1 {
+		target = 1
+	}
+	acc := 0
+	for i, ins := range r.ready {
+		acc += int(prog.Span[ins])
+		if acc >= target {
+			r.chunkEnd = append(r.chunkEnd, int32(i+1))
+			acc = 0
+		}
+	}
+	if n := int32(len(r.ready)); len(r.chunkEnd) == 0 || r.chunkEnd[len(r.chunkEnd)-1] != n {
+		r.chunkEnd = append(r.chunkEnd, n)
+	}
+
+	// Ring reset: every instruction that is not initially ready is pushed
+	// exactly once when its last argument finishes, so the ring needs
+	// late-many cleared slots and never wraps.
+	late := len(r.dirty) - len(r.ready)
+	for i := 0; i < late; i++ {
+		r.slots[i].Store(0)
+	}
+	r.lateTotal = int64(late)
+	r.chunkCursor.v.Store(0)
+	r.claimHead.v.Store(0)
+	r.pushTail.v.Store(0)
+
+	r.scores = scores
+	r.pool.Broadcast(r.parFn)
+	r.scores = nil
+}
+
+// parallelWorker is one worker's share of a parallel round: claim
+// cost-balanced frontier chunks while they last, then claim release-ring
+// slots until every late instruction is spoken for.
+func (r *Runner) parallelWorker(int) {
+	scores := r.scores
+	nChunks := int64(len(r.chunkEnd))
+	for {
+		c := r.chunkCursor.v.Add(1) - 1
+		if c >= nChunks {
+			break
+		}
+		lo := int32(0)
+		if c > 0 {
+			lo = r.chunkEnd[c-1]
+		}
+		for _, ins := range r.ready[lo:r.chunkEnd[c]] {
+			r.execUnlock(ins, scores)
+		}
+	}
+	for {
+		idx := r.claimHead.v.Add(1) - 1
+		if idx >= r.lateTotal {
+			return
+		}
+		// The slot's instruction may not be unlocked yet; its producer is
+		// running on another worker, so yield rather than burn the bus
+		// (essential when GOMAXPROCS < pool size).
+		for {
+			if v := r.slots[idx].Load(); v != 0 {
+				r.execUnlock(v-1, scores)
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// execUnlock runs one instruction's kernel, then releases any consumer
+// whose last argument this was into the ring. The atomic decrement chain on
+// pending plus the slot store publish the slab writes to whichever worker
+// claims the consumer.
+func (r *Runner) execUnlock(ins int32, scores []float64) {
+	r.exec(ins, scores)
+	for _, c := range r.cons[r.consStart[ins]:r.consStart[ins+1]] {
+		if r.live[c] == r.epoch && r.pending[c].Add(-1) == 0 {
+			idx := r.pushTail.v.Add(1) - 1
+			r.slots[idx].Store(c + 1)
+		}
+	}
 }
 
 // exec runs one instruction's kernel.

@@ -524,8 +524,12 @@ func WithBudgetPolicy(p BudgetPolicy) EngineOption { return func(c *EngineConfig
 // WithSharing selects shared-plan vs independent winner determination.
 func WithSharing(m SharingMode) EngineOption { return func(c *EngineConfig) { c.Sharing = m } }
 
-// WithWorkers sets the shared-plan worker-pool size (> 1 evaluates the
-// DAG concurrently; remember to Close the engine).
+// WithWorkers sets the engine's worker-pool size. With n > 1 each round's
+// leaf scoring and the compiled plan's dirty cone run on a persistent pool
+// through the cost-aware frontier scheduler (Span-balanced chunks plus
+// dependency release; small cones still run inline, so the cached steady
+// state is unaffected). Remember to Close the engine. For a sharded server
+// prefer WithTotalWorkers, which splits one core budget across shards.
 func WithWorkers(n int) EngineOption { return func(c *EngineConfig) { c.Workers = n } }
 
 // WithIncrementalCache toggles cross-round plan-result caching: only the
@@ -580,9 +584,10 @@ func NewSortEngine(w *Workload, opts ...EngineOption) (*SortEngine, error) {
 // configuration plus the sharding knobs that only the sharded constructor
 // consumes.
 type serveConfig struct {
-	srv    server.Config
-	shards int
-	router shard.Router
+	srv          server.Config
+	shards       int
+	router       shard.Router
+	totalWorkers int
 }
 
 // A ServerOption adjusts the serving configuration at construction,
@@ -672,6 +677,16 @@ func WithShards(n int) ServerOption { return func(c *serveConfig) { c.shards = n
 // fragments.
 func WithShardRouter(r ShardRouter) ServerOption { return func(c *serveConfig) { c.router = r } }
 
+// WithTotalWorkers sets a total core budget for serving. NewShardedServer
+// splits it across the shards — each shard's engine gets an equal share of
+// pool workers (remainder to the lowest shards, minimum one each) — so the
+// shards × workers trade-off is explicit: the same budget can run as many
+// single-worker shards or one shard with a wide pool, and on overlap-heavy
+// workloads the wide pool wins (see BenchmarkParallelScaling). NewServer
+// gives its single engine the whole budget. Zero (the default) leaves
+// per-engine WithWorkers settings untouched.
+func WithTotalWorkers(n int) ServerOption { return func(c *serveConfig) { c.totalWorkers = n } }
+
 // NewServer builds the engine for the workload and starts the serving
 // round loop:
 //
@@ -690,6 +705,9 @@ func NewServer(w *Workload, opts ...ServerOption) (*Server, error) {
 	cfg := applyServerOptions(opts)
 	if cfg.shards > 1 {
 		return nil, fmt.Errorf("sharedwd: NewServer is single-engine; use NewShardedServer for %d shards", cfg.shards)
+	}
+	if cfg.totalWorkers > 0 {
+		cfg.srv.Engine.Workers = cfg.totalWorkers
 	}
 	return server.New(w, cfg.srv)
 }
@@ -717,6 +735,7 @@ func NewShardedServer(w *Workload, opts ...ServerOption) (*ShardedServer, error)
 		scfg.Shards = cfg.shards
 	}
 	scfg.Router = cfg.router
+	scfg.TotalWorkers = cfg.totalWorkers
 	return shard.New(w, scfg)
 }
 

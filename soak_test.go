@@ -237,6 +237,104 @@ func TestSoakServer(t *testing.T) {
 	}
 }
 
+// TestSoakParallelClose is the shutdown gauntlet for wide worker pools: a
+// sharded server whose engines split a TotalWorkers core budget is closed
+// from several goroutines at once while submitters are still hammering it —
+// so Close races in-flight rounds whose Steps are running on the engine
+// pools — and afterwards nothing the server or any engine pool started may
+// survive. It also pins engine-level Close idempotence directly.
+func TestSoakParallelClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+
+	// Engine-level: repeated Close on a pooled engine is a no-op, and the
+	// engine still reports consistent accounting afterwards.
+	{
+		wcfg := workload.DefaultConfig()
+		wcfg.NumAdvertisers = 80
+		wcfg.NumPhrases = 10
+		wcfg.Seed = 91
+		w := workload.Generate(wcfg)
+		ecfg := core.DefaultConfig()
+		ecfg.Workers = 4
+		eng, err := core.New(w, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			eng.Step(nil)
+		}
+		eng.Close()
+		eng.Close()
+	}
+
+	before := runtime.NumGoroutine()
+
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 150
+	wcfg.NumPhrases = 16
+	wcfg.Seed = 92
+	w := workload.Generate(wcfg)
+	s, err := NewShardedServer(w,
+		WithShards(2),
+		WithTotalWorkers(6), // 3 pool workers per shard engine
+		WithRoundInterval(time.Millisecond),
+		WithMaxBatch(32),
+		WithQueueDepth(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submitters run until the server refuses them; Close fires mid-flight.
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9000 + g)))
+			for i := 0; ; i++ {
+				query := w.PhraseNames[rng.Intn(len(w.PhraseNames))]
+				_, err := s.Submit(context.Background(), query)
+				if errors.Is(err, ErrServerClosed) {
+					return
+				}
+				if err != nil && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("submitter %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let several rounds close under load
+	var closers sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			s.Close() // concurrent + repeated Close must all return
+		}()
+	}
+	closers.Wait()
+	s.Close()
+	wg.Wait()
+
+	if m := s.Metrics(); m.Answered == 0 {
+		t.Fatal("parallel-close soak answered no queries")
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutine leak: %d before, %d after close\n%s", before, after, buf[:n])
+	}
+}
+
 // TestSoakShardedCloseFullQueues is the shutdown regression for the sharded
 // server: Close while every shard's round loop is stalled mid-round and
 // every admission queue is full must resolve all blocked submitters and
