@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-shard bench-parallel bench-json bench-compare fmt vet staticcheck
+.PHONY: all build test race bench bench-shard bench-parallel bench-server bench-json bench-compare fmt vet staticcheck
 
 all: build test
 
@@ -41,15 +41,24 @@ bench-parallel:
 	$(GO) test -bench='ParallelScaling' -benchmem -benchtime=2s -run='^$$' .
 	$(GO) test -bench='ExecutorRound' -benchmem -benchtime=2s -run='^$$' ./internal/core
 
+# bench-server runs the serving benchmarks: in-process Submit throughput,
+# the shard sweep, and the loopback HTTP tier (BenchmarkHTTPThroughput) —
+# the last one quantifies what the JSON/TCP edge costs next to in-process
+# numbers. It then diffs the fresh numbers against the committed
+# BENCH_server.json with the same gate bench-compare applies to the core.
+bench-server:
+	$(GO) test -bench='ServerThroughput|ShardedThroughput|HTTPThroughput' -benchmem -benchtime=2s -run='^$$' . \
+		| $(GO) run ./tools/benchjson -compare BENCH_server.json
+
 # bench-json runs the core round-resolution and serving benchmarks and
 # records them as machine-readable JSON (BENCH_core.json, BENCH_server.json)
-# for cross-PR comparison. The serving file carries both the single-server
-# throughput benchmark and the shard sweep.
+# for cross-PR comparison. The serving file carries the single-server
+# throughput benchmark, the shard sweep, and the loopback HTTP tier.
 bench-json:
 	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap|ParallelScaling' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_core.json
 	@cat BENCH_core.json
-	$(GO) test -bench='ServerThroughput|ShardedThroughput' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='ServerThroughput|ShardedThroughput|HTTPThroughput' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_server.json
 	@cat BENCH_server.json
 

@@ -7,10 +7,13 @@
 package sharedwd
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"sort"
 	"sync"
 	"testing"
@@ -20,12 +23,14 @@ import (
 	"sharedwd/internal/bitset"
 	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
+	"sharedwd/internal/netserve"
 	"sharedwd/internal/nonsep"
 	"sharedwd/internal/plan"
 	"sharedwd/internal/server"
 	"sharedwd/internal/shard"
 	"sharedwd/internal/sharedagg"
 	"sharedwd/internal/sharedsort"
+	"sharedwd/internal/stats"
 	"sharedwd/internal/ta"
 	"sharedwd/internal/topk"
 	"sharedwd/internal/workload"
@@ -924,7 +929,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 		i := 0
 		for pb.Next() {
 			// Shed responses are answered requests too; anything else fails.
-			if _, err := s.Submit(ctx, queries[i%len(queries)]); err != nil && err != server.ErrOverloaded {
+			if _, err := s.Submit(ctx, queries[i%len(queries)]); err != nil && !errors.Is(err, ErrOverloaded) {
 				b.Error(err)
 				return
 			}
@@ -933,12 +938,104 @@ func BenchmarkServerThroughput(b *testing.B) {
 	})
 	elapsed := time.Since(start)
 	b.StopTimer()
-	snap := s.Snapshot()
+	m := s.Metrics()
 	if sec := elapsed.Seconds(); sec > 0 {
-		b.ReportMetric(float64(snap.Answered)/sec, "queries/sec")
+		b.ReportMetric(float64(m.Answered)/sec, "queries/sec")
 	}
-	b.ReportMetric(snap.TotalLatency.P95*1e3, "p95ms")
-	b.ReportMetric(float64(snap.Shed), "shed")
+	b.ReportMetric(m.TotalLatency.P95()*1e3, "p95ms")
+	b.ReportMetric(float64(m.Shed), "shed")
+}
+
+// BenchmarkHTTPThroughput pushes the identical serving load through the
+// network tier instead of in-process Submit calls: loopback TCP, JSON
+// bodies, keep-alive connections, the full handler path. Held next to
+// BenchmarkServerThroughput it quantifies what the HTTP/JSON edge costs —
+// the answered-rate gap is serialization + kernel round trips, and the
+// client-measured p95 adds the network wait on top of the serving p95.
+func BenchmarkHTTPThroughput(b *testing.B) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 400
+	wcfg.NumPhrases = 24
+	wcfg.MinBudget = 1e6
+	wcfg.MaxBudget = 2e6
+	w := workload.Generate(wcfg)
+	cfg := server.DefaultConfig()
+	cfg.RoundInterval = time.Millisecond
+	cfg.MaxBatch = 1024
+	cfg.QueueDepth = 1 << 14
+	s, err := server.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ns := netserve.New(s, nil, netserve.Config{DefaultTimeout: 5 * time.Second})
+	if err := ns.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer ns.Close()
+
+	url := "http://" + ns.Addr() + "/v1/query"
+	transport := &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 10 * time.Second}
+
+	// Pre-render the request bodies; the benchmark measures the edge, not
+	// the client's JSON encoder.
+	bodies := make([][]byte, len(w.PhraseNames))
+	for i, name := range w.PhraseNames {
+		bodies[i] = []byte(fmt.Sprintf(`{"query":%q}`, name))
+	}
+
+	// Client-side end-to-end latency, merged from per-goroutine tallies so
+	// the hot loop never shares a histogram.
+	var tallyMu sync.Mutex
+	e2e := stats.NewHistogram(0, 0.25, 256)
+
+	b.SetParallelism(64)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		local := stats.NewHistogram(0, 0.25, 256)
+		i := 0
+		for pb.Next() {
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// 429 (shed under pressure) is an answered request; anything
+			// else unexpected fails the benchmark.
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			local.Add(time.Since(t0).Seconds())
+			i++
+		}
+		tallyMu.Lock()
+		e2e.Merge(local)
+		tallyMu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	m := s.Metrics()
+	if sec := elapsed.Seconds(); sec > 0 {
+		b.ReportMetric(float64(m.Answered)/sec, "queries/sec")
+	}
+	b.ReportMetric(e2e.Quantile(0.95)*1e3, "p95ms")
+	b.ReportMetric(m.TotalLatency.P95()*1e3, "srv_p95ms")
+	b.ReportMetric(float64(m.Shed), "shed")
 }
 
 // BenchmarkShardedThroughput sweeps the shard count over the same serving

@@ -1,0 +1,201 @@
+// Command loadgen drives the network serving tier over real HTTP and
+// reports end-to-end throughput and latency — the numbers to hold next to
+// the in-process Submit figures (BenchmarkServerThroughput) when deciding
+// what the JSON/TCP edge costs.
+//
+// With -addr it targets an already-running tier (e.g. servedemo -listen).
+// Without it, loadgen self-hosts: it generates the same synthetic workload
+// the benchmarks use, starts a NetServer on a random loopback port, and
+// hammers it through keep-alive connections.
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-clients 32] [-duration 10s]
+//	        [-deadline 100ms] [-junk 0.05]
+//	        [-advertisers 2000] [-phrases 64] [-seed 1] [-shards 1]
+//
+// Output: end-to-end queries/sec, latency quantiles measured at the
+// client (network + JSON + serving), and the HTTP status breakdown.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sharedwd/internal/netserve"
+	"sharedwd/internal/server"
+	"sharedwd/internal/shard"
+	"sharedwd/internal/stats"
+	"sharedwd/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target a running tier at this host:port (empty = self-host on loopback)")
+	clients := flag.Int("clients", 32, "concurrent client goroutines")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "per-request deadline (sent as X-Timeout)")
+	junk := flag.Float64("junk", 0.05, "fraction of junk queries matching no phrase")
+	advertisers := flag.Int("advertisers", 2000, "self-host: number of advertisers")
+	phrases := flag.Int("phrases", 64, "self-host: number of bid phrases")
+	seed := flag.Int64("seed", 1, "random seed (workload and query streams)")
+	shards := flag.Int("shards", 1, "self-host: engine shards")
+	flag.Parse()
+
+	// The workload is needed even when targeting a remote tier: the query
+	// streams draw from its phrase distribution.
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = *advertisers
+	wcfg.NumPhrases = *phrases
+	wcfg.Seed = *seed
+	w := workload.Generate(wcfg)
+
+	target := *addr
+	var ns *netserve.Server
+	if target == "" {
+		cfg := server.DefaultConfig()
+		scfg := shard.DefaultConfig()
+		scfg.Worker = cfg
+		scfg.Shards = *shards
+		backend, err := shard.New(w, scfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ns = netserve.New(backend, nil, netserve.Config{})
+		if err := ns.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		target = ns.Addr()
+		fmt.Printf("self-hosting on %s (%d advertisers, %d phrases, %d shard(s))\n",
+			target, *advertisers, *phrases, *shards)
+	}
+	url := "http://" + target + "/v1/query"
+
+	// One shared transport: keep-alives across all clients, enough idle
+	// conns that each client keeps its socket.
+	transport := &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}
+	httpc := &http.Client{Transport: transport, Timeout: *deadline + time.Second}
+	xTimeout := deadline.String()
+
+	type clientTally struct {
+		lat    *stats.Summary
+		hist   *stats.Histogram
+		status map[int]int
+		errs   int
+	}
+	tallies := make([]clientTally, *clients)
+	stopAt := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		tallies[c] = clientTally{
+			lat:    &stats.Summary{},
+			hist:   stats.NewHistogram(0, deadline.Seconds()*2, 256),
+			status: make(map[int]int),
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t := &tallies[c]
+			qs := workload.NewQueryStream(w, *junk, *seed+int64(c)*7919)
+			var queries []string
+			for time.Now().Before(stopAt) {
+				if len(queries) == 0 {
+					queries = qs.Round()
+					continue
+				}
+				q := queries[len(queries)-1]
+				queries = queries[:len(queries)-1]
+				body, _ := json.Marshal(map[string]string{"query": q})
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					t.errs++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Timeout", xTimeout)
+				t0 := time.Now()
+				resp, err := httpc.Do(req)
+				if err != nil {
+					t.errs++
+					continue
+				}
+				// Drain so the connection returns to the keep-alive pool.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				sec := time.Since(t0).Seconds()
+				t.lat.Add(sec)
+				t.hist.Add(sec)
+				t.status[resp.StatusCode]++
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge the per-client tallies.
+	total := clientTally{lat: &stats.Summary{}, hist: stats.NewHistogram(0, deadline.Seconds()*2, 256), status: make(map[int]int)}
+	for _, t := range tallies {
+		total.lat.Merge(*t.lat)
+		total.hist.Merge(t.hist)
+		for code, n := range t.status {
+			total.status[code] += n
+		}
+		total.errs += t.errs
+	}
+
+	fmt.Printf("\n%d requests in %v over %d clients\n", total.lat.N(), elapsed.Round(time.Millisecond), *clients)
+	fmt.Printf("end-to-end: %.0f qps, p50 %.2fms, p95 %.2fms, p99 %.2fms, max %.2fms\n",
+		float64(total.lat.N())/elapsed.Seconds(),
+		total.hist.Quantile(0.5)*1e3, total.hist.Quantile(0.95)*1e3,
+		total.hist.Quantile(0.99)*1e3, total.lat.Max()*1e3)
+	codes := make([]int, 0, len(total.status))
+	for code := range total.status {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Printf("  %d: %d\n", code, total.status[code])
+	}
+	if total.errs > 0 {
+		fmt.Printf("  transport errors: %d\n", total.errs)
+	}
+
+	if ns != nil {
+		if sm, err := metricsOf(target); err == nil {
+			fmt.Printf("in-process: %.0f qps served, total p95 %.2fms (the gap to end-to-end is the HTTP edge)\n",
+				sm.QueriesPerSec, sm.TotalLatency.P95()*1e3)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ns.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// metricsOf fetches the tier's merged metrics via its own /v1/stats
+// contract — exercising the wire schema instead of peeking at the backend.
+func metricsOf(target string) (server.Metrics, error) {
+	resp, err := http.Get("http://" + target + "/v1/stats")
+	if err != nil {
+		return server.Metrics{}, err
+	}
+	defer resp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return server.Metrics{}, err
+	}
+	return m, nil
+}

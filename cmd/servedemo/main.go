@@ -16,7 +16,16 @@
 //	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
 //	          [-shards 1] [-router hash|fragment]
 //	          [-replan] [-drift]
+//	          [-listen :8080] [-rate-limit 0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -listen additionally serves the network tier on the given address while
+// the synthetic load runs: POST /v1/query answers external queries,
+// GET /v1/stats and /v1/metrics expose the same metrics the snapshots
+// print (JSON and Prometheus text), and GET /v1/live streams per-round
+// summaries over a WebSocket — point a browser or `curl` at it while the
+// demo runs. -rate-limit enables the edge's per-client token bucket at
+// that many requests per second.
 //
 // -replan turns on online adaptive replanning: each round loop tracks the
 // arrival rates it observes and hot-swaps a freshly compiled shared plan
@@ -44,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sharedwd/internal/netserve"
 	"sharedwd/internal/replan"
 	"sharedwd/internal/server"
 	"sharedwd/internal/shard"
@@ -74,6 +84,8 @@ func main() {
 	router := flag.String("router", "hash", "phrase-to-shard router: hash or fragment")
 	replanOn := flag.Bool("replan", false, "adaptive replanning: hot-swap the shared plan when observed rates drift")
 	drift := flag.Bool("drift", false, "inject traffic drift halfway through (rotate arrival rates by half the phrases)")
+	listen := flag.String("listen", "", "also serve HTTP on this address (/v1/query, /v1/stats, /v1/metrics, /v1/live)")
+	rateLimit := flag.Float64("rate-limit", 0, "edge rate limit in requests/sec per client (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -128,6 +140,16 @@ func main() {
 		cfg.Replan = &rc
 	}
 
+	// The live-feed hub must exist before the server: round loops bind
+	// their summary hook at worker construction.
+	var netCfg netserve.Config
+	var hub *netserve.Hub
+	if *listen != "" {
+		netCfg = netserve.Config{Addr: *listen, RateLimit: *rateLimit}
+		hub = netserve.NewHubFor(netCfg)
+		cfg.OnRound = hub.RoundHook()
+	}
+
 	var s roundServer
 	var err error
 	if *shards > 1 {
@@ -152,8 +174,19 @@ func main() {
 
 	fmt.Printf("workload: %d advertisers, %d phrases (seed %d)\n",
 		*advertisers, *phrases, *seed)
-	fmt.Printf("server:   %d shard(s) [%s router], %v rounds, batch %d, queue %d, %d clients, %v deadlines\n\n",
+	fmt.Printf("server:   %d shard(s) [%s router], %v rounds, batch %d, queue %d, %d clients, %v deadlines\n",
 		*shards, *router, *round, *batch, *queue, *clients, *deadline)
+
+	var ns *netserve.Server
+	if *listen != "" {
+		ns = netserve.New(s, hub, netCfg)
+		if err := ns.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("http:     listening on %s (POST /v1/query, GET /v1/stats /v1/metrics /v1/live)\n", ns.Addr())
+	}
+	fmt.Println()
 
 	var stop atomic.Bool
 	driftAt := time.Now().Add(*duration / 2)
@@ -202,7 +235,15 @@ func main() {
 
 	stop.Store(true)
 	wg.Wait()
-	s.Close()
+	if ns != nil {
+		// Graceful drain: stop accepting, answer in-flight requests, close
+		// the live feed, then drain the backend (ns owns s from here).
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ns.Shutdown(shCtx)
+		cancel()
+	} else {
+		s.Close()
+	}
 
 	m := s.Metrics()
 	fmt.Printf("\nsubmitted %d, answered %d (%.0f/sec) over %d rounds (%d empty)\n",

@@ -238,10 +238,12 @@ type throttleScratch struct {
 // of expensive throttled bids (deep outstanding sets) can be stolen.
 const scoreGrain = 64
 
-// Stats accumulates engine-lifetime counters.
+// Stats accumulates engine-lifetime counters. The JSON tags are the stable
+// wire schema shared by the network tier's /v1/stats endpoint and the
+// WebSocket round feed; renaming one is a breaking API change.
 type Stats struct {
-	Rounds           int
-	AuctionsResolved int
+	Rounds           int `json:"rounds"`
+	AuctionsResolved int `json:"auctions_resolved"`
 	// NodesMaterialized counts top-k aggregation operations performed (the
 	// Section-II cost metric). For Independent mode it counts the per-scan
 	// pushes equivalent: one per advertiser scanned beyond the first per
@@ -249,19 +251,19 @@ type Stats struct {
 	// counts only nodes actually recomputed — which is exactly the paper's
 	// expected-materialization cost model — while cache hits accumulate in
 	// NodesCached.
-	NodesMaterialized int
+	NodesMaterialized int `json:"nodes_materialized"`
 	// NodesCached counts plan nodes served from the cross-round cache
 	// instead of being recomputed (IncrementalCache mode only).
 	// NodesMaterialized + NodesCached equals what NodesMaterialized would
 	// be with the cache off.
-	NodesCached   int
-	Revenue       float64
-	ClicksCharged int
+	NodesCached   int     `json:"nodes_cached"`
+	Revenue       float64 `json:"revenue"`
+	ClicksCharged int     `json:"clicks_charged"`
 	// ClicksForgiven counts clicks whose price exceeded the advertiser's
 	// remaining budget and could not be charged — the paper's lost revenue.
-	ClicksForgiven int
-	ForgivenValue  float64
-	AdsDisplayed   int
+	ClicksForgiven int     `json:"clicks_forgiven"`
+	ForgivenValue  float64 `json:"forgiven_value"`
+	AdsDisplayed   int     `json:"ads_displayed"`
 }
 
 // Add returns the field-wise sum of two stat sets — the aggregation used to
@@ -489,11 +491,12 @@ func (e *Engine) Report(i int) AdvertiserReport {
 	}
 }
 
-// SlotResult is one filled slot in one auction.
+// SlotResult is one filled slot in one auction. The JSON tags are the
+// stable wire schema the network tier's query responses use.
 type SlotResult struct {
-	Slot       int
-	Advertiser int
-	PricePaid  float64 // per-click price
+	Slot       int     `json:"slot"`
+	Advertiser int     `json:"advertiser"`
+	PricePaid  float64 `json:"price_paid"` // per-click price
 }
 
 // RoundReport is the outcome of one engine step. Its Auctions map and

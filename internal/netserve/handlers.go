@@ -1,0 +1,180 @@
+package netserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/serr"
+)
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// Query is the search phrase to auction.
+	Query string `json:"query"`
+	// Timeout is the optional per-request deadline as a Go duration string
+	// ("250ms", "2s"); the X-Timeout header takes precedence. Absent both,
+	// the server's DefaultTimeout applies; either way MaxTimeout clamps.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+// queryResponse is the POST /v1/query success body.
+type queryResponse struct {
+	Query  string            `json:"query"`
+	Phrase int               `json:"phrase"`
+	Shard  int               `json:"shard"`
+	Round  int               `json:"round"`
+	Slots  []core.SlotResult `json:"slots"`
+	// LatencyNS is the backend's submit-to-answer latency in nanoseconds
+	// (the network round trip is the client's to measure).
+	LatencyNS int64 `json:"latency_ns"`
+}
+
+// routes builds the v1 mux. Method-qualified patterns (Go 1.22 ServeMux)
+// give wrong-method requests a 405 with Allow for free.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/live", s.handleLive)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// requestTimeout resolves the effective deadline for one query: X-Timeout
+// header, then the body's timeout field, then DefaultTimeout — clamped to
+// MaxTimeout. A malformed or non-positive duration is a client error.
+func (s *Server) requestTimeout(r *http.Request, body queryRequest) (time.Duration, error) {
+	raw := r.Header.Get("X-Timeout")
+	if raw == "" {
+		raw = body.Timeout
+	}
+	if raw == "" {
+		return s.cfg.DefaultTimeout, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q: must be positive", raw)
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d, nil
+}
+
+// handleQuery submits one query to the backend and renders the auction
+// outcome. The serving error taxonomy maps onto HTTP statuses:
+//
+//	serr.ErrNoAuction       → 404 (the query matches no bid phrase)
+//	serr.ErrOverloaded      → 429 + Retry-After (admission backpressure)
+//	serr.ErrClosed          → 503 (server draining)
+//	context.DeadlineExceeded → 504 (the request's own deadline)
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), false)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), false)
+		return
+	}
+	// Drain any trailing bytes so keep-alive connections stay reusable.
+	io.Copy(io.Discard, body)
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "empty query", false)
+		return
+	}
+	timeout, err := s.requestTimeout(r, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := s.backend.Submit(ctx, req.Query)
+	if err != nil {
+		switch {
+		case errors.Is(err, serr.ErrNoAuction):
+			writeError(w, http.StatusNotFound, err.Error(), false)
+		case errors.Is(err, serr.ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error(), true)
+		case errors.Is(err, serr.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err.Error(), false)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, err.Error(), true)
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody reads this status.
+			writeError(w, 499, err.Error(), false)
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error(), false)
+		}
+		return
+	}
+
+	resp := queryResponse{
+		Query:     req.Query,
+		Phrase:    res.Phrase,
+		Shard:     res.Shard,
+		Round:     res.Round,
+		Slots:     res.Slots,
+		LatencyNS: int64(res.Latency),
+	}
+	if resp.Slots == nil {
+		resp.Slots = []core.SlotResult{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleStats renders the merged fleet metrics as JSON — the same stable
+// snake_case schema server.Metrics marshals to, so the body unmarshals
+// back into a server.Metrics that can be re-merged with other replicas'.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.backend.Metrics())
+}
+
+// handleMetrics renders the same numbers in Prometheus text exposition
+// format, plus the edge tier's own counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	edge := edgeStats{
+		liveConns:    s.hub.Conns(),
+		liveDropped:  s.hub.Dropped(),
+		httpRequests: s.requests.Load(),
+	}
+	if s.limiter != nil {
+		edge.raterefused = s.limiter.Refused()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeProm(w, s.backend.Metrics(), edge)
+}
+
+// handleLive upgrades to WebSocket and subscribes the connection to the
+// round feed. The call blocks in the hub's reader loop until the
+// connection ends — http.Server has already released the connection to us
+// via Hijack, so holding the handler goroutine is the intended shape.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	conn, br := wsUpgrade(w, r)
+	if conn == nil {
+		return // wsUpgrade wrote the HTTP error
+	}
+	s.hub.serve(conn, br)
+}

@@ -1,0 +1,136 @@
+package netserve
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RateLimiter is a token-bucket admission filter keyed by client address:
+// each remote host owns a bucket of capacity burst refilled at rate tokens
+// per second, and a request finding the bucket empty is refused. It is the
+// network edge's first shed point — cheaper than the admission queue,
+// per-client instead of global — so one chatty client cannot spend the
+// whole fleet's queue depth. Safe for concurrent use.
+type RateLimiter struct {
+	rate  float64 // tokens added per second
+	burst float64 // bucket capacity
+
+	now func() time.Time // test hook; time.Now in production
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	refused atomic.Int64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-client table; beyond it, stale buckets (full
+// again, so indistinguishable from absent) are evicted on the next Allow.
+const maxBuckets = 4096
+
+// NewRateLimiter returns a limiter admitting rate requests per second per
+// client with bursts of burst. rate must be positive; burst < 1 is raised
+// to 1 (a limiter that admits nothing is a firewall, not a limiter).
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		panic("netserve: non-positive rate limit")
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow consumes one token from key's bucket, reporting whether one was
+// available. New keys start with a full bucket.
+func (l *RateLimiter) Allow(key string) bool {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.evictFull(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		l.refused.Add(1)
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictFull drops every bucket that has refilled to capacity — a full
+// bucket behaves identically to no bucket, so eviction never changes an
+// admission decision. Called with the lock held.
+func (l *RateLimiter) evictFull(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// Refused returns how many requests the limiter has refused.
+func (l *RateLimiter) Refused() int64 { return l.refused.Load() }
+
+// clientKey extracts the per-client bucket key from a request: the remote
+// host without the ephemeral port, so one client's connections share one
+// bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Middleware wraps next with the rate limit: refused requests get 429 with
+// a Retry-After hint and the standard error body.
+func (l *RateLimiter) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.Allow(clientKey(r)) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded", true)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorResponse is the JSON error body every non-2xx response carries.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Retryable mirrors the serving error taxonomy: backpressure (429) and
+	// timeouts are retryable, a closed server or an unmatched query is not.
+	Retryable bool `json:"retryable"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryable bool) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg, Retryable: retryable})
+}

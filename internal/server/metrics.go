@@ -14,11 +14,17 @@ import (
 // distribution. Merge combines distributions from different workers, so a
 // sharded server's fleet-wide P95 is computed over the union of samples,
 // not averaged per shard.
+//
+// The JSON tags (with the custom codecs on stats.Summary and
+// stats.Histogram) are the stable wire schema: a marshal/unmarshal round
+// trip reproduces the distribution exactly, including its quantiles, so
+// /v1/stats consumers can re-merge distributions fetched from different
+// replicas.
 type LatencyDist struct {
 	// Summary carries the exact count, mean, min, max, and variance.
-	Summary stats.Summary
+	Summary stats.Summary `json:"summary"`
 	// Hist is the bucketed distribution behind Quantile; nil when empty.
-	Hist *stats.Histogram
+	Hist *stats.Histogram `json:"hist,omitempty"`
 }
 
 // Count returns the number of observations.
@@ -63,72 +69,79 @@ func (d LatencyDist) Merge(o LatencyDist) LatencyDist {
 	return out
 }
 
-// Stats projects the distribution onto the legacy LatencyStats view.
-func (d LatencyDist) Stats() LatencyStats {
-	return LatencyStats{
-		Count: d.Count(),
-		Mean:  d.Mean(),
-		P50:   d.P50(),
-		P95:   d.P95(),
-		Max:   d.Max(),
-	}
-}
-
 // Metrics is the unified observability view across the serving stack: one
 // type carries the admission counters, queue occupancy, round/throughput
 // rates, per-stage latency distributions, and the engine's lifetime
 // counters — whether they describe one core.Engine, one server.Worker, or
 // a whole sharded fleet. Merge aggregates worker metrics into fleet
-// metrics; the legacy core.Engine Stats and server Snapshot views are thin
-// projections (Engine field, Snapshot method).
+// metrics.
+//
+// The snake_case JSON tags are the stable wire schema shared by the
+// network tier's /v1/stats endpoint and the Prometheus exposition's metric
+// names; a marshaled Metrics unmarshals back into an equal Metrics
+// (latency distributions included), so replicas' stats can be fetched,
+// decoded, and re-merged.
 type Metrics struct {
-	// Uptime is the time since the (oldest merged) worker started.
-	Uptime time.Duration
+	// Uptime is the time since the (oldest merged) worker started,
+	// marshaled as integer nanoseconds.
+	Uptime time.Duration `json:"uptime_ns"`
 
 	// Admission counters. Submitted = Answered + in flight + Unmatched +
 	// Shed + TimedOut (+ Expired requests answered with their ctx error).
-	Submitted, Answered, Unmatched, Shed, TimedOut, Expired int64
+	Submitted int64 `json:"submitted"`
+	Answered  int64 `json:"answered"`
+	Unmatched int64 `json:"unmatched"`
+	Shed      int64 `json:"shed"`
+	TimedOut  int64 `json:"timed_out"`
+	Expired   int64 `json:"expired"`
 
 	// QueueDepth is the current admission-queue occupancy summed across
 	// workers; QueueCap the summed bound.
-	QueueDepth, QueueCap int
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
 
 	// Rounds counts engine rounds closed across workers; EmptyRounds those
 	// with no live request (zero-traffic ticks). RoundsPerSec and
 	// QueriesPerSec are lifetime rates over Uptime.
-	Rounds, EmptyRounds         int64
-	RoundsPerSec, QueriesPerSec float64
+	Rounds        int64   `json:"rounds"`
+	EmptyRounds   int64   `json:"empty_rounds"`
+	RoundsPerSec  float64 `json:"rounds_per_sec"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
 
 	// Per-stage latency (seconds): time in the admission queue, time
 	// waiting for the round to close, winner-determination time per
 	// non-empty round, and total submit-to-answer latency.
-	AdmissionWait, RoundWait, WinnerDetermination, TotalLatency LatencyDist
+	AdmissionWait       LatencyDist `json:"admission_wait"`
+	RoundWait           LatencyDist `json:"round_wait"`
+	WinnerDetermination LatencyDist `json:"winner_determination"`
+	TotalLatency        LatencyDist `json:"total_latency"`
 
 	// Engine is the engine-lifetime counter sum as of the last closed
 	// round on each worker.
-	Engine core.Stats
+	Engine core.Stats `json:"engine"`
 
 	// Observed is the adaptive replanner's per-phrase arrival-rate
 	// estimate, one sample per phrase keyed by global phrase ID and sorted
 	// by it. Empty when replanning is off. Merging workers concatenates
 	// their samples — a sharded fleet partitions the phrase universe, so
 	// the union is the fleet-wide estimate.
-	Observed []RateSample
+	Observed []RateSample `json:"observed,omitempty"`
 	// PlanSwaps counts plans hot-swapped into engines; ReplanBuilds counts
 	// background rebuilds started (a build in flight when the server closes
 	// is started but never swapped).
-	PlanSwaps, ReplanBuilds int64
+	PlanSwaps    int64 `json:"plan_swaps"`
+	ReplanBuilds int64 `json:"replan_builds"`
 	// PlanSwapLatency is the distribution of in-loop swap installation
 	// times (seconds) — the round-loop stall a hot swap actually costs.
-	PlanSwapLatency stats.Summary
+	PlanSwapLatency stats.Summary `json:"plan_swap_latency"`
 }
 
 // RateSample is one phrase's observed arrival-rate estimate.
 type RateSample struct {
 	// Phrase is the global phrase ID.
-	Phrase int
+	Phrase int `json:"phrase"`
 	// Rate is the exponentially-decayed occurrence-rate estimate in [0,1].
-	Rate float64
+	Rate float64 `json:"rate"`
 }
 
 // ObservedRates projects the Observed samples onto a dense vector over a
@@ -183,75 +196,4 @@ func (m Metrics) Merge(o Metrics) Metrics {
 		out.QueriesPerSec = float64(out.Answered) / sec
 	}
 	return out
-}
-
-// Snapshot projects the metrics onto the legacy Snapshot view.
-func (m Metrics) Snapshot() Snapshot {
-	return Snapshot{
-		Uptime:              m.Uptime,
-		Submitted:           m.Submitted,
-		Answered:            m.Answered,
-		Unmatched:           m.Unmatched,
-		Shed:                m.Shed,
-		TimedOut:            m.TimedOut,
-		Expired:             m.Expired,
-		QueueDepth:          m.QueueDepth,
-		QueueCap:            m.QueueCap,
-		Rounds:              m.Rounds,
-		EmptyRounds:         m.EmptyRounds,
-		RoundsPerSec:        m.RoundsPerSec,
-		QueriesPerSec:       m.QueriesPerSec,
-		AdmissionWait:       m.AdmissionWait.Stats(),
-		RoundWait:           m.RoundWait.Stats(),
-		WinnerDetermination: m.WinnerDetermination.Stats(),
-		TotalLatency:        m.TotalLatency.Stats(),
-		Engine:              m.Engine,
-	}
-}
-
-// LatencyStats summarizes one pipeline stage's latency distribution in
-// seconds. Quantiles are histogram estimates (see stats.Histogram.Quantile);
-// Mean and Max are exact.
-//
-// Deprecated: LatencyStats remains as the projection LatencyDist.Stats
-// returns inside the legacy Snapshot; new code should read LatencyDist on
-// Metrics, which additionally supports Merge and arbitrary quantiles.
-type LatencyStats struct {
-	Count          int
-	Mean, P50, P95 float64
-	Max            float64
-}
-
-// Snapshot is a point-in-time view of the server's health: admission and
-// shed counters, queue depth, round and throughput rates, per-stage latency
-// distributions, and the wrapped engine's lifetime counters.
-//
-// Deprecated: Snapshot remains as a projection of Metrics (see
-// Metrics.Snapshot); new code should use Metrics, which additionally
-// supports cross-shard Merge and histogram-backed quantiles.
-type Snapshot struct {
-	Uptime time.Duration
-
-	// Admission counters. Submitted = answered + in flight + Unmatched +
-	// Shed + TimedOut (+ Expired requests answered with their ctx error).
-	Submitted, Answered, Unmatched, Shed, TimedOut, Expired int64
-
-	// QueueDepth is the current admission-queue occupancy; QueueCap its
-	// bound.
-	QueueDepth, QueueCap int
-
-	// Rounds counts engine rounds closed; EmptyRounds those with no live
-	// request (zero-traffic ticks). RoundsPerSec and QueriesPerSec are
-	// lifetime rates.
-	Rounds, EmptyRounds         int64
-	RoundsPerSec, QueriesPerSec float64
-
-	// Per-stage latency (seconds): time in the admission queue, time
-	// waiting for the round to close, winner-determination time per
-	// non-empty round, and total Submit-to-answer latency.
-	AdmissionWait, RoundWait, WinnerDetermination, TotalLatency LatencyStats
-
-	// Engine is the wrapped engine's lifetime counters as of the last
-	// closed round.
-	Engine core.Stats
 }

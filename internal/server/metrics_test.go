@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -88,25 +90,79 @@ func TestMetricsMerge(t *testing.T) {
 		t.Fatalf("engine stats wrong: %+v", m.Engine)
 	}
 
-	// The legacy projection carries the merged numbers.
-	snap := m.Snapshot()
-	if snap.Answered != 27 || snap.TotalLatency.Count != 3 ||
-		math.Abs(snap.TotalLatency.Mean-m.TotalLatency.Mean()) > 1e-12 {
-		t.Fatalf("snapshot projection wrong: %+v", snap)
-	}
 }
 
-// TestServerMetricsMatchesSnapshot: the deprecated Snapshot and the new
-// Metrics must agree on a live server.
-func TestServerMetricsMatchesSnapshot(t *testing.T) {
-	s, err := New(testWorkload(t), testConfig())
+// TestMetricsJSONRoundTrip is the wire contract behind /v1/stats and the
+// WebSocket feed: a marshaled Metrics decodes back into an equal Metrics —
+// latency distributions, quantiles, observed rates and all — so replicas'
+// stats can be fetched over HTTP, decoded, and re-merged exactly.
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	m := Metrics{
+		Uptime: 90 * time.Second, Submitted: 100, Answered: 80, Unmatched: 5,
+		Shed: 10, TimedOut: 3, Expired: 2, QueueDepth: 7, QueueCap: 64,
+		Rounds: 40, EmptyRounds: 4, RoundsPerSec: 0.44, QueriesPerSec: 0.88,
+		AdmissionWait:       distOf(0, 1, 0.001, 0.002),
+		RoundWait:           distOf(0, 1, 0.003),
+		WinnerDetermination: distOf(0, 1, 0.0004, 0.0005, 0.0006),
+		TotalLatency:        distOf(0, 1, 0.01, 0.02, 0.03, 0.9),
+		Engine: core.Stats{
+			Rounds: 40, AuctionsResolved: 75, NodesMaterialized: 1234,
+			NodesCached: 56, Revenue: 78.25, ClicksCharged: 31,
+			ClicksForgiven: 2, ForgivenValue: 1.5, AdsDisplayed: 200,
+		},
+		Observed:     []RateSample{{Phrase: 0, Rate: 0.25}, {Phrase: 3, Rate: 0.75}},
+		PlanSwaps:    2,
+		ReplanBuilds: 3,
+	}
+	m.PlanSwapLatency.Add(0.0001)
+	m.PlanSwapLatency.Add(0.0002)
+
+	data, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
-	m := s.Metrics()
-	snap := s.Snapshot()
-	if snap.QueueCap != m.QueueCap || snap.Rounds < m.Rounds {
-		t.Fatalf("Snapshot %+v disagrees with Metrics %+v", snap, m)
+	// Spot-check the stable snake_case schema.
+	for _, key := range []string{
+		`"uptime_ns":90000000000`, `"submitted":100`, `"timed_out":3`,
+		`"queue_depth":7`, `"queries_per_sec":0.88`, `"admission_wait"`,
+		`"winner_determination"`, `"total_latency"`, `"auctions_resolved":75`,
+		`"nodes_materialized":1234`, `"plan_swaps":2`, `"observed"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("wire schema missing %s in %s", key, data)
+		}
+	}
+
+	var back Metrics
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Uptime != m.Uptime || back.Submitted != m.Submitted ||
+		back.Answered != m.Answered || back.Shed != m.Shed ||
+		back.Engine != m.Engine || back.PlanSwaps != m.PlanSwaps {
+		t.Fatalf("counters did not round-trip:\n got %+v\nwant %+v", back, m)
+	}
+	if back.TotalLatency.Count() != m.TotalLatency.Count() ||
+		back.TotalLatency.Mean() != m.TotalLatency.Mean() ||
+		back.TotalLatency.P95() != m.TotalLatency.P95() {
+		t.Fatalf("TotalLatency did not round-trip: %+v", back.TotalLatency)
+	}
+	if back.WinnerDetermination.P50() != m.WinnerDetermination.P50() {
+		t.Fatal("WinnerDetermination quantiles did not round-trip")
+	}
+	if len(back.Observed) != 2 || back.Observed[1] != m.Observed[1] {
+		t.Fatalf("Observed did not round-trip: %+v", back.Observed)
+	}
+	if back.PlanSwapLatency != m.PlanSwapLatency {
+		t.Fatalf("PlanSwapLatency did not round-trip: %+v", back.PlanSwapLatency)
+	}
+
+	// The decoded distributions keep merging exactly: Merge of decoded
+	// metrics equals decoding a Merge.
+	merged := m.Merge(m)
+	backMerged := back.Merge(back)
+	if merged.TotalLatency.Count() != backMerged.TotalLatency.Count() ||
+		merged.TotalLatency.P95() != backMerged.TotalLatency.P95() {
+		t.Fatal("merge after round trip diverged")
 	}
 }

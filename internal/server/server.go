@@ -24,8 +24,10 @@
 //
 // Observability is the Metrics type — counters, queue occupancy, and
 // per-stage latency distributions with exact means and histogram quantiles
-// — which merges across workers (Metrics.Merge) into fleet-wide views; the
-// legacy Snapshot remains as a deprecated projection.
+// — which merges across workers (Metrics.Merge) into fleet-wide views and
+// carries the stable snake_case JSON schema the network tier serves.
+// Config.OnRound additionally streams one RoundSummary per non-empty round
+// to a live feed (the netserve WebSocket hub subscribes through it).
 //
 // Thread safety: Server is safe for concurrent use — any number of
 // goroutines may call Submit, Metrics, and Snapshot while the round loop
@@ -43,30 +45,6 @@ import (
 	"sharedwd/internal/replan"
 	"sharedwd/internal/serr"
 	"sharedwd/internal/workload"
-)
-
-// The serving sentinels live in internal/serr (re-exported by the sharedwd
-// facade); these aliases keep the original identities so existing errors.Is
-// and == comparisons against the server package continue to match.
-var (
-	// ErrOverloaded is the backpressure signal: the admission queue is full
-	// and the query was shed without being enqueued.
-	//
-	// Deprecated: use serr.ErrOverloaded (sharedwd.ErrOverloaded). Same
-	// value; errors.Is matches either spelling.
-	ErrOverloaded = serr.ErrOverloaded
-	// ErrClosed means the server is shutting down (or shut down) and admits
-	// no new queries.
-	//
-	// Deprecated: use serr.ErrClosed (sharedwd.ErrClosed). Same value;
-	// errors.Is matches either spelling.
-	ErrClosed = serr.ErrClosed
-	// ErrNoAuction means the query matched no bid phrase after the two-stage
-	// mapping, so no auction runs for it (the paper's unmatched traffic).
-	//
-	// Deprecated: use serr.ErrNoAuction (sharedwd.ErrNoAuction). Same
-	// value; errors.Is matches either spelling.
-	ErrNoAuction = serr.ErrNoAuction
 )
 
 // Config parameterizes a round worker (and hence the single-worker Server).
@@ -116,6 +94,45 @@ type Config struct {
 	// shard's partition index row). Nil means the identity mapping; when
 	// non-nil its length must equal the workload's phrase count.
 	PhraseIDs []int
+
+	// ShardID labels the RoundSummary events this worker emits (the sharded
+	// server numbers its workers); it does not affect serving. 0 for a
+	// single-engine server.
+	ShardID int
+
+	// OnRound, when set, is called on the round loop goroutine after every
+	// non-empty round closes, with that round's summary. It feeds live
+	// dashboards (the network tier's WebSocket hub subscribes here). The
+	// callback runs between rounds, so it must be fast and must never
+	// block; hand the summary off to a buffered channel or drop it.
+	OnRound func(RoundSummary)
+}
+
+// RoundSummary is the per-round event the round loop publishes through
+// Config.OnRound: which round just closed on which shard, how much traffic
+// it carried, and the worker's running totals a live dashboard wants next
+// to it. The snake_case JSON tags are the WebSocket round feed's wire
+// schema. Latency quantiles are in seconds, over the worker's lifetime
+// total-latency distribution (matching Metrics.TotalLatency).
+type RoundSummary struct {
+	// Shard is the emitting worker's Config.ShardID.
+	Shard int `json:"shard"`
+	// Round is the engine round that just closed (shard-local).
+	Round int `json:"round"`
+	// Queries is the number of live queries answered in this round;
+	// Expired the abandoned ones skipped (context already done).
+	Queries int `json:"queries"`
+	Expired int `json:"expired"`
+	// Shed is the worker's cumulative admission-shed count at round close.
+	Shed int64 `json:"shed"`
+	// PlanSwaps is the worker's cumulative hot-swap count; Swapped reports
+	// whether this round installed one.
+	PlanSwaps int64 `json:"plan_swaps"`
+	Swapped   bool  `json:"swapped"`
+	// P50 and P95 are the worker's lifetime total-latency quantiles
+	// (seconds) as of this round.
+	P50 float64 `json:"p50_seconds"`
+	P95 float64 `json:"p95_seconds"`
 }
 
 // DefaultConfig returns a serving configuration suited to the synthetic
@@ -212,15 +229,15 @@ func New(w *workload.Workload, cfg Config) (*Server, error) {
 func (s *Server) Matcher() *workload.Matcher { return s.matcher }
 
 // Submit admits one raw query and blocks until its round resolves, the
-// context is done, or the server refuses it. Errors: ErrNoAuction (query
-// matches no bid phrase), ErrOverloaded (admission queue full — the
-// backpressure signal), ErrClosed, or ctx.Err() once the deadline expires.
-// Safe for concurrent use.
+// context is done, or the server refuses it. Errors: serr.ErrNoAuction
+// (query matches no bid phrase), serr.ErrOverloaded (admission queue full
+// — the backpressure signal), serr.ErrClosed, or ctx.Err() once the
+// deadline expires. Safe for concurrent use.
 func (s *Server) Submit(ctx context.Context, query string) (Result, error) {
 	phrase, ok := s.matcher.Match(query)
 	if !ok {
 		s.unmatched.Add(1)
-		return Result{}, ErrNoAuction
+		return Result{}, serr.ErrNoAuction
 	}
 	return s.worker.SubmitPhrase(ctx, phrase)
 }
@@ -239,9 +256,3 @@ func (s *Server) Metrics() Metrics {
 	m.Submitted += m.Unmatched // unmatched queries never reach the worker
 	return m
 }
-
-// Snapshot returns current observability counters.
-//
-// Deprecated: Snapshot is a projection of Metrics kept for one release;
-// use Metrics.
-func (s *Server) Snapshot() Snapshot { return s.Metrics().Snapshot() }

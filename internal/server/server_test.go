@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"sharedwd/internal/serr"
 	"sharedwd/internal/workload"
 )
 
@@ -101,15 +102,15 @@ func TestServerServesQueries(t *testing.T) {
 			t.Errorf("result %d: negative latency fields %+v", i, res)
 		}
 	}
-	snap := s.Snapshot()
-	if snap.Answered != 8 {
-		t.Errorf("Answered = %d, want 8", snap.Answered)
+	m := s.Metrics()
+	if m.Answered != 8 {
+		t.Errorf("Answered = %d, want 8", m.Answered)
 	}
-	if snap.TotalLatency.Count != 8 {
-		t.Errorf("TotalLatency.Count = %d, want 8", snap.TotalLatency.Count)
+	if m.TotalLatency.Count() != 8 {
+		t.Errorf("TotalLatency.Count = %d, want 8", m.TotalLatency.Count())
 	}
-	if snap.TotalLatency.Max <= 0 || snap.TotalLatency.P95 < 0 {
-		t.Errorf("latency snapshot not populated: %+v", snap.TotalLatency)
+	if m.TotalLatency.Max() <= 0 || m.TotalLatency.P95() < 0 {
+		t.Errorf("latency distribution not populated: %+v", m.TotalLatency)
 	}
 }
 
@@ -132,7 +133,7 @@ func TestServerLifecycle(t *testing.T) {
 		if !errors.Is(err, context.DeadlineExceeded) {
 			t.Fatalf("Submit = %v, want DeadlineExceeded", err)
 		}
-		if got := s.Snapshot().TimedOut; got != 1 {
+		if got := s.Metrics().TimedOut; got != 1 {
 			t.Fatalf("TimedOut = %d, want 1", got)
 		}
 	})
@@ -178,7 +179,7 @@ func TestServerLifecycle(t *testing.T) {
 		}
 
 		// The queue is full and the loop is busy: C must shed, not block.
-		if _, err := s.Submit(ctx, w.PhraseNames[2]); !errors.Is(err, ErrOverloaded) {
+		if _, err := s.Submit(ctx, w.PhraseNames[2]); !errors.Is(err, serr.ErrOverloaded) {
 			t.Fatalf("Submit = %v, want ErrOverloaded", err)
 		}
 		close(hold) // release the round; A resolves now, B next round
@@ -188,7 +189,7 @@ func TestServerLifecycle(t *testing.T) {
 		if err := <-bDone; err != nil {
 			t.Fatalf("request B failed: %v", err)
 		}
-		if got := s.Snapshot().Shed; got != 1 {
+		if got := s.Metrics().Shed; got != 1 {
 			t.Fatalf("Shed = %d, want 1", got)
 		}
 	})
@@ -228,7 +229,7 @@ func TestServerLifecycle(t *testing.T) {
 				t.Fatalf("request %d unresolved after Close", i)
 			}
 		}
-		if _, err := s.Submit(context.Background(), w.PhraseNames[0]); !errors.Is(err, ErrClosed) {
+		if _, err := s.Submit(context.Background(), w.PhraseNames[0]); !errors.Is(err, serr.ErrClosed) {
 			t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 		}
 	})
@@ -242,19 +243,19 @@ func TestServerLifecycle(t *testing.T) {
 		}
 		time.Sleep(25 * time.Millisecond)
 		s.Close()
-		snap := s.Snapshot()
-		if snap.Rounds < 5 {
-			t.Fatalf("Rounds = %d, want ≥ 5 idle ticks", snap.Rounds)
+		m := s.Metrics()
+		if m.Rounds < 5 {
+			t.Fatalf("Rounds = %d, want ≥ 5 idle ticks", m.Rounds)
 		}
-		if snap.EmptyRounds != snap.Rounds {
-			t.Fatalf("EmptyRounds = %d of %d rounds with no traffic", snap.EmptyRounds, snap.Rounds)
+		if m.EmptyRounds != m.Rounds {
+			t.Fatalf("EmptyRounds = %d of %d rounds with no traffic", m.EmptyRounds, m.Rounds)
 		}
-		if snap.Answered != 0 || snap.Engine.AuctionsResolved != 0 {
-			t.Fatalf("idle server answered %d / resolved %d auctions", snap.Answered, snap.Engine.AuctionsResolved)
+		if m.Answered != 0 || m.Engine.AuctionsResolved != 0 {
+			t.Fatalf("idle server answered %d / resolved %d auctions", m.Answered, m.Engine.AuctionsResolved)
 		}
 		// The engine still advanced rounds (delayed-click clock keeps moving).
-		if snap.Engine.Rounds < 5 {
-			t.Fatalf("engine rounds = %d, want ≥ 5", snap.Engine.Rounds)
+		if m.Engine.Rounds < 5 {
+			t.Fatalf("engine rounds = %d, want ≥ 5", m.Engine.Rounds)
 		}
 	})
 
@@ -264,10 +265,10 @@ func TestServerLifecycle(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer s.Close()
-		if _, err := s.Submit(context.Background(), "zzz no such phrase"); !errors.Is(err, ErrNoAuction) {
+		if _, err := s.Submit(context.Background(), "zzz no such phrase"); !errors.Is(err, serr.ErrNoAuction) {
 			t.Fatalf("Submit = %v, want ErrNoAuction", err)
 		}
-		if got := s.Snapshot().Unmatched; got != 1 {
+		if got := s.Metrics().Unmatched; got != 1 {
 			t.Fatalf("Unmatched = %d, want 1", got)
 		}
 	})
@@ -308,11 +309,11 @@ func TestServerRewrites(t *testing.T) {
 	}
 }
 
-// TestServerConcurrentAdmissionAndSnapshots is the concurrency-contract
+// TestServerConcurrentAdmissionAndMetrics is the concurrency-contract
 // test: many goroutines submit (including junk and tight deadlines) while
-// others continuously read Snapshot — exercised under -race in CI. The
+// others continuously read Metrics — exercised under -race in CI. The
 // engine runs with a worker pool so pool shutdown is covered too.
-func TestServerConcurrentAdmissionAndSnapshots(t *testing.T) {
+func TestServerConcurrentAdmissionAndMetrics(t *testing.T) {
 	w := testWorkload(t)
 	cfg := testConfig()
 	cfg.RoundInterval = time.Millisecond
@@ -327,19 +328,19 @@ func TestServerConcurrentAdmissionAndSnapshots(t *testing.T) {
 	const submitters, perSubmitter = 8, 100
 	var ok, noAuction, timedOut, shedded atomic.Int64
 	stop := make(chan struct{})
-	var snapWG sync.WaitGroup
+	var readWG sync.WaitGroup
 	for i := 0; i < 2; i++ {
-		snapWG.Add(1)
+		readWG.Add(1)
 		go func() {
-			defer snapWG.Done()
+			defer readWG.Done()
 			for {
 				select {
 				case <-stop:
 					return
 				default:
-					snap := s.Snapshot()
-					if snap.Answered < 0 || snap.QueueDepth > snap.QueueCap {
-						t.Error("inconsistent snapshot")
+					m := s.Metrics()
+					if m.Answered < 0 || m.QueueDepth > m.QueueCap {
+						t.Error("inconsistent metrics")
 						return
 					}
 				}
@@ -370,11 +371,11 @@ func TestServerConcurrentAdmissionAndSnapshots(t *testing.T) {
 				switch {
 				case err == nil:
 					ok.Add(1)
-				case errors.Is(err, ErrNoAuction):
+				case errors.Is(err, serr.ErrNoAuction):
 					noAuction.Add(1)
 				case errors.Is(err, context.DeadlineExceeded):
 					timedOut.Add(1)
-				case errors.Is(err, ErrOverloaded):
+				case errors.Is(err, serr.ErrOverloaded):
 					shedded.Add(1)
 				default:
 					t.Errorf("unexpected error: %v", err)
@@ -384,29 +385,29 @@ func TestServerConcurrentAdmissionAndSnapshots(t *testing.T) {
 	}
 	wg.Wait()
 	close(stop)
-	snapWG.Wait()
+	readWG.Wait()
 	s.Close()
 
-	snap := s.Snapshot()
-	if snap.Submitted != submitters*perSubmitter {
-		t.Fatalf("Submitted = %d, want %d", snap.Submitted, submitters*perSubmitter)
+	m := s.Metrics()
+	if m.Submitted != submitters*perSubmitter {
+		t.Fatalf("Submitted = %d, want %d", m.Submitted, submitters*perSubmitter)
 	}
 	// A request can be resolved by the loop in the same instant its deadline
 	// fires — the submitter sees ctx.Err() while the loop counts it answered
 	// — so Answered may exceed ok by at most the timed-out count.
-	if snap.Answered < ok.Load() || snap.Answered > ok.Load()+timedOut.Load() {
-		t.Fatalf("Answered = %d outside [%d, %d]", snap.Answered, ok.Load(), ok.Load()+timedOut.Load())
+	if m.Answered < ok.Load() || m.Answered > ok.Load()+timedOut.Load() {
+		t.Fatalf("Answered = %d outside [%d, %d]", m.Answered, ok.Load(), ok.Load()+timedOut.Load())
 	}
-	if snap.Unmatched != noAuction.Load() {
-		t.Fatalf("Unmatched = %d, ErrNoAuction count = %d", snap.Unmatched, noAuction.Load())
+	if m.Unmatched != noAuction.Load() {
+		t.Fatalf("Unmatched = %d, ErrNoAuction count = %d", m.Unmatched, noAuction.Load())
 	}
-	if snap.Shed != shedded.Load() {
-		t.Fatalf("Shed = %d, ErrOverloaded count = %d", snap.Shed, shedded.Load())
+	if m.Shed != shedded.Load() {
+		t.Fatalf("Shed = %d, ErrOverloaded count = %d", m.Shed, shedded.Load())
 	}
-	if snap.Engine.Rounds == 0 || snap.RoundsPerSec <= 0 {
-		t.Fatalf("no rounds recorded: %+v", snap)
+	if m.Engine.Rounds == 0 || m.RoundsPerSec <= 0 {
+		t.Fatalf("no rounds recorded: %+v", m)
 	}
-	if ok.Load() > 0 && snap.TotalLatency.Count == 0 {
+	if ok.Load() > 0 && m.TotalLatency.Count() == 0 {
 		t.Fatal("latency histogram empty despite answered queries")
 	}
 }
@@ -442,12 +443,12 @@ func TestServerBudgetAccounting(t *testing.T) {
 	}
 	wg.Wait()
 	s.Close()
-	snap := s.Snapshot()
-	if snap.Engine.ClicksCharged == 0 {
+	m := s.Metrics()
+	if m.Engine.ClicksCharged == 0 {
 		t.Fatal("no clicks charged — drain did not settle outstanding ads?")
 	}
-	if snap.Engine.Revenue <= 0 {
-		t.Fatalf("revenue = %v", snap.Engine.Revenue)
+	if m.Engine.Revenue <= 0 {
+		t.Fatalf("revenue = %v", m.Engine.Revenue)
 	}
 }
 

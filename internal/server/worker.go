@@ -10,6 +10,7 @@ import (
 
 	"sharedwd/internal/core"
 	"sharedwd/internal/replan"
+	"sharedwd/internal/serr"
 	"sharedwd/internal/stats"
 	"sharedwd/internal/workload"
 )
@@ -138,9 +139,9 @@ func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
 
 // SubmitPhrase admits one already-matched phrase (an ID into this worker's
 // workload) and blocks until its round resolves, the context is done, or
-// the worker refuses it. Errors: ErrOverloaded (admission queue full),
-// ErrClosed, or ctx.Err() once the deadline expires. Safe for concurrent
-// use.
+// the worker refuses it. Errors: serr.ErrOverloaded (admission queue
+// full), serr.ErrClosed, or ctx.Err() once the deadline expires. Safe for
+// concurrent use.
 func (wk *Worker) SubmitPhrase(ctx context.Context, phrase int) (Result, error) {
 	wk.submitted.Add(1)
 	req := &request{
@@ -165,14 +166,14 @@ func (wk *Worker) admit(req *request) error {
 	wk.admitMu.RLock()
 	defer wk.admitMu.RUnlock()
 	if wk.closed {
-		return ErrClosed
+		return serr.ErrClosed
 	}
 	select {
 	case wk.queue <- req:
 		return nil
 	default:
 		wk.shed.Add(1)
-		return ErrOverloaded
+		return serr.ErrOverloaded
 	}
 }
 
@@ -363,7 +364,27 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 		wk.replanStats = wk.planner.Stats()
 	}
 	wk.engStats = wk.eng.Stats()
+	var summary RoundSummary
+	if wk.cfg.OnRound != nil && len(live)+int(expired) > 0 {
+		summary = RoundSummary{
+			Shard:     wk.cfg.ShardID,
+			Round:     rep.Round,
+			Queries:   len(live),
+			Expired:   int(expired),
+			Shed:      wk.shed.Load(),
+			PlanSwaps: wk.planSwaps,
+			Swapped:   swapped,
+			P50:       wk.latencyHist.Quantile(0.5),
+			P95:       wk.latencyHist.Quantile(0.95),
+		}
+	}
 	wk.mu.Unlock()
+
+	// Publish outside the metrics lock: the hook must not block, but even a
+	// fast hook has no business extending the Metrics critical section.
+	if wk.cfg.OnRound != nil && summary.Queries+summary.Expired > 0 {
+		wk.cfg.OnRound(summary)
+	}
 
 	return pending[:0]
 }

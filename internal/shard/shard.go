@@ -145,6 +145,9 @@ func New(w *workload.Workload, cfg Config) (*Server, error) {
 		// shard replans independently: its planner sees only its own
 		// partition's traffic, which is exactly the plan it owns.
 		wcfg.PhraseIDs = idx.GlobalID[sh]
+		// RoundSummary events (Config.OnRound) carry the shard that closed
+		// the round; every shard shares the one configured hook.
+		wcfg.ShardID = sh
 		wk, err := server.NewWorker(parts[sh], wcfg)
 		if err != nil {
 			// Drain the workers already started before reporting failure.

@@ -124,10 +124,6 @@ func TestShardedErrorContract(t *testing.T) {
 	if !errors.Is(err, serr.ErrClosed) {
 		t.Fatalf("after close = %v, want ErrClosed", err)
 	}
-	// server package's deprecated aliases match the same values.
-	if !errors.Is(err, server.ErrClosed) {
-		t.Fatal("server.ErrClosed alias no longer matches")
-	}
 	var qe *serr.QueryError
 	if !errors.As(err, &qe) {
 		t.Fatalf("error %T lacks QueryError context", err)

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// summaryWire is Summary's stable JSON schema: the exact Welford state, so
+// a marshal/unmarshal round trip reproduces the summary bit-for-bit and
+// merged fleet views keep combining exactly after crossing the wire.
+type summaryWire struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// MarshalJSON encodes the summary as its exact Welford state
+// {count, mean, m2, min, max}.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryWire{Count: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON restores a summary from its wire state. A negative count is
+// rejected; the zero object decodes to the empty summary.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var w summaryWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Count < 0 {
+		return fmt.Errorf("stats: summary with negative count %d", w.Count)
+	}
+	*s = Summary{n: w.Count, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+	return nil
+}
+
+// histogramWire is Histogram's stable JSON schema: the bucket geometry and
+// counts, plus the total so the round trip needs no recount.
+type histogramWire struct {
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Buckets []int   `json:"buckets"`
+	Count   int     `json:"count"`
+}
+
+// MarshalJSON encodes the histogram as {lo, hi, buckets, count}.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramWire{Lo: h.Lo, Hi: h.Hi, Buckets: h.Buckets, Count: h.n})
+}
+
+// UnmarshalJSON restores a histogram from its wire state, validating the
+// geometry and that the bucket counts sum to the recorded total.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Buckets) == 0 || w.Hi <= w.Lo {
+		return fmt.Errorf("stats: invalid histogram geometry [%v,%v) x%d", w.Lo, w.Hi, len(w.Buckets))
+	}
+	total := 0
+	for i, c := range w.Buckets {
+		if c < 0 {
+			return fmt.Errorf("stats: negative count %d in bucket %d", c, i)
+		}
+		total += c
+	}
+	if total != w.Count {
+		return fmt.Errorf("stats: bucket counts sum to %d, header says %d", total, w.Count)
+	}
+	*h = Histogram{Lo: w.Lo, Hi: w.Hi, Buckets: w.Buckets, n: w.Count}
+	return nil
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{0.5, 1.25, -3, 42, 0.125} {
+		s.Add(x)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip: %+v != %+v", back, s)
+	}
+	// The restored summary keeps merging exactly.
+	var other Summary
+	other.Add(7)
+	a, b := s, back
+	a.Merge(other)
+	b.Merge(other)
+	if a != b {
+		t.Fatalf("merge after round trip diverged: %+v != %+v", a, b)
+	}
+
+	var zero Summary
+	data, err = json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zback Summary
+	if err := json.Unmarshal(data, &zback); err != nil {
+		t.Fatal(err)
+	}
+	if zback != zero {
+		t.Fatalf("zero round trip: %+v", zback)
+	}
+
+	if err := json.Unmarshal([]byte(`{"count":-1}`), &back); err == nil {
+		t.Fatal("accepted negative count")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(0, 1, 16)
+	for _, x := range []float64{0.01, 0.5, 0.5, 0.99, 2.5, -1} {
+		h.Add(x)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != h.N() || back.Lo != h.Lo || back.Hi != h.Hi {
+		t.Fatalf("round trip header: %+v", back)
+	}
+	for i := range h.Buckets {
+		if back.Buckets[i] != h.Buckets[i] {
+			t.Fatalf("bucket %d: %d != %d", i, back.Buckets[i], h.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("quantile %v: %v != %v", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+
+	for name, bad := range map[string]string{
+		"inverted range":  `{"lo":1,"hi":0,"buckets":[0],"count":0}`,
+		"no buckets":      `{"lo":0,"hi":1,"buckets":[],"count":0}`,
+		"negative bucket": `{"lo":0,"hi":1,"buckets":[-1],"count":-1}`,
+		"count mismatch":  `{"lo":0,"hi":1,"buckets":[1,2],"count":4}`,
+	} {
+		var h2 Histogram
+		if err := json.Unmarshal([]byte(bad), &h2); err == nil {
+			t.Errorf("%s: accepted %s", name, bad)
+		}
+	}
+}

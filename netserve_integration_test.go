@@ -1,0 +1,195 @@
+package sharedwd
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNetServerEndToEnd exercises the whole network path through the
+// public facade: NewNetServer over a real sharded fleet, queries over
+// real HTTP, /v1/stats decoding back into Metrics, the live WebSocket
+// feed carrying genuine round summaries, and a graceful Shutdown.
+func TestNetServerEndToEnd(t *testing.T) {
+	wcfg := DefaultWorkloadConfig()
+	wcfg.NumAdvertisers = 200
+	wcfg.NumPhrases = 16
+	w := Must(GenerateWorkload(wcfg))
+
+	ns, err := NewNetServer(w,
+		WithShards(2),
+		WithRoundInterval(2*time.Millisecond),
+		WithRateLimit(10_000, 20_000))
+	if err != nil {
+		t.Fatalf("NewNetServer: %v", err)
+	}
+	addr := ns.Addr()
+	if addr == "" {
+		t.Fatal("NewNetServer returned without a bound address")
+	}
+
+	// Subscribe to the live feed before generating traffic, so real round
+	// summaries flow to us.
+	wsc, wsbr := dialLive(t, addr)
+	defer wsc.Close()
+
+	// Real queries through the matcher: phrase names match themselves.
+	client := &http.Client{Timeout: 5 * time.Second}
+	phrase := w.PhraseNames[0]
+	var answered int
+	for i := 0; i < 50; i++ {
+		body := strings.NewReader(fmt.Sprintf(`{"query":%q,"timeout":"1s"}`, phrase))
+		resp, err := client.Post("http://"+addr+"/v1/query", "application/json", body)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		var qr struct {
+			Phrase int `json:"phrase"`
+			Round  int `json:"round"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("query %d: bad body: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, resp.StatusCode)
+		}
+		answered++
+	}
+
+	// A nonsense query is 404 ErrNoAuction on the wire.
+	resp, err := client.Post("http://"+addr+"/v1/query", "application/json",
+		strings.NewReader(`{"query":"zzzz no such phrase zzzz"}`))
+	if err != nil {
+		t.Fatalf("junk query: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("junk query status = %d, want 404", resp.StatusCode)
+	}
+
+	// /v1/stats decodes into Metrics and reflects the traffic.
+	resp, err = client.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var m Metrics
+	err = json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if m.Answered < int64(answered) {
+		t.Fatalf("stats answered = %d, want ≥ %d", m.Answered, answered)
+	}
+	if m.TotalLatency.Count() < answered {
+		t.Fatalf("latency samples = %d, want ≥ %d", m.TotalLatency.Count(), answered)
+	}
+
+	// /v1/metrics serves Prometheus text mentioning the same counter.
+	resp, err = client.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(promBody), "sharedwd_answered_total") {
+		t.Fatal("prometheus exposition missing sharedwd_answered_total")
+	}
+
+	// The live feed delivered at least one real round summary.
+	wsc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var rs RoundSummary
+	for {
+		op, payload := readServerFrame(t, wsbr)
+		if op != 0x1 {
+			continue
+		}
+		if err := json.Unmarshal(payload, &rs); err != nil {
+			t.Fatalf("live frame is not a RoundSummary: %v (%s)", err, payload)
+		}
+		break
+	}
+	if rs.Queries <= 0 || rs.Round < 0 {
+		t.Fatalf("round summary carries no traffic: %+v", rs)
+	}
+	if rs.Shard < 0 || rs.Shard > 1 {
+		t.Fatalf("round summary shard = %d, want 0 or 1", rs.Shard)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ns.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The subscriber sees the going-away close frame.
+	wsc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		op, p := readServerFrame(t, wsbr)
+		if op != 0x8 {
+			continue
+		}
+		if binary.BigEndian.Uint16(p) != 1001 {
+			t.Fatalf("close status = %d, want 1001", binary.BigEndian.Uint16(p))
+		}
+		break
+	}
+}
+
+// dialLive performs the WebSocket opening handshake against /v1/live.
+func dialLive(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	key := base64.StdEncoding.EncodeToString([]byte("integrationtest!"))
+	fmt.Fprintf(conn, "GET /v1/live HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", addr, key)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(status, "101") {
+		t.Fatalf("handshake: %q (%v)", status, err)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("handshake headers: %v", err)
+		}
+		if strings.TrimSpace(line) == "" {
+			return conn, br
+		}
+	}
+}
+
+// readServerFrame reads one unmasked server WebSocket frame.
+func readServerFrame(t *testing.T, br *bufio.Reader) (byte, []byte) {
+	t.Helper()
+	var hdr [2]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatalf("frame header: %v", err)
+	}
+	length := int(hdr[1] & 0x7F)
+	if length == 126 {
+		var ext [2]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			t.Fatalf("frame length: %v", err)
+		}
+		length = int(binary.BigEndian.Uint16(ext[:]))
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		t.Fatalf("frame payload: %v", err)
+	}
+	return hdr[0] & 0x0F, payload
+}

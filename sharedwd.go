@@ -80,6 +80,7 @@ import (
 	"sharedwd/internal/bitset"
 	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
+	"sharedwd/internal/netserve"
 	"sharedwd/internal/nonsep"
 	"sharedwd/internal/plan"
 	"sharedwd/internal/pricing"
@@ -423,16 +424,10 @@ type (
 	// LatencyDist is one serving stage's mergeable latency distribution
 	// (exact moments plus a fixed-geometry histogram for quantiles).
 	LatencyDist = server.LatencyDist
-	// ServerSnapshot is a point-in-time observability view.
-	//
-	// Deprecated: use Metrics (Server.Metrics / ShardedServer.Metrics),
-	// which carries the same numbers plus queryable distributions and
-	// merges across shards. Snapshot remains as a projection of Metrics.
-	ServerSnapshot = server.Snapshot
-	// ServerLatencyStats summarizes one serving stage's latency (seconds).
-	//
-	// Deprecated: use LatencyDist, which adds quantiles and Merge.
-	ServerLatencyStats = server.LatencyStats
+	// RoundSummary is the per-round event a worker's round loop publishes
+	// to the live round feed (the network tier's WebSocket /v1/live
+	// broadcasts it as JSON).
+	RoundSummary = server.RoundSummary
 	// QueryResult is one answered query: phrase, round, slot assignment
 	// with per-click prices, per-stage waits, and the serving shard.
 	QueryResult = server.Result
@@ -588,6 +583,7 @@ type serveConfig struct {
 	shards       int
 	router       shard.Router
 	totalWorkers int
+	net          netserve.Config
 }
 
 // A ServerOption adjusts the serving configuration at construction,
@@ -745,6 +741,82 @@ func applyServerOptions(opts []ServerOption) serveConfig {
 		opt(&cfg)
 	}
 	return cfg
+}
+
+// Network serving tier (see internal/netserve).
+type (
+	// NetServer is the HTTP/JSON front end over a sharded round server:
+	// POST /v1/query submits queries, GET /v1/stats and GET /v1/metrics
+	// expose the merged fleet Metrics (JSON and Prometheus text), and
+	// GET /v1/live is a WebSocket pushing per-round summaries.
+	NetServer = netserve.Server
+	// NetServerConfig tunes the network tier (listen address, timeouts,
+	// body bound, rate limit, live-feed queue depth).
+	NetServerConfig = netserve.Config
+)
+
+// WithListenAddr sets the network tier's listen address for NewNetServer
+// (default 127.0.0.1:0 — a random loopback port; use ":8080" to serve
+// externally). Ignored by NewServer and NewShardedServer.
+func WithListenAddr(addr string) ServerOption {
+	return func(c *serveConfig) { c.net.Addr = addr }
+}
+
+// WithRateLimit enables the network tier's per-client token bucket at rps
+// requests per second with bursts of burst (burst ≤ 0 defaults to 2×rps).
+// Rate-limited requests get 429 before reaching the admission queue.
+// Ignored by NewServer and NewShardedServer.
+func WithRateLimit(rps float64, burst int) ServerOption {
+	return func(c *serveConfig) {
+		c.net.RateLimit = rps
+		c.net.RateBurst = burst
+	}
+}
+
+// WithNetConfig replaces the whole network-tier configuration for
+// NewNetServer; WithListenAddr and WithRateLimit after it apply on top.
+func WithNetConfig(cfg NetServerConfig) ServerOption {
+	return func(c *serveConfig) { c.net = cfg }
+}
+
+// NewNetServer builds a ShardedServer for the workload, wires its round
+// loops into the live feed, and starts the HTTP tier listening:
+//
+//	ns, err := sharedwd.NewNetServer(w,
+//	    sharedwd.WithListenAddr(":8080"),
+//	    sharedwd.WithRateLimit(1000, 2000),
+//	    sharedwd.WithShards(4))
+//	defer ns.Shutdown(context.Background())
+//	// POST http://host:8080/v1/query  {"query": "hiking boots"}
+//
+// All NewShardedServer options apply. The tier is serving when NewNetServer
+// returns; Addr reports the bound address. Shutdown drains gracefully —
+// the listener stops accepting, every admitted request is answered, live
+// subscribers get a close frame, then the fleet drains.
+func NewNetServer(w *Workload, opts ...ServerOption) (*NetServer, error) {
+	cfg := applyServerOptions(opts)
+	// The hub must exist before the workers start: each round loop's
+	// summary hook is fixed at worker construction.
+	hub := netserve.NewHubFor(cfg.net)
+	cfg.srv.OnRound = hub.RoundHook()
+	scfg := shard.DefaultConfig()
+	scfg.Worker = cfg.srv
+	if cfg.shards > 0 {
+		scfg.Shards = cfg.shards
+	}
+	scfg.Router = cfg.router
+	scfg.TotalWorkers = cfg.totalWorkers
+	backend, err := shard.New(w, scfg)
+	if err != nil {
+		return nil, err
+	}
+	ns := netserve.New(backend, hub, cfg.net)
+	if err := ns.Start(); err != nil {
+		hub.Close()
+		backend.Close()
+		return nil, fmt.Errorf("sharedwd: net server listen: %w", err)
+	}
+	return ns, nil
 }
 
 // TuneRoundInterval picks the longest round length whose simulated median

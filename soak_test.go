@@ -194,7 +194,7 @@ func TestSoakServer(t *testing.T) {
 				query := w.PhraseNames[rng.Intn(len(w.PhraseNames))]
 				switch rng.Intn(10) {
 				case 0: // junk that matches no phrase
-					if _, err := s.Submit(context.Background(), "zzz no such phrase"); err != server.ErrNoAuction {
+					if _, err := s.Submit(context.Background(), "zzz no such phrase"); !errors.Is(err, ErrNoAuction) {
 						t.Errorf("junk query: err = %v, want ErrNoAuction", err)
 					}
 				case 1: // deadline likely to fire mid-round
@@ -202,7 +202,7 @@ func TestSoakServer(t *testing.T) {
 					s.Submit(ctx, query) // success and ctx error both legal
 					cancel()
 				default:
-					if _, err := s.Submit(context.Background(), query); err != nil && err != server.ErrOverloaded {
+					if _, err := s.Submit(context.Background(), query); err != nil && !errors.Is(err, ErrOverloaded) {
 						t.Errorf("submit: %v", err)
 					}
 				}
@@ -211,16 +211,16 @@ func TestSoakServer(t *testing.T) {
 	}
 	wg.Wait()
 
-	snap := s.Snapshot()
-	if snap.Answered == 0 {
+	m := s.Metrics()
+	if m.Answered == 0 {
 		t.Fatal("soak answered no queries")
 	}
-	if snap.Unmatched == 0 {
+	if m.Unmatched == 0 {
 		t.Fatal("soak exercised no unmatched queries")
 	}
 	s.Close()
-	if _, err := s.Submit(context.Background(), w.PhraseNames[0]); err != server.ErrClosed {
-		t.Fatalf("submit after close: err = %v, want ErrClosed", err)
+	if _, err := s.Submit(context.Background(), w.PhraseNames[0]); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrServerClosed", err)
 	}
 
 	// Goroutine-leak check: after Close returns, the round loop and the
