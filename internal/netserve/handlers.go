@@ -37,17 +37,29 @@ type queryResponse struct {
 }
 
 // routes builds the v1 mux. Method-qualified patterns (Go 1.22 ServeMux)
-// give wrong-method requests a 405 with Allow for free.
+// give wrong-method requests a 405 with Allow for free. The rate limiter
+// guards only the endpoints that reach the backend or pin a connection
+// (/v1/query, /v1/live); the observability endpoints stay exempt so a
+// Prometheus scraper sharing a host (or NAT) with a chatty client never
+// loses a scrape to that client's bucket.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.Handle("POST /v1/query", s.limited(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("GET /v1/live", s.limited(http.HandlerFunc(s.handleLive)))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/live", s.handleLive)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// limited wraps h with the rate limiter when one is configured.
+func (s *Server) limited(h http.Handler) http.Handler {
+	if s.limiter == nil {
+		return h
+	}
+	return s.limiter.Middleware(h)
 }
 
 // requestTimeout resolves the effective deadline for one query: X-Timeout

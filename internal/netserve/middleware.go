@@ -32,8 +32,10 @@ type bucket struct {
 	last   time.Time
 }
 
-// maxBuckets bounds the per-client table; beyond it, stale buckets (full
-// again, so indistinguishable from absent) are evicted on the next Allow.
+// maxBuckets bounds the per-client table; at the cap, the next new client
+// evicts every stale bucket (full again, so indistinguishable from
+// absent) — or, when all clients are recently active, the stalest one —
+// so the table never exceeds maxBuckets entries.
 const maxBuckets = 4096
 
 // NewRateLimiter returns a limiter admitting rate requests per second per
@@ -85,12 +87,27 @@ func (l *RateLimiter) Allow(key string) bool {
 
 // evictFull drops every bucket that has refilled to capacity — a full
 // bucket behaves identically to no bucket, so eviction never changes an
-// admission decision. Called with the lock held.
+// admission decision. When no bucket has refilled (every client recently
+// active) it evicts the stalest one instead, so the table stays bounded
+// at maxBuckets no matter the churn; the client that loses its bucket is
+// the one that has gone longest without a request, and the worst it
+// suffers is a fresh full bucket. Called with the lock held.
 func (l *RateLimiter) evictFull(now time.Time) {
+	var stalestKey string
+	var stalestLast time.Time
+	evicted := false
 	for k, b := range l.buckets {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.buckets, k)
+			evicted = true
+			continue
 		}
+		if stalestKey == "" || b.last.Before(stalestLast) {
+			stalestKey, stalestLast = k, b.last
+		}
+	}
+	if !evicted && stalestKey != "" {
+		delete(l.buckets, stalestKey)
 	}
 }
 

@@ -70,7 +70,9 @@ type Config struct {
 
 	// RateLimit, when positive, enables the per-client token bucket at
 	// RateLimit requests per second with bursts of RateBurst (0 bursts
-	// default to 2×RateLimit rounded up).
+	// default to 2×RateLimit rounded up). The bucket guards /v1/query and
+	// /v1/live; /v1/stats and /v1/metrics are exempt so scrapes survive a
+	// chatty co-located client.
 	RateLimit float64
 	RateBurst int
 
@@ -133,7 +135,7 @@ type Server struct {
 
 	httpSrv  *http.Server
 	listener net.Listener
-	requests atomic.Int64 // HTTP requests accepted past the rate limiter
+	requests atomic.Int64 // v1 HTTP requests received (rate-limited included)
 
 	done chan struct{} // closed when the serve goroutine exits
 	err  atomic.Value  // terminal http.Serve error, if any
@@ -166,14 +168,11 @@ func New(backend Backend, hub *Hub, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the tier's root handler — the v1 mux behind the rate
-// limiter — for tests and embedding into an existing mux.
+// Handler returns the tier's root handler — the v1 mux, with the rate
+// limiter wrapped around /v1/query and /v1/live (observability endpoints
+// are exempt) — for tests and embedding into an existing mux.
 func (s *Server) Handler() http.Handler {
-	h := s.routes()
-	if s.limiter != nil {
-		h = s.limiter.Middleware(h)
-	}
-	return h
+	return s.routes()
 }
 
 // Start opens the listener and begins serving in a background goroutine.

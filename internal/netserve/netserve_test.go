@@ -344,13 +344,16 @@ func TestRateLimiterBurstAndRefill(t *testing.T) {
 func TestRateLimitMiddleware(t *testing.T) {
 	s, _ := newTestServer(t, Config{RateLimit: 1, RateBurst: 2})
 	h := s.Handler()
-	codes := []int{}
-	for i := 0; i < 4; i++ {
-		req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
-		req.RemoteAddr = "192.0.2.1:5000" // same host, varying port later
+	post := func(remote string) int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(`{"query":"hiking boots"}`))
+		req.RemoteAddr = remote
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, req)
-		codes = append(codes, w.Code)
+		return w.Code
+	}
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		codes = append(codes, post("192.0.2.1:5000")) // same host, varying port later
 	}
 	if codes[0] != 200 || codes[1] != 200 {
 		t.Fatalf("burst requests got %v, want two 200s first", codes)
@@ -359,20 +362,40 @@ func TestRateLimitMiddleware(t *testing.T) {
 		t.Fatalf("post-burst requests got %v, want 429s", codes)
 	}
 	// A different source port is the same client: still limited.
-	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
-	req.RemoteAddr = "192.0.2.1:6000"
-	w := httptest.NewRecorder()
-	h.ServeHTTP(w, req)
-	if w.Code != http.StatusTooManyRequests {
-		t.Fatalf("same host, new port admitted (%d); buckets must key on host", w.Code)
+	if code := post("192.0.2.1:6000"); code != http.StatusTooManyRequests {
+		t.Fatalf("same host, new port admitted (%d); buckets must key on host", code)
 	}
 	// A different host is a different client.
-	req = httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
-	req.RemoteAddr = "192.0.2.2:5000"
-	w = httptest.NewRecorder()
-	h.ServeHTTP(w, req)
-	if w.Code != http.StatusOK {
-		t.Fatalf("different host refused (%d)", w.Code)
+	if code := post("192.0.2.2:5000"); code != http.StatusOK {
+		t.Fatalf("different host refused (%d)", code)
+	}
+	// Observability endpoints are exempt: the rate-limited client's host
+	// (think a Prometheus scraper behind the same NAT) still scrapes.
+	for _, path := range []string{"/v1/stats", "/v1/metrics"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.RemoteAddr = "192.0.2.1:5000"
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s from rate-limited host = %d, want 200 (exempt)", path, w.Code)
+		}
+	}
+}
+
+func TestRateLimiterTableBounded(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := NewRateLimiter(10, 3)
+	l.now = func() time.Time { return now }
+	// With time frozen, every bucket stays mid-drain (tokens < burst), so
+	// full-bucket eviction never applies; the stalest-bucket fallback must
+	// still hold the table at maxBuckets as new clients keep arriving.
+	for i := 0; i < maxBuckets+64; i++ {
+		if !l.Allow(fmt.Sprintf("client-%d", i)) {
+			t.Fatalf("fresh client %d refused", i)
+		}
+		if n := len(l.buckets); n > maxBuckets {
+			t.Fatalf("bucket table grew to %d entries, beyond cap %d", n, maxBuckets)
+		}
 	}
 }
 
@@ -504,11 +527,58 @@ func TestLiveFeedBroadcast(t *testing.T) {
 		t.Fatalf("ping answer = %#x %q, want pong hello", op, payload)
 	}
 
-	// Client close → server close reply, connection unregistered.
-	wsWriteClientFrame(t, conn, opClose, closePayload(1000, ""))
-	op, _ = wsReadFrame(t, br)
-	if op != opClose {
-		t.Fatalf("close answer opcode = %#x, want close", op)
+	// Client close → server echoes the client's status code (RFC 6455
+	// §5.5.1), connection unregistered.
+	wsWriteClientFrame(t, conn, opClose, closePayload(4000, "done"))
+	op, payload = wsReadFrame(t, br)
+	if op != opClose || len(payload) < 2 || binary.BigEndian.Uint16(payload) != 4000 {
+		t.Fatalf("close answer = %#x %v, want close echoing 4000", op, payload)
+	}
+	waitFor(t, func() bool { return s.Hub().Conns() == 0 })
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	// A masked frame whose 64-bit extended length is past int64 (or just
+	// past the size cap) must be a protocol error — not a negative length
+	// that slips past the bound check into make, which panics.
+	for _, declared := range []uint64{maxClientFrame + 1, 1 << 63, ^uint64(0)} {
+		var buf bytes.Buffer
+		buf.Write([]byte{0x80 | opText, 0x80 | 127}) // FIN text, masked, 64-bit length
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], declared)
+		buf.Write(ext[:])
+		buf.Write([]byte{0x12, 0x34, 0x56, 0x78}) // mask key
+		if _, _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+			t.Fatalf("frame declaring %d bytes accepted", declared)
+		}
+	}
+}
+
+func TestLiveFeedRejectsOversizedFrame(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	addr := startServer(t, s)
+	defer s.Close()
+
+	conn, br := wsDial(t, addr)
+	defer conn.Close()
+	waitFor(t, func() bool { return s.Hub().Conns() == 1 })
+
+	// 14 bytes claiming a 2^63-byte payload: the server must answer with a
+	// protocol-error close and unregister the connection, not panic the
+	// handler and leak the hub registration.
+	frame := []byte{0x80 | opText, 0x80 | 127}
+	var ext [8]byte
+	binary.BigEndian.PutUint64(ext[:], 1<<63)
+	frame = append(frame, ext[:]...)
+	frame = append(frame, 0x12, 0x34, 0x56, 0x78)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatalf("write oversized frame: %v", err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	op, p := wsReadFrame(t, br)
+	if op != opClose || len(p) < 2 || binary.BigEndian.Uint16(p) != 1002 {
+		t.Fatalf("answer = %#x %v, want close 1002", op, p)
 	}
 	waitFor(t, func() bool { return s.Hub().Conns() == 0 })
 }

@@ -85,5 +85,5 @@ func writeProm(w io.Writer, m server.Metrics, edge edgeStats) {
 	promGauge(w, "sharedwd_live_connections", "Current /v1/live WebSocket subscribers.", float64(edge.liveConns))
 	promCounter(w, "sharedwd_live_dropped_total", "Slow /v1/live subscribers disconnected.", float64(edge.liveDropped))
 	promCounter(w, "sharedwd_rate_limited_total", "Requests refused by the edge rate limiter.", float64(edge.raterefused))
-	promCounter(w, "sharedwd_http_requests_total", "HTTP requests accepted by the edge.", float64(edge.httpRequests))
+	promCounter(w, "sharedwd_http_requests_total", "HTTP requests received by the edge (rate-limited included).", float64(edge.httpRequests))
 }

@@ -152,20 +152,23 @@ func readFrame(br *bufio.Reader) (op byte, payload []byte, err error) {
 	}
 	op = hdr[0] & 0x0F
 	masked := hdr[1]&0x80 != 0
-	length := int64(hdr[1] & 0x7F)
+	// The declared length stays uint64 until after the bound check: the
+	// 64-bit extended form can name sizes past int64, which must hit the
+	// size limit, not wrap negative and slip past it into make.
+	length := uint64(hdr[1] & 0x7F)
 	switch length {
 	case 126:
 		var ext [2]byte
 		if _, err = io.ReadFull(br, ext[:]); err != nil {
 			return 0, nil, err
 		}
-		length = int64(binary.BigEndian.Uint16(ext[:]))
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
 	case 127:
 		var ext [8]byte
 		if _, err = io.ReadFull(br, ext[:]); err != nil {
 			return 0, nil, err
 		}
-		length = int64(binary.BigEndian.Uint64(ext[:]))
+		length = binary.BigEndian.Uint64(ext[:])
 	}
 	if !masked {
 		return 0, nil, fmt.Errorf("netserve: unmasked client frame")
@@ -185,6 +188,22 @@ func readFrame(br *bufio.Reader) (op byte, payload []byte, err error) {
 		payload[i] ^= mask[i%4]
 	}
 	return op, payload, nil
+}
+
+// closeEcho picks the status the server sends back for a received close
+// frame. RFC 6455 §5.5.1 has the endpoint typically echo the client's own
+// status code; an empty close payload answers 1000, and a code that may
+// not appear on the wire (<1000, or the reserved 1005/1006/1015) is a
+// protocol error.
+func closeEcho(payload []byte) uint16 {
+	if len(payload) < 2 {
+		return 1000
+	}
+	code := binary.BigEndian.Uint16(payload)
+	if code < 1000 || code == 1005 || code == 1006 || code == 1015 {
+		return 1002
+	}
+	return code
 }
 
 // wsFrame is one queued outbound frame.
@@ -363,7 +382,7 @@ func (h *Hub) reader(c *wsConn) {
 		}
 		switch op {
 		case opClose:
-			c.kill(1000, "")
+			c.kill(closeEcho(payload), "")
 			h.detach(c)
 			return
 		case opPing:
