@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-shard bench-parallel bench-server bench-json bench-compare fmt vet staticcheck
+.PHONY: all build test race bench bench-shard bench-parallel bench-server bench-binary bench-json bench-compare fuzz fmt vet staticcheck
 
 all: build test
 
@@ -42,23 +42,30 @@ bench-parallel:
 	$(GO) test -bench='ExecutorRound' -benchmem -benchtime=2s -run='^$$' ./internal/core
 
 # bench-server runs the serving benchmarks: in-process Submit throughput,
-# the shard sweep, and the loopback HTTP tier (BenchmarkHTTPThroughput) —
-# the last one quantifies what the JSON/TCP edge costs next to in-process
-# numbers. It then diffs the fresh numbers against the committed
-# BENCH_server.json with the same gate bench-compare applies to the core.
+# the shard sweep, and both network edges (BenchmarkHTTPThroughput,
+# BenchmarkBinaryThroughput) — the last two quantify what each wire
+# protocol costs next to in-process numbers. It then diffs the fresh
+# numbers against the committed BENCH_server.json with the same gate
+# bench-compare applies to the core.
 bench-server:
-	$(GO) test -bench='ServerThroughput|ShardedThroughput|HTTPThroughput' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='ServerThroughput|ShardedThroughput|HTTPThroughput|BinaryThroughput' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson -compare BENCH_server.json
+
+# bench-binary runs only the binary-tier throughput benchmark — the quick
+# check that the multiplexed frame edge still lands near in-process rates.
+bench-binary:
+	$(GO) test -bench='BinaryThroughput' -benchmem -benchtime=2s -run='^$$' .
 
 # bench-json runs the core round-resolution and serving benchmarks and
 # records them as machine-readable JSON (BENCH_core.json, BENCH_server.json)
 # for cross-PR comparison. The serving file carries the single-server
-# throughput benchmark, the shard sweep, and the loopback HTTP tier.
+# throughput benchmark, the shard sweep, and both network edges (HTTP and
+# binary).
 bench-json:
 	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap|ParallelScaling' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_core.json
 	@cat BENCH_core.json
-	$(GO) test -bench='ServerThroughput|ShardedThroughput|HTTPThroughput' -benchmem -benchtime=2s -run='^$$' . \
+	$(GO) test -bench='ServerThroughput|ShardedThroughput|HTTPThroughput|BinaryThroughput' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson > BENCH_server.json
 	@cat BENCH_server.json
 
@@ -69,3 +76,10 @@ bench-json:
 bench-compare:
 	$(GO) test -bench='RoundResolution|IncrementalRounds|SteadyStateStep|ReplanSwap|ParallelScaling' -benchmem -benchtime=2s -run='^$$' . \
 		| $(GO) run ./tools/benchjson -compare BENCH_core.json
+
+# fuzz smoke-runs the binary-protocol fuzzers for a few seconds each: the
+# frame round-trip property and the malformed-input parser hardening (no
+# panic, no attacker-sized allocation). CI runs the same budgets.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='FuzzFrameRoundTrip' -fuzztime=10s ./internal/binproto
+	$(GO) test -run='^$$' -fuzz='FuzzMalformedFrame' -fuzztime=10s ./internal/binproto

@@ -16,10 +16,12 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sharedwd/internal/analytics"
+	"sharedwd/internal/binproto"
 	"sharedwd/internal/bitset"
 	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
@@ -1018,6 +1020,94 @@ func BenchmarkHTTPThroughput(b *testing.B) {
 			// else unexpected fails the benchmark.
 			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
 				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			local.Add(time.Since(t0).Seconds())
+			i++
+		}
+		tallyMu.Lock()
+		e2e.Merge(local)
+		tallyMu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+	m := s.Metrics()
+	if sec := elapsed.Seconds(); sec > 0 {
+		b.ReportMetric(float64(m.Answered)/sec, "queries/sec")
+	}
+	b.ReportMetric(e2e.Quantile(0.95)*1e3, "p95ms")
+	b.ReportMetric(m.TotalLatency.P95()*1e3, "srv_p95ms")
+	b.ReportMetric(float64(m.Shed), "shed")
+}
+
+// BenchmarkBinaryThroughput pushes the identical serving load through the
+// binary tier: loopback TCP, length-prefixed frames, request-ID
+// multiplexing over a small pool of connections. Held next to
+// BenchmarkHTTPThroughput it quantifies what dropping HTTP/JSON buys —
+// same backend, same workload, same parallelism; the only variable is the
+// wire protocol. Held next to BenchmarkServerThroughput it shows how close
+// a network edge can get to in-process Submit.
+func BenchmarkBinaryThroughput(b *testing.B) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 400
+	wcfg.NumPhrases = 24
+	wcfg.MinBudget = 1e6
+	wcfg.MaxBudget = 2e6
+	w := workload.Generate(wcfg)
+	cfg := server.DefaultConfig()
+	cfg.RoundInterval = time.Millisecond
+	cfg.MaxBatch = 1024
+	cfg.QueueDepth = 1 << 14
+	s, err := server.New(w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs := binproto.New(s, binproto.Config{DefaultTimeout: 5 * time.Second, MaxInFlight: 1 << 14})
+	if err := bs.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer bs.Close()
+
+	// A small pool of multiplexed connections: each carries many requests
+	// in flight, mirroring how a real front-end fans onto a backend.
+	const conns = 8
+	pool := make([]*binproto.Client, conns)
+	for i := range pool {
+		c, err := binproto.Dial(bs.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		pool[i] = c
+	}
+	var nextConn atomic.Uint64
+
+	queries := w.PhraseNames
+	ctx := context.Background()
+
+	// Client-side end-to-end latency, merged from per-goroutine tallies so
+	// the hot loop never shares a histogram.
+	var tallyMu sync.Mutex
+	e2e := stats.NewHistogram(0, 0.25, 256)
+
+	// Deeper parallelism than the HTTP benchmark's 64: multiplexing is the
+	// protocol's whole point — hundreds of requests in flight still cost
+	// eight sockets, and every read/write syscall carries a coalesced run
+	// of frames. HTTP would pay a socket (and its buffers) per request.
+	b.SetParallelism(1024)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		c := pool[nextConn.Add(1)%conns]
+		local := stats.NewHistogram(0, 0.25, 256)
+		i := 0
+		for pb.Next() {
+			t0 := time.Now()
+			_, err := c.Submit(ctx, queries[i%len(queries)])
+			// Shed under pressure is an answered request; anything else
+			// unexpected fails the benchmark.
+			if err != nil && !errors.Is(err, ErrOverloaded) {
+				b.Error(err)
 				return
 			}
 			local.Add(time.Since(t0).Seconds())

@@ -1,49 +1,49 @@
-// Command loadgen drives the network serving tier over real HTTP and
-// reports end-to-end throughput and latency — the numbers to hold next to
-// the in-process Submit figures (BenchmarkServerThroughput) when deciding
-// what the JSON/TCP edge costs.
+// Command loadgen drives the serving tier through the one sharedwd.Client
+// surface and reports end-to-end throughput and latency. The -proto flag
+// is the whole point: the same load loop runs over the in-process backend
+// (-proto inproc, the zero-transport baseline), the HTTP/JSON tier
+// (-proto http), or the multiplexed binary tier (-proto binary) — so the
+// three columns are directly comparable and the cost of each edge is the
+// difference between them.
 //
-// With -addr it targets an already-running tier (e.g. servedemo -listen).
-// Without it, loadgen self-hosts: it generates the same synthetic workload
-// the benchmarks use, starts a NetServer on a random loopback port, and
-// hammers it through keep-alive connections.
+// With -addr it targets an already-running tier (e.g. servedemo -listen
+// for http, servedemo -listen-binary for binary). Without it, loadgen
+// self-hosts: it generates the same synthetic workload the benchmarks
+// use, starts the requested transport on a random loopback port, and
+// hammers it.
 //
 // Usage:
 //
-//	loadgen [-addr host:port] [-clients 32] [-duration 10s]
-//	        [-deadline 100ms] [-junk 0.05]
-//	        [-advertisers 2000] [-phrases 64] [-seed 1] [-shards 1]
+//	loadgen [-proto inproc|http|binary] [-addr host:port]
+//	        [-clients 32] [-duration 10s] [-deadline 100ms] [-junk 0.05]
+//	        [-batch 0] [-advertisers 2000] [-phrases 64] [-seed 1] [-shards 1]
 //
 // Output: end-to-end queries/sec, latency quantiles measured at the
-// client (network + JSON + serving), and the HTTP status breakdown.
+// client (transport + serving), and the outcome breakdown by error class.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
-	"sharedwd/internal/netserve"
-	"sharedwd/internal/server"
-	"sharedwd/internal/shard"
+	"sharedwd"
 	"sharedwd/internal/stats"
-	"sharedwd/internal/workload"
 )
 
 func main() {
-	addr := flag.String("addr", "", "target a running tier at this host:port (empty = self-host on loopback)")
+	proto := flag.String("proto", "http", "transport: inproc, http, or binary")
+	addr := flag.String("addr", "", "target a running tier at this host:port (empty = self-host on loopback; ignored for inproc)")
 	clients := flag.Int("clients", 32, "concurrent client goroutines")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
-	deadline := flag.Duration("deadline", 100*time.Millisecond, "per-request deadline (sent as X-Timeout)")
+	deadline := flag.Duration("deadline", 100*time.Millisecond, "per-request deadline")
 	junk := flag.Float64("junk", 0.05, "fraction of junk queries matching no phrase")
+	batch := flag.Int("batch", 0, "submit in batches of this size (0 = single-query Submit)")
 	advertisers := flag.Int("advertisers", 2000, "self-host: number of advertisers")
 	phrases := flag.Int("phrases", 64, "self-host: number of bid phrases")
 	seed := flag.Int64("seed", 1, "random seed (workload and query streams)")
@@ -52,49 +52,25 @@ func main() {
 
 	// The workload is needed even when targeting a remote tier: the query
 	// streams draw from its phrase distribution.
-	wcfg := workload.DefaultConfig()
+	wcfg := sharedwd.DefaultWorkloadConfig()
 	wcfg.NumAdvertisers = *advertisers
 	wcfg.NumPhrases = *phrases
 	wcfg.Seed = *seed
-	w := workload.Generate(wcfg)
-
-	target := *addr
-	var ns *netserve.Server
-	if target == "" {
-		cfg := server.DefaultConfig()
-		scfg := shard.DefaultConfig()
-		scfg.Worker = cfg
-		scfg.Shards = *shards
-		backend, err := shard.New(w, scfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		ns = netserve.New(backend, nil, netserve.Config{})
-		if err := ns.Start(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		target = ns.Addr()
-		fmt.Printf("self-hosting on %s (%d advertisers, %d phrases, %d shard(s))\n",
-			target, *advertisers, *phrases, *shards)
+	w, err := sharedwd.GenerateWorkload(wcfg)
+	if err != nil {
+		fatal(err)
 	}
-	url := "http://" + target + "/v1/query"
 
-	// One shared transport: keep-alives across all clients, enough idle
-	// conns that each client keeps its socket.
-	transport := &http.Transport{
-		MaxIdleConns:        *clients * 2,
-		MaxIdleConnsPerHost: *clients * 2,
+	client, cleanup, err := buildClient(*proto, *addr, w, *shards)
+	if err != nil {
+		fatal(err)
 	}
-	httpc := &http.Client{Transport: transport, Timeout: *deadline + time.Second}
-	xTimeout := deadline.String()
+	defer cleanup()
 
 	type clientTally struct {
-		lat    *stats.Summary
-		hist   *stats.Histogram
-		status map[int]int
-		errs   int
+		lat     *stats.Summary
+		hist    *stats.Histogram
+		outcome map[string]int
 	}
 	tallies := make([]clientTally, *clients)
 	stopAt := time.Now().Add(*duration)
@@ -102,44 +78,49 @@ func main() {
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		tallies[c] = clientTally{
-			lat:    &stats.Summary{},
-			hist:   stats.NewHistogram(0, deadline.Seconds()*2, 256),
-			status: make(map[int]int),
+			lat:     &stats.Summary{},
+			hist:    stats.NewHistogram(0, deadline.Seconds()*2, 256),
+			outcome: make(map[string]int),
 		}
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			t := &tallies[c]
-			qs := workload.NewQueryStream(w, *junk, *seed+int64(c)*7919)
+			qs, err := sharedwd.NewQueryStream(w, *junk, *seed+int64(c)*7919)
+			if err != nil {
+				panic(err)
+			}
 			var queries []string
 			for time.Now().Before(stopAt) {
 				if len(queries) == 0 {
 					queries = qs.Round()
 					continue
 				}
-				q := queries[len(queries)-1]
-				queries = queries[:len(queries)-1]
-				body, _ := json.Marshal(map[string]string{"query": q})
-				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-				if err != nil {
-					t.errs++
-					continue
+				n := 1
+				if *batch > 1 {
+					n = min(*batch, len(queries))
 				}
-				req.Header.Set("Content-Type", "application/json")
-				req.Header.Set("X-Timeout", xTimeout)
+				req := queries[len(queries)-n:]
+				queries = queries[:len(queries)-n]
+
+				ctx, cancel := context.WithTimeout(context.Background(), *deadline)
 				t0 := time.Now()
-				resp, err := httpc.Do(req)
-				if err != nil {
-					t.errs++
-					continue
+				if n == 1 {
+					_, err := client.Submit(ctx, req[0])
+					sec := time.Since(t0).Seconds()
+					t.lat.Add(sec)
+					t.hist.Add(sec)
+					t.outcome[classOf(err)]++
+				} else {
+					_, berr := client.SubmitBatch(ctx, req)
+					sec := time.Since(t0).Seconds()
+					for _, err := range sharedwd.SplitBatchErrors(berr, n) {
+						t.lat.Add(sec)
+						t.hist.Add(sec)
+						t.outcome[classOf(err)]++
+					}
 				}
-				// Drain so the connection returns to the keep-alive pool.
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				sec := time.Since(t0).Seconds()
-				t.lat.Add(sec)
-				t.hist.Add(sec)
-				t.status[resp.StatusCode]++
+				cancel()
 			}
 		}(c)
 	}
@@ -147,55 +128,116 @@ func main() {
 	elapsed := time.Since(start)
 
 	// Merge the per-client tallies.
-	total := clientTally{lat: &stats.Summary{}, hist: stats.NewHistogram(0, deadline.Seconds()*2, 256), status: make(map[int]int)}
+	total := clientTally{lat: &stats.Summary{}, hist: stats.NewHistogram(0, deadline.Seconds()*2, 256), outcome: make(map[string]int)}
 	for _, t := range tallies {
 		total.lat.Merge(*t.lat)
 		total.hist.Merge(t.hist)
-		for code, n := range t.status {
-			total.status[code] += n
+		for class, n := range t.outcome {
+			total.outcome[class] += n
 		}
-		total.errs += t.errs
 	}
 
-	fmt.Printf("\n%d requests in %v over %d clients\n", total.lat.N(), elapsed.Round(time.Millisecond), *clients)
+	fmt.Printf("\n%s: %d queries in %v over %d clients\n", *proto, total.lat.N(), elapsed.Round(time.Millisecond), *clients)
 	fmt.Printf("end-to-end: %.0f qps, p50 %.2fms, p95 %.2fms, p99 %.2fms, max %.2fms\n",
 		float64(total.lat.N())/elapsed.Seconds(),
 		total.hist.Quantile(0.5)*1e3, total.hist.Quantile(0.95)*1e3,
 		total.hist.Quantile(0.99)*1e3, total.lat.Max()*1e3)
-	codes := make([]int, 0, len(total.status))
-	for code := range total.status {
-		codes = append(codes, code)
+	classes := make([]string, 0, len(total.outcome))
+	for class := range total.outcome {
+		classes = append(classes, class)
 	}
-	sort.Ints(codes)
-	for _, code := range codes {
-		fmt.Printf("  %d: %d\n", code, total.status[code])
-	}
-	if total.errs > 0 {
-		fmt.Printf("  transport errors: %d\n", total.errs)
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("  %s: %d\n", class, total.outcome[class])
 	}
 
-	if ns != nil {
-		if sm, err := metricsOf(target); err == nil {
-			fmt.Printf("in-process: %.0f qps served, total p95 %.2fms (the gap to end-to-end is the HTTP edge)\n",
-				sm.QueriesPerSec, sm.TotalLatency.P95()*1e3)
+	// The same Stats contract works on every transport.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if m, err := client.Stats(ctx); err == nil {
+		fmt.Printf("server side: %.0f qps served, total p95 %.2fms (the gap to end-to-end is the %s edge)\n",
+			m.QueriesPerSec, m.TotalLatency.P95()*1e3, *proto)
+	}
+	cancel()
+}
+
+// buildClient constructs the requested Client, self-hosting a fleet (and,
+// for the network protocols without -addr, a NetServer) as needed.
+func buildClient(proto, addr string, w *sharedwd.Workload, shards int) (sharedwd.Client, func(), error) {
+	selfHost := func(transports ...sharedwd.Transport) (*sharedwd.NetServer, error) {
+		return sharedwd.NewNetServer(w, sharedwd.WithShards(shards), sharedwd.WithTransport(transports...))
+	}
+	shutdown := func(ns *sharedwd.NetServer) func() {
+		return func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			ns.Shutdown(ctx)
+			cancel()
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		ns.Shutdown(ctx)
-		cancel()
+	}
+	switch proto {
+	case "inproc":
+		fleet, err := sharedwd.NewShardedServer(w, sharedwd.WithShards(shards))
+		if err != nil {
+			return nil, nil, err
+		}
+		c := sharedwd.NewInprocClient(fleet)
+		return c, func() { c.Close() }, nil
+	case "http":
+		if addr != "" {
+			c := sharedwd.NewHTTPClient(addr)
+			return c, func() { c.Close() }, nil
+		}
+		ns, err := selfHost(sharedwd.TransportHTTP)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Printf("self-hosting http on %s\n", ns.Addr())
+		return sharedwd.NewHTTPClient(ns.Addr()), shutdown(ns), nil
+	case "binary":
+		if addr != "" {
+			c, err := sharedwd.NewBinaryClient(addr)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c, func() { c.Close() }, nil
+		}
+		ns, err := selfHost(sharedwd.TransportBinary)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := sharedwd.NewBinaryClient(ns.BinaryAddr())
+		if err != nil {
+			shutdown(ns)()
+			return nil, nil, err
+		}
+		fmt.Printf("self-hosting binary on %s\n", ns.BinaryAddr())
+		return c, shutdown(ns), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -proto %q (want inproc, http, or binary)", proto)
 	}
 }
 
-// metricsOf fetches the tier's merged metrics via its own /v1/stats
-// contract — exercising the wire schema instead of peeking at the backend.
-func metricsOf(target string) (server.Metrics, error) {
-	resp, err := http.Get("http://" + target + "/v1/stats")
-	if err != nil {
-		return server.Metrics{}, err
+// classOf buckets a submission outcome by its place in the error
+// taxonomy — the cross-transport analogue of an HTTP status breakdown.
+func classOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, sharedwd.ErrNoAuction):
+		return "no_auction"
+	case errors.Is(err, sharedwd.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, sharedwd.ErrServerClosed):
+		return "closed"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
 	}
-	defer resp.Body.Close()
-	var m server.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		return server.Metrics{}, err
-	}
-	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

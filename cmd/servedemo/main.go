@@ -16,7 +16,7 @@
 //	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
 //	          [-shards 1] [-router hash|fragment]
 //	          [-replan] [-drift]
-//	          [-listen :8080] [-rate-limit 0]
+//	          [-listen :8080] [-listen-binary :8081] [-rate-limit 0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -listen additionally serves the network tier on the given address while
@@ -26,6 +26,11 @@
 // summaries over a WebSocket — point a browser or `curl` at it while the
 // demo runs. -rate-limit enables the edge's per-client token bucket at
 // that many requests per second.
+//
+// -listen-binary serves the multiplexed binary protocol on the given
+// address against the same backend — point `loadgen -proto binary -addr`
+// at it. Both edges can run at once; on shutdown the binary edge drains
+// first, then the HTTP tier closes the shared backend.
 //
 // -replan turns on online adaptive replanning: each round loop tracks the
 // arrival rates it observes and hot-swaps a freshly compiled shared plan
@@ -53,6 +58,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sharedwd/internal/binproto"
 	"sharedwd/internal/netserve"
 	"sharedwd/internal/replan"
 	"sharedwd/internal/server"
@@ -61,12 +67,8 @@ import (
 )
 
 // roundServer is what the load loop needs; both the single-engine server
-// and the sharded server satisfy it.
-type roundServer interface {
-	Submit(ctx context.Context, query string) (server.Result, error)
-	Metrics() server.Metrics
-	Close()
-}
+// and the sharded server satisfy the canonical Backend contract.
+type roundServer = server.Backend
 
 func main() {
 	advertisers := flag.Int("advertisers", 2000, "number of advertisers")
@@ -85,6 +87,7 @@ func main() {
 	replanOn := flag.Bool("replan", false, "adaptive replanning: hot-swap the shared plan when observed rates drift")
 	drift := flag.Bool("drift", false, "inject traffic drift halfway through (rotate arrival rates by half the phrases)")
 	listen := flag.String("listen", "", "also serve HTTP on this address (/v1/query, /v1/stats, /v1/metrics, /v1/live)")
+	listenBinary := flag.String("listen-binary", "", "also serve the binary protocol on this address (loadgen -proto binary)")
 	rateLimit := flag.Float64("rate-limit", 0, "edge rate limit in requests/sec per client (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -186,6 +189,15 @@ func main() {
 		}
 		fmt.Printf("http:     listening on %s (POST /v1/query, GET /v1/stats /v1/metrics /v1/live)\n", ns.Addr())
 	}
+	var bs *binproto.Server
+	if *listenBinary != "" {
+		bs = binproto.New(s, binproto.Config{Addr: *listenBinary})
+		if err := bs.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("binary:   listening on %s (multiplexed frames; loadgen -proto binary -addr %s)\n", bs.Addr(), bs.Addr())
+	}
 	fmt.Println()
 
 	var stop atomic.Bool
@@ -235,6 +247,13 @@ func main() {
 
 	stop.Store(true)
 	wg.Wait()
+	if bs != nil {
+		// Drain the binary edge first: it answers its in-flight frames while
+		// the backend is still open, then stops accepting.
+		drCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		bs.Drain(drCtx)
+		cancel()
+	}
 	if ns != nil {
 		// Graceful drain: stop accepting, answer in-flight requests, close
 		// the live feed, then drain the backend (ns owns s from here).

@@ -1,0 +1,342 @@
+package binproto
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sharedwd/internal/serr"
+	"sharedwd/internal/server"
+)
+
+// Client is a multiplexing connection to a binary-tier server: any number
+// of goroutines may Submit, SubmitBatch, and Stats concurrently over the
+// one socket. Each call registers a fresh request ID, fires its frame
+// through a shared writer, and parks on its own reply channel until the
+// reader routes the response back by ID — so a slow query never blocks a
+// fast one behind it. Close fails all outstanding calls with
+// serr.ErrClosed; so do calls made after Close, matching the in-process
+// servers' post-Close contract.
+type Client struct {
+	netc net.Conn
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan wireResp
+	closed  bool
+
+	// send carries encoded frames to the writer goroutine; bufPool recycles
+	// the encode buffers it drains.
+	send    chan []byte
+	bufPool sync.Pool
+
+	readerDone chan struct{}
+	writerDone chan struct{}
+	readErr    error // why the reader exited; set before readerDone closes
+}
+
+// wireResp is one routed response: the reply's decoded content, or the
+// connection-level failure that voided it.
+type wireResp struct {
+	res     server.Result
+	err     error
+	results []server.Result
+	errs    []error
+	stats   []byte // owned copy of Metrics JSON
+}
+
+// Dial connects to a binary-tier server at addr, sends the protocol
+// preamble, and starts the reader and writer goroutines.
+func Dial(addr string) (*Client, error) {
+	netc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pre := append([]byte(Magic), Version)
+	if _, err := netc.Write(pre); err != nil {
+		netc.Close()
+		return nil, err
+	}
+	c := &Client{
+		netc:       netc,
+		pending:    make(map[uint64]chan wireResp),
+		send:       make(chan []byte, 64),
+		readerDone: make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	c.bufPool.New = func() any { b := make([]byte, 0, 1024); return &b }
+	go c.reader()
+	go c.writer()
+	return c, nil
+}
+
+// register installs a reply channel under a fresh ID. It fails with
+// serr.ErrClosed once the client is closed.
+func (c *Client) register() (uint64, chan wireResp, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan wireResp, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, serr.ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	return id, ch, nil
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// timeoutMS derives the frame's timeout field from ctx: the remaining
+// deadline in milliseconds (rounded up so a live deadline never becomes
+// 0 = server default), or 0 when ctx has none.
+func timeoutMS(ctx context.Context) uint32 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds() + 1
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 1<<31 {
+		ms = 1 << 31
+	}
+	return uint32(ms)
+}
+
+// post encodes-and-sends via fn and waits for the routed response.
+func (c *Client) post(ctx context.Context, fn func(b []byte, id uint64) []byte) (wireResp, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return wireResp{}, err
+	}
+	bp := c.bufPool.Get().(*[]byte)
+	*bp = fn((*bp)[:0], id)
+	select {
+	case c.send <- *bp:
+	case <-c.readerDone:
+		c.forget(id)
+		c.bufPool.Put(bp)
+		return wireResp{}, c.closedErr()
+	case <-ctx.Done():
+		c.forget(id)
+		c.bufPool.Put(bp)
+		return wireResp{}, ctx.Err()
+	}
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		c.forget(id)
+		return wireResp{}, ctx.Err()
+	}
+}
+
+// Submit sends one query and blocks until its reply arrives. Errors map
+// back onto the serr sentinels and context errors; see errOf.
+func (c *Client) Submit(ctx context.Context, query string) (server.Result, error) {
+	ms := timeoutMS(ctx)
+	r, err := c.post(ctx, func(b []byte, id uint64) []byte {
+		return AppendQuery(b, id, ms, query)
+	})
+	if err != nil {
+		return server.Result{}, err
+	}
+	return r.res, r.err
+}
+
+// SubmitBatch sends many queries in one frame and blocks until the batch
+// reply arrives — the Backend batch contract: results always has
+// len(queries), and the error joins one *serr.ItemError per failed query.
+func (c *Client) SubmitBatch(ctx context.Context, queries []string) ([]server.Result, error) {
+	ms := timeoutMS(ctx)
+	r, err := c.post(ctx, func(b []byte, id uint64) []byte {
+		return AppendBatch(b, id, ms, queries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		// Whole-frame refusal: every item failed the same way.
+		errs := make([]error, len(queries))
+		for i := range errs {
+			errs[i] = r.err
+		}
+		return make([]server.Result, len(queries)), serr.JoinBatch(errs)
+	}
+	if len(r.results) != len(queries) {
+		return nil, fmt.Errorf("binproto: batch reply has %d items, want %d", len(r.results), len(queries))
+	}
+	return r.results, serr.JoinBatch(r.errs)
+}
+
+// Stats fetches the server's merged fleet metrics.
+func (c *Client) Stats(ctx context.Context) (server.Metrics, error) {
+	r, err := c.post(ctx, func(b []byte, id uint64) []byte {
+		return AppendStatsReq(b, id)
+	})
+	if err != nil {
+		return server.Metrics{}, err
+	}
+	if r.err != nil {
+		return server.Metrics{}, r.err
+	}
+	var m server.Metrics
+	if err := json.Unmarshal(r.stats, &m); err != nil {
+		return server.Metrics{}, fmt.Errorf("binproto: decoding stats: %w", err)
+	}
+	return m, nil
+}
+
+// closedErr is the error outstanding and future calls see once the
+// connection is down: ErrClosed for a local Close, the transport error
+// otherwise.
+func (c *Client) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.readErr == nil {
+		return serr.ErrClosed
+	}
+	return fmt.Errorf("binproto: connection lost: %w", c.readErr)
+}
+
+// Close tears the connection down: outstanding calls fail with
+// serr.ErrClosed, the reader and writer exit, and subsequent calls return
+// serr.ErrClosed. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.readerDone
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.netc.Close() // unblocks the reader; writer exits on readerDone
+	<-c.readerDone
+	<-c.writerDone
+	return nil
+}
+
+// reader routes response frames to their pending channels by request ID.
+// On exit — server close, transport error, or local Close — it fails every
+// outstanding call.
+func (c *Client) reader() {
+	fr := newFrameReader(c.netc, 1<<24) // generous: stats JSON and big batches
+	var exitErr error
+	for {
+		ft, id, payload, err := fr.next()
+		if err != nil {
+			exitErr = err
+			break
+		}
+		var resp wireResp
+		switch ft {
+		case ftReply:
+			res, rerr, perr := parseReply(payload)
+			if perr != nil {
+				exitErr = perr
+				goto out
+			}
+			resp = wireResp{res: res, err: rerr}
+		case ftBatchReply:
+			results, errs, frameErr, perr := parseBatchReply(payload)
+			if perr != nil {
+				exitErr = perr
+				goto out
+			}
+			resp = wireResp{results: results, errs: errs, err: frameErr}
+		case ftStatsReply:
+			js, frameErr, perr := parseStatsReply(payload)
+			if perr != nil {
+				exitErr = perr
+				goto out
+			}
+			resp = wireResp{stats: append([]byte(nil), js...), err: frameErr}
+		default:
+			exitErr = protoErrf("unknown response frame type 0x%02x", ft)
+			goto out
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered; never blocks
+		}
+	}
+out:
+	c.mu.Lock()
+	c.readErr = exitErr
+	failWith := serr.ErrClosed
+	if !c.closed {
+		if exitErr != nil && !errors.Is(exitErr, net.ErrClosed) {
+			failWith = fmt.Errorf("binproto: connection lost: %w", exitErr)
+		}
+		c.closed = true
+		c.netc.Close()
+	}
+	orphans := c.pending
+	c.pending = make(map[uint64]chan wireResp)
+	c.mu.Unlock()
+	for _, ch := range orphans {
+		ch <- wireResp{err: failWith}
+	}
+	close(c.readerDone)
+}
+
+// writer drains encoded frames onto the socket, coalescing whatever is
+// queued into one write, and recycles the buffers.
+func (c *Client) writer() {
+	defer close(c.writerDone)
+	// Accumulate into one flat buffer so a burst of Submits costs one
+	// syscall; the per-request buffers go back to the pool immediately.
+	out := make([]byte, 0, 32<<10)
+	for {
+		select {
+		case b := <-c.send:
+			out = append(out[:0], b...)
+			c.putBuf(b)
+		coalesce:
+			for {
+				select {
+				case b := <-c.send:
+					out = append(out, b...)
+					c.putBuf(b)
+				default:
+					break coalesce
+				}
+			}
+			if _, err := c.netc.Write(out); err != nil {
+				// Socket gone: the reader will notice and fail everything.
+				// Keep draining sends so posters never block.
+				for {
+					select {
+					case b := <-c.send:
+						c.putBuf(b)
+					case <-c.readerDone:
+						return
+					}
+				}
+			}
+		case <-c.readerDone:
+			return
+		}
+	}
+}
+
+func (c *Client) putBuf(b []byte) {
+	b = b[:0]
+	c.bufPool.Put(&b)
+}

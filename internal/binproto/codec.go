@@ -1,0 +1,420 @@
+package binproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/server"
+)
+
+// The codec is append-style on the encode side — every encoder takes a
+// destination []byte and returns the extended slice, so per-connection
+// writers reuse one buffer and the hot path allocates nothing once the
+// buffer has grown to its working size — and bounds-checked on the decode
+// side: every parser reads counts and lengths from the wire but validates
+// them against the bytes actually present before touching the payload, so
+// a hostile frame can produce a protocol error, never a panic or an
+// attacker-sized allocation.
+
+// frame header: u32 length | byte type | u64 id. The length covers the
+// type byte, the id, and the payload.
+const headerLen = 4 + 1 + 8
+
+// beginFrame appends a frame header with a zero length placeholder and
+// returns (extended buffer, offset of the length word for finishFrame).
+func beginFrame(b []byte, ft byte, id uint64) ([]byte, int) {
+	at := len(b)
+	b = append(b, 0, 0, 0, 0, ft)
+	b = binary.BigEndian.AppendUint64(b, id)
+	return b, at
+}
+
+// finishFrame patches the length word written by beginFrame.
+func finishFrame(b []byte, at int) []byte {
+	binary.BigEndian.PutUint32(b[at:], uint32(len(b)-at-4))
+	return b
+}
+
+// AppendQuery appends a query request frame.
+func AppendQuery(b []byte, id uint64, timeoutMS uint32, query string) []byte {
+	b, at := beginFrame(b, ftQuery, id)
+	b = binary.BigEndian.AppendUint32(b, timeoutMS)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(query)))
+	b = append(b, query...)
+	return finishFrame(b, at)
+}
+
+// AppendBatch appends a batch request frame.
+func AppendBatch(b []byte, id uint64, timeoutMS uint32, queries []string) []byte {
+	b, at := beginFrame(b, ftBatch, id)
+	b = binary.BigEndian.AppendUint32(b, timeoutMS)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(queries)))
+	for _, q := range queries {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(q)))
+		b = append(b, q...)
+	}
+	return finishFrame(b, at)
+}
+
+// AppendStatsReq appends a stats request frame (empty payload).
+func AppendStatsReq(b []byte, id uint64) []byte {
+	b, at := beginFrame(b, ftStats, id)
+	return finishFrame(b, at)
+}
+
+// appendResult appends the fixed-width result body of an OK reply.
+func appendResult(b []byte, res *server.Result) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(res.Phrase))
+	b = binary.BigEndian.AppendUint16(b, uint16(res.Shard))
+	b = binary.BigEndian.AppendUint32(b, uint32(res.Round))
+	b = binary.BigEndian.AppendUint64(b, uint64(res.Latency))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(res.Slots)))
+	for i := range res.Slots {
+		s := &res.Slots[i]
+		b = binary.BigEndian.AppendUint16(b, uint16(s.Slot))
+		b = binary.BigEndian.AppendUint32(b, uint32(s.Advertiser))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.PricePaid))
+	}
+	return b
+}
+
+// appendStatus appends one status | flags | body unit: an error message
+// for non-OK statuses, a result for OK.
+func appendStatus(b []byte, res *server.Result, err error) []byte {
+	status, flags := statusOf(err)
+	b = append(b, status, flags)
+	if err != nil {
+		msg := err.Error()
+		if len(msg) > math.MaxUint16 {
+			msg = msg[:math.MaxUint16]
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+		return append(b, msg...)
+	}
+	return appendResult(b, res)
+}
+
+// AppendReply appends a single-query reply frame for (res, err).
+func AppendReply(b []byte, id uint64, res *server.Result, err error) []byte {
+	b, at := beginFrame(b, ftReply, id)
+	b = appendStatus(b, res, err)
+	return finishFrame(b, at)
+}
+
+// AppendErrorFrame appends a response frame of type ft carrying just a
+// status — for frame-level refusals (overflow, duplicate ID, bad request)
+// that never produced a body. msg may be empty. Valid for every response
+// type: each one's non-OK shape is status | flags | u16 len | msg.
+func AppendErrorFrame(b []byte, ft byte, id uint64, status, flags byte, msg string) []byte {
+	b, at := beginFrame(b, ft, id)
+	b = append(b, status, flags)
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(msg)))
+	b = append(b, msg...)
+	return finishFrame(b, at)
+}
+
+// AppendBatchReply appends a batch reply frame: a whole-frame OK status
+// followed by one status | flags | body unit per item. results and errs
+// must be the same length (the Backend batch contract: errs[i] non-nil
+// marks item i failed).
+func AppendBatchReply(b []byte, id uint64, results []server.Result, errs []error) []byte {
+	b, at := beginFrame(b, ftBatchReply, id)
+	b = append(b, StatusOK, 0)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(results)))
+	for i := range results {
+		var err error
+		if i < len(errs) {
+			err = errs[i]
+		}
+		b = appendStatus(b, &results[i], err)
+	}
+	return finishFrame(b, at)
+}
+
+// AppendStatsReply appends a stats reply frame carrying the Metrics JSON.
+func AppendStatsReply(b []byte, id uint64, metricsJSON []byte) []byte {
+	b, at := beginFrame(b, ftStatsReply, id)
+	b = append(b, StatusOK, 0)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(metricsJSON)))
+	b = append(b, metricsJSON...)
+	return finishFrame(b, at)
+}
+
+// --- decode side ---
+
+// errProtocol is a connection-fatal framing error: the peer violated the
+// wire format and the connection cannot be trusted past this point.
+type errProtocol struct{ msg string }
+
+func (e *errProtocol) Error() string { return "binproto: protocol error: " + e.msg }
+
+func protoErrf(format string, args ...any) error {
+	return &errProtocol{msg: fmt.Sprintf(format, args...)}
+}
+
+// frameReader reads length-prefixed frames from r into one reused buffer.
+// A frame's declared length is validated against maxFrame BEFORE the
+// buffer grows, so a hostile length word can fail the connection but
+// never size an allocation — the ws readFrame discipline.
+type frameReader struct {
+	r        io.Reader
+	maxFrame int
+	hdr      [4]byte
+	buf      []byte
+}
+
+func newFrameReader(r io.Reader, maxFrame int) *frameReader {
+	return &frameReader{r: r, maxFrame: maxFrame, buf: make([]byte, 0, 4096)}
+}
+
+// next reads one frame and returns its type, request ID, and payload. The
+// payload aliases the reader's internal buffer — valid only until the
+// next call. Returns io.EOF cleanly only on a frame boundary.
+func (fr *frameReader) next() (ft byte, id uint64, payload []byte, err error) {
+	if _, err = io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	// Keep the declared length wide until it has been bounds-checked; a
+	// narrowing conversion first would let a huge declaration wrap around.
+	length := uint64(binary.BigEndian.Uint32(fr.hdr[:]))
+	if length < headerLen-4 {
+		return 0, 0, nil, protoErrf("frame length %d shorter than type+id", length)
+	}
+	if length > uint64(fr.maxFrame) {
+		return 0, 0, nil, protoErrf("frame length %d exceeds max %d", length, fr.maxFrame)
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length)
+	}
+	fr.buf = fr.buf[:length]
+	if _, err = io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	ft = fr.buf[0]
+	id = binary.BigEndian.Uint64(fr.buf[1:9])
+	return ft, id, fr.buf[9:], nil
+}
+
+// byteReader is a sequential bounds-checked cursor over one payload. Every
+// take checks the bytes actually present; ok latches false on the first
+// short read so parsers can check once at the end.
+type byteReader struct {
+	b  []byte
+	ok bool
+}
+
+func newByteReader(b []byte) byteReader { return byteReader{b: b, ok: true} }
+
+func (br *byteReader) take(n int) []byte {
+	if !br.ok || len(br.b) < n {
+		br.ok = false
+		return nil
+	}
+	out := br.b[:n]
+	br.b = br.b[n:]
+	return out
+}
+
+func (br *byteReader) u8() byte {
+	if b := br.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (br *byteReader) u16() uint16 {
+	if b := br.take(2); b != nil {
+		return binary.BigEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (br *byteReader) u32() uint32 {
+	if b := br.take(4); b != nil {
+		return binary.BigEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (br *byteReader) u64() uint64 {
+	if b := br.take(8); b != nil {
+		return binary.BigEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (br *byteReader) done() bool { return br.ok && len(br.b) == 0 }
+
+// parseQuery decodes a query request payload. The query string is the
+// payload's only allocation (the bytes alias the read buffer and must be
+// copied out to survive the next frame).
+func parseQuery(payload []byte) (timeoutMS uint32, query string, err error) {
+	br := newByteReader(payload)
+	timeoutMS = br.u32()
+	qlen := int(br.u16())
+	qb := br.take(qlen)
+	if qb == nil || !br.done() {
+		return 0, "", protoErrf("malformed query payload (%d bytes)", len(payload))
+	}
+	return timeoutMS, string(qb), nil
+}
+
+// parseBatch decodes a batch request payload. The declared count is only
+// trusted after the items themselves fit the payload — each item's length
+// is bounds-checked as it is read, so the count never sizes an allocation
+// beyond the frame that actually arrived.
+func parseBatch(payload []byte, maxItems int) (timeoutMS uint32, queries []string, err error) {
+	br := newByteReader(payload)
+	timeoutMS = br.u32()
+	count := int(br.u16())
+	if count > maxItems {
+		return 0, nil, protoErrf("batch of %d items exceeds max %d", count, maxItems)
+	}
+	// Two bytes of length prefix per item is the floor; a count the
+	// remaining bytes cannot hold is rejected before allocating for it.
+	if !br.ok || count*2 > len(br.b) {
+		return 0, nil, protoErrf("malformed batch payload (%d bytes)", len(payload))
+	}
+	queries = make([]string, count)
+	for i := range queries {
+		qlen := int(br.u16())
+		qb := br.take(qlen)
+		if qb == nil {
+			return 0, nil, protoErrf("malformed batch payload (%d bytes)", len(payload))
+		}
+		queries[i] = string(qb)
+	}
+	if !br.done() {
+		return 0, nil, protoErrf("trailing bytes in batch payload")
+	}
+	return timeoutMS, queries, nil
+}
+
+// parseStatus decodes one status | flags | body unit into (res, err). For
+// OK statuses the result's Slots are freshly allocated (they must outlive
+// the read buffer); the declared slot count is validated against the
+// bytes present before the slice is sized.
+func parseStatus(br *byteReader) (server.Result, error, error) {
+	status := br.u8()
+	flags := br.u8()
+	if !br.ok {
+		return server.Result{}, nil, protoErrf("truncated status")
+	}
+	if status != StatusOK {
+		mlen := int(br.u16())
+		mb := br.take(mlen)
+		if mb == nil {
+			return server.Result{}, nil, protoErrf("truncated error message")
+		}
+		return server.Result{}, errOf(status, flags, string(mb)), nil
+	}
+	var res server.Result
+	res.Phrase = int(br.u32())
+	res.Shard = int(br.u16())
+	res.Round = int(br.u32())
+	res.Latency = time.Duration(br.u64())
+	nslots := int(br.u16())
+	const slotWire = 2 + 4 + 8
+	if !br.ok || nslots*slotWire > len(br.b) {
+		return server.Result{}, nil, protoErrf("truncated result")
+	}
+	if nslots > 0 {
+		res.Slots = make([]core.SlotResult, nslots)
+		for i := range res.Slots {
+			res.Slots[i].Slot = int(br.u16())
+			res.Slots[i].Advertiser = int(br.u32())
+			res.Slots[i].PricePaid = math.Float64frombits(br.u64())
+		}
+	}
+	if !br.ok {
+		return server.Result{}, nil, protoErrf("truncated result")
+	}
+	return res, nil, nil
+}
+
+// parseReply decodes a single-query reply payload.
+func parseReply(payload []byte) (server.Result, error, error) {
+	br := newByteReader(payload)
+	res, rerr, perr := parseStatus(&br)
+	if perr != nil {
+		return server.Result{}, nil, perr
+	}
+	if !br.done() {
+		return server.Result{}, nil, protoErrf("trailing bytes in reply")
+	}
+	return res, rerr, nil
+}
+
+// parseBatchReply decodes a batch reply payload into per-item results and
+// errors. A non-OK frame status means the whole batch was refused; the
+// returned frameErr applies to every item.
+func parseBatchReply(payload []byte) (results []server.Result, errs []error, frameErr error, perr error) {
+	br := newByteReader(payload)
+	status := br.u8()
+	flags := br.u8()
+	if !br.ok {
+		return nil, nil, nil, protoErrf("truncated batch reply")
+	}
+	if status != StatusOK {
+		mlen := int(br.u16())
+		mb := br.take(mlen)
+		if mb == nil || !br.done() {
+			return nil, nil, nil, protoErrf("truncated batch reply error")
+		}
+		return nil, nil, errOf(status, flags, string(mb)), nil
+	}
+	count := int(br.u16())
+	// Each item is at least status+flags+u16: reject counts the payload
+	// cannot hold before allocating result slices for them.
+	if !br.ok || count*4 > len(br.b) {
+		return nil, nil, nil, protoErrf("malformed batch reply (%d bytes)", len(payload))
+	}
+	results = make([]server.Result, count)
+	errs = make([]error, count)
+	for i := 0; i < count; i++ {
+		res, rerr, perr := parseStatus(&br)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		results[i], errs[i] = res, rerr
+	}
+	if !br.done() {
+		return nil, nil, nil, protoErrf("trailing bytes in batch reply")
+	}
+	return results, errs, nil, nil
+}
+
+// parseStatsReply decodes a stats reply payload, returning the Metrics
+// JSON bytes (aliasing the read buffer — decode before the next frame).
+func parseStatsReply(payload []byte) (metricsJSON []byte, frameErr error, perr error) {
+	br := newByteReader(payload)
+	status := br.u8()
+	flags := br.u8()
+	if !br.ok {
+		return nil, nil, protoErrf("truncated stats reply")
+	}
+	if status != StatusOK {
+		mlen := int(br.u16())
+		mb := br.take(mlen)
+		if mb == nil || !br.done() {
+			return nil, nil, protoErrf("truncated stats reply error")
+		}
+		return nil, errOf(status, flags, string(mb)), nil
+	}
+	jlen := int(br.u32())
+	jb := br.take(jlen)
+	if jb == nil || !br.done() {
+		return nil, nil, protoErrf("malformed stats reply (%d bytes)", len(payload))
+	}
+	return jb, nil, nil
+}

@@ -1,0 +1,317 @@
+package binproto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"sharedwd/internal/core"
+	"sharedwd/internal/serr"
+	"sharedwd/internal/server"
+)
+
+// decodeOne reads exactly one frame out of an encoded buffer.
+func decodeOne(t *testing.T, b []byte, maxFrame int) (byte, uint64, []byte) {
+	t.Helper()
+	fr := newFrameReader(bytes.NewReader(b), maxFrame)
+	ft, id, payload, err := fr.next()
+	if err != nil {
+		t.Fatalf("decoding frame: %v", err)
+	}
+	return ft, id, payload
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		id      uint64
+		timeout uint32
+		query   string
+	}{
+		{1, 0, "hiking boots"},
+		{math.MaxUint64, 250, ""},
+		{42, math.MaxUint32, string(make([]byte, math.MaxUint16))},
+	} {
+		b := AppendQuery(nil, tc.id, tc.timeout, tc.query)
+		ft, id, payload := decodeOne(t, b, 1<<20)
+		if ft != ftQuery || id != tc.id {
+			t.Fatalf("frame header = (0x%02x, %d), want (0x%02x, %d)", ft, id, ftQuery, tc.id)
+		}
+		timeout, query, err := parseQuery(payload)
+		if err != nil {
+			t.Fatalf("parseQuery: %v", err)
+		}
+		if timeout != tc.timeout || query != tc.query {
+			t.Fatalf("parseQuery = (%d, %q), want (%d, %q)", timeout, query, tc.timeout, tc.query)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	queries := []string{"alpha", "", "gamma delta", "épsilon"}
+	b := AppendBatch(nil, 7, 1500, queries)
+	ft, id, payload := decodeOne(t, b, 1<<20)
+	if ft != ftBatch || id != 7 {
+		t.Fatalf("frame header = (0x%02x, %d)", ft, id)
+	}
+	timeout, got, err := parseBatch(payload, 256)
+	if err != nil {
+		t.Fatalf("parseBatch: %v", err)
+	}
+	if timeout != 1500 {
+		t.Fatalf("timeout = %d, want 1500", timeout)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("got %d queries, want %d", len(got), len(queries))
+	}
+	for i := range queries {
+		if got[i] != queries[i] {
+			t.Fatalf("query %d = %q, want %q", i, got[i], queries[i])
+		}
+	}
+	if _, _, err := parseBatch(payload, len(queries)-1); err == nil {
+		t.Fatal("parseBatch accepted a batch beyond maxItems")
+	}
+}
+
+func sampleResult() server.Result {
+	return server.Result{
+		Phrase:  7,
+		Shard:   3,
+		Round:   42,
+		Latency: 3 * time.Millisecond,
+		Slots: []core.SlotResult{
+			{Slot: 0, Advertiser: 11, PricePaid: 1.25},
+			{Slot: 1, Advertiser: 9, PricePaid: 0.75},
+			{Slot: 2, Advertiser: 400, PricePaid: math.Pi},
+		},
+	}
+}
+
+func sameResult(a, b server.Result) bool {
+	if a.Phrase != b.Phrase || a.Shard != b.Shard || a.Round != b.Round || a.Latency != b.Latency {
+		return false
+	}
+	if len(a.Slots) != len(b.Slots) {
+		return false
+	}
+	for i := range a.Slots {
+		if a.Slots[i] != b.Slots[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	res := sampleResult()
+	b := AppendReply(nil, 9, &res, nil)
+	ft, id, payload := decodeOne(t, b, 1<<20)
+	if ft != ftReply || id != 9 {
+		t.Fatalf("frame header = (0x%02x, %d)", ft, id)
+	}
+	got, rerr, perr := parseReply(payload)
+	if perr != nil || rerr != nil {
+		t.Fatalf("parseReply: %v / %v", perr, rerr)
+	}
+	if !sameResult(got, res) {
+		t.Fatalf("result = %+v, want %+v", got, res)
+	}
+}
+
+// TestReplyErrorTaxonomy pins the status bytes and the errOf inverse: each
+// backend sentinel survives a wire round trip under errors.Is.
+func TestReplyErrorTaxonomy(t *testing.T) {
+	for _, tc := range []struct {
+		in     error
+		status byte
+		retry  bool
+	}{
+		{serr.ErrNoAuction, StatusNoAuction, false},
+		{serr.ErrOverloaded, StatusOverloaded, true},
+		{serr.ErrClosed, StatusClosed, false},
+		{context.DeadlineExceeded, StatusDeadline, true},
+		{context.Canceled, StatusCanceled, false},
+		{errors.New("kaput"), StatusInternal, false},
+	} {
+		b := AppendReply(nil, 1, &server.Result{}, tc.in)
+		_, _, payload := decodeOne(t, b, 1<<20)
+		if payload[0] != tc.status {
+			t.Fatalf("%v: status = %d, want %d", tc.in, payload[0], tc.status)
+		}
+		if retry := payload[1]&FlagRetryable != 0; retry != tc.retry {
+			t.Fatalf("%v: retryable = %v, want %v", tc.in, retry, tc.retry)
+		}
+		_, rerr, perr := parseReply(payload)
+		if perr != nil {
+			t.Fatalf("%v: parseReply: %v", tc.in, perr)
+		}
+		if tc.status == StatusInternal {
+			var re *RemoteError
+			if !errors.As(rerr, &re) || re.Msg != "kaput" {
+				t.Fatalf("internal error decoded as %v", rerr)
+			}
+		} else if !errors.Is(rerr, tc.in) {
+			t.Fatalf("decoded %v does not match %v", rerr, tc.in)
+		}
+	}
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	results := []server.Result{sampleResult(), {}, sampleResult()}
+	errs := []error{nil, serr.ErrNoAuction, nil}
+	b := AppendBatchReply(nil, 5, results, errs)
+	ft, id, payload := decodeOne(t, b, 1<<20)
+	if ft != ftBatchReply || id != 5 {
+		t.Fatalf("frame header = (0x%02x, %d)", ft, id)
+	}
+	got, gerrs, frameErr, perr := parseBatchReply(payload)
+	if perr != nil || frameErr != nil {
+		t.Fatalf("parseBatchReply: %v / %v", perr, frameErr)
+	}
+	if len(got) != 3 || len(gerrs) != 3 {
+		t.Fatalf("got %d results, %d errors", len(got), len(gerrs))
+	}
+	if !sameResult(got[0], results[0]) || !sameResult(got[2], results[2]) {
+		t.Fatal("batch results corrupted in transit")
+	}
+	if !errors.Is(gerrs[1], serr.ErrNoAuction) || gerrs[0] != nil || gerrs[2] != nil {
+		t.Fatalf("batch errors = %v", gerrs)
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	b := AppendErrorFrame(nil, ftBatchReply, 3, StatusOverflow, FlagRetryable, "")
+	_, _, payload := decodeOne(t, b, 1<<20)
+	_, _, frameErr, perr := parseBatchReply(payload)
+	if perr != nil {
+		t.Fatalf("parseBatchReply: %v", perr)
+	}
+	if !errors.Is(frameErr, serr.ErrOverloaded) {
+		t.Fatalf("overflow decoded as %v, want ErrOverloaded", frameErr)
+	}
+}
+
+func TestStatsReplyRoundTrip(t *testing.T) {
+	js := []byte(`{"answered": 12}`)
+	b := AppendStatsReply(nil, 2, js)
+	_, _, payload := decodeOne(t, b, 1<<20)
+	got, frameErr, perr := parseStatsReply(payload)
+	if perr != nil || frameErr != nil {
+		t.Fatalf("parseStatsReply: %v / %v", perr, frameErr)
+	}
+	if !bytes.Equal(got, js) {
+		t.Fatalf("stats JSON = %q, want %q", got, js)
+	}
+}
+
+// TestFrameReaderBounds pins the uint64-length discipline: a declared
+// length past MaxFrame fails the connection before any buffer grows.
+func TestFrameReaderBounds(t *testing.T) {
+	huge := []byte{0xff, 0xff, 0xff, 0xff, ftQuery}
+	fr := newFrameReader(bytes.NewReader(huge), 1<<20)
+	if _, _, _, err := fr.next(); err == nil {
+		t.Fatal("frameReader accepted a 4 GiB declared length")
+	} else {
+		var pe *errProtocol
+		if !errors.As(err, &pe) {
+			t.Fatalf("oversized frame error = %v, want protocol error", err)
+		}
+	}
+	// A length shorter than type+id is equally fatal.
+	runt := []byte{0, 0, 0, 3, ftQuery, 0, 0}
+	fr = newFrameReader(bytes.NewReader(runt), 1<<20)
+	if _, _, _, err := fr.next(); err == nil {
+		t.Fatal("frameReader accepted a runt frame")
+	}
+}
+
+// TestEncodeAllocs pins the zero-allocation hot path: encoding into a
+// pre-grown buffer allocates nothing.
+func TestEncodeAllocs(t *testing.T) {
+	res := sampleResult()
+	buf := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendReply(buf[:0], 9, &res, nil)
+	}); n != 0 {
+		t.Fatalf("AppendReply allocates %.1f/op, want 0", n)
+	}
+	results := []server.Result{res, res}
+	errs := []error{nil, nil}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendBatchReply(buf[:0], 9, results, errs)
+	}); n != 0 {
+		t.Fatalf("AppendBatchReply allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendQuery(buf[:0], 9, 250, "hiking boots")
+	}); n != 0 {
+		t.Fatalf("AppendQuery allocates %.1f/op, want 0", n)
+	}
+}
+
+// FuzzFrameRoundTrip checks encode → frame → decode identity for query
+// frames over arbitrary IDs, timeouts, and query bytes.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint32(250), "hiking boots")
+	f.Add(uint64(0), uint32(0), "")
+	f.Add(uint64(math.MaxUint64), uint32(math.MaxUint32), "q")
+	f.Fuzz(func(t *testing.T, id uint64, timeout uint32, query string) {
+		if len(query) > math.MaxUint16 {
+			query = query[:math.MaxUint16]
+		}
+		b := AppendQuery(nil, id, timeout, query)
+		fr := newFrameReader(bytes.NewReader(b), 1<<20)
+		ft, gotID, payload, err := fr.next()
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if ft != ftQuery || gotID != id {
+			t.Fatalf("frame header = (0x%02x, %d), want (0x%02x, %d)", ft, gotID, ftQuery, id)
+		}
+		gotTimeout, gotQuery, err := parseQuery(payload)
+		if err != nil {
+			t.Fatalf("parseQuery of own encoding: %v", err)
+		}
+		if gotTimeout != timeout || gotQuery != query {
+			t.Fatalf("round trip = (%d, %q), want (%d, %q)", gotTimeout, gotQuery, timeout, query)
+		}
+	})
+}
+
+// FuzzMalformedFrame feeds arbitrary bytes through the frame reader and
+// every payload parser: they must never panic, and never allocate from a
+// declared count the actual bytes cannot back (the PR-7 ws readFrame
+// lesson). Parsers may reject; they may not trust.
+func FuzzMalformedFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(AppendQuery(nil, 1, 250, "seed"))
+	f.Add(AppendBatch(nil, 2, 0, []string{"a", "b"}))
+	r := sampleResult()
+	f.Add(AppendReply(nil, 3, &r, nil))
+	f.Add(AppendBatchReply(nil, 4, []server.Result{r}, []error{nil}))
+	f.Add(AppendStatsReply(nil, 5, []byte(`{}`)))
+	// A frame declaring a big batch count with no bytes behind it.
+	f.Add([]byte{0, 0, 0, 15, ftBatch, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 16
+		fr := newFrameReader(bytes.NewReader(data), maxFrame)
+		for {
+			_, _, payload, err := fr.next()
+			if err != nil {
+				return
+			}
+			// Run every parser over the payload regardless of the declared
+			// type: a confused peer could mislabel frames, and no parser may
+			// panic or over-allocate on any input.
+			parseQuery(payload)
+			parseBatch(payload, 256)
+			parseReply(payload)
+			parseBatchReply(payload)
+			parseStatsReply(payload)
+		}
+	})
+}

@@ -1,0 +1,497 @@
+package binproto
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sharedwd/internal/serr"
+	"sharedwd/internal/server"
+)
+
+// Server is the binary tier: a TCP listener whose connections multiplex
+// frames against one server.Backend. Create with New, start with Start,
+// stop with Shutdown (drain: every admitted frame answered) or Close
+// (immediate). Drain stops the edge without closing the backend, for
+// facades that share the backend with another transport.
+type Server struct {
+	cfg     Config
+	backend server.Backend
+
+	listener net.Listener
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+
+	acceptDone chan struct{} // closed when the accept loop exits
+}
+
+// New builds the tier over backend. It does not open the listener — Start
+// does.
+func New(backend server.Backend, cfg Config) *Server {
+	return &Server{
+		cfg:        cfg.withDefaults(),
+		backend:    backend,
+		conns:      make(map[*conn]struct{}),
+		acceptDone: make(chan struct{}),
+	}
+}
+
+// Start opens the listener and begins accepting in a background goroutine.
+// It returns once the port is bound, so Addr is valid immediately after.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		netc, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed — Drain or Close
+		}
+		c := newConn(s, netc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			netc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+func (s *Server) detach(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Drain gracefully stops the binary edge without touching the backend: the
+// listener stops accepting, every connection finishes its admitted frames
+// through the normal backend drain (bounded by ctx — on expiry in-flight
+// requests are force-canceled), writers flush, sockets close. The backend
+// stays open, so a facade serving HTTP and binary off one backend can
+// drain this edge first and let the HTTP tier's Shutdown close the
+// backend.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.acceptDone
+		return nil
+	}
+	s.draining = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if s.listener != nil {
+		s.listener.Close()
+		<-s.acceptDone
+	}
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *conn) {
+			defer wg.Done()
+			c.drain(ctx)
+		}(c)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Shutdown drains the edge (see Drain) and then drains the backend itself.
+// Every admitted frame is answered before any socket closes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.backend.Close()
+	return err
+}
+
+// Close tears the tier down without waiting: listener and sockets close
+// immediately, the backend is closed. Use Shutdown for a graceful drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	wasDraining := s.draining
+	s.draining = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.listener != nil && !wasDraining {
+		s.listener.Close()
+	}
+	if s.listener != nil {
+		<-s.acceptDone
+	}
+	for _, c := range conns {
+		c.abort()
+	}
+	s.backend.Close()
+	return nil
+}
+
+// wireMsg is one encoded-to-be response handed from a request goroutine to
+// the connection's writer: the writer encodes it into its reused buffer.
+type wireMsg struct {
+	ft      byte
+	id      uint64
+	refused bool // frame-level refusal: encode status/flags/msg only
+	status  byte
+	flags   byte
+	msg     string
+	res     server.Result
+	err     error
+	results []server.Result
+	errs    []error
+	stats   []byte // Metrics JSON for ftStatsReply
+}
+
+// refusal builds the frame-level refusal answering a request of type ft.
+func refusal(ft byte, id uint64, status byte, msg string) wireMsg {
+	reply := map[byte]byte{ftQuery: ftReply, ftBatch: ftBatchReply, ftStats: ftStatsReply}[ft]
+	return wireMsg{ft: reply, id: id, refused: true, status: status, flags: retryFlag(status), msg: msg}
+}
+
+// conn is one multiplexed client connection: a reader goroutine parsing
+// and admitting frames, request goroutines resolving them against the
+// backend, and a writer goroutine encoding completions back — out of
+// order, as they finish.
+type conn struct {
+	srv  *Server
+	netc net.Conn
+
+	// out carries completions to the writer. It is never closed — the
+	// writer exits on stop instead, so a late completion can never panic
+	// on a closed channel; it is simply dropped once stop is closed.
+	out      chan wireMsg
+	stop     chan struct{} // closed (once) to release the writer and any senders
+	stopOnce sync.Once
+
+	writerDone chan struct{}
+
+	// ids is the bounded in-flight table; idMu also guards draining so an
+	// inflight.Add can never race the drain's Wait.
+	idMu     sync.Mutex
+	ids      map[uint64]struct{}
+	draining bool
+	inflight sync.WaitGroup
+
+	// ctx cancels every in-flight request when the connection dies.
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func newConn(s *Server, netc net.Conn) *conn {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &conn{
+		srv:        s,
+		netc:       netc,
+		out:        make(chan wireMsg, 64),
+		stop:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		ids:        make(map[uint64]struct{}),
+		ctx:        ctx,
+		cancel:     cancel,
+	}
+}
+
+// send hands a completion to the writer, unless the connection is already
+// stopping (then the message is dropped — the socket is gone).
+func (c *conn) send(m wireMsg) {
+	select {
+	case c.out <- m:
+	case <-c.stop:
+	}
+}
+
+// admit registers a request ID in the bounded in-flight table. On refusal
+// it returns the status to answer with; on success the caller owes a
+// finish(id) once the reply has been handed to the writer.
+func (c *conn) admit(id uint64) (refuse byte, ok bool) {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
+	if c.draining {
+		return StatusClosed, false
+	}
+	if len(c.ids) >= c.srv.cfg.MaxInFlight {
+		return StatusOverflow, false
+	}
+	if _, dup := c.ids[id]; dup {
+		return StatusBadRequest, false
+	}
+	c.ids[id] = struct{}{}
+	c.inflight.Add(1)
+	return 0, true
+}
+
+func (c *conn) finish(id uint64) {
+	c.idMu.Lock()
+	delete(c.ids, id)
+	c.idMu.Unlock()
+	c.inflight.Done()
+}
+
+// timeout clamps a frame's requested deadline to the server's bounds.
+func (c *conn) timeout(ms uint32) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 {
+		d = c.srv.cfg.DefaultTimeout
+	}
+	if d > c.srv.cfg.MaxTimeout {
+		d = c.srv.cfg.MaxTimeout
+	}
+	return d
+}
+
+// serve runs the connection: preamble check, writer start, then the read
+// loop until the client goes away or violates the protocol. Teardown on
+// this path force-cancels in-flight requests (the reader cannot tell a
+// hung client from a slow one); the graceful path is drain.
+func (c *conn) serve() {
+	defer c.srv.detach(c)
+
+	// The preamble distinguishes a binproto client from a stray HTTP
+	// request (or port scan) before any frame parsing.
+	var magic [5]byte
+	c.netc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c.netc, magic[:]); err != nil ||
+		string(magic[:4]) != Magic || magic[4] != Version {
+		c.cancel()
+		c.netc.Close()
+		close(c.writerDone) // writer never started
+		return
+	}
+	c.netc.SetReadDeadline(time.Time{})
+
+	go c.writer()
+
+	fr := newFrameReader(c.netc, c.srv.cfg.MaxFrame)
+	for {
+		ft, id, payload, err := fr.next()
+		if err != nil {
+			break // EOF, socket error, or protocol violation — all fatal
+		}
+		if !c.handle(ft, id, payload) {
+			break
+		}
+	}
+
+	// Reader-exit teardown: no new frames can arrive, so the in-flight
+	// count only decreases. Cancel them (the client is gone or broken),
+	// wait them out, release the writer, close the socket.
+	c.cancel()
+	c.inflight.Wait()
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.writerDone
+	c.netc.Close()
+}
+
+// handle admits and dispatches one frame. It returns false on a protocol
+// violation that must fail the connection.
+func (c *conn) handle(ft byte, id uint64, payload []byte) bool {
+	switch ft {
+	case ftQuery:
+		timeoutMS, query, err := parseQuery(payload)
+		if err != nil {
+			return false
+		}
+		if refuse, ok := c.admit(id); !ok {
+			c.send(refusal(ftQuery, id, refuse, ""))
+			return true
+		}
+		d := c.timeout(timeoutMS)
+		go func() {
+			defer c.finish(id)
+			ctx, cancel := context.WithTimeout(c.ctx, d)
+			res, err := c.srv.backend.Submit(ctx, query)
+			cancel()
+			c.send(wireMsg{ft: ftReply, id: id, res: res, err: err})
+		}()
+		return true
+
+	case ftBatch:
+		timeoutMS, queries, err := parseBatch(payload, c.srv.cfg.MaxBatchItems)
+		if err != nil {
+			// An oversized batch count is a semantic refusal, not a framing
+			// violation; answer it and keep the connection.
+			var pe *errProtocol
+			if errors.As(err, &pe) && len(payload) >= 6 {
+				c.send(refusal(ftBatch, id, StatusBadRequest, pe.msg))
+				return true
+			}
+			return false
+		}
+		if refuse, ok := c.admit(id); !ok {
+			c.send(refusal(ftBatch, id, refuse, ""))
+			return true
+		}
+		d := c.timeout(timeoutMS)
+		go func() {
+			defer c.finish(id)
+			ctx, cancel := context.WithTimeout(c.ctx, d)
+			results, err := c.srv.backend.SubmitBatch(ctx, queries)
+			cancel()
+			errs := serr.SplitBatch(err, len(queries))
+			c.send(wireMsg{ft: ftBatchReply, id: id, results: results, errs: errs})
+		}()
+		return true
+
+	case ftStats:
+		if len(payload) != 0 {
+			return false
+		}
+		if refuse, ok := c.admit(id); !ok {
+			c.send(refusal(ftStats, id, refuse, ""))
+			return true
+		}
+		go func() {
+			defer c.finish(id)
+			m := c.srv.backend.Metrics()
+			js, err := json.Marshal(m)
+			if err != nil {
+				c.send(refusal(ftStats, id, StatusInternal, err.Error()))
+				return
+			}
+			c.send(wireMsg{ft: ftStatsReply, id: id, stats: js})
+		}()
+		return true
+
+	default:
+		return false // unknown frame type: connection-fatal
+	}
+}
+
+func retryFlag(status byte) byte {
+	if status == StatusOverflow || status == StatusOverloaded {
+		return FlagRetryable
+	}
+	return 0
+}
+
+// writer encodes completions into one reused buffer and coalesces flushes:
+// after each message it drains whatever else is already queued before
+// flushing once, so a burst of completions costs one syscall.
+func (c *conn) writer() {
+	defer close(c.writerDone)
+	bw := bufio.NewWriterSize(c.netc, 32<<10)
+	buf := make([]byte, 0, 4096)
+	encode := func(m wireMsg) {
+		buf = buf[:0]
+		switch {
+		case m.refused:
+			buf = AppendErrorFrame(buf, m.ft, m.id, m.status, m.flags, m.msg)
+		case m.ft == ftReply:
+			buf = AppendReply(buf, m.id, &m.res, m.err)
+		case m.ft == ftBatchReply:
+			buf = AppendBatchReply(buf, m.id, m.results, m.errs)
+		case m.ft == ftStatsReply:
+			buf = AppendStatsReply(buf, m.id, m.stats)
+		}
+		bw.Write(buf)
+	}
+	for {
+		select {
+		case m := <-c.out:
+			encode(m)
+			// Opportunistic drain: anything already completed rides the
+			// same flush.
+		drainLoop:
+			for {
+				select {
+				case m := <-c.out:
+					encode(m)
+				default:
+					break drainLoop
+				}
+			}
+			c.netc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				// The socket is gone; stop accepting completions so request
+				// goroutines don't block on a dead writer, and unblock the
+				// reader via the closed socket.
+				c.stopOnce.Do(func() { close(c.stop) })
+				c.netc.Close()
+				for {
+					select {
+					case <-c.out: // discard
+					default:
+						return
+					}
+				}
+			}
+		case <-c.stop:
+			// Final drain: everything already queued still goes out.
+			for {
+				select {
+				case m := <-c.out:
+					encode(m)
+				default:
+					c.netc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+					bw.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// drain is the graceful path: stop admitting (new frames get
+// StatusClosed), wait for in-flight requests bounded by ctx (force-cancel
+// on expiry), then release the writer — which flushes everything queued —
+// and close the socket.
+func (c *conn) drain(ctx context.Context) {
+	c.idMu.Lock()
+	c.draining = true
+	c.idMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		c.cancel() // deadline: force in-flight requests to resolve as canceled
+		<-done
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.writerDone
+	c.cancel()
+	c.netc.Close()
+}
+
+// abort is the immediate path: cancel everything and close the socket.
+func (c *conn) abort() {
+	c.cancel()
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.netc.Close()
+}

@@ -1,0 +1,183 @@
+package netserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sharedwd/internal/serr"
+	"sharedwd/internal/server"
+)
+
+// Client is the HTTP dial-side of the tier: the inverse of handlers.go,
+// mapping /v1/query (and /v1/query/batch, /v1/stats) responses back onto
+// server.Result and the serr taxonomy, so errors.Is retry policies written
+// against the in-process servers hold over HTTP. It is safe for concurrent
+// use; requests ride the transport's connection pool.
+type Client struct {
+	base   string
+	hc     *http.Client
+	closed atomic.Bool
+}
+
+// NewClient returns a client for the tier at addr (a host:port, as
+// returned by Server.Addr).
+func NewClient(addr string) *Client {
+	return &Client{
+		base: "http://" + addr,
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		},
+	}
+}
+
+// statusErr is submitStatus's inverse: HTTP statuses map back onto the
+// sentinels the backend raised. Unclassified statuses keep the server's
+// message.
+func statusErr(code int, msg string) error {
+	switch code {
+	case http.StatusNotFound:
+		return serr.ErrNoAuction
+	case http.StatusTooManyRequests:
+		return serr.ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return serr.ErrClosed
+	case http.StatusGatewayTimeout:
+		return context.DeadlineExceeded
+	case 499:
+		return context.Canceled
+	default:
+		return fmt.Errorf("netserve: HTTP %d: %s", code, msg)
+	}
+}
+
+// post sends one JSON request and decodes the response into out,
+// translating error bodies through statusErr.
+func (c *Client) post(ctx context.Context, path string, reqBody, out any) error {
+	if c.closed.Load() {
+		return serr.ErrClosed
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(reqBody); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err // *url.Error unwraps to the context error on deadline
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var eresp errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&eresp); err != nil {
+			return statusErr(resp.StatusCode, "")
+		}
+		return statusErr(resp.StatusCode, eresp.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits one query via POST /v1/query. The context's deadline, if
+// any, rides as X-Timeout so the server's clamp applies to the same value
+// the client waits for.
+func (c *Client) Submit(ctx context.Context, query string) (server.Result, error) {
+	if c.closed.Load() {
+		return server.Result{}, serr.ErrClosed
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(queryRequest{Query: query}); err != nil {
+		return server.Result{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", &buf)
+	if err != nil {
+		return server.Result{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set("X-Timeout", time.Until(dl).Round(time.Millisecond).String())
+	}
+	var qr queryResponse
+	if err := c.do(req, &qr); err != nil {
+		return server.Result{}, err
+	}
+	return server.Result{
+		Phrase:  qr.Phrase,
+		Shard:   qr.Shard,
+		Round:   qr.Round,
+		Slots:   qr.Slots,
+		Latency: time.Duration(qr.LatencyNS),
+	}, nil
+}
+
+// SubmitBatch submits many queries via POST /v1/query/batch — the Backend
+// batch contract: results always has len(queries), and the error joins one
+// *serr.ItemError per failed query (expand with serr.SplitBatch).
+func (c *Client) SubmitBatch(ctx context.Context, queries []string) ([]server.Result, error) {
+	var br batchResponse
+	if err := c.post(ctx, "/v1/query/batch", batchRequest{Queries: queries}, &br); err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(queries) {
+		return nil, fmt.Errorf("netserve: batch reply has %d items, want %d", len(br.Results), len(queries))
+	}
+	results := make([]server.Result, len(queries))
+	errs := make([]error, len(queries))
+	for i, item := range br.Results {
+		if item.Error != "" || item.Code != 0 {
+			errs[i] = statusErr(item.Code, item.Error)
+			continue
+		}
+		results[i] = server.Result{
+			Phrase:  item.Phrase,
+			Shard:   item.Shard,
+			Round:   item.Round,
+			Slots:   item.Slots,
+			Latency: time.Duration(item.LatencyNS),
+		}
+	}
+	return results, serr.JoinBatch(errs)
+}
+
+// Stats fetches the server's merged fleet metrics from GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (server.Metrics, error) {
+	if c.closed.Load() {
+		return server.Metrics{}, serr.ErrClosed
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return server.Metrics{}, err
+	}
+	var m server.Metrics
+	if err := c.do(req, &m); err != nil {
+		return server.Metrics{}, err
+	}
+	return m, nil
+}
+
+// Close releases the connection pool; subsequent calls return
+// serr.ErrClosed. It does not touch the server. Idempotent.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.hc.CloseIdleConnections()
+	return nil
+}

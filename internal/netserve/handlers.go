@@ -36,15 +36,47 @@ type queryResponse struct {
 	LatencyNS int64 `json:"latency_ns"`
 }
 
+// batchRequest is the POST /v1/query/batch body: many queries resolved in
+// (at most) one round per shard via the backend's SubmitBatch. One Timeout
+// covers the whole batch.
+type batchRequest struct {
+	Queries []string `json:"queries"`
+	Timeout string   `json:"timeout,omitempty"`
+}
+
+// batchItem is one entry of the POST /v1/query/batch response: the auction
+// outcome for queries[i], or that item's error. Code carries the HTTP
+// status the same failure maps to on /v1/query, so batch clients reuse the
+// single-query status table.
+type batchItem struct {
+	Query     string            `json:"query"`
+	Phrase    int               `json:"phrase,omitempty"`
+	Shard     int               `json:"shard,omitempty"`
+	Round     int               `json:"round,omitempty"`
+	Slots     []core.SlotResult `json:"slots,omitempty"`
+	LatencyNS int64             `json:"latency_ns,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Retryable bool              `json:"retryable,omitempty"`
+	Code      int               `json:"code,omitempty"`
+}
+
+// batchResponse is the POST /v1/query/batch success body. The HTTP status
+// is 200 whenever the batch itself was accepted — per-item failures live
+// in the items.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
 // routes builds the v1 mux. Method-qualified patterns (Go 1.22 ServeMux)
 // give wrong-method requests a 405 with Allow for free. The rate limiter
 // guards only the endpoints that reach the backend or pin a connection
-// (/v1/query, /v1/live); the observability endpoints stay exempt so a
-// Prometheus scraper sharing a host (or NAT) with a chatty client never
-// loses a scrape to that client's bucket.
+// (/v1/query, /v1/query/batch, /v1/live); the observability endpoints stay
+// exempt so a Prometheus scraper sharing a host (or NAT) with a chatty
+// client never loses a scrape to that client's bucket.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/query", s.limited(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("POST /v1/query/batch", s.limited(http.HandlerFunc(s.handleBatch)))
 	mux.Handle("GET /v1/live", s.limited(http.HandlerFunc(s.handleLive)))
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -122,22 +154,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := s.backend.Submit(ctx, req.Query)
 	if err != nil {
-		switch {
-		case errors.Is(err, serr.ErrNoAuction):
-			writeError(w, http.StatusNotFound, err.Error(), false)
-		case errors.Is(err, serr.ErrOverloaded):
+		code, retryable := submitStatus(err)
+		if code == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err.Error(), true)
-		case errors.Is(err, serr.ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err.Error(), false)
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, err.Error(), true)
-		case errors.Is(err, context.Canceled):
-			// The client went away; nobody reads this status.
-			writeError(w, 499, err.Error(), false)
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error(), false)
 		}
+		writeError(w, code, err.Error(), retryable)
 		return
 	}
 
@@ -151,6 +172,91 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Slots == nil {
 		resp.Slots = []core.SlotResult{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// submitStatus maps one serving error onto its HTTP status and retryable
+// flag — the single-query table, shared with per-item batch errors:
+//
+//	serr.ErrNoAuction        → 404 (the query matches no bid phrase)
+//	serr.ErrOverloaded       → 429 (admission backpressure; retryable)
+//	serr.ErrClosed           → 503 (server draining)
+//	context.DeadlineExceeded → 504 (the request's own deadline; retryable)
+//	context.Canceled         → 499 (the client went away)
+func submitStatus(err error) (code int, retryable bool) {
+	switch {
+	case errors.Is(err, serr.ErrNoAuction):
+		return http.StatusNotFound, false
+	case errors.Is(err, serr.ErrOverloaded):
+		return http.StatusTooManyRequests, true
+	case errors.Is(err, serr.ErrClosed):
+		return http.StatusServiceUnavailable, false
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, true
+	case errors.Is(err, context.Canceled):
+		return 499, false
+	default:
+		return http.StatusInternalServerError, false
+	}
+}
+
+// handleBatch submits many queries in one request via the backend's batch
+// path — grouped per shard, resolved in at most one round each — and
+// renders per-item outcomes. The response is 200 whenever the batch was
+// accepted; each failed item carries its own error, retryable flag, and
+// the /v1/query status code the same failure would have produced.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	// The single-query body bound assumes one phrase; scale it by the
+	// batch width the backend tolerates.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes*64)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), false)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error(), false)
+		return
+	}
+	io.Copy(io.Discard, body)
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch", false)
+		return
+	}
+	timeout, err := s.requestTimeout(r, queryRequest{Timeout: req.Timeout})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), false)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	results, berr := s.backend.SubmitBatch(ctx, req.Queries)
+	errs := serr.SplitBatch(berr, len(req.Queries))
+
+	resp := batchResponse{Results: make([]batchItem, len(req.Queries))}
+	for i, q := range req.Queries {
+		item := &resp.Results[i]
+		item.Query = q
+		if errs[i] != nil {
+			code, retryable := submitStatus(errs[i])
+			item.Error = errs[i].Error()
+			item.Retryable = retryable
+			item.Code = code
+			continue
+		}
+		item.Phrase = results[i].Phrase
+		item.Shard = results[i].Shard
+		item.Round = results[i].Round
+		item.LatencyNS = int64(results[i].Latency)
+		item.Slots = results[i].Slots
+		if item.Slots == nil {
+			item.Slots = []core.SlotResult{}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -32,17 +32,11 @@ import (
 	"sharedwd/internal/server"
 )
 
-// Backend is the round server the tier fronts. Both server.Server and
-// shard.Server satisfy it.
-type Backend interface {
-	// Submit routes one query through the matcher into a round and blocks
-	// until the round resolves it, ctx expires, or the server sheds it.
-	Submit(ctx context.Context, query string) (server.Result, error)
-	// Metrics returns the merged observability view across the fleet.
-	Metrics() server.Metrics
-	// Close drains and stops the backend. Pending Submits are answered.
-	Close()
-}
+// Backend is the round server the tier fronts — the canonical fleet-facing
+// contract, promoted to internal/server so every transport (this HTTP
+// tier, the binary tier in internal/binproto, in-process clients) programs
+// against one interface. Both server.Server and shard.Server satisfy it.
+type Backend = server.Backend
 
 // Config tunes the network tier. The zero value serves on a random
 // loopback port with production-shaped timeouts and no rate limit.

@@ -67,6 +67,17 @@ func (b *fakeBackend) Submit(ctx context.Context, query string) (server.Result, 
 	}, nil
 }
 
+// SubmitBatch follows the Backend batch contract over the same scripted
+// outcomes: one ItemError per failed query, results always len(queries).
+func (b *fakeBackend) SubmitBatch(ctx context.Context, queries []string) ([]server.Result, error) {
+	results := make([]server.Result, len(queries))
+	errs := make([]error, len(queries))
+	for i, q := range queries {
+		results[i], errs[i] = b.Submit(ctx, q)
+	}
+	return results, serr.JoinBatch(errs)
+}
+
 func (b *fakeBackend) Metrics() server.Metrics {
 	m := server.Metrics{
 		Uptime:    90 * time.Second,

@@ -85,3 +85,73 @@ func Wrap(shard, phrase int, err error) error {
 	}
 	return &QueryError{Shard: shard, Phrase: phrase, Err: err}
 }
+
+// ItemError attributes one failed item of a batch submission to its index
+// in the batch. SubmitBatch implementations join one ItemError per failed
+// query; errors.Is against the sentinels (and context errors) matches
+// through it, and SplitBatch recovers the dense per-item view.
+type ItemError struct {
+	// Index is the item's position in the submitted batch.
+	Index int
+	// Err is the underlying per-item failure (a sentinel, a context error,
+	// or a *QueryError wrapping one).
+	Err error
+}
+
+// Error renders "batch item 3: <cause>".
+func (e *ItemError) Error() string { return fmt.Sprintf("batch item %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *ItemError) Unwrap() error { return e.Err }
+
+// JoinBatch combines a dense per-item error slice into one batch error:
+// nil when every entry is nil, otherwise an errors.Join of one *ItemError
+// per failed index. It is the inverse of SplitBatch.
+func JoinBatch(errs []error) error {
+	var items []error
+	for i, err := range errs {
+		if err != nil {
+			items = append(items, &ItemError{Index: i, Err: err})
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	return errors.Join(items...)
+}
+
+// SplitBatch expands a SubmitBatch error back into a dense per-item slice
+// of length n: out[i] is item i's failure, nil where it succeeded. A nil
+// err yields all-nil. An err that carries no *ItemError at all — a
+// whole-batch failure such as a context error — is assigned to every item,
+// because no item can have succeeded.
+func SplitBatch(err error, n int) []error {
+	out := make([]error, n)
+	if err == nil {
+		return out
+	}
+	found := false
+	var walk func(error)
+	walk = func(err error) {
+		if joined, ok := err.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var ie *ItemError
+		if errors.As(err, &ie) {
+			if ie.Index >= 0 && ie.Index < n {
+				out[ie.Index] = ie.Err
+				found = true
+			}
+		}
+	}
+	walk(err)
+	if !found {
+		for i := range out {
+			out[i] = err
+		}
+	}
+	return out
+}

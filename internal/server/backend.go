@@ -1,0 +1,41 @@
+package server
+
+import "context"
+
+// Backend is the canonical fleet-facing serving contract: the method set
+// every front end (the HTTP/JSON tier in internal/netserve, the binary
+// tier in internal/binproto, and in-process callers through the facade's
+// Client) programs against. Both the single-engine Server here and the
+// sharded shard.Server satisfy it.
+//
+// The error taxonomy is internal/serr's: Submit and the per-item errors of
+// SubmitBatch reduce to serr.ErrNoAuction / serr.ErrOverloaded /
+// serr.ErrClosed or a context error, possibly wrapped (errors.Is matches
+// through the wrappers).
+type Backend interface {
+	// Submit routes one query through the matcher into a round and blocks
+	// until the round resolves it, ctx expires, or the server sheds it.
+	Submit(ctx context.Context, query string) (Result, error)
+
+	// SubmitBatch admits many queries at once and blocks until every one
+	// has resolved or failed. The returned slice always has len(queries);
+	// results[i] is meaningful only when query i succeeded. The error is
+	// nil when every query succeeded; otherwise it joins one
+	// *serr.ItemError per failed query (serr.SplitBatch expands it back
+	// into a dense per-item slice). A batch is cheaper than len(queries)
+	// Submits: admission is amortized, no per-query goroutine is spawned,
+	// and all queries land in the same round(s) wherever possible.
+	SubmitBatch(ctx context.Context, queries []string) ([]Result, error)
+
+	// Metrics returns the merged observability view across the fleet.
+	Metrics() Metrics
+
+	// Close drains and stops the backend: pending Submits are answered,
+	// outstanding clicks settle, and every goroutine the backend started
+	// exits. Idempotent and safe to call concurrently.
+	Close()
+}
+
+// Compile-time checks: both serving front ends implement the contract.
+// (shard.Server asserts its own conformance in its package.)
+var _ Backend = (*Server)(nil)

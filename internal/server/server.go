@@ -242,6 +242,39 @@ func (s *Server) Submit(ctx context.Context, query string) (Result, error) {
 	return s.worker.SubmitPhrase(ctx, phrase)
 }
 
+// SubmitBatch admits many raw queries at once and blocks until every one
+// resolves or fails — the Backend batch contract. The returned slice
+// always has len(queries); the error is nil when all succeeded, otherwise
+// it joins one *serr.ItemError per failed query (expand with
+// serr.SplitBatch). The whole batch is admitted in one pass and resolved
+// without per-query goroutines, so it is the efficient path for the
+// network tiers' batch frames. Safe for concurrent use.
+func (s *Server) SubmitBatch(ctx context.Context, queries []string) ([]Result, error) {
+	results := make([]Result, len(queries))
+	errs := make([]error, len(queries))
+	phrases := make([]int, 0, len(queries))
+	at := make([]int, 0, len(queries)) // batch index of each matched query
+	for i, q := range queries {
+		phrase, ok := s.matcher.Match(q)
+		if !ok {
+			s.unmatched.Add(1)
+			errs[i] = serr.ErrNoAuction
+			continue
+		}
+		phrases = append(phrases, phrase)
+		at = append(at, i)
+	}
+	if len(phrases) > 0 {
+		sub := make([]Result, len(phrases))
+		suberrs := make([]error, len(phrases))
+		s.worker.SubmitPhrases(ctx, phrases, sub, suberrs)
+		for j, i := range at {
+			results[i], errs[i] = sub[j], suberrs[j]
+		}
+	}
+	return results, serr.JoinBatch(errs)
+}
+
 // Close stops admission, resolves every in-flight request in a final round,
 // drains the engine's outstanding clicks (so end-of-day budget accounting
 // is complete), stops the engine's worker pool, and waits for the round

@@ -162,6 +162,59 @@ func (wk *Worker) SubmitPhrase(ctx context.Context, phrase int) (Result, error) 
 	}
 }
 
+// SubmitPhrases admits a batch of already-matched phrases at once and
+// blocks until every one has resolved or failed, writing outcome i into
+// results[i] / errs[i] (both must have len(phrases)). It is the fan-in
+// behind Backend.SubmitBatch: one admission pass under one lock hold, no
+// per-item goroutine — the round loop answers the whole batch at its round
+// close(s) and this call collects the replies in order. Per-item errors
+// follow SubmitPhrase's taxonomy; items shed or refused individually do
+// not fail their siblings. Safe for concurrent use.
+func (wk *Worker) SubmitPhrases(ctx context.Context, phrases []int, results []Result, errs []error) {
+	wk.submitted.Add(int64(len(phrases)))
+	reqs := make([]*request, len(phrases))
+	now := time.Now()
+	wk.admitMu.RLock()
+	if wk.closed {
+		wk.admitMu.RUnlock()
+		for i := range errs {
+			errs[i] = serr.ErrClosed
+		}
+		return
+	}
+	for i, phrase := range phrases {
+		req := &request{
+			phrase:   phrase,
+			enqueued: now,
+			ctx:      ctx,
+			done:     make(chan reply, 1),
+		}
+		select {
+		case wk.queue <- req:
+			reqs[i] = req
+		default:
+			wk.shed.Add(1)
+			errs[i] = serr.ErrOverloaded
+		}
+	}
+	wk.admitMu.RUnlock()
+	for i, req := range reqs {
+		if req == nil {
+			continue // shed at admission; errs[i] already set
+		}
+		select {
+		case r := <-req.done:
+			results[i], errs[i] = r.res, r.err
+		case <-ctx.Done():
+			// The remaining admitted requests share this ctx; the round
+			// loop sees them expired and answers their buffered done
+			// channels harmlessly.
+			wk.timedOut.Add(1)
+			errs[i] = ctx.Err()
+		}
+	}
+}
+
 func (wk *Worker) admit(req *request) error {
 	wk.admitMu.RLock()
 	defer wk.admitMu.RUnlock()

@@ -95,6 +95,9 @@ type Server struct {
 	unmatched atomic.Int64
 }
 
+// The sharded server implements the canonical fleet-facing contract.
+var _ server.Backend = (*Server)(nil)
+
 // New partitions the workload, builds one engine + round loop per shard,
 // and starts serving. The server takes ownership of the workload. Close
 // must be called to release the loops.
@@ -197,6 +200,65 @@ func (s *Server) Submit(ctx context.Context, query string) (server.Result, error
 	res.Phrase = global
 	res.Shard = sh
 	return res, nil
+}
+
+// SubmitBatch admits many raw queries at once, routes each to the shard
+// owning its phrase, and blocks until every one resolves or fails — the
+// Backend batch contract. Queries are grouped by shard and each group is
+// admitted in one pass (one goroutine per touched shard, not per query),
+// so a batch lands in at most one round per shard. The returned slice
+// always has len(queries) with global phrase IDs and serving shards filled
+// in; the error is nil when all succeeded, otherwise it joins one
+// *serr.ItemError per failed query, each wrapping shard/phrase context as
+// *serr.QueryError (expand with serr.SplitBatch). Safe for concurrent use.
+func (s *Server) SubmitBatch(ctx context.Context, queries []string) ([]server.Result, error) {
+	results := make([]server.Result, len(queries))
+	errs := make([]error, len(queries))
+	// Group matched queries by shard, preserving batch order within each
+	// group so replies map back positionally.
+	type group struct {
+		phrases []int // shard-local phrase IDs
+		globals []int // matching global phrase IDs
+		at      []int // batch index of each entry
+	}
+	groups := make(map[int]*group)
+	for i, q := range queries {
+		sh, local, global, ok := s.matcher.Match(q)
+		if !ok {
+			s.unmatched.Add(1)
+			errs[i] = serr.ErrNoAuction
+			continue
+		}
+		g := groups[sh]
+		if g == nil {
+			g = &group{}
+			groups[sh] = g
+		}
+		g.phrases = append(g.phrases, local)
+		g.globals = append(g.globals, global)
+		g.at = append(g.at, i)
+	}
+	var wg sync.WaitGroup
+	for sh, g := range groups {
+		wg.Add(1)
+		go func(sh int, g *group) {
+			defer wg.Done()
+			sub := make([]server.Result, len(g.phrases))
+			suberrs := make([]error, len(g.phrases))
+			s.workers[sh].SubmitPhrases(ctx, g.phrases, sub, suberrs)
+			for j, i := range g.at {
+				if suberrs[j] != nil {
+					errs[i] = serr.Wrap(sh, g.globals[j], suberrs[j])
+					continue
+				}
+				sub[j].Phrase = g.globals[j]
+				sub[j].Shard = sh
+				results[i] = sub[j]
+			}
+		}(sh, g)
+	}
+	wg.Wait()
+	return results, serr.JoinBatch(errs)
 }
 
 // Metrics returns the fleet-wide aggregate of every shard's counters and

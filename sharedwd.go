@@ -71,12 +71,14 @@
 package sharedwd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"sharedwd/internal/analytics"
 	"sharedwd/internal/auction"
+	"sharedwd/internal/binproto"
 	"sharedwd/internal/bitset"
 	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
@@ -584,6 +586,21 @@ type serveConfig struct {
 	router       shard.Router
 	totalWorkers int
 	net          netserve.Config
+	bin          binproto.Config
+	transports   []Transport // nil means HTTP only (the historical default)
+}
+
+// serves reports whether the configuration enables transport t.
+func (c *serveConfig) serves(t Transport) bool {
+	if c.transports == nil {
+		return t == TransportHTTP
+	}
+	for _, have := range c.transports {
+		if have == t {
+			return true
+		}
+	}
+	return false
 }
 
 // A ServerOption adjusts the serving configuration at construction,
@@ -743,23 +760,154 @@ func applyServerOptions(opts []ServerOption) serveConfig {
 	return cfg
 }
 
-// Network serving tier (see internal/netserve).
+// Network serving tier (see internal/netserve, internal/binproto).
 type (
-	// NetServer is the HTTP/JSON front end over a sharded round server:
-	// POST /v1/query submits queries, GET /v1/stats and GET /v1/metrics
-	// expose the merged fleet Metrics (JSON and Prometheus text), and
-	// GET /v1/live is a WebSocket pushing per-round summaries.
-	NetServer = netserve.Server
-	// NetServerConfig tunes the network tier (listen address, timeouts,
+	// NetServerConfig tunes the HTTP tier (listen address, timeouts,
 	// body bound, rate limit, live-feed queue depth).
 	NetServerConfig = netserve.Config
+	// BinaryServerConfig tunes the binary tier (listen address, frame and
+	// in-flight bounds, timeout clamp).
+	BinaryServerConfig = binproto.Config
 )
 
-// WithListenAddr sets the network tier's listen address for NewNetServer
+// Transport selects which network edges a NetServer serves.
+type Transport int
+
+const (
+	// TransportHTTP is the HTTP/JSON tier: POST /v1/query and
+	// /v1/query/batch submit queries, GET /v1/stats and GET /v1/metrics
+	// expose the merged fleet Metrics (JSON and Prometheus text), and
+	// GET /v1/live is a WebSocket pushing per-round summaries.
+	TransportHTTP Transport = iota
+	// TransportBinary is the length-prefixed binary protocol with
+	// connection multiplexing — the high-throughput edge (see
+	// internal/binproto and NewBinaryClient).
+	TransportBinary
+)
+
+// NetServer is the network front end over a sharded round server: one
+// fleet (ShardedServer + central budget ledger) behind up to two
+// transports — the HTTP/JSON tier and the binary tier — serving identical
+// results under one error taxonomy. Build with NewNetServer; Addr and
+// BinaryAddr report the bound edges ("" for one not serving); Shutdown
+// drains every edge and then the fleet.
+type NetServer struct {
+	http    *netserve.Server // nil unless TransportHTTP
+	binary  *binproto.Server // nil unless TransportBinary
+	backend server.Backend
+	hub     *netserve.Hub
+}
+
+// Addr returns the HTTP tier's bound listen address, or "" when the HTTP
+// transport is not serving.
+func (ns *NetServer) Addr() string {
+	if ns.http == nil {
+		return ""
+	}
+	return ns.http.Addr()
+}
+
+// BinaryAddr returns the binary tier's bound listen address, or "" when
+// the binary transport is not serving.
+func (ns *NetServer) BinaryAddr() string {
+	if ns.binary == nil {
+		return ""
+	}
+	return ns.binary.Addr()
+}
+
+// Hub returns the live round-feed hub (for tests and embedding).
+func (ns *NetServer) Hub() *netserve.Hub { return ns.hub }
+
+// Err returns the HTTP tier's terminal serve error, if any.
+func (ns *NetServer) Err() error {
+	if ns.http == nil {
+		return nil
+	}
+	return ns.http.Err()
+}
+
+// Shutdown drains the whole front end: both edges stop accepting, every
+// admitted request — HTTP in-flight handlers and binary in-flight frames
+// alike — is answered through the normal worker drain (bounded by ctx),
+// live subscribers get a going-away close frame, and finally the fleet
+// itself drains and settles its budgets. Safe to call once.
+func (ns *NetServer) Shutdown(ctx context.Context) error {
+	// Drain the binary edge first, without closing the shared backend —
+	// its in-flight frames need the workers still serving.
+	var err error
+	if ns.binary != nil {
+		err = ns.binary.Drain(ctx)
+	}
+	if ns.http != nil {
+		// The HTTP tier's Shutdown closes the hub and then the backend.
+		if herr := ns.http.Shutdown(ctx); err == nil {
+			err = herr
+		}
+	} else {
+		ns.hub.Close()
+		ns.backend.Close()
+	}
+	return err
+}
+
+// Close tears the front end down without waiting for in-flight requests.
+// Use Shutdown for a graceful drain.
+func (ns *NetServer) Close() error {
+	var err error
+	if ns.binary != nil {
+		err = ns.binary.Close()
+	}
+	if ns.http != nil {
+		if herr := ns.http.Close(); err == nil {
+			err = herr
+		}
+	} else {
+		ns.hub.Close()
+		ns.backend.Close()
+	}
+	return err
+}
+
+// WithListenAddr sets the HTTP tier's listen address for NewNetServer
 // (default 127.0.0.1:0 — a random loopback port; use ":8080" to serve
 // externally). Ignored by NewServer and NewShardedServer.
 func WithListenAddr(addr string) ServerOption {
 	return func(c *serveConfig) { c.net.Addr = addr }
+}
+
+// WithTransport selects which network edges NewNetServer serves — any of
+// TransportHTTP and TransportBinary, in any combination. Without it the
+// server speaks HTTP only (the historical default); WithBinaryAddr
+// implies adding TransportBinary without restating the HTTP choice.
+func WithTransport(transports ...Transport) ServerOption {
+	return func(c *serveConfig) {
+		c.transports = append([]Transport(nil), transports...)
+	}
+}
+
+// WithBinaryAddr sets the binary tier's listen address for NewNetServer
+// (default 127.0.0.1:0) and enables TransportBinary alongside whatever
+// transports are already selected. Ignored by NewServer and
+// NewShardedServer.
+func WithBinaryAddr(addr string) ServerOption {
+	return func(c *serveConfig) {
+		c.bin.Addr = addr
+		if !c.serves(TransportBinary) {
+			if c.transports == nil {
+				c.transports = []Transport{TransportHTTP}
+			}
+			c.transports = append(c.transports, TransportBinary)
+		}
+	}
+}
+
+// WithBinaryConfig replaces the whole binary-tier configuration for
+// NewNetServer; WithBinaryAddr after it applies on top. It does not by
+// itself enable the binary transport — combine with WithTransport or
+// WithBinaryAddr.
+func WithBinaryConfig(cfg BinaryServerConfig) ServerOption {
+	return func(c *serveConfig) { c.bin = cfg }
 }
 
 // WithRateLimit enables the network tier's per-client token bucket at rps
@@ -773,28 +921,47 @@ func WithRateLimit(rps float64, burst int) ServerOption {
 	}
 }
 
-// WithNetConfig replaces the whole network-tier configuration for
-// NewNetServer; WithListenAddr and WithRateLimit after it apply on top.
+// WithNetConfig replaces the whole HTTP-tier configuration for
+// NewNetServer.
+//
+// Configuration precedence, for every whole-config/per-field option pair
+// on this facade (WithServerConfig vs the round knobs, WithNetConfig vs
+// WithListenAddr/WithRateLimit, WithBinaryConfig vs WithBinaryAddr):
+// options apply strictly in argument order over the defaults, and later
+// options win. A whole-config option replaces its entire struct — field
+// options given before it are lost; field options given after it apply on
+// top. Transport selection (WithTransport, WithBinaryAddr's implied
+// enable) is tracked separately and survives whole-config replacement.
 func WithNetConfig(cfg NetServerConfig) ServerOption {
 	return func(c *serveConfig) { c.net = cfg }
 }
 
 // NewNetServer builds a ShardedServer for the workload, wires its round
-// loops into the live feed, and starts the HTTP tier listening:
+// loops into the live feed, and starts the selected network transports
+// listening:
 //
 //	ns, err := sharedwd.NewNetServer(w,
 //	    sharedwd.WithListenAddr(":8080"),
+//	    sharedwd.WithBinaryAddr(":8081"),
 //	    sharedwd.WithRateLimit(1000, 2000),
 //	    sharedwd.WithShards(4))
 //	defer ns.Shutdown(context.Background())
 //	// POST http://host:8080/v1/query  {"query": "hiking boots"}
+//	// or sharedwd.NewBinaryClient(ns.BinaryAddr())
 //
-// All NewShardedServer options apply. The tier is serving when NewNetServer
-// returns; Addr reports the bound address. Shutdown drains gracefully —
-// the listener stops accepting, every admitted request is answered, live
-// subscribers get a close frame, then the fleet drains.
+// All NewShardedServer options apply; WithTransport and WithBinaryAddr
+// choose the edges (HTTP only without either). Every edge serves the same
+// fleet — identical results, one error taxonomy, shared budget ledger.
+// The tier is serving when NewNetServer returns; Addr and BinaryAddr
+// report the bound addresses. Shutdown drains gracefully — listeners stop
+// accepting, every admitted request is answered, live subscribers get a
+// close frame, then the fleet drains. See WithNetConfig for option
+// precedence.
 func NewNetServer(w *Workload, opts ...ServerOption) (*NetServer, error) {
 	cfg := applyServerOptions(opts)
+	if cfg.transports != nil && !cfg.serves(TransportHTTP) && !cfg.serves(TransportBinary) {
+		return nil, fmt.Errorf("sharedwd: NewNetServer with no transports")
+	}
 	// The hub must exist before the workers start: each round loop's
 	// summary hook is fixed at worker construction.
 	hub := netserve.NewHubFor(cfg.net)
@@ -810,11 +977,26 @@ func NewNetServer(w *Workload, opts ...ServerOption) (*NetServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	ns := netserve.New(backend, hub, cfg.net)
-	if err := ns.Start(); err != nil {
-		hub.Close()
-		backend.Close()
-		return nil, fmt.Errorf("sharedwd: net server listen: %w", err)
+	ns := &NetServer{backend: backend, hub: hub}
+	if cfg.serves(TransportHTTP) {
+		ns.http = netserve.New(backend, hub, cfg.net)
+		if err := ns.http.Start(); err != nil {
+			hub.Close()
+			backend.Close()
+			return nil, fmt.Errorf("sharedwd: net server listen: %w", err)
+		}
+	}
+	if cfg.serves(TransportBinary) {
+		ns.binary = binproto.New(backend, cfg.bin)
+		if err := ns.binary.Start(); err != nil {
+			if ns.http != nil {
+				ns.http.Close() // closes hub and backend
+			} else {
+				hub.Close()
+				backend.Close()
+			}
+			return nil, fmt.Errorf("sharedwd: binary server listen: %w", err)
+		}
 	}
 	return ns, nil
 }
