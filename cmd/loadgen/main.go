@@ -17,9 +17,14 @@
 //	loadgen [-proto inproc|http|binary] [-addr host:port]
 //	        [-clients 32] [-duration 10s] [-deadline 100ms] [-junk 0.05]
 //	        [-batch 0] [-advertisers 2000] [-phrases 64] [-seed 1] [-shards 1]
+//	        [-cpuprofile f] [-memprofile f] [-mutexprofile f]
 //
 // Output: end-to-end queries/sec, latency quantiles measured at the
-// client (transport + serving), and the outcome breakdown by error class.
+// client (transport + serving), per-query allocation cost measured over
+// the whole process (client + self-hosted server), and the outcome
+// breakdown by error class. The -*profile flags write pprof profiles
+// covering the load loop, for chasing where the remaining allocations
+// and contention live.
 package main
 
 import (
@@ -28,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -48,7 +55,14 @@ func main() {
 	phrases := flag.Int("phrases", 64, "self-host: number of bid phrases")
 	seed := flag.Int64("seed", 1, "random seed (workload and query streams)")
 	shards := flag.Int("shards", 1, "self-host: engine shards")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load loop to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (taken after the load loop) to this file")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile of the load loop to this file")
 	flag.Parse()
+
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
 
 	// The workload is needed even when targeting a remote tier: the query
 	// streams draw from its phrase distribution.
@@ -73,6 +87,26 @@ func main() {
 		outcome map[string]int
 	}
 	tallies := make([]clientTally, *clients)
+
+	// Allocation accounting brackets the load loop: a GC settles the
+	// steady state, then Mallocs/TotalAlloc deltas divided by query count
+	// give whole-process allocs/op and bytes/op — client, transport, and
+	// (when self-hosting) server included, unlike the per-benchmark
+	// numbers which see only the benchmarking goroutine's side.
+	runtime.GC()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+
 	stopAt := time.Now().Add(*duration)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -126,6 +160,32 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	if *memprofile != "" {
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if *mutexprofile != "" {
+		f, err := os.Create(*mutexprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	// Merge the per-client tallies.
 	total := clientTally{lat: &stats.Summary{}, hist: stats.NewHistogram(0, deadline.Seconds()*2, 256), outcome: make(map[string]int)}
@@ -142,6 +202,11 @@ func main() {
 		float64(total.lat.N())/elapsed.Seconds(),
 		total.hist.Quantile(0.5)*1e3, total.hist.Quantile(0.95)*1e3,
 		total.hist.Quantile(0.99)*1e3, total.lat.Max()*1e3)
+	if n := total.lat.N(); n > 0 {
+		fmt.Printf("allocations: %.1f allocs/op, %.0f bytes/op (whole process, including any self-hosted server)\n",
+			float64(memAfter.Mallocs-memBefore.Mallocs)/float64(n),
+			float64(memAfter.TotalAlloc-memBefore.TotalAlloc)/float64(n))
+	}
 	classes := make([]string, 0, len(total.outcome))
 	for class := range total.outcome {
 		classes = append(classes, class)

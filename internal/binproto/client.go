@@ -14,31 +14,66 @@ import (
 	"sharedwd/internal/server"
 )
 
+// pendingShards stripes the client's pending-request table: request IDs
+// hash (by low bits — IDs are sequential, so consecutive requests land on
+// consecutive stripes) onto independent mutex+map pairs, so hundreds of
+// concurrent submitters no longer serialize on one table lock. Must be a
+// power of two.
+const pendingShards = 16
+
+// pendingShard is one stripe of the table. closed latches when the reader
+// has swept the stripe on exit: a register that loses that race fails
+// with the connection's closed error instead of leaking an entry no one
+// will ever route to.
+type pendingShard struct {
+	mu     sync.Mutex
+	m      map[uint64]*call
+	closed bool
+	_      [24]byte // keep adjacent stripes' locks off one cache line
+}
+
+// call is one outstanding request's rendezvous. The reply channel is
+// buffered(1) and pooled with the call; the forget-versus-deliver
+// discipline in post guarantees it is empty whenever the call returns to
+// the pool.
+type call struct {
+	ch chan wireResp
+}
+
+var callPool = sync.Pool{New: func() any { return &call{ch: make(chan wireResp, 1)} }}
+
 // Client is a multiplexing connection to a binary-tier server: any number
 // of goroutines may Submit, SubmitBatch, and Stats concurrently over the
-// one socket. Each call registers a fresh request ID, fires its frame
-// through a shared writer, and parks on its own reply channel until the
-// reader routes the response back by ID — so a slow query never blocks a
-// fast one behind it. Close fails all outstanding calls with
-// serr.ErrClosed; so do calls made after Close, matching the in-process
-// servers' post-Close contract.
+// one socket. Each call registers a pooled rendezvous under a fresh
+// request ID in a striped pending table, encodes its frame directly into
+// the shared write buffer (so a burst of submitters coalesces into one
+// writer syscall with no per-request buffer), and parks on its reusable
+// reply channel until the reader routes the response back by ID — so a
+// slow query never blocks a fast one behind it. Close fails all
+// outstanding calls with serr.ErrClosed; so do calls made after Close,
+// matching the in-process servers' post-Close contract.
 type Client struct {
 	netc net.Conn
 
 	nextID atomic.Uint64
 
-	mu      sync.Mutex
-	pending map[uint64]chan wireResp
-	closed  bool
+	shards [pendingShards]pendingShard
 
-	// send carries encoded frames to the writer goroutine; bufPool recycles
-	// the encode buffers it drains.
-	send    chan []byte
-	bufPool sync.Pool
+	// mu guards the cold connection state only (Close vs reader-exit);
+	// nothing on the per-request path takes it.
+	mu      sync.Mutex
+	closed  bool
+	readErr error // why the reader exited; set before readerDone closes
+
+	// The write path: posters append encoded frames to wbuf under wmu and
+	// nudge the writer, which swaps the buffer out and writes it whole.
+	wmu   sync.Mutex
+	wbuf  []byte
+	wdead bool
+	wwake chan struct{} // cap 1
 
 	readerDone chan struct{}
 	writerDone chan struct{}
-	readErr    error // why the reader exited; set before readerDone closes
 }
 
 // wireResp is one routed response: the reply's decoded content, or the
@@ -65,36 +100,54 @@ func Dial(addr string) (*Client, error) {
 	}
 	c := &Client{
 		netc:       netc,
-		pending:    make(map[uint64]chan wireResp),
-		send:       make(chan []byte, 64),
+		wbuf:       make([]byte, 0, 32<<10),
+		wwake:      make(chan struct{}, 1),
 		readerDone: make(chan struct{}),
 		writerDone: make(chan struct{}),
 	}
-	c.bufPool.New = func() any { b := make([]byte, 0, 1024); return &b }
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*call)
+	}
 	go c.reader()
 	go c.writer()
 	return c, nil
 }
 
-// register installs a reply channel under a fresh ID. It fails with
-// serr.ErrClosed once the client is closed.
-func (c *Client) register() (uint64, chan wireResp, error) {
-	id := c.nextID.Add(1)
-	ch := make(chan wireResp, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return 0, nil, serr.ErrClosed
-	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-	return id, ch, nil
+func (c *Client) shard(id uint64) *pendingShard {
+	return &c.shards[id&(pendingShards-1)]
 }
 
-func (c *Client) forget(id uint64) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+// register installs a pooled call under a fresh ID. It fails once the
+// client is closed.
+func (c *Client) register() (uint64, *call, error) {
+	id := c.nextID.Add(1)
+	ca := callPool.Get().(*call)
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		callPool.Put(ca)
+		return 0, nil, serr.ErrClosed
+	}
+	sh.m[id] = ca
+	sh.mu.Unlock()
+	return id, ca, nil
+}
+
+// forget removes id from the pending table, reporting whether the entry
+// was still there. True means the caller reclaimed sole ownership of the
+// call (the reader can no longer see it); false means the reader (or its
+// exit sweep) already took it and a delivery on the call's channel is
+// imminent — the caller must collect it before recycling.
+func (c *Client) forget(id uint64) bool {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	return ok
 }
 
 // timeoutMS derives the frame's timeout field from ctx: the remaining
@@ -117,29 +170,43 @@ func timeoutMS(ctx context.Context) uint32 {
 
 // post encodes-and-sends via fn and waits for the routed response.
 func (c *Client) post(ctx context.Context, fn func(b []byte, id uint64) []byte) (wireResp, error) {
-	id, ch, err := c.register()
+	id, ca, err := c.register()
 	if err != nil {
-		return wireResp{}, err
-	}
-	bp := c.bufPool.Get().(*[]byte)
-	*bp = fn((*bp)[:0], id)
-	select {
-	case c.send <- *bp:
-	case <-c.readerDone:
-		c.forget(id)
-		c.bufPool.Put(bp)
 		return wireResp{}, c.closedErr()
-	case <-ctx.Done():
-		c.forget(id)
-		c.bufPool.Put(bp)
-		return wireResp{}, ctx.Err()
+	}
+	c.wmu.Lock()
+	if c.wdead {
+		c.wmu.Unlock()
+		if c.forget(id) {
+			callPool.Put(ca)
+			return wireResp{}, c.closedErr()
+		}
+		// The reader's exit sweep owns the call: collect its failure.
+		r := <-ca.ch
+		callPool.Put(ca)
+		return r, nil
+	}
+	c.wbuf = fn(c.wbuf, id)
+	c.wmu.Unlock()
+	select {
+	case c.wwake <- struct{}{}:
+	default:
 	}
 	select {
-	case r := <-ch:
+	case r := <-ca.ch:
+		callPool.Put(ca)
 		return r, nil
 	case <-ctx.Done():
-		c.forget(id)
-		return wireResp{}, ctx.Err()
+		if c.forget(id) {
+			callPool.Put(ca)
+			return wireResp{}, ctx.Err()
+		}
+		// The reader took the entry first, so a delivery is imminent:
+		// drain it so the pooled channel is clean, and return it — a real
+		// answer that raced the deadline is still an answer.
+		r := <-ca.ch
+		callPool.Put(ca)
+		return r, nil
 	}
 }
 
@@ -229,9 +296,11 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// reader routes response frames to their pending channels by request ID.
-// On exit — server close, transport error, or local Close — it fails every
-// outstanding call.
+// reader routes response frames to their pending calls by request ID. On
+// exit — server close, transport error, or local Close — it kills the
+// write path, sweeps every stripe closed, and fails the orphans, in that
+// order: a poster that passed the write-path liveness check registered
+// before the sweep and is therefore guaranteed a delivery.
 func (c *Client) reader() {
 	fr := newFrameReader(c.netc, 1<<24) // generous: stats JSON and big batches
 	var exitErr error
@@ -268,12 +337,13 @@ func (c *Client) reader() {
 			exitErr = protoErrf("unknown response frame type 0x%02x", ft)
 			goto out
 		}
-		c.mu.Lock()
-		ch := c.pending[id]
-		delete(c.pending, id)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- resp // buffered; never blocks
+		sh := c.shard(id)
+		sh.mu.Lock()
+		ca := sh.m[id]
+		delete(sh.m, id)
+		sh.mu.Unlock()
+		if ca != nil {
+			ca.ch <- resp // buffered; never blocks
 		}
 	}
 out:
@@ -287,56 +357,59 @@ out:
 		c.closed = true
 		c.netc.Close()
 	}
-	orphans := c.pending
-	c.pending = make(map[uint64]chan wireResp)
 	c.mu.Unlock()
-	for _, ch := range orphans {
-		ch <- wireResp{err: failWith}
+	// Dead the write path BEFORE sweeping the stripes: any poster that saw
+	// it alive has already registered, so the sweep below finds its call.
+	c.wmu.Lock()
+	c.wdead = true
+	c.wbuf = c.wbuf[:0]
+	c.wmu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		orphans := sh.m
+		sh.m = make(map[uint64]*call)
+		sh.mu.Unlock()
+		for _, ca := range orphans {
+			ca.ch <- wireResp{err: failWith}
+		}
 	}
 	close(c.readerDone)
 }
 
-// writer drains encoded frames onto the socket, coalescing whatever is
-// queued into one write, and recycles the buffers.
+// writer swaps the shared encode buffer out under the lock and writes it
+// whole: a burst of posters costs one syscall and zero per-request
+// buffers. Posters never block on the socket — they append and move on.
 func (c *Client) writer() {
 	defer close(c.writerDone)
-	// Accumulate into one flat buffer so a burst of Submits costs one
-	// syscall; the per-request buffers go back to the pool immediately.
-	out := make([]byte, 0, 32<<10)
+	spare := make([]byte, 0, 32<<10)
 	for {
 		select {
-		case b := <-c.send:
-			out = append(out[:0], b...)
-			c.putBuf(b)
-		coalesce:
-			for {
-				select {
-				case b := <-c.send:
-					out = append(out, b...)
-					c.putBuf(b)
-				default:
-					break coalesce
-				}
-			}
-			if _, err := c.netc.Write(out); err != nil {
-				// Socket gone: the reader will notice and fail everything.
-				// Keep draining sends so posters never block.
-				for {
-					select {
-					case b := <-c.send:
-						c.putBuf(b)
-					case <-c.readerDone:
-						return
-					}
-				}
-			}
+		case <-c.wwake:
 		case <-c.readerDone:
 			return
 		}
+		for {
+			c.wmu.Lock()
+			buf := c.wbuf
+			c.wbuf = spare[:0]
+			c.wmu.Unlock()
+			if len(buf) == 0 {
+				spare = buf
+				break
+			}
+			_, err := c.netc.Write(buf)
+			spare = buf[:0]
+			if err != nil {
+				// Socket gone: stop accepting frames; the reader notices
+				// the dead socket and fails every outstanding call.
+				c.wmu.Lock()
+				c.wdead = true
+				c.wbuf = c.wbuf[:0]
+				c.wmu.Unlock()
+				return
+			}
+		}
 	}
-}
-
-func (c *Client) putBuf(b []byte) {
-	b = b[:0]
-	c.bufPool.Put(&b)
 }

@@ -1,6 +1,7 @@
 package binproto
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -162,16 +163,37 @@ func protoErrf(format string, args ...any) error {
 // frameReader reads length-prefixed frames from r into one reused buffer.
 // A frame's declared length is validated against maxFrame BEFORE the
 // buffer grows, so a hostile length word can fail the connection but
-// never size an allocation — the ws readFrame discipline.
+// never size an allocation — the ws readFrame discipline. Reads go
+// through an internal bufio.Reader, so a burst of pipelined frames lands
+// in one syscall and buffered() lets the caller drain the rest of the
+// burst without risking a blocking read.
 type frameReader struct {
-	r        io.Reader
+	r        *bufio.Reader
 	maxFrame int
 	hdr      [4]byte
 	buf      []byte
 }
 
 func newFrameReader(r io.Reader, maxFrame int) *frameReader {
-	return &frameReader{r: r, maxFrame: maxFrame, buf: make([]byte, 0, 4096)}
+	return &frameReader{r: bufio.NewReaderSize(r, 32<<10), maxFrame: maxFrame, buf: make([]byte, 0, 4096)}
+}
+
+// buffered reports whether next() can return a whole frame without
+// touching the underlying reader — the read-side coalescing primitive: a
+// server drains every frame that arrived in the last syscall window into
+// one submission batch before blocking again. A malformed length already
+// in the buffer also reports true: next() will fail fast on it.
+func (fr *frameReader) buffered() bool {
+	n := fr.r.Buffered()
+	if n < 4 {
+		return false
+	}
+	hdr, _ := fr.r.Peek(4)
+	length := uint64(binary.BigEndian.Uint32(hdr))
+	if length < headerLen-4 || length > uint64(fr.maxFrame) {
+		return true // protocol violation: let next() surface it now
+	}
+	return uint64(n) >= 4+length
 }
 
 // next reads one frame and returns its type, request ID, and payload. The

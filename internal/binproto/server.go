@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sharedwd/internal/serr"
@@ -19,6 +20,15 @@ import (
 // stop with Shutdown (drain: every admitted frame answered) or Close
 // (immediate). Drain stops the edge without closing the backend, for
 // facades that share the backend with another transport.
+//
+// When the backend also implements server.AsyncBackend (both in-process
+// servers do), requests ride the zero-goroutine fast path: the per-conn
+// reader drains every pipelined frame available in one syscall window
+// into a pooled batch, submits it with one SubmitAsync call, and pooled
+// completions enqueue replies straight onto the writer — no goroutine, no
+// context, and no channel per request. Backends without the callback path
+// fall back to the original goroutine-per-admitted-frame scheme with
+// identical wire semantics.
 type Server struct {
 	cfg     Config
 	backend server.Backend
@@ -91,11 +101,12 @@ func (s *Server) detach(c *conn) {
 
 // Drain gracefully stops the binary edge without touching the backend: the
 // listener stops accepting, every connection finishes its admitted frames
-// through the normal backend drain (bounded by ctx — on expiry in-flight
-// requests are force-canceled), writers flush, sockets close. The backend
-// stays open, so a facade serving HTTP and binary off one backend can
-// drain this edge first and let the HTTP tier's Shutdown close the
-// backend.
+// through the normal backend path (bounded by ctx — on expiry in-flight
+// requests on the blocking path are force-canceled; async in-flight items
+// resolve at their next round close, which the still-open backend
+// guarantees), writers flush, sockets close. The backend stays open, so a
+// facade serving HTTP and binary off one backend can drain this edge first
+// and let the HTTP tier's Shutdown close the backend.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -158,8 +169,10 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// wireMsg is one encoded-to-be response handed from a request goroutine to
-// the connection's writer: the writer encodes it into its reused buffer.
+// wireMsg is one completed response handed to the connection's writer: the
+// writer encodes it into its reused buffer. bc, when non-nil, is the
+// pooled batch completion whose slices the message borrows; the writer
+// recycles it after encoding (or the drop path does).
 type wireMsg struct {
 	ft      byte
 	id      uint64
@@ -172,6 +185,7 @@ type wireMsg struct {
 	results []server.Result
 	errs    []error
 	stats   []byte // Metrics JSON for ftStatsReply
+	bc      *batchComp
 }
 
 // refusal builds the frame-level refusal answering a request of type ft.
@@ -180,19 +194,101 @@ func refusal(ft byte, id uint64, status byte, msg string) wireMsg {
 	return wireMsg{ft: reply, id: id, refused: true, status: status, flags: retryFlag(status), msg: msg}
 }
 
-// conn is one multiplexed client connection: a reader goroutine parsing
-// and admitting frames, request goroutines resolving them against the
-// backend, and a writer goroutine encoding completions back — out of
-// order, as they finish.
-type conn struct {
-	srv  *Server
-	netc net.Conn
+// queryComp is the pooled completion for one ftQuery frame on the async
+// path: the round loop's Complete enqueues the reply and releases the
+// in-flight slot. Pooling a concrete type (rather than closing over c and
+// id) keeps the per-request allocation count at zero.
+type queryComp struct {
+	c  *conn
+	id uint64
+}
 
-	// out carries completions to the writer. It is never closed — the
-	// writer exits on stop instead, so a late completion can never panic
-	// on a closed channel; it is simply dropped once stop is closed.
-	out      chan wireMsg
-	stop     chan struct{} // closed (once) to release the writer and any senders
+var queryCompPool = sync.Pool{New: func() any { return new(queryComp) }}
+
+// Complete fires exactly once, on the round loop (or synchronously on
+// refusal). It recycles itself first — after send nothing may touch q.
+func (q *queryComp) Complete(_ int, res server.Result, err error) {
+	c, id := q.c, q.id
+	q.c = nil
+	queryCompPool.Put(q)
+	c.send(wireMsg{ft: ftReply, id: id, res: res, err: err})
+	c.finish(id)
+}
+
+// batchComp is the pooled counting completion for one ftBatch frame: every
+// item writes its disjoint slot and decrements; the final decrement emits
+// the one batch reply. Items may complete from any mix of round loops
+// (sharded backends) and synchronous refusals — the atomic countdown
+// publishes all slot writes to whichever caller sends the reply.
+type batchComp struct {
+	c         *conn
+	id        uint64
+	remaining atomic.Int32
+	results   []server.Result
+	errs      []error
+}
+
+var batchCompPool = sync.Pool{New: func() any { return new(batchComp) }}
+
+func newBatchComp(c *conn, id uint64, n int) *batchComp {
+	b := batchCompPool.Get().(*batchComp)
+	b.c, b.id = c, id
+	b.remaining.Store(int32(n))
+	if cap(b.results) < n {
+		b.results = make([]server.Result, n)
+		b.errs = make([]error, n)
+	} else {
+		b.results = b.results[:n]
+		b.errs = b.errs[:n]
+	}
+	return b
+}
+
+// putBatchComp clears borrowed references (Slots point into round-loop
+// copies; errors may hold backend state) and recycles. Called by the
+// writer after encoding, or by the drop path.
+func putBatchComp(b *batchComp) {
+	for i := range b.results {
+		b.results[i] = server.Result{}
+		b.errs[i] = nil
+	}
+	b.c = nil
+	batchCompPool.Put(b)
+}
+
+func (b *batchComp) Complete(i int, res server.Result, err error) {
+	b.results[i] = res
+	b.errs[i] = err
+	if b.remaining.Add(-1) > 0 {
+		return
+	}
+	// Last item in: emit the reply. The writer (or drop path) recycles b,
+	// so read everything needed before send.
+	c, id := b.c, b.id
+	c.send(wireMsg{ft: ftBatchReply, id: id, results: b.results, errs: b.errs, bc: b})
+	c.finish(id)
+}
+
+// conn is one multiplexed client connection: a reader goroutine parsing,
+// admitting, and (on the async path) batch-submitting frames, and a writer
+// goroutine encoding completions back — out of order, as they finish. The
+// writer's intake is a mutex-guarded double-buffered slice, so a round
+// loop delivering completions can never block on a slow connection; it is
+// naturally bounded by MaxInFlight admission.
+type conn struct {
+	srv   *Server
+	netc  net.Conn
+	async server.AsyncBackend // nil: fall back to goroutine-per-request
+
+	// Writer queue. wdead flips once the socket is gone or the writer has
+	// exited — after that enqueues are dropped (and their pooled carriers
+	// recycled) instead of accumulating unread.
+	wmu   sync.Mutex
+	wq    []wireMsg
+	wdead bool
+	wwake chan struct{} // cap 1: non-blocking nudge after enqueue
+
+	stop     chan struct{} // closed (once) to release the writer
 	stopOnce sync.Once
 
 	writerDone chan struct{}
@@ -204,17 +300,21 @@ type conn struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	// ctx cancels every in-flight request when the connection dies.
+	// ctx cancels blocking-path in-flight requests when the connection
+	// dies; async-path items carry deadlines instead and resolve at round
+	// close.
 	ctx    context.Context
 	cancel context.CancelFunc
 }
 
 func newConn(s *Server, netc net.Conn) *conn {
 	ctx, cancel := context.WithCancel(context.Background())
+	async, _ := s.backend.(server.AsyncBackend)
 	return &conn{
 		srv:        s,
 		netc:       netc,
-		out:        make(chan wireMsg, 64),
+		async:      async,
+		wwake:      make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 		writerDone: make(chan struct{}),
 		ids:        make(map[uint64]struct{}),
@@ -223,12 +323,23 @@ func newConn(s *Server, netc net.Conn) *conn {
 	}
 }
 
-// send hands a completion to the writer, unless the connection is already
-// stopping (then the message is dropped — the socket is gone).
+// send enqueues a completion for the writer. It never blocks; once the
+// connection is down the message is dropped (the socket is gone) and any
+// pooled carrier recycled.
 func (c *conn) send(m wireMsg) {
+	c.wmu.Lock()
+	if c.wdead {
+		c.wmu.Unlock()
+		if m.bc != nil {
+			putBatchComp(m.bc)
+		}
+		return
+	}
+	c.wq = append(c.wq, m)
+	c.wmu.Unlock()
 	select {
-	case c.out <- m:
-	case <-c.stop:
+	case c.wwake <- struct{}{}:
+	default:
 	}
 }
 
@@ -273,8 +384,10 @@ func (c *conn) timeout(ms uint32) time.Duration {
 
 // serve runs the connection: preamble check, writer start, then the read
 // loop until the client goes away or violates the protocol. Teardown on
-// this path force-cancels in-flight requests (the reader cannot tell a
-// hung client from a slow one); the graceful path is drain.
+// this path force-cancels blocking-path in-flight requests (the reader
+// cannot tell a hung client from a slow one) and waits out async-path
+// completions (at most one round interval away while the backend lives);
+// the graceful path is drain.
 func (c *conn) serve() {
 	defer c.srv.detach(c)
 
@@ -294,19 +407,15 @@ func (c *conn) serve() {
 	go c.writer()
 
 	fr := newFrameReader(c.netc, c.srv.cfg.MaxFrame)
-	for {
-		ft, id, payload, err := fr.next()
-		if err != nil {
-			break // EOF, socket error, or protocol violation — all fatal
-		}
-		if !c.handle(ft, id, payload) {
-			break
-		}
+	if c.async != nil {
+		c.readAsync(fr)
+	} else {
+		c.readBlocking(fr)
 	}
 
 	// Reader-exit teardown: no new frames can arrive, so the in-flight
-	// count only decreases. Cancel them (the client is gone or broken),
-	// wait them out, release the writer, close the socket.
+	// count only decreases. Cancel the blocking path, wait everything out,
+	// release the writer, close the socket.
 	c.cancel()
 	c.inflight.Wait()
 	c.stopOnce.Do(func() { close(c.stop) })
@@ -314,8 +423,138 @@ func (c *conn) serve() {
 	c.netc.Close()
 }
 
-// handle admits and dispatches one frame. It returns false on a protocol
-// violation that must fail the connection.
+// readAsync is the zero-goroutine read loop: block for one frame, then
+// drain every further frame already buffered (one syscall window's worth
+// of pipelining), ingest them all into one pooled item batch, and submit
+// the batch with a single SubmitAsync call before blocking again.
+func (c *conn) readAsync(fr *frameReader) {
+	items := make([]server.AsyncItem, 0, 64)
+	for {
+		ft, id, payload, err := fr.next()
+		if err != nil {
+			return // EOF, socket error, or protocol violation — all fatal
+		}
+		ok := c.ingest(ft, id, payload, &items)
+		for ok && fr.buffered() {
+			ft, id, payload, err = fr.next()
+			if err != nil {
+				ok = false
+				break
+			}
+			ok = c.ingest(ft, id, payload, &items)
+		}
+		// Admitted items must be submitted even when a later frame just
+		// failed the connection — admission owes each one a completion.
+		if len(items) > 0 {
+			c.async.SubmitAsync(items)
+			for i := range items {
+				items[i] = server.AsyncItem{} // drop refs for the pool's sake
+			}
+			items = items[:0]
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// ingest admits one frame on the async path, appending its work items.
+// Refusals answer immediately through the writer queue. Returns false on a
+// protocol violation that must fail the connection.
+func (c *conn) ingest(ft byte, id uint64, payload []byte, items *[]server.AsyncItem) bool {
+	switch ft {
+	case ftQuery:
+		timeoutMS, query, err := parseQuery(payload)
+		if err != nil {
+			return false
+		}
+		if refuse, ok := c.admit(id); !ok {
+			c.send(refusal(ftQuery, id, refuse, ""))
+			return true
+		}
+		qc := queryCompPool.Get().(*queryComp)
+		qc.c, qc.id = c, id
+		*items = append(*items, server.AsyncItem{
+			Query:    query,
+			Deadline: time.Now().Add(c.timeout(timeoutMS)),
+			Done:     qc,
+		})
+		return true
+
+	case ftBatch:
+		timeoutMS, queries, err := parseBatch(payload, c.srv.cfg.MaxBatchItems)
+		if err != nil {
+			// An oversized batch count is a semantic refusal, not a framing
+			// violation; answer it and keep the connection.
+			var pe *errProtocol
+			if errors.As(err, &pe) && len(payload) >= 6 {
+				c.send(refusal(ftBatch, id, StatusBadRequest, pe.msg))
+				return true
+			}
+			return false
+		}
+		if refuse, ok := c.admit(id); !ok {
+			c.send(refusal(ftBatch, id, refuse, ""))
+			return true
+		}
+		if len(queries) == 0 {
+			c.send(wireMsg{ft: ftBatchReply, id: id})
+			c.finish(id)
+			return true
+		}
+		bc := newBatchComp(c, id, len(queries))
+		deadline := time.Now().Add(c.timeout(timeoutMS))
+		for i, q := range queries {
+			*items = append(*items, server.AsyncItem{Query: q, Deadline: deadline, Done: bc, Index: i})
+		}
+		return true
+
+	case ftStats:
+		if len(payload) != 0 {
+			return false
+		}
+		if refuse, ok := c.admit(id); !ok {
+			c.send(refusal(ftStats, id, refuse, ""))
+			return true
+		}
+		// Stats marshals a full Metrics snapshot — rare and heavy; keep it
+		// off the read loop so it never delays a syscall window's queries.
+		go c.answerStats(id)
+		return true
+
+	default:
+		return false // unknown frame type: connection-fatal
+	}
+}
+
+func (c *conn) answerStats(id uint64) {
+	defer c.finish(id)
+	m := c.srv.backend.Metrics()
+	js, err := json.Marshal(m)
+	if err != nil {
+		c.send(refusal(ftStats, id, StatusInternal, err.Error()))
+		return
+	}
+	c.send(wireMsg{ft: ftStatsReply, id: id, stats: js})
+}
+
+// readBlocking is the fallback read loop for backends without the
+// callback fast path: one goroutine per admitted frame, bounded by the
+// MaxInFlight table, with per-request contexts for cancellation.
+func (c *conn) readBlocking(fr *frameReader) {
+	for {
+		ft, id, payload, err := fr.next()
+		if err != nil {
+			return // EOF, socket error, or protocol violation — all fatal
+		}
+		if !c.handle(ft, id, payload) {
+			return
+		}
+	}
+}
+
+// handle admits and dispatches one frame on the blocking path. It returns
+// false on a protocol violation that must fail the connection.
 func (c *conn) handle(ft byte, id uint64, payload []byte) bool {
 	switch ft {
 	case ftQuery:
@@ -372,16 +611,7 @@ func (c *conn) handle(ft byte, id uint64, payload []byte) bool {
 			c.send(refusal(ftStats, id, refuse, ""))
 			return true
 		}
-		go func() {
-			defer c.finish(id)
-			m := c.srv.backend.Metrics()
-			js, err := json.Marshal(m)
-			if err != nil {
-				c.send(refusal(ftStats, id, StatusInternal, err.Error()))
-				return
-			}
-			c.send(wireMsg{ft: ftStatsReply, id: id, stats: js})
-		}()
+		go c.answerStats(id)
 		return true
 
 	default:
@@ -396,14 +626,32 @@ func retryFlag(status byte) byte {
 	return 0
 }
 
+// discardQueue marks the writer intake dead and recycles whatever was
+// still queued. After this, send drops messages instead of accumulating
+// them unread.
+func (c *conn) discardQueue() {
+	c.wmu.Lock()
+	c.wdead = true
+	batch := c.wq
+	c.wq = nil
+	c.wmu.Unlock()
+	for i := range batch {
+		if batch[i].bc != nil {
+			putBatchComp(batch[i].bc)
+		}
+	}
+}
+
 // writer encodes completions into one reused buffer and coalesces flushes:
-// after each message it drains whatever else is already queued before
-// flushing once, so a burst of completions costs one syscall.
+// each pass swaps out everything queued, encodes it, and flushes once —
+// so a burst of completions costs one syscall, and enqueuers (round-loop
+// completions included) never wait on the socket.
 func (c *conn) writer() {
 	defer close(c.writerDone)
 	bw := bufio.NewWriterSize(c.netc, 32<<10)
 	buf := make([]byte, 0, 4096)
-	encode := func(m wireMsg) {
+	spare := make([]wireMsg, 0, 64)
+	encode := func(m *wireMsg) {
 		buf = buf[:0]
 		switch {
 		case m.refused:
@@ -416,57 +664,58 @@ func (c *conn) writer() {
 			buf = AppendStatsReply(buf, m.id, m.stats)
 		}
 		bw.Write(buf)
+		if m.bc != nil {
+			putBatchComp(m.bc)
+		}
+	}
+	// flushAll drains the queue to empty and flushes; false on socket
+	// failure.
+	flushAll := func() bool {
+		for {
+			c.wmu.Lock()
+			batch := c.wq
+			c.wq = spare[:0]
+			c.wmu.Unlock()
+			if len(batch) == 0 {
+				spare = batch
+				return true
+			}
+			for i := range batch {
+				encode(&batch[i])
+				batch[i] = wireMsg{} // release refs (results, errors, stats)
+			}
+			spare = batch[:0]
+			c.netc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				return false
+			}
+		}
 	}
 	for {
 		select {
-		case m := <-c.out:
-			encode(m)
-			// Opportunistic drain: anything already completed rides the
-			// same flush.
-		drainLoop:
-			for {
-				select {
-				case m := <-c.out:
-					encode(m)
-				default:
-					break drainLoop
-				}
-			}
-			c.netc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-			if err := bw.Flush(); err != nil {
-				// The socket is gone; stop accepting completions so request
-				// goroutines don't block on a dead writer, and unblock the
-				// reader via the closed socket.
+		case <-c.wwake:
+			if !flushAll() {
+				// The socket is gone; stop accepting completions and
+				// unblock the reader via the closed socket.
 				c.stopOnce.Do(func() { close(c.stop) })
+				c.discardQueue()
 				c.netc.Close()
-				for {
-					select {
-					case <-c.out: // discard
-					default:
-						return
-					}
-				}
+				return
 			}
 		case <-c.stop:
 			// Final drain: everything already queued still goes out.
-			for {
-				select {
-				case m := <-c.out:
-					encode(m)
-				default:
-					c.netc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-					bw.Flush()
-					return
-				}
-			}
+			flushAll()
+			c.discardQueue()
+			return
 		}
 	}
 }
 
 // drain is the graceful path: stop admitting (new frames get
 // StatusClosed), wait for in-flight requests bounded by ctx (force-cancel
-// on expiry), then release the writer — which flushes everything queued —
-// and close the socket.
+// the blocking path on expiry; async items resolve at their next round
+// close since the backend is still open), then release the writer — which
+// flushes everything queued — and close the socket.
 func (c *conn) drain(ctx context.Context) {
 	c.idMu.Lock()
 	c.draining = true
@@ -480,7 +729,7 @@ func (c *conn) drain(ctx context.Context) {
 	select {
 	case <-done:
 	case <-ctx.Done():
-		c.cancel() // deadline: force in-flight requests to resolve as canceled
+		c.cancel() // deadline: force blocking in-flight requests to resolve as canceled
 		<-done
 	}
 	c.stopOnce.Do(func() { close(c.stop) })

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sharedwd/internal/serr"
+)
+
+// --- intake ring ---
+
+// TestIntakeRingExactCapacity pins the property the lifecycle and soak
+// tests depend on: the ring's shed onset is exactly the configured depth,
+// even though the slot array rounds up to a power of two — including the
+// depth-1 degenerate case.
+func TestIntakeRingExactCapacity(t *testing.T) {
+	for _, depth := range []int{1, 2, 3, 5, 8} {
+		r := newIntakeRing(depth)
+		if got := r.capacity(); got != depth {
+			t.Fatalf("depth %d: capacity() = %d", depth, got)
+		}
+		reqs := make([]*request, depth+1)
+		for i := range reqs {
+			reqs[i] = &request{phrase: i}
+		}
+		for i := 0; i < depth; i++ {
+			if !r.push(reqs[i]) {
+				t.Fatalf("depth %d: push %d refused below capacity", depth, i)
+			}
+		}
+		if r.push(reqs[depth]) {
+			t.Fatalf("depth %d: push beyond capacity admitted", depth)
+		}
+		if got := r.length(); got != depth {
+			t.Fatalf("depth %d: length() = %d at capacity", depth, got)
+		}
+		// FIFO out, and a freed slot readmits.
+		if got := r.pop(); got != reqs[0] {
+			t.Fatalf("depth %d: pop = %v, want first request", depth, got)
+		}
+		if !r.push(reqs[depth]) {
+			t.Fatalf("depth %d: push refused after a pop freed a slot", depth)
+		}
+		for i := 1; i <= depth; i++ {
+			if got := r.pop(); got != reqs[i] {
+				t.Fatalf("depth %d: pop %d out of order", depth, i)
+			}
+		}
+		if got := r.pop(); got != nil {
+			t.Fatalf("depth %d: pop on empty ring = %v", depth, got)
+		}
+	}
+}
+
+// TestIntakeRingConcurrent hammers the MPSC contract under the race
+// detector: every push that reported success is popped exactly once, and
+// nothing is lost or duplicated across producer bursts.
+func TestIntakeRingConcurrent(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	r := newIntakeRing(64)
+
+	var pushed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				req := &request{phrase: p*perProducer + i}
+				for !r.push(req) {
+					// Full: the consumer will catch up.
+				}
+				pushed.Add(1)
+			}
+		}(p)
+	}
+
+	seen := make(map[int]bool, producers*perProducer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(seen) < producers*perProducer {
+			req := r.pop()
+			if req == nil {
+				continue
+			}
+			if seen[req.phrase] {
+				t.Errorf("phrase %d popped twice", req.phrase)
+				return
+			}
+			seen[req.phrase] = true
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("consumer stalled: %d of %d popped", len(seen), producers*perProducer)
+	}
+	if got := r.length(); got != 0 {
+		t.Fatalf("ring not empty after drain: length %d", got)
+	}
+}
+
+// --- pooled request recycling ---
+
+// TestPooledRequestReuseRace is the satellite regression test: requests
+// are pooled with an epoch guard, and a waiter abandoning at its deadline
+// must never race a late round-loop reply into a recycled object. The mix
+// below — tiny random deadlines against a live round loop, under -race —
+// makes the Answered/Abandoned CAS race constant; any ownership bug shows
+// up as a race report, a stuck Submit, or a reply crossing requests.
+func TestPooledRequestReuseRace(t *testing.T) {
+	cfg := testConfig()
+	cfg.RoundInterval = 500 * time.Microsecond
+	w := testWorkload(t)
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const perG = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Deadlines straddle the round interval, so some requests
+				// resolve and some abandon — both CAS outcomes exercised.
+				d := time.Duration(i%5) * 250 * time.Microsecond
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				phrase := w.PhraseNames[(g+i)%len(w.PhraseNames)]
+				res, err := s.Submit(ctx, phrase)
+				cancel()
+				if err == nil {
+					// A delivered result must be internally consistent —
+					// a cross-request reply would betray pool corruption.
+					if res.Phrase < 0 || res.Phrase >= len(w.PhraseNames) {
+						t.Errorf("impossible phrase %d", res.Phrase)
+					}
+				} else if !errors.Is(err, context.DeadlineExceeded) &&
+					!errors.Is(err, serr.ErrOverloaded) {
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+
+	m := s.Metrics()
+	if m.Answered+m.TimedOut+m.Shed+m.Expired == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if m.Answered == 0 {
+		t.Fatal("every request timed out; the race never ran both CAS arms")
+	}
+	if m.TimedOut == 0 {
+		t.Fatal("no request abandoned; the race never ran both CAS arms")
+	}
+}
+
+// --- callback fast path ---
+
+type collectComp struct {
+	mu      sync.Mutex
+	results []Result
+	errs    []error
+	fired   []int32
+	wg      sync.WaitGroup
+}
+
+func newCollectComp(n int) *collectComp {
+	c := &collectComp{
+		results: make([]Result, n),
+		errs:    make([]error, n),
+		fired:   make([]int32, n),
+	}
+	c.wg.Add(n)
+	return c
+}
+
+func (c *collectComp) Complete(i int, res Result, err error) {
+	if n := atomic.AddInt32(&c.fired[i], 1); n != 1 {
+		panic("completion fired twice for one item")
+	}
+	c.mu.Lock()
+	c.results[i], c.errs[i] = res, err
+	c.mu.Unlock()
+	c.wg.Done()
+}
+
+// TestSubmitAsync covers the callback fast path end to end on one server:
+// matched queries resolve through the round loop with the same results
+// Submit gives, unmatched ones refuse synchronously, and every completion
+// fires exactly once.
+func TestSubmitAsync(t *testing.T) {
+	w := testWorkload(t)
+	s, err := New(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	n := len(w.PhraseNames) + 1
+	cc := newCollectComp(n)
+	items := make([]AsyncItem, n)
+	for i := 0; i < n-1; i++ {
+		items[i] = AsyncItem{
+			Query:    "  " + w.PhraseNames[i] + "  ", // matcher normalizes
+			Deadline: time.Now().Add(5 * time.Second),
+			Done:     cc,
+			Index:    i,
+		}
+	}
+	items[n-1] = AsyncItem{Query: "no such phrase at all", Done: cc, Index: n - 1}
+	s.SubmitAsync(items)
+	cc.wg.Wait()
+
+	for i := 0; i < n-1; i++ {
+		if cc.errs[i] != nil {
+			t.Fatalf("item %d: %v", i, cc.errs[i])
+		}
+		if cc.results[i].Phrase != i {
+			t.Errorf("item %d: phrase %d", i, cc.results[i].Phrase)
+		}
+		if len(cc.results[i].Slots) == 0 {
+			t.Errorf("item %d: no slots", i)
+		}
+		if cc.results[i].Latency <= 0 {
+			t.Errorf("item %d: non-positive latency %v", i, cc.results[i].Latency)
+		}
+	}
+	if !errors.Is(cc.errs[n-1], serr.ErrNoAuction) {
+		t.Fatalf("unmatched item: %v, want ErrNoAuction", cc.errs[n-1])
+	}
+}
+
+// TestSubmitAsyncDeadline pins the async deadline semantics: an admitted
+// item whose deadline passes before its round closes is answered with
+// context.DeadlineExceeded (at the next round close, not never).
+func TestSubmitAsyncDeadline(t *testing.T) {
+	cfg := testConfig()
+	cfg.RoundInterval = 40 * time.Millisecond
+	cfg.MaxBatch = 0 // only the ticker closes rounds
+	w := testWorkload(t)
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cc := newCollectComp(1)
+	s.SubmitAsync([]AsyncItem{{
+		Query:    w.PhraseNames[0],
+		Deadline: time.Now().Add(time.Millisecond),
+		Done:     cc,
+	}})
+	cc.wg.Wait()
+	if !errors.Is(cc.errs[0], context.DeadlineExceeded) {
+		t.Fatalf("expired async item: %v, want DeadlineExceeded", cc.errs[0])
+	}
+}
+
+// TestSubmitAsyncOverload stalls the round loop with a full ring and
+// checks that the overflowing async item refuses synchronously with the
+// retryable sentinel while admitted items still resolve.
+func TestSubmitAsyncOverload(t *testing.T) {
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	cfg := testConfig()
+	cfg.RoundInterval = time.Hour
+	cfg.MaxBatch = 1
+	cfg.QueueDepth = 1
+	cfg.BeforeStep = func() {
+		entered <- struct{}{}
+		<-hold
+	}
+	w := testWorkload(t)
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// A dwells inside the round; B fills the single ring slot; C must shed.
+	ccA := newCollectComp(1)
+	s.SubmitAsync([]AsyncItem{{Query: w.PhraseNames[0], Done: ccA}})
+	<-entered
+
+	ccB := newCollectComp(1)
+	s.SubmitAsync([]AsyncItem{{Query: w.PhraseNames[1], Done: ccB}})
+	deadline := time.Now().Add(2 * time.Second)
+	for s.worker.queueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request B never reached the ring")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ccC := newCollectComp(1)
+	s.SubmitAsync([]AsyncItem{{Query: w.PhraseNames[2], Done: ccC}})
+	ccC.wg.Wait() // synchronous refusal: no round needed
+	if !errors.Is(ccC.errs[0], serr.ErrOverloaded) {
+		t.Fatalf("overflow item: %v, want ErrOverloaded", ccC.errs[0])
+	}
+
+	close(hold)
+	ccA.wg.Wait()
+	ccB.wg.Wait()
+	if ccA.errs[0] != nil || ccB.errs[0] != nil {
+		t.Fatalf("admitted items failed: %v / %v", ccA.errs[0], ccB.errs[0])
+	}
+}
+
+// TestSubmitAsyncConcurrentClose races SubmitAsync against Close under
+// the race detector: whatever interleaving wins, every item's completion
+// fires exactly once — answered by the final rounds or refused with
+// ErrClosed — and nothing deadlocks or leaks.
+func TestSubmitAsyncConcurrentClose(t *testing.T) {
+	w := testWorkload(t)
+	cfg := testConfig()
+	cfg.RoundInterval = 200 * time.Microsecond
+	s, err := New(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 50
+	var fired atomic.Int64
+	var answered, closed, overloaded atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				cc := newCollectComp(1)
+				s.SubmitAsync([]AsyncItem{{
+					Query: w.PhraseNames[(g+i)%len(w.PhraseNames)],
+					Done:  cc,
+				}})
+				cc.wg.Wait()
+				fired.Add(1)
+				switch {
+				case cc.errs[0] == nil:
+					answered.Add(1)
+				case errors.Is(cc.errs[0], serr.ErrClosed):
+					closed.Add(1)
+				case errors.Is(cc.errs[0], serr.ErrOverloaded):
+					overloaded.Add(1)
+				default:
+					t.Errorf("unexpected async error: %v", cc.errs[0])
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let traffic flow, then slam the door
+	s.Close()
+	wg.Wait()
+
+	if got := fired.Load(); got != goroutines*perG {
+		t.Fatalf("%d completions for %d items", got, goroutines*perG)
+	}
+	if answered.Load() == 0 {
+		t.Error("no item answered before Close")
+	}
+	if closed.Load() == 0 {
+		t.Error("no item refused after Close (Close raced nothing)")
+	}
+}

@@ -1,6 +1,9 @@
 package server
 
-import "context"
+import (
+	"context"
+	"time"
+)
 
 // Backend is the canonical fleet-facing serving contract: the method set
 // every front end (the HTTP/JSON tier in internal/netserve, the binary
@@ -36,6 +39,51 @@ type Backend interface {
 	Close()
 }
 
+// Completion receives one query's outcome on the callback fast path. It
+// is an interface rather than a func value so implementations can be
+// pooled concrete types — a closure per request would put an allocation
+// back on the path the pool exists to clear.
+//
+// Complete fires exactly once per submitted item: from the round loop when
+// the item was admitted, or synchronously from SubmitAsync on refusal. It
+// runs on the loop goroutine, so it must be fast and must never block —
+// hand the result to a writer queue or drop it.
+type Completion interface {
+	Complete(i int, res Result, err error)
+}
+
+// AsyncItem is one query on the callback fast path. The Done completion is
+// invoked with Index, so one Completion can serve a whole batch with each
+// item writing a disjoint slot.
+type AsyncItem struct {
+	// Query is the raw query string (matched by the backend's matcher).
+	Query string
+	// Deadline bounds how long the item may wait for a round; zero means
+	// no deadline. An expired item is answered with
+	// context.DeadlineExceeded at the next round close.
+	Deadline time.Time
+	// Done receives the outcome, exactly once.
+	Done Completion
+	// Index is passed through to Done.Complete.
+	Index int
+}
+
+// AsyncBackend is the callback fast path the network tiers use to shed
+// per-request goroutines: SubmitAsync admits a batch of items and returns
+// without blocking; outcomes arrive through each item's Completion. The
+// items slice is only read during the call — the caller may reuse it
+// immediately after SubmitAsync returns.
+//
+// Errors delivered to completions reduce to the same serr taxonomy as
+// Backend (match with errors.Is); under sharding they are the bare
+// sentinels without *serr.QueryError routing context.
+type AsyncBackend interface {
+	SubmitAsync(items []AsyncItem)
+}
+
 // Compile-time checks: both serving front ends implement the contract.
 // (shard.Server asserts its own conformance in its package.)
-var _ Backend = (*Server)(nil)
+var (
+	_ Backend      = (*Server)(nil)
+	_ AsyncBackend = (*Server)(nil)
+)

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync/atomic"
+)
+
+// intakeRing is the bounded multi-producer single-consumer queue in front
+// of the round loop: submitters push under the admission read lock, the
+// loop pops between rounds. It replaces the old buffered channel so that
+// concurrent submitters contend on one CAS instead of the channel's
+// single lock, and so the loop can drain a burst without a per-element
+// select.
+//
+// The design is a Vyukov bounded queue — per-slot sequence numbers make
+// publish/consume a pair of atomic stores with no spinning on the happy
+// path — plus an explicit occupancy gate so the *logical* capacity is
+// exactly the configured QueueDepth even though the slot array is rounded
+// up to a power of two for cheap masking. The gate can only over-estimate
+// occupancy (head is monotonic), so the ring never admits beyond capacity;
+// with a stalled consumer the shed onset is exact, which the queue-full
+// lifecycle and soak tests depend on.
+//
+// Thread safety: any number of goroutines may push; exactly one goroutine
+// (the round loop) may pop. length and capacity are safe anywhere.
+type intakeRing struct {
+	slots []intakeSlot
+	mask  uint64
+	cap   uint64 // logical capacity: the configured QueueDepth
+
+	_    [64]byte // keep the producer and consumer cursors off one line
+	tail atomic.Uint64
+	_    [64]byte
+	head atomic.Uint64
+}
+
+type intakeSlot struct {
+	seq atomic.Uint64
+	req *request
+}
+
+// newIntakeRing builds a ring with logical capacity depth (≥ 1). The slot
+// array is the next power of two ≥ max(depth, 2); the extra physical slots
+// are unreachable past the occupancy gate.
+func newIntakeRing(depth int) *intakeRing {
+	n := 2
+	for n < depth {
+		n <<= 1
+	}
+	r := &intakeRing{
+		slots: make([]intakeSlot, n),
+		mask:  uint64(n - 1),
+		cap:   uint64(depth),
+	}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues req, returning false when the ring already holds cap
+// requests (the caller sheds). Safe for concurrent producers.
+func (r *intakeRing) push(req *request) bool {
+	for {
+		pos := r.tail.Load()
+		if pos-r.head.Load() >= r.cap {
+			// head was loaded after tail and only grows, so this view of
+			// occupancy is an upper bound: a full verdict here is exact
+			// whenever the consumer is not mid-pop. One fresh re-read
+			// settles the race with a concurrent pop.
+			if pos-r.head.Load() >= r.cap {
+				return false
+			}
+			continue
+		}
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		if seq == pos {
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				slot.req = req
+				slot.seq.Store(pos + 1)
+				return true
+			}
+		} else if seq < pos {
+			// The slot still holds an unconsumed request from a previous
+			// lap. The occupancy gate makes this unreachable (physical
+			// slots ≥ logical capacity), but shed rather than spin if an
+			// invariant ever breaks.
+			return false
+		}
+		// Another producer claimed pos first; retry with a fresh tail.
+	}
+}
+
+// pop dequeues one request, or nil when the ring is empty (or a producer
+// has claimed a slot but not yet published it — the caller retries on its
+// next drain). Single consumer only.
+func (r *intakeRing) pop() *request {
+	pos := r.head.Load()
+	slot := &r.slots[pos&r.mask]
+	if slot.seq.Load() != pos+1 {
+		return nil
+	}
+	req := slot.req
+	slot.req = nil
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	r.head.Store(pos + 1)
+	return req
+}
+
+// length is the current occupancy: exact when the ring is quiescent, an
+// upper bound while producers are mid-claim. Safe anywhere.
+func (r *intakeRing) length() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}
+
+// capacity is the configured logical capacity.
+func (r *intakeRing) capacity() int { return int(r.cap) }

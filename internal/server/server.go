@@ -275,6 +275,25 @@ func (s *Server) SubmitBatch(ctx context.Context, queries []string) ([]Result, e
 	return results, serr.JoinBatch(errs)
 }
 
+// SubmitAsync admits a batch of queries on the callback fast path — the
+// AsyncBackend contract: no blocking, no per-query goroutine, outcomes
+// delivered exactly once through each item's Completion (synchronously for
+// refusals: ErrNoAuction, ErrOverloaded, ErrClosed; from the round loop
+// otherwise). Safe for concurrent use.
+func (s *Server) SubmitAsync(items []AsyncItem) {
+	now := time.Now()
+	for i := range items {
+		it := &items[i]
+		phrase, ok := s.matcher.Match(it.Query)
+		if !ok {
+			s.unmatched.Add(1)
+			it.Done.Complete(it.Index, Result{}, serr.ErrNoAuction)
+			continue
+		}
+		s.worker.SubmitPhraseAsync(phrase, phrase, it.Deadline, now, it.Done, it.Index)
+	}
+}
+
 // Close stops admission, resolves every in-flight request in a final round,
 // drains the engine's outstanding clicks (so end-of-day budget accounting
 // is complete), stops the engine's worker pool, and waits for the round

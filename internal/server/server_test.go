@@ -171,7 +171,7 @@ func TestServerLifecycle(t *testing.T) {
 		}()
 		// Wait until B occupies the queue's single slot.
 		deadline := time.Now().Add(2 * time.Second)
-		for len(s.worker.queue) == 0 {
+		for s.worker.queueLen() == 0 {
 			if time.Now().After(deadline) {
 				t.Fatal("request B never reached the admission queue")
 			}
@@ -207,9 +207,10 @@ func TestServerLifecycle(t *testing.T) {
 		reqs := make([]*request, 3)
 		for i := range reqs {
 			reqs[i] = &request{
-				phrase:   i,
-				enqueued: time.Now(),
-				done:     make(chan reply, 1),
+				phrase:    i,
+				resPhrase: i,
+				enqueued:  time.Now(),
+				done:      make(chan reply, 1),
 			}
 			if err := s.worker.admit(reqs[i]); err != nil {
 				t.Fatalf("admit %d: %v", i, err)

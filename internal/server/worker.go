@@ -20,12 +20,75 @@ type reply struct {
 	err error
 }
 
+// Request lifecycle states for the pooled-object epoch guard. A request
+// starts Waiting; exactly one side wins the CAS out of Waiting, and the
+// loser of that race is the one that recycles the object — so a late
+// round-loop reply can never touch a request that a timed-out waiter has
+// already returned to the pool, and vice versa.
+const (
+	reqWaiting   uint32 = iota
+	reqAnswered         // the loop committed a reply to done
+	reqAbandoned        // the waiter gave up (ctx done) before the loop answered
+)
+
 type request struct {
 	phrase   int
 	enqueued time.Time
 	dequeued time.Time
-	ctx      context.Context
-	done     chan reply // buffered(1): the loop never blocks on delivery
+	ctx      context.Context // blocking path only; nil on the callback path
+	deadline time.Time       // callback path deadline; zero means none
+	done     chan reply      // buffered(1), pooled with the request
+
+	state atomic.Uint32 // reqWaiting / reqAnswered / reqAbandoned
+
+	// Callback fast path: when cb is non-nil the loop invokes
+	// cb.Complete(cbIndex, ...) instead of sending on done, then recycles
+	// the request itself — no waiter, no channel, no context.
+	cb      Completion
+	cbIndex int
+
+	// Result identity: the Phrase/Shard the answer reports. The blocking
+	// path sets resPhrase = phrase and lets the sharded front end rewrite;
+	// the async path carries the global phrase ID here so results need no
+	// post-hoc fixup.
+	resPhrase int
+	resShard  int
+}
+
+// requestPool recycles request objects (and their buffered done channels)
+// across submissions; the epoch guard above makes reuse safe. The pool is
+// shared by every worker in the process — requests carry no per-worker
+// state between uses.
+var requestPool = sync.Pool{New: func() any { return &request{done: make(chan reply, 1)} }}
+
+func getRequest() *request {
+	req := requestPool.Get().(*request)
+	req.state.Store(reqWaiting)
+	return req
+}
+
+// putRequest returns a request to the pool. The caller must guarantee the
+// done channel is empty (the lifecycle discipline: whoever receives the
+// reply — or proves none was sent — recycles).
+func putRequest(req *request) {
+	req.ctx = nil
+	req.cb = nil
+	req.deadline = time.Time{}
+	requestPool.Put(req)
+}
+
+// expired reports the deadline error for a request whose waiter is (or
+// will be) gone: the blocking path's ctx, or the async path's deadline.
+func (req *request) expired(now time.Time) error {
+	if req.ctx != nil {
+		if err := req.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !req.deadline.IsZero() && now.After(req.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
 }
 
 // Worker is one admission queue + round loop pinned to one core.Engine —
@@ -34,19 +97,24 @@ type request struct {
 // matcher. A worker speaks phrase IDs local to its workload; query-string
 // matching (and the ErrNoAuction path) belongs to the front end.
 //
-// Thread safety: SubmitPhrase, Metrics, and Close are safe for concurrent
-// use by any number of goroutines. The worker owns its workload and engine
-// once NewWorker returns.
+// Thread safety: SubmitPhrase, SubmitPhrases, SubmitPhraseAsync, Metrics,
+// and Close are safe for concurrent use by any number of goroutines. The
+// worker owns its workload and engine once NewWorker returns.
 type Worker struct {
 	cfg Config
 	eng *core.Engine
 	w   *workload.Workload
 
-	queue chan *request
+	// intake is the MPSC ring in front of the loop; wake (cap 1) nudges
+	// the loop after a push so an idle loop drains promptly. The order is
+	// always push-then-wake: a failed non-blocking wake send means a wake
+	// is already pending, so the loop cannot miss work.
+	intake *intakeRing
+	wake   chan struct{}
 
-	// admitMu makes SubmitPhrase-vs-Close admission exact: requests enqueue
-	// under the read lock; Close flips closed under the write lock, after
-	// which no request can enter the queue and the loop's final drain is
+	// admitMu makes submission-vs-Close admission exact: requests enter
+	// the ring under the read lock; Close flips closed under the write
+	// lock, after which no request can enter and the loop's final drain is
 	// complete.
 	admitMu sync.RWMutex
 	closed  bool
@@ -77,6 +145,11 @@ type Worker struct {
 	latencySum    stats.Summary
 	engStats      core.Stats
 
+	// latScratch collects per-request latency samples inside closeRound so
+	// callback requests can be recycled the moment they are answered, with
+	// the histogram updates following off the scratch copy. Loop-owned.
+	latScratch []latSample
+
 	// Adaptive replanning (nil planner when Config.Replan is nil). The
 	// planner is driven only by the round loop; the mu-guarded copies below
 	// are what Metrics reads.
@@ -86,6 +159,8 @@ type Worker struct {
 	swapSum     stats.Summary
 	replanStats replan.Stats
 }
+
+type latSample struct{ adm, rw, lat float64 }
 
 // NewWorker builds the engine for the workload and starts the round loop.
 // The worker takes ownership of the workload: the caller must not mutate or
@@ -118,7 +193,8 @@ func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
 		cfg:      cfg,
 		eng:      eng,
 		w:        w,
-		queue:    make(chan *request, cfg.QueueDepth),
+		intake:   newIntakeRing(cfg.QueueDepth),
+		wake:     make(chan struct{}, 1),
 		closing:  make(chan struct{}),
 		loopDone: make(chan struct{}),
 		start:    time.Now(),
@@ -137,6 +213,18 @@ func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
 	return wk, nil
 }
 
+// queueLen is the intake ring's current occupancy (test and Metrics view).
+func (wk *Worker) queueLen() int { return wk.intake.length() }
+
+// wakeLoop nudges the round loop after a push. Non-blocking: a full wake
+// buffer already guarantees the loop will drain again.
+func (wk *Worker) wakeLoop() {
+	select {
+	case wk.wake <- struct{}{}:
+	default:
+	}
+}
+
 // SubmitPhrase admits one already-matched phrase (an ID into this worker's
 // workload) and blocks until its round resolves, the context is done, or
 // the worker refuses it. Errors: serr.ErrOverloaded (admission queue
@@ -144,21 +232,34 @@ func NewWorker(w *workload.Workload, cfg Config) (*Worker, error) {
 // concurrent use.
 func (wk *Worker) SubmitPhrase(ctx context.Context, phrase int) (Result, error) {
 	wk.submitted.Add(1)
-	req := &request{
-		phrase:   phrase,
-		enqueued: time.Now(),
-		ctx:      ctx,
-		done:     make(chan reply, 1),
-	}
+	req := getRequest()
+	req.phrase = phrase
+	req.resPhrase = phrase
+	req.resShard = wk.cfg.ShardID
+	req.ctx = ctx
+	req.enqueued = time.Now()
 	if err := wk.admit(req); err != nil {
+		putRequest(req)
 		return Result{}, err
 	}
 	select {
 	case r := <-req.done:
-		return r.res, r.err
+		res, err := r.res, r.err
+		putRequest(req)
+		return res, err
 	case <-ctx.Done():
-		wk.timedOut.Add(1)
-		return Result{}, ctx.Err()
+		if req.state.CompareAndSwap(reqWaiting, reqAbandoned) {
+			// The loop has not answered and now never will touch done: it
+			// sees Abandoned and recycles the request itself.
+			wk.timedOut.Add(1)
+			return Result{}, ctx.Err()
+		}
+		// The loop won the race and a reply is already (or imminently) in
+		// the buffered channel; collect it so the pooled channel is clean.
+		r := <-req.done
+		res, err := r.res, r.err
+		putRequest(req)
+		return res, err
 	}
 }
 
@@ -182,22 +283,27 @@ func (wk *Worker) SubmitPhrases(ctx context.Context, phrases []int, results []Re
 		}
 		return
 	}
+	admitted := false
 	for i, phrase := range phrases {
-		req := &request{
-			phrase:   phrase,
-			enqueued: now,
-			ctx:      ctx,
-			done:     make(chan reply, 1),
-		}
-		select {
-		case wk.queue <- req:
+		req := getRequest()
+		req.phrase = phrase
+		req.resPhrase = phrase
+		req.resShard = wk.cfg.ShardID
+		req.ctx = ctx
+		req.enqueued = now
+		if wk.intake.push(req) {
 			reqs[i] = req
-		default:
+			admitted = true
+		} else {
+			putRequest(req)
 			wk.shed.Add(1)
 			errs[i] = serr.ErrOverloaded
 		}
 	}
 	wk.admitMu.RUnlock()
+	if admitted {
+		wk.wakeLoop()
+	}
 	for i, req := range reqs {
 		if req == nil {
 			continue // shed at admission; errs[i] already set
@@ -205,29 +311,85 @@ func (wk *Worker) SubmitPhrases(ctx context.Context, phrases []int, results []Re
 		select {
 		case r := <-req.done:
 			results[i], errs[i] = r.res, r.err
+			putRequest(req)
 		case <-ctx.Done():
-			// The remaining admitted requests share this ctx; the round
-			// loop sees them expired and answers their buffered done
-			// channels harmlessly.
-			wk.timedOut.Add(1)
-			errs[i] = ctx.Err()
+			if req.state.CompareAndSwap(reqWaiting, reqAbandoned) {
+				// The loop sees Abandoned and recycles; the remaining
+				// admitted requests share this ctx and resolve the same way.
+				wk.timedOut.Add(1)
+				errs[i] = ctx.Err()
+				continue
+			}
+			r := <-req.done
+			results[i], errs[i] = r.res, r.err
+			putRequest(req)
 		}
+	}
+}
+
+// SubmitPhraseAsync admits one already-matched phrase on the callback fast
+// path and returns immediately: no goroutine, no channel, no context. The
+// outcome is delivered exactly once through done.Complete(index, ...) —
+// from the round loop when the request was admitted, or synchronously from
+// this call on refusal (serr.ErrOverloaded / serr.ErrClosed). deadline
+// zero means no deadline; an expired request is answered with
+// context.DeadlineExceeded at the next round close. resPhrase is the
+// phrase ID the Result reports (the global ID under sharding); phrase is
+// the worker-local ID. enqueued stamps admission time (callers submitting
+// a batch pass one timestamp for the whole batch). Safe for concurrent
+// use.
+//
+// Unlike the blocking path under sharding, refusals are the bare serr
+// sentinels without *serr.QueryError routing context — callback callers
+// dispatch on errors.Is, which matches either way.
+func (wk *Worker) SubmitPhraseAsync(phrase, resPhrase int, deadline, enqueued time.Time, done Completion, index int) {
+	wk.submitted.Add(1)
+	req := getRequest()
+	req.phrase = phrase
+	req.resPhrase = resPhrase
+	req.resShard = wk.cfg.ShardID
+	req.deadline = deadline
+	req.enqueued = enqueued
+	req.cb = done
+	req.cbIndex = index
+	if err := wk.admit(req); err != nil {
+		putRequest(req)
+		done.Complete(index, Result{}, err)
 	}
 }
 
 func (wk *Worker) admit(req *request) error {
 	wk.admitMu.RLock()
-	defer wk.admitMu.RUnlock()
 	if wk.closed {
+		wk.admitMu.RUnlock()
 		return serr.ErrClosed
 	}
-	select {
-	case wk.queue <- req:
-		return nil
-	default:
+	ok := wk.intake.push(req)
+	wk.admitMu.RUnlock()
+	if !ok {
 		wk.shed.Add(1)
 		return serr.ErrOverloaded
 	}
+	wk.wakeLoop()
+	return nil
+}
+
+// deliver hands one outcome to its waiter or callback — the loop's only
+// reply path. The epoch guard decides who recycles the pooled request.
+func (wk *Worker) deliver(req *request, r reply) {
+	if req.cb != nil {
+		cb, idx := req.cb, req.cbIndex
+		putRequest(req)
+		cb.Complete(idx, r.res, r.err)
+		return
+	}
+	if req.state.CompareAndSwap(reqWaiting, reqAnswered) {
+		req.done <- r // buffered; the waiter receives and recycles
+		return
+	}
+	// The waiter abandoned first and will never touch req again; the loop
+	// owns the recycle.
+	putRequest(req)
 }
 
 // Close stops admission, resolves every in-flight request in a final round,
@@ -254,33 +416,30 @@ func (wk *Worker) loop() {
 	var pending []*request
 	occ := make([]bool, len(wk.w.Interests))
 	for {
-		// Stop pulling from the queue while the batch is full so that
-		// backpressure propagates: the queue fills, and submits shed.
-		in := wk.queue
+		// Drain whatever is already queued; close immediately when the
+		// batch is full so backpressure propagates (the ring fills, and
+		// submits shed).
+		pending = wk.drainInto(pending)
 		if wk.cfg.MaxBatch > 0 && len(pending) >= wk.cfg.MaxBatch {
-			in = nil
+			pending = wk.closeRound(pending, occ)
+			continue
 		}
 		select {
-		case req := <-in:
-			req.dequeued = time.Now()
-			pending = append(pending, req)
-			pending = wk.drainInto(pending)
-			if wk.cfg.MaxBatch > 0 && len(pending) >= wk.cfg.MaxBatch {
-				pending = wk.closeRound(pending, occ)
-			}
+		case <-wk.wake:
+			// New arrivals; loop back to drain them into the batch.
 		case <-ticker.C:
 			pending = wk.drainInto(pending)
 			pending = wk.closeRound(pending, occ)
 		case <-wk.closing:
-			// closed was set before closing fired, so the queue can no
+			// closed was set before closing fired, so the ring can no
 			// longer grow — but it can hold many more requests than one
 			// MaxBatch round. Keep resolving bounded rounds until every
 			// admitted request has been answered; a single capped drain
-			// here would strand the rest of a full queue forever.
+			// here would strand the rest of a full ring forever.
 			for {
 				pending = wk.drainInto(pending)
 				pending = wk.closeRound(pending, occ)
-				if len(wk.queue) == 0 {
+				if wk.intake.length() == 0 {
 					break
 				}
 			}
@@ -299,15 +458,17 @@ func (wk *Worker) loop() {
 
 // drainInto moves whatever is queued into the batch, up to MaxBatch.
 func (wk *Worker) drainInto(pending []*request) []*request {
-	now := time.Now()
+	var now time.Time
 	for wk.cfg.MaxBatch == 0 || len(pending) < wk.cfg.MaxBatch {
-		select {
-		case req := <-wk.queue:
-			req.dequeued = now
-			pending = append(pending, req)
-		default:
+		req := wk.intake.pop()
+		if req == nil {
 			return pending
 		}
+		if now.IsZero() {
+			now = time.Now()
+		}
+		req.dequeued = now
+		pending = append(pending, req)
 	}
 	return pending
 }
@@ -324,10 +485,10 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 	live := pending[:0]
 	expired := int64(0)
 	for _, req := range pending {
-		if req.ctx != nil && req.ctx.Err() != nil {
-			// The waiter is gone; skip so an abandoned query does not force
-			// an auction, but keep the buffered reply harmless to send.
-			req.done <- reply{err: req.ctx.Err()}
+		if err := req.expired(closeStart); err != nil {
+			// The waiter is gone (or will be told so); skip so an abandoned
+			// query does not force an auction.
+			wk.deliver(req, reply{err: err})
 			expired++
 			continue
 		}
@@ -374,39 +535,46 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 			slotCopies[q] = append([]core.SlotResult(nil), slots...)
 		}
 	}
+	// Answer first, record latencies after: the samples are captured into
+	// loop-owned scratch before deliver, because deliver recycles callback
+	// requests immediately.
 	answerTime := time.Now()
+	wk.latScratch = wk.latScratch[:0]
 	for _, req := range live {
+		adm := req.dequeued.Sub(req.enqueued)
+		rw := closeStart.Sub(req.dequeued)
+		lat := answerTime.Sub(req.enqueued)
+		wk.latScratch = append(wk.latScratch, latSample{adm.Seconds(), rw.Seconds(), lat.Seconds()})
 		res := Result{
-			Phrase:        req.phrase,
+			Phrase:        req.resPhrase,
+			Shard:         req.resShard,
 			Round:         rep.Round,
 			Slots:         slotCopies[req.phrase],
-			AdmissionWait: req.dequeued.Sub(req.enqueued),
-			RoundWait:     closeStart.Sub(req.dequeued),
-			Latency:       answerTime.Sub(req.enqueued),
+			AdmissionWait: adm,
+			RoundWait:     rw,
+			Latency:       lat,
 		}
-		req.done <- reply{res: res}
+		wk.deliver(req, reply{res: res})
 	}
+	nlive := len(live)
 
 	wk.mu.Lock()
 	wk.rounds++
-	if len(live) == 0 {
+	if nlive == 0 {
 		wk.emptyRounds++
 	} else {
 		wk.wdHist.Add(wdDur.Seconds())
 		wk.wdSummary.Add(wdDur.Seconds())
 	}
-	wk.answered += int64(len(live))
+	wk.answered += int64(nlive)
 	wk.expired += expired
-	for _, req := range live {
-		adm := req.dequeued.Sub(req.enqueued).Seconds()
-		rw := closeStart.Sub(req.dequeued).Seconds()
-		wk.admissionHist.Add(adm)
-		wk.admissionSum.Add(adm)
-		wk.roundHist.Add(rw)
-		wk.roundSum.Add(rw)
-		lat := answerTime.Sub(req.enqueued).Seconds()
-		wk.latencyHist.Add(lat)
-		wk.latencySum.Add(lat)
+	for _, s := range wk.latScratch {
+		wk.admissionHist.Add(s.adm)
+		wk.admissionSum.Add(s.adm)
+		wk.roundHist.Add(s.rw)
+		wk.roundSum.Add(s.rw)
+		wk.latencyHist.Add(s.lat)
+		wk.latencySum.Add(s.lat)
 	}
 	if wk.planner != nil {
 		if swapped {
@@ -418,11 +586,11 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 	}
 	wk.engStats = wk.eng.Stats()
 	var summary RoundSummary
-	if wk.cfg.OnRound != nil && len(live)+int(expired) > 0 {
+	if wk.cfg.OnRound != nil && nlive+int(expired) > 0 {
 		summary = RoundSummary{
 			Shard:     wk.cfg.ShardID,
 			Round:     rep.Round,
-			Queries:   len(live),
+			Queries:   nlive,
 			Expired:   int(expired),
 			Shed:      wk.shed.Load(),
 			PlanSwaps: wk.planSwaps,
@@ -439,6 +607,10 @@ func (wk *Worker) closeRound(pending []*request, occ []bool) []*request {
 		wk.cfg.OnRound(summary)
 	}
 
+	// Drop the (possibly recycled) request pointers before reuse.
+	for i := range pending {
+		pending[i] = nil
+	}
 	return pending[:0]
 }
 
@@ -456,8 +628,8 @@ func (wk *Worker) Metrics() Metrics {
 		Shed:        wk.shed.Load(),
 		TimedOut:    wk.timedOut.Load(),
 		Expired:     wk.expired,
-		QueueDepth:  len(wk.queue),
-		QueueCap:    cap(wk.queue),
+		QueueDepth:  wk.intake.length(),
+		QueueCap:    wk.intake.capacity(),
 		Rounds:      wk.rounds,
 		EmptyRounds: wk.emptyRounds,
 		Engine:      wk.engStats,

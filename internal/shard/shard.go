@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sharedwd/internal/budget"
 	"sharedwd/internal/serr"
@@ -95,8 +96,12 @@ type Server struct {
 	unmatched atomic.Int64
 }
 
-// The sharded server implements the canonical fleet-facing contract.
-var _ server.Backend = (*Server)(nil)
+// The sharded server implements the canonical fleet-facing contract and
+// the callback fast path.
+var (
+	_ server.Backend      = (*Server)(nil)
+	_ server.AsyncBackend = (*Server)(nil)
+)
 
 // New partitions the workload, builds one engine + round loop per shard,
 // and starts serving. The server takes ownership of the workload. Close
@@ -259,6 +264,29 @@ func (s *Server) SubmitBatch(ctx context.Context, queries []string) ([]server.Re
 	}
 	wg.Wait()
 	return results, serr.JoinBatch(errs)
+}
+
+// SubmitAsync admits a batch of queries on the callback fast path — the
+// server.AsyncBackend contract: each item routes straight into the worker
+// of the shard owning its phrase with no blocking, no per-query goroutine,
+// and no per-shard grouping pass; results carry the global phrase ID and
+// serving shard. Outcomes are delivered exactly once through each item's
+// Completion — synchronously for refusals, from the owning shard's round
+// loop otherwise. Unlike Submit, refusal errors are the bare serr
+// sentinels without *serr.QueryError routing context (errors.Is matches
+// either way). Safe for concurrent use.
+func (s *Server) SubmitAsync(items []server.AsyncItem) {
+	now := time.Now()
+	for i := range items {
+		it := &items[i]
+		sh, local, global, ok := s.matcher.Match(it.Query)
+		if !ok {
+			s.unmatched.Add(1)
+			it.Done.Complete(it.Index, server.Result{}, serr.ErrNoAuction)
+			continue
+		}
+		s.workers[sh].SubmitPhraseAsync(local, global, it.Deadline, now, it.Done, it.Index)
+	}
 }
 
 // Metrics returns the fleet-wide aggregate of every shard's counters and

@@ -18,11 +18,14 @@
 // With -compare old.json, the fresh run on stdin is instead diffed against
 // the committed baseline: every benchmark present in both gets a per-name
 // ns/op delta line, and the command exits nonzero if any benchmark regressed
-// by more than -threshold (default 0.20 = 20%); recorded `speedup` metrics
-// are likewise gated, failing when fresh speedup falls more than the
-// threshold below the baseline's. Benchmarks present on only one side are
-// reported but never fail the comparison, so adding or renaming benchmarks
-// does not break the CI gate.
+// by more than -threshold (default 0.20 = 20%); recorded `speedup` and
+// `queries/sec` metrics are likewise gated, failing when the fresh value
+// falls more than the threshold below the baseline's. allocs/op is gated in
+// absolute terms — allocation counts are near-deterministic, so a fresh
+// count at least one whole allocation AND threshold-fraction above the
+// baseline fails (a 0→1 step on a zero baseline also fails). Benchmarks
+// present on only one side are reported but never fail the comparison, so
+// adding or renaming benchmarks does not break the CI gate.
 package main
 
 import (
@@ -172,6 +175,31 @@ func compare(w io.Writer, old, fresh document, threshold float64) bool {
 			fmt.Fprintf(w, "  %-5s %-60s %11.2fx -> %11.2fx speedup (%+.1f%%)\n",
 				verdict, name, oldS, freshS, 100*(freshS/oldS-1))
 		}
+		// Throughput is a bigger-is-better metric: gate drops, not rises.
+		if oldQ, freshQ := od.Metrics["queries/sec"], nw.Metrics["queries/sec"]; oldQ > 0 && freshQ > 0 {
+			verdict := "ok"
+			if 1-freshQ/oldQ > threshold {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "  %-5s %-60s %12.0f -> %12.0f queries/sec (%+.1f%%)\n",
+				verdict, name, oldQ, freshQ, 100*(freshQ/oldQ-1))
+		}
+		// Allocation counts are near-deterministic, so gate them absolutely:
+		// at least one whole extra allocation AND beyond the fractional
+		// threshold (so a 3→4 step fails at 20% but a 100→101 step passes).
+		if od.AllocsPerOp != nil && nw.AllocsPerOp != nil {
+			oldA, freshA := *od.AllocsPerOp, *nw.AllocsPerOp
+			if freshA != oldA {
+				verdict := "ok"
+				if freshA >= oldA+1 && freshA > oldA*(1+threshold) {
+					verdict = "REGRESSION"
+					ok = false
+				}
+				fmt.Fprintf(w, "  %-5s %-60s %12.0f -> %12.0f allocs/op\n",
+					verdict, name, oldA, freshA)
+			}
+		}
 	}
 	for _, r := range old.Results {
 		if _, found := freshBy[r.Name]; !found {
@@ -179,7 +207,7 @@ func compare(w io.Writer, old, fresh document, threshold float64) bool {
 		}
 	}
 	if !ok {
-		fmt.Fprintf(w, "benchjson: ns/op regression beyond %.0f%% threshold\n", 100*threshold)
+		fmt.Fprintf(w, "benchjson: regression beyond %.0f%% threshold\n", 100*threshold)
 	}
 	return ok
 }
