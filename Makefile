@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-shard bench-parallel bench-server bench-binary bench-json bench-compare fuzz fmt vet staticcheck
+.PHONY: all build test race bench bench-shard bench-parallel bench-server bench-binary bench-json bench-compare fuzz soak-pacing fmt vet staticcheck
 
 all: build test
 
@@ -83,3 +83,12 @@ bench-compare:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='FuzzFrameRoundTrip' -fuzztime=10s ./internal/binproto
 	$(GO) test -run='^$$' -fuzz='FuzzMalformedFrame' -fuzztime=10s ./internal/binproto
+
+# soak-pacing runs the day-in-the-life budget-pacing soak (EXPERIMENTS.md):
+# calibrate natural spend, verify the unpaced baseline front-loads, then
+# verify pacing spreads every hot advertiser's budget across the day —
+# plus the sharded-vs-single pacing equivalence and the -race pacing suite.
+soak-pacing:
+	$(GO) test -run 'TestSoakPacingDay' -count=1 -v .
+	$(GO) test -run 'TestShardedEquivalencePacing' -count=1 ./internal/shard
+	$(GO) test -race -count=1 ./internal/budget

@@ -521,6 +521,72 @@ func BenchmarkSteadyStateStep(b *testing.B) {
 	}
 }
 
+// BenchmarkPacedSteadyStateStep measures the pacing subsystem's per-round
+// overhead on the same steady state as BenchmarkSteadyStateStep: ledger,
+// pacing controller (synced every round) and a live lifecycle refresh
+// schedule attached. allocs/op must still read 0 — the comparison against
+// BenchmarkSteadyStateStep/cache=true is the controller's marginal cost.
+func BenchmarkPacedSteadyStateStep(b *testing.B) {
+	wcfg := workload.DefaultConfig()
+	wcfg.NumAdvertisers = 1000
+	wcfg.NumPhrases = 32
+	wcfg.NumTopics = 6
+	wcfg.MinBudget = 1e6 // never exhausts: steady display load
+	wcfg.MaxBudget = 2e6
+	w := workload.Generate(wcfg)
+
+	budgets := make([]float64, len(w.Advertisers))
+	for i, a := range w.Advertisers {
+		budgets[i] = a.Budget
+	}
+	ledger := budget.NewLedger(budgets)
+	// Refresh events keep the lifecycle replay path live through the
+	// measured window, as in the zero-alloc test.
+	events := make([]workload.LifecycleEvent, 0, 1<<17)
+	for r := 0; r < 1<<18; r += 2 {
+		events = append(events, workload.LifecycleEvent{
+			Round: r, Kind: workload.LifecycleRefresh, Advertiser: r % len(budgets),
+		})
+	}
+	lc, err := workload.NewLifecycle(len(budgets), events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := budget.DefaultPacerConfig()
+	pcfg.Horizon = 1e6 // target curve binds: the controller actively throttles
+	pacer, err := budget.NewPacer(ledger, budgets, pcfg, lc)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ecfg := core.DefaultConfig()
+	ecfg.Policy = core.Naive
+	ecfg.IncrementalCache = true
+	ecfg.Ledger = ledger
+	ecfg.Pacer = pacer
+	ecfg.Lifecycle = lc
+	eng, err := core.New(w, ecfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	occ := make([]bool, len(w.Interests))
+	for q := range occ {
+		occ[q] = q%2 == 0
+	}
+	for i := 0; i < 300; i++ {
+		eng.Step(occ)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step(occ)
+	}
+	b.StopTimer()
+	if m := pacer.Metrics(); m.Throttled == 0 {
+		b.Fatal("pacing never engaged during the benchmark")
+	}
+}
+
 // BenchmarkConcurrentRounds is ablation A2: sequential vs parallel shared-
 // plan execution in the engine.
 func BenchmarkConcurrentRounds(b *testing.B) {

@@ -16,6 +16,7 @@
 //	          [-queue 4096] [-deadline 100ms] [-junk 0.05] [-workers 1]
 //	          [-shards 1] [-router hash|fragment]
 //	          [-replan] [-drift]
+//	          [-pacing 0] [-churn 0] [-refresh-every 0]
 //	          [-listen :8080] [-listen-binary :8081] [-rate-limit 0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -40,6 +41,14 @@
 // phrases go quiet and quiet ones go popular while the server keeps
 // serving. The final summary then reports builds, swaps, and swap latency.
 //
+// -pacing N turns on the budget-pacing controller with an N-round horizon:
+// one shared Pacer throttles advertiser bids toward a smooth spend curve
+// (fleet-shared across shards, spend exact through the central ledger).
+// -churn gives that fraction of advertisers sub-day campaign windows and
+// -refresh-every schedules periodic budget-refresh epochs; both consume
+// the same synthetic lifecycle schedule. The final summary reports the
+// spend curve, throttle activity, and epoch count.
+//
 // -cpuprofile and -memprofile write pprof profiles of the whole run (load
 // generation plus serving), for digging into where round time goes — e.g.
 // confirming the flat-compiled plan executor's kernels dominate shared
@@ -59,6 +68,7 @@ import (
 	"time"
 
 	"sharedwd/internal/binproto"
+	"sharedwd/internal/budget"
 	"sharedwd/internal/netserve"
 	"sharedwd/internal/replan"
 	"sharedwd/internal/server"
@@ -86,6 +96,9 @@ func main() {
 	router := flag.String("router", "hash", "phrase-to-shard router: hash or fragment")
 	replanOn := flag.Bool("replan", false, "adaptive replanning: hot-swap the shared plan when observed rates drift")
 	drift := flag.Bool("drift", false, "inject traffic drift halfway through (rotate arrival rates by half the phrases)")
+	pacing := flag.Int("pacing", 0, "budget pacing horizon in rounds (0 disables the pacing controller)")
+	churn := flag.Float64("churn", 0, "fraction of advertisers running sub-day campaign windows (needs -pacing)")
+	refreshEvery := flag.Int("refresh-every", 0, "budget-refresh epoch period in rounds, 0 disables (needs -pacing)")
 	listen := flag.String("listen", "", "also serve HTTP on this address (/v1/query, /v1/stats, /v1/metrics, /v1/live)")
 	listenBinary := flag.String("listen-binary", "", "also serve the binary protocol on this address (loadgen -proto binary)")
 	rateLimit := flag.Float64("rate-limit", 0, "edge rate limit in requests/sec per client (0 disables)")
@@ -141,6 +154,25 @@ func main() {
 		rc.CheckEvery = 25
 		rc.CooldownRounds = 200
 		cfg.Replan = &rc
+	}
+
+	if *pacing > 0 {
+		pc := budget.DefaultPacerConfig()
+		pc.Horizon = *pacing
+		cfg.Pacing = &pc
+		if *churn > 0 || *refreshEvery > 0 {
+			lc, err := workload.GenerateLifecycle(w, workload.LifecycleConfig{
+				Rounds:        *pacing,
+				ChurnFraction: *churn,
+				RefreshEvery:  *refreshEvery,
+				Seed:          *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			cfg.Lifecycle = lc
+		}
 	}
 
 	// The live-feed hub must exist before the server: round loops bind
@@ -279,6 +311,15 @@ func main() {
 		fmt.Printf("replan: %d builds, %d plan swaps, swap install mean %.3gms (max %.3gms)\n",
 			m.ReplanBuilds, m.PlanSwaps,
 			m.PlanSwapLatency.Mean()*1e3, m.PlanSwapLatency.Max()*1e3)
+	}
+	if m.Pacing.Enabled {
+		meanFactor := 1.0
+		if m.Pacing.Active > 0 {
+			meanFactor = m.Pacing.FactorSum / float64(m.Pacing.Active)
+		}
+		fmt.Printf("pacing: %d/%d active, %d throttled (mean factor %.3f), target $%.2f vs actual $%.2f over %d steps, %d refresh epochs\n",
+			m.Pacing.Active, m.Pacing.Advertisers, m.Pacing.Throttled, meanFactor,
+			m.Pacing.TargetSpend, m.Pacing.ActualSpend, m.Pacing.Rounds, m.Pacing.Epochs)
 	}
 	if sh, ok := s.(*shard.Server); ok {
 		fmt.Printf("ledger:  $%.2f settled across %d shards\n",

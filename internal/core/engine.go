@@ -23,7 +23,6 @@ package core
 import (
 	"fmt"
 
-	"sharedwd/internal/auction"
 	"sharedwd/internal/budget"
 	"sharedwd/internal/plan"
 	"sharedwd/internal/pricing"
@@ -132,6 +131,21 @@ type Config struct {
 	// pure function see identical click fates, which is what the
 	// equivalence property tests rely on.
 	ClickOutcome workload.OutcomeFunc
+	// Pacer, when non-nil, is the shared online pacing controller: at the
+	// top of every Step the engine syncs it to the round (idempotent across
+	// the shards sharing it), and each advertiser's stated bid is scaled by
+	// its published pacing factor before the budget policy runs — the
+	// throttle knob that makes budgets exhaust smoothly over the configured
+	// horizon instead of front-loading. See budget.Pacer.
+	Pacer *budget.Pacer
+	// Lifecycle, when non-nil, is the advertiser lifecycle schedule the
+	// engine consumes at round boundaries: join/leave events toggle
+	// participation (an inactive advertiser places no bids; its outstanding
+	// ads still settle and charge). Budget-refresh events are not applied
+	// here — they belong to the Pacer, which holds the fleet's single
+	// budget authority. Every shard consumes the same schedule
+	// independently, so active sets agree with no coordination.
+	Lifecycle *workload.Lifecycle
 }
 
 // DefaultConfig returns a GSP, throttled, shared configuration.
@@ -189,6 +203,13 @@ type Engine struct {
 	clicks *workload.ClickSim
 	spent  []float64 // realized payments per advertiser
 	round  int
+
+	// active[i] is advertiser i's lifecycle participation flag; lifeCursor
+	// tracks schedule consumption and lifeFn is the pinned event-apply
+	// closure (built once so round boundaries never allocate).
+	active     []bool
+	lifeCursor int
+	lifeFn     func(workload.LifecycleEvent)
 
 	scr roundScratch
 	// tscr[w] is pool worker w's throttled-bid scratch; tscr[0] serves the
@@ -296,11 +317,29 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 	if cfg.ThrottleUnit <= 0 {
 		return nil, fmt.Errorf("core: non-positive throttle unit %v", cfg.ThrottleUnit)
 	}
+	if cfg.Lifecycle != nil && cfg.Lifecycle.NumAdvertisers() != len(w.Advertisers) {
+		return nil, fmt.Errorf("core: lifecycle over %d advertisers, workload has %d", cfg.Lifecycle.NumAdvertisers(), len(w.Advertisers))
+	}
+	if cfg.Pacer != nil && cfg.Pacer.N() != len(w.Advertisers) {
+		return nil, fmt.Errorf("core: pacer over %d advertisers, workload has %d", cfg.Pacer.N(), len(w.Advertisers))
+	}
 	e := &Engine{
 		cfg:    cfg,
 		w:      w,
 		clicks: workload.NewClickSim(w.Rng(), cfg.ClickHazard, cfg.ClickHorizon),
 		spent:  make([]float64, len(w.Advertisers)),
+		active: make([]bool, len(w.Advertisers)),
+	}
+	for i := range e.active {
+		e.active[i] = cfg.Lifecycle == nil || cfg.Lifecycle.InitiallyActive(i)
+	}
+	e.lifeFn = func(ev workload.LifecycleEvent) {
+		switch ev.Kind {
+		case workload.LifecycleJoin:
+			e.active[ev.Advertiser] = true
+		case workload.LifecycleLeave:
+			e.active[ev.Advertiser] = false
+		}
 	}
 	if cfg.ClickOutcome != nil {
 		e.clicks.SetOutcome(cfg.ClickOutcome)
@@ -318,11 +357,15 @@ func New(w *workload.Workload, cfg Config) (*Engine, error) {
 		ts := &e.tscr[worker]
 		mCount := e.scr.mCount
 		for i := lo; i < hi; i++ {
-			if mCount[i] == 0 {
+			if mCount[i] == 0 || !e.active[i] {
 				continue
 			}
 			a := e.w.Advertisers[i]
-			b := e.policyBid(i, a, mCount[i], ts)
+			bid := e.pacedBid(i, a.Bid)
+			if bid <= 0 {
+				continue
+			}
+			b := e.policyBid(i, bid, mCount[i], ts)
 			e.scr.roundBid[i] = b
 			e.scr.score[i] = b * a.Quality
 		}
@@ -531,6 +574,17 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 	clear(e.scr.auctions)
 	rep := RoundReport{Round: e.round, Auctions: e.scr.auctions}
 
+	// 0. Round-boundary control plane: sync the shared pacing controller
+	// (first engine to reach this round steps it from spend settled through
+	// the previous round — before any of this round's charges land) and
+	// fold pending lifecycle events into the participation flags.
+	if e.cfg.Pacer != nil {
+		e.cfg.Pacer.SyncRound(e.round)
+	}
+	if e.cfg.Lifecycle != nil {
+		e.lifeCursor = e.cfg.Lifecycle.Apply(e.lifeCursor, e.round, e.lifeFn)
+	}
+
 	// 1. Deliver clicks from earlier rounds and charge budgets. With a
 	// shared ledger the admit/forgive decision is its atomic TryCharge
 	// (reserve and settle in one CAS); e.spent then tracks this engine's
@@ -574,10 +628,14 @@ func (e *Engine) Step(occurring []bool) RoundReport {
 		e.pool.RunRange(len(e.w.Advertisers), scoreGrain, e.scoreFn)
 	} else {
 		for i, a := range e.w.Advertisers {
-			if mCount[i] == 0 {
+			if mCount[i] == 0 || !e.active[i] {
 				continue
 			}
-			roundBid[i] = e.policyBid(i, a, mCount[i], &e.tscr[0])
+			bid := e.pacedBid(i, a.Bid)
+			if bid <= 0 {
+				continue
+			}
+			roundBid[i] = e.policyBid(i, bid, mCount[i], &e.tscr[0])
 			score[i] = roundBid[i] * a.Quality
 		}
 	}
@@ -768,18 +826,30 @@ func (e *Engine) auctionCounts(occurring []bool) []int {
 	return m
 }
 
+// pacedBid scales advertiser i's stated bid by its published pacing factor
+// (1 when no pacer is attached): the controller's throttle applied before
+// the budget policy, so the Section IV machinery computes b̂ from the
+// effective — paced — bid.
+func (e *Engine) pacedBid(i int, bid float64) float64 {
+	if e.cfg.Pacer == nil {
+		return bid
+	}
+	return bid * e.cfg.Pacer.Factor(i)
+}
+
 // policyBid computes the advertiser's bid for this round under the
-// configured budget policy. ts is the calling worker's scratch; parallel
-// scoring passes a distinct one per worker, the sequential path tscr[0].
-func (e *Engine) policyBid(i int, a auction.Advertiser, m int, ts *throttleScratch) float64 {
+// configured budget policy, from the effective stated bid (already pacing-
+// scaled). ts is the calling worker's scratch; parallel scoring passes a
+// distinct one per worker, the sequential path tscr[0].
+func (e *Engine) policyBid(i int, bid float64, m int, ts *throttleScratch) float64 {
 	remaining := e.Remaining(i)
 	if remaining <= 0 {
 		return 0
 	}
 	switch e.cfg.Policy {
 	case Naive:
-		if a.Bid < remaining {
-			return a.Bid
+		if bid < remaining {
+			return bid
 		}
 		return remaining
 	case Throttled:
@@ -791,8 +861,8 @@ func (e *Engine) policyBid(i int, a auction.Advertiser, m int, ts *throttleScrat
 		}
 		// Paper's fast path: even if every outstanding ad is clicked, the
 		// advertiser can still afford m full bids — no throttling needed.
-		if omega <= remaining-float64(m)*a.Bid {
-			return a.Bid
+		if omega <= remaining-float64(m)*bid {
+			return bid
 		}
 		ads := ts.ads[:0]
 		for j := range prices {
@@ -800,9 +870,9 @@ func (e *Engine) policyBid(i int, a auction.Advertiser, m int, ts *throttleScrat
 		}
 		ts.ads = ads
 		if len(ads) <= e.cfg.ThrottleEnumLimit {
-			return budget.ExactThrottledBid(a.Bid, remaining, m, ads)
+			return budget.ExactThrottledBid(bid, remaining, m, ads)
 		}
-		return budget.ExactThrottledBidDP(a.Bid, remaining, m, ads, e.cfg.ThrottleUnit)
+		return budget.ExactThrottledBidDP(bid, remaining, m, ads, e.cfg.ThrottleUnit)
 	default:
 		panic(fmt.Sprintf("core: unknown budget policy %d", e.cfg.Policy))
 	}

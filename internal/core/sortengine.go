@@ -39,6 +39,13 @@ type SortEngine struct {
 	spent  []float64
 	round  int
 	stats  SortStats
+
+	// Lifecycle/pacing state, mirroring Engine: active bidder flags driven
+	// by the schedule's join/leave events, with a pinned callback so the
+	// per-round Apply stays allocation-free.
+	active     []bool
+	lifeCursor int
+	lifeFn     func(workload.LifecycleEvent)
 }
 
 // SortStats accumulates SortEngine counters.
@@ -69,12 +76,30 @@ func NewSortEngine(w *workload.Workload, cfg Config) (*SortEngine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building shared sort plan: %w", err)
 	}
+	if cfg.Lifecycle != nil && cfg.Lifecycle.NumAdvertisers() != len(w.Advertisers) {
+		return nil, fmt.Errorf("core: lifecycle over %d advertisers, workload has %d", cfg.Lifecycle.NumAdvertisers(), len(w.Advertisers))
+	}
+	if cfg.Pacer != nil && cfg.Pacer.N() != len(w.Advertisers) {
+		return nil, fmt.Errorf("core: pacer over %d advertisers, workload has %d", cfg.Pacer.N(), len(w.Advertisers))
+	}
 	e := &SortEngine{
 		cfg:    cfg,
 		w:      w,
 		plan:   p,
 		clicks: workload.NewClickSim(w.Rng(), cfg.ClickHazard, cfg.ClickHorizon),
 		spent:  make([]float64, len(w.Advertisers)),
+		active: make([]bool, len(w.Advertisers)),
+	}
+	for i := range e.active {
+		e.active[i] = cfg.Lifecycle == nil || cfg.Lifecycle.InitiallyActive(i)
+	}
+	e.lifeFn = func(ev workload.LifecycleEvent) {
+		switch ev.Kind {
+		case workload.LifecycleJoin:
+			e.active[ev.Advertiser] = true
+		case workload.LifecycleLeave:
+			e.active[ev.Advertiser] = false
+		}
 	}
 	e.byQuality = make([][]int, len(w.Interests))
 	e.qualVals = make([][]float64, len(w.Interests))
@@ -117,24 +142,52 @@ func (e *SortEngine) Step(occurring []bool) RoundReport {
 	}
 	rep := RoundReport{Round: e.round, Auctions: make(map[int][]SlotResult)}
 
+	// Round-boundary sync before any of this round's charges: the shared
+	// pacer publishes factors from spend settled through the previous round,
+	// and the lifecycle schedule flips local active flags (refresh events
+	// are the pacer's alone; see workload.LifecycleRefresh).
+	if e.cfg.Pacer != nil {
+		e.cfg.Pacer.SyncRound(e.round)
+	}
+	if e.cfg.Lifecycle != nil {
+		e.lifeCursor = e.cfg.Lifecycle.Apply(e.lifeCursor, e.round, e.lifeFn)
+	}
+
 	rep.Clicks = e.clicks.Advance(e.round)
 	for _, c := range rep.Clicks {
-		if e.spent[c.Advertiser]+c.Price <= e.w.Advertisers[c.Advertiser].Budget+1e-9 {
+		charged := false
+		if e.cfg.Ledger != nil {
+			charged = e.cfg.Ledger.TryCharge(c.Advertiser, c.Price)
+		} else if e.spent[c.Advertiser]+c.Price <= e.w.Advertisers[c.Advertiser].Budget+1e-9 {
+			charged = true
+		}
+		if charged {
 			e.spent[c.Advertiser] += c.Price
 			e.stats.Revenue += c.Price
 			e.stats.ClicksCharged++
 		}
 	}
 
-	// Round bids: stated bid clipped to remaining budget (naive policy).
+	// Round bids: paced stated bid clipped to remaining budget (naive
+	// policy); inactive advertisers sit the round out.
 	bids := make([]float64, len(e.w.Advertisers))
 	for i, a := range e.w.Advertisers {
+		if !e.active[i] {
+			continue
+		}
 		remaining := a.Budget - e.spent[i]
+		if e.cfg.Ledger != nil {
+			remaining = e.cfg.Ledger.Remaining(i)
+		}
+		bid := a.Bid
+		if e.cfg.Pacer != nil {
+			bid *= e.cfg.Pacer.Factor(i)
+		}
 		switch {
-		case remaining <= 0:
+		case remaining <= 0 || bid <= 0:
 			bids[i] = 0
-		case a.Bid < remaining:
-			bids[i] = a.Bid
+		case bid < remaining:
+			bids[i] = bid
 		default:
 			bids[i] = remaining
 		}

@@ -82,6 +82,20 @@ func writeProm(w io.Writer, m server.Metrics, edge edgeStats) {
 	promCounter(w, "sharedwd_plan_swaps_total", "Plans hot-swapped into engines by the adaptive replanner.", float64(m.PlanSwaps))
 	promCounter(w, "sharedwd_replan_builds_total", "Background plan rebuilds started.", float64(m.ReplanBuilds))
 
+	if m.Pacing.Enabled {
+		promGauge(w, "sharedwd_pacing_advertisers", "Advertiser universe under pacing control.", float64(m.Pacing.Advertisers))
+		promGauge(w, "sharedwd_pacing_active", "Advertisers currently active (joined, not left).", float64(m.Pacing.Active))
+		promCounter(w, "sharedwd_pacing_rounds_total", "Pacing controller steps taken.", float64(m.Pacing.Rounds))
+		promCounter(w, "sharedwd_pacing_epochs_total", "Budget-refresh epochs applied.", float64(m.Pacing.Epochs))
+		promGauge(w, "sharedwd_pacing_target_spend", "Fleet target-curve spend at the last controller step.", m.Pacing.TargetSpend)
+		promGauge(w, "sharedwd_pacing_actual_spend", "Fleet realized epoch spend at the last controller step.", m.Pacing.ActualSpend)
+		promGauge(w, "sharedwd_pacing_throttled", "Advertisers with pacing factor below 1 at the last step.", float64(m.Pacing.Throttled))
+		if m.Pacing.Active > 0 {
+			promGauge(w, "sharedwd_pacing_factor_mean", "Mean pacing factor over active advertisers.", m.Pacing.FactorSum/float64(m.Pacing.Active))
+		}
+		promGauge(w, "sharedwd_pacing_abs_error_mean", "Mean per-advertiser |realized - target| spend per controller step.", m.Pacing.AbsError.Mean())
+	}
+
 	promGauge(w, "sharedwd_live_connections", "Current /v1/live WebSocket subscribers.", float64(edge.liveConns))
 	promCounter(w, "sharedwd_live_dropped_total", "Slow /v1/live subscribers disconnected.", float64(edge.liveDropped))
 	promCounter(w, "sharedwd_rate_limited_total", "Requests refused by the edge rate limiter.", float64(edge.raterefused))

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
 	"sharedwd/internal/stats"
 )
@@ -134,6 +135,13 @@ type Metrics struct {
 	// PlanSwapLatency is the distribution of in-loop swap installation
 	// times (seconds) — the round-loop stall a hot swap actually costs.
 	PlanSwapLatency stats.Summary `json:"plan_swap_latency"`
+
+	// Pacing is the budget-pacing controller's spend-curve view: target vs
+	// realized spend, throttle activity, and the per-round pacing-error
+	// distribution. Zero (Enabled false) when pacing is off. On a sharded
+	// fleet the controller is shared, so the shard server attaches it once
+	// to the fleet view rather than per worker.
+	Pacing budget.PacingMetrics `json:"pacing"`
 }
 
 // RateSample is one phrase's observed arrival-rate estimate.
@@ -190,6 +198,7 @@ func (m Metrics) Merge(o Metrics) Metrics {
 	out.PlanSwaps += o.PlanSwaps
 	out.ReplanBuilds += o.ReplanBuilds
 	out.PlanSwapLatency.Merge(o.PlanSwapLatency)
+	out.Pacing = m.Pacing.Merge(o.Pacing)
 	out.RoundsPerSec, out.QueriesPerSec = 0, 0
 	if sec := out.Uptime.Seconds(); sec > 0 {
 		out.RoundsPerSec = float64(out.Rounds) / sec

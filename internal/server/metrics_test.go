@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
 	"sharedwd/internal/stats"
 )
@@ -113,9 +114,15 @@ func TestMetricsJSONRoundTrip(t *testing.T) {
 		Observed:     []RateSample{{Phrase: 0, Rate: 0.25}, {Phrase: 3, Rate: 0.75}},
 		PlanSwaps:    2,
 		ReplanBuilds: 3,
+		Pacing: budget.PacingMetrics{
+			Enabled: true, Advertisers: 200, Active: 180, Rounds: 40, Epochs: 2,
+			TargetSpend: 55.5, ActualSpend: 54.25, FactorSum: 120.5, Throttled: 33,
+		},
 	}
 	m.PlanSwapLatency.Add(0.0001)
 	m.PlanSwapLatency.Add(0.0002)
+	m.Pacing.AbsError.Add(0.4)
+	m.Pacing.AbsError.Add(0.2)
 
 	data, err := json.Marshal(m)
 	if err != nil {
@@ -127,6 +134,9 @@ func TestMetricsJSONRoundTrip(t *testing.T) {
 		`"queue_depth":7`, `"queries_per_sec":0.88`, `"admission_wait"`,
 		`"winner_determination"`, `"total_latency"`, `"auctions_resolved":75`,
 		`"nodes_materialized":1234`, `"plan_swaps":2`, `"observed"`,
+		`"pacing"`, `"enabled":true`, `"target_spend":55.5`,
+		`"actual_spend":54.25`, `"factor_sum":120.5`, `"throttled":33`,
+		`"abs_error"`,
 	} {
 		if !strings.Contains(string(data), key) {
 			t.Errorf("wire schema missing %s in %s", key, data)
@@ -155,6 +165,9 @@ func TestMetricsJSONRoundTrip(t *testing.T) {
 	}
 	if back.PlanSwapLatency != m.PlanSwapLatency {
 		t.Fatalf("PlanSwapLatency did not round-trip: %+v", back.PlanSwapLatency)
+	}
+	if back.Pacing != m.Pacing {
+		t.Fatalf("Pacing did not round-trip:\n got %+v\nwant %+v", back.Pacing, m.Pacing)
 	}
 
 	// The decoded distributions keep merging exactly: Merge of decoded

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sharedwd/internal/budget"
 	"sharedwd/internal/core"
 	"sharedwd/internal/replan"
 	"sharedwd/internal/serr"
@@ -106,6 +107,19 @@ type Config struct {
 	// callback runs between rounds, so it must be fast and must never
 	// block; hand the summary off to a buffered channel or drop it.
 	OnRound func(RoundSummary)
+
+	// Pacing, when non-nil, turns on the online budget-pacing controller:
+	// Server.New (and shard.New, for a fleet) builds one budget.Pacer over
+	// the budget authority and attaches it to every engine, so advertiser
+	// bids are throttled toward a smooth spend curve over Pacing.Horizon
+	// rounds instead of exhausting budgets front-loaded. See
+	// internal/budget.PacerConfig.
+	Pacing *budget.PacerConfig
+	// Lifecycle, when non-nil, is the advertiser lifecycle schedule the
+	// engines (join/leave) and the pacer (budget-refresh epochs) replay at
+	// round boundaries. Its universe must match the workload's advertiser
+	// count.
+	Lifecycle *workload.Lifecycle
 }
 
 // RoundSummary is the per-round event the round loop publishes through
@@ -175,6 +189,11 @@ func (c Config) Validate() error {
 			return fmt.Errorf("server: replanning requires a shared-aggregation engine")
 		}
 	}
+	if c.Pacing != nil {
+		if err := c.Pacing.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -207,6 +226,7 @@ type Result struct {
 type Server struct {
 	worker  *Worker
 	matcher *workload.Matcher
+	pacer   *budget.Pacer
 
 	unmatched atomic.Int64
 }
@@ -215,13 +235,41 @@ type Server struct {
 // server takes ownership of the workload: the caller must not mutate or
 // step it while the server runs. Close must be called to release the loop
 // (and the engine's worker pool, if any).
+//
+// When cfg.Pacing is set, New builds the pacing controller over the
+// engine's budget authority — installing a budget.Ledger as Engine.Ledger
+// first if the caller didn't supply one, since refresh epochs need a
+// depositable authority — and attaches cfg.Lifecycle to both.
 func New(w *workload.Workload, cfg Config) (*Server, error) {
+	var pacer *budget.Pacer
+	if cfg.Pacing != nil {
+		budgets := make([]float64, len(w.Advertisers))
+		for i, a := range w.Advertisers {
+			budgets[i] = a.Budget
+		}
+		auth, _ := cfg.Engine.Ledger.(budget.Authority)
+		if auth == nil {
+			ledger := budget.NewLedger(budgets)
+			cfg.Engine.Ledger = ledger
+			auth = ledger
+		}
+		var err error
+		pacer, err = budget.NewPacer(auth, budgets, *cfg.Pacing, cfg.Lifecycle)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Engine.Pacer = pacer
+	}
+	cfg.Engine.Lifecycle = cfg.Lifecycle
 	worker, err := NewWorker(w, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{worker: worker, matcher: workload.NewMatcher(w.PhraseNames)}, nil
+	return &Server{worker: worker, matcher: workload.NewMatcher(w.PhraseNames), pacer: pacer}, nil
 }
+
+// Pacer returns the server's pacing controller, nil when pacing is off.
+func (s *Server) Pacer() *budget.Pacer { return s.pacer }
 
 // Matcher exposes the server's query-to-phrase matcher so callers can
 // register rewrites (synonyms) before serving traffic. Matcher.AddRewrite
@@ -306,5 +354,8 @@ func (s *Server) Metrics() Metrics {
 	m := s.worker.Metrics()
 	m.Unmatched = s.unmatched.Load()
 	m.Submitted += m.Unmatched // unmatched queries never reach the worker
+	if s.pacer != nil {
+		m.Pacing = s.pacer.Metrics()
+	}
 	return m
 }

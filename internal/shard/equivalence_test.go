@@ -41,9 +41,13 @@ type shardedFleet struct {
 	engines []*core.Engine
 	idx     *workload.PartitionIndex
 	ledger  *budget.Ledger
+	pacer   *budget.Pacer
 }
 
-func newFleet(t *testing.T, w *workload.Workload, shards int, router Router, ecfg core.Config) *shardedFleet {
+// newFleet builds the fleet; pcfg, when non-nil, attaches one shared
+// pacing controller over the central ledger (plus ecfg.Lifecycle, if set)
+// to every shard's engine — the production shard.New wiring.
+func newFleet(t *testing.T, w *workload.Workload, shards int, router Router, ecfg core.Config, pcfg *budget.PacerConfig) *shardedFleet {
 	t.Helper()
 	assign, err := router.Assign(w, shards)
 	if err != nil {
@@ -62,6 +66,13 @@ func newFleet(t *testing.T, w *workload.Workload, shards int, router Router, ecf
 	}
 	f := &shardedFleet{idx: idx, ledger: budget.NewLedger(budgets)}
 	ecfg.Ledger = f.ledger
+	if pcfg != nil {
+		f.pacer, err = budget.NewPacer(f.ledger, budgets, *pcfg, ecfg.Lifecycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ecfg.Pacer = f.pacer
+	}
 	for s := 0; s < shards; s++ {
 		eng, err := core.New(parts[s], ecfg)
 		if err != nil {
@@ -150,7 +161,7 @@ func TestShardedEquivalenceUnlimitedBudgets(t *testing.T) {
 				t.Fatal(err)
 			}
 			wFleet := workload.Generate(wcfg)
-			fleet := newFleet(t, wFleet, tc.shards, tc.router, ecfg)
+			fleet := newFleet(t, wFleet, tc.shards, tc.router, ecfg, nil)
 
 			occRng := rand.New(rand.NewSource(99))
 			occ := make([]bool, wcfg.NumPhrases)
@@ -219,7 +230,7 @@ func TestShardedEquivalenceBindingBudgets(t *testing.T) {
 		t.Fatal(err)
 	}
 	wFleet := workload.Generate(wcfg)
-	fleet := newFleet(t, wFleet, 4, HashRouter{}, ecfg)
+	fleet := newFleet(t, wFleet, 4, HashRouter{}, ecfg, nil)
 
 	occRng := rand.New(rand.NewSource(99))
 	occ := make([]bool, wcfg.NumPhrases)
@@ -251,5 +262,104 @@ func TestShardedEquivalenceBindingBudgets(t *testing.T) {
 	tol := 0.05*math.Max(singleSpend, fleetSpend) + 1
 	if diff := math.Abs(singleSpend - fleetSpend); diff > tol {
 		t.Fatalf("total spend diverged: single %v, sharded %v (diff %v > tol %v)", singleSpend, fleetSpend, diff, tol)
+	}
+}
+
+// TestShardedEquivalencePacing: with the pacing controller engaged —
+// horizon chosen so the target curve binds (factors drop below 1) while
+// budgets never do — a sharded fleet's shared controller paces exactly
+// like a single engine's. Every engine syncs the controller at the top of
+// its Step before charging, so factors for round t are a pure function of
+// spend settled through t−1 on both sides; per-advertiser spend and
+// terminal factors agree to floating-point accumulation order. A lifecycle
+// schedule (join, leave) rides along to pin that engines replay it
+// identically across the partition.
+func TestShardedEquivalencePacing(t *testing.T) {
+	wcfg := equivalenceWorkloadConfig(1e6, 2e6) // never binds over the run
+	ecfg := core.DefaultConfig()
+	ecfg.Policy = core.Naive
+	ecfg.ClickOutcome = detOutcome(ecfg.ClickHorizon)
+
+	// Per-round target = budget/horizon ≈ 0.002–0.004: any advertiser whose
+	// ads get clicked at all outspends its curve, so throttling engages.
+	pcfg := budget.DefaultPacerConfig()
+	pcfg.Horizon = 5e8
+
+	wSingle := workload.Generate(wcfg)
+	lc, err := workload.NewLifecycle(len(wSingle.Advertisers), []workload.LifecycleEvent{
+		{Round: 10, Kind: workload.LifecycleJoin, Advertiser: 3},
+		{Round: 25, Kind: workload.LifecycleLeave, Advertiser: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg.Lifecycle = lc
+
+	budgets := make([]float64, len(wSingle.Advertisers))
+	for i, a := range wSingle.Advertisers {
+		budgets[i] = a.Budget
+	}
+	singleLedger := budget.NewLedger(budgets)
+	singlePacer, err := budget.NewPacer(singleLedger, budgets, pcfg, lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := ecfg
+	scfg.Ledger = singleLedger
+	scfg.Pacer = singlePacer
+	single, err := core.New(wSingle, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wFleet := workload.Generate(wcfg)
+	fleet := newFleet(t, wFleet, 4, HashRouter{}, ecfg, &pcfg)
+
+	occRng := rand.New(rand.NewSource(99))
+	occ := make([]bool, wcfg.NumPhrases)
+	for round := 0; round < 60; round++ {
+		for q := range occ {
+			occ[q] = occRng.Float64() < wFleet.Rates[q]
+		}
+		single.Step(occ)
+		fleet.step(occ)
+	}
+
+	// Factors are a pure function of spend settled through the previous
+	// round, so under lockstep stepping they agree exactly. (Drain below
+	// advances each shard's rounds without a barrier, so factors computed
+	// during drain may see mid-round spend — compare before.)
+	for i := range budgets {
+		sf, ff := singlePacer.Factor(i), fleet.pacer.Factor(i)
+		if math.Abs(sf-ff) > 1e-6 {
+			t.Fatalf("advertiser %d: factor %v single vs %v sharded", i, sf, ff)
+		}
+	}
+	// The run must actually have engaged the machinery it claims to test.
+	m := fleet.pacer.Metrics()
+
+	single.Drain()
+	fleet.drain()
+
+	if s, f := single.Stats(), totalStats(fleet); s.ClicksCharged != f.ClicksCharged || s.AdsDisplayed != f.AdsDisplayed {
+		t.Fatalf("click accounting diverged: single %+v, fleet %+v", s, f)
+	}
+	for i := range budgets {
+		ss, fs := singleLedger.Spent(i), fleet.ledger.Spent(i)
+		if math.Abs(ss-fs) > 1e-6 {
+			t.Fatalf("advertiser %d: spent %v single vs %v sharded", i, ss, fs)
+		}
+	}
+	if m.Throttled == 0 {
+		t.Fatal("no advertiser was throttled — the target curve never bound")
+	}
+	if fleet.pacer.Factor(7) != 0 {
+		t.Fatalf("left advertiser's factor = %v, want 0", fleet.pacer.Factor(7))
+	}
+	if m.Active != len(budgets)-1 {
+		t.Fatalf("active = %d, want %d (one join, one leave)", m.Active, len(budgets)-1)
+	}
+	if fleet.ledger.TotalSpent() <= 0 {
+		t.Fatal("degenerate run: no spend")
 	}
 }

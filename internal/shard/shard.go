@@ -92,6 +92,7 @@ type Server struct {
 	matcher *workload.PartitionedMatcher
 	idx     *workload.PartitionIndex
 	ledger  *budget.Ledger
+	pacer   *budget.Pacer
 
 	unmatched atomic.Int64
 }
@@ -138,6 +139,21 @@ func New(w *workload.Workload, cfg Config) (*Server, error) {
 	}
 	wcfg := cfg.Worker
 	wcfg.Engine.Ledger = s.ledger
+	wcfg.Engine.Lifecycle = wcfg.Lifecycle
+	if wcfg.Pacing != nil {
+		// One pacing controller for the whole fleet, over the central
+		// ledger: every shard's engine syncs it at its round boundary (the
+		// sync is round-gated and idempotent, so whichever shard arrives
+		// first performs it) and reads the same published factors. Spend is
+		// globally exact through the ledger, so pacing state survives
+		// sharding without per-shard drift.
+		pacer, err := budget.NewPacer(s.ledger, budgets, *wcfg.Pacing, wcfg.Lifecycle)
+		if err != nil {
+			return nil, err
+		}
+		s.pacer = pacer
+		wcfg.Engine.Pacer = pacer
+	}
 	for sh := range s.workers {
 		if cfg.TotalWorkers > 0 {
 			wcfg.Engine.Workers = cfg.TotalWorkers / cfg.Shards
@@ -180,6 +196,10 @@ func (s *Server) Assignment() []int {
 // Ledger exposes the central budget ledger for accounting reads (Remaining,
 // Spent) and mid-run Deposit top-ups. Safe for concurrent use.
 func (s *Server) Ledger() *budget.Ledger { return s.ledger }
+
+// Pacer returns the fleet's shared pacing controller, nil when pacing is
+// off. Safe for concurrent use.
+func (s *Server) Pacer() *budget.Pacer { return s.pacer }
 
 // Matcher exposes the partitioned query matcher so callers can register
 // rewrites before serving traffic; AddRewrite is not safe concurrently
@@ -299,6 +319,11 @@ func (s *Server) Metrics() server.Metrics {
 	}
 	m.Unmatched = s.unmatched.Load()
 	m.Submitted += m.Unmatched // unmatched queries never reach a worker
+	if s.pacer != nil {
+		// The controller is shared fleet-wide; attach its snapshot once
+		// rather than summing per worker.
+		m.Pacing = s.pacer.Metrics()
+	}
 	return m
 }
 

@@ -43,11 +43,14 @@ type histogramWire struct {
 	Hi      float64 `json:"hi"`
 	Buckets []int   `json:"buckets"`
 	Count   int     `json:"count"`
+	// Invalid is the dropped non-finite observation tally; omitted when
+	// zero so pre-existing payloads decode unchanged.
+	Invalid int `json:"invalid,omitempty"`
 }
 
-// MarshalJSON encodes the histogram as {lo, hi, buckets, count}.
+// MarshalJSON encodes the histogram as {lo, hi, buckets, count, invalid}.
 func (h *Histogram) MarshalJSON() ([]byte, error) {
-	return json.Marshal(histogramWire{Lo: h.Lo, Hi: h.Hi, Buckets: h.Buckets, Count: h.n})
+	return json.Marshal(histogramWire{Lo: h.Lo, Hi: h.Hi, Buckets: h.Buckets, Count: h.n, Invalid: h.invalid})
 }
 
 // UnmarshalJSON restores a histogram from its wire state, validating the
@@ -70,6 +73,9 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	if total != w.Count {
 		return fmt.Errorf("stats: bucket counts sum to %d, header says %d", total, w.Count)
 	}
-	*h = Histogram{Lo: w.Lo, Hi: w.Hi, Buckets: w.Buckets, n: w.Count}
+	if w.Invalid < 0 {
+		return fmt.Errorf("stats: negative invalid count %d", w.Invalid)
+	}
+	*h = Histogram{Lo: w.Lo, Hi: w.Hi, Buckets: w.Buckets, n: w.Count, invalid: w.Invalid}
 	return nil
 }

@@ -142,11 +142,16 @@ func Quantile(xs []float64, q float64) float64 {
 }
 
 // Histogram is a fixed-width histogram over [Lo, Hi); observations outside
-// the range are clamped into the edge buckets.
+// the range are clamped into the edge buckets. Non-finite observations
+// (NaN, ±Inf) are never bucketed — the float→int conversion their bucket
+// index would go through is platform-defined — but are counted in a
+// separate invalid tally (see Invalid) so corrupt samples stay visible.
 type Histogram struct {
 	Lo, Hi  float64
 	Buckets []int
 	n       int
+	// invalid counts NaN/±Inf observations dropped by AddN.
+	invalid int
 }
 
 // NewHistogram creates a histogram with the given bucket count over [lo, hi).
@@ -163,11 +168,19 @@ func (h *Histogram) Add(x float64) { h.AddN(x, 1) }
 // AddN records n identical observations in one bucket update — what a
 // histogram merge across mismatched geometries uses to stay O(buckets)
 // instead of O(observations). n must be non-negative; n = 0 is a no-op.
+// A non-finite x (NaN, ±Inf) is dropped into the invalid tally instead of
+// a bucket: NaN in particular would otherwise flow through a float→int
+// conversion whose result is platform-defined and corrupt an arbitrary
+// bucket silently.
 func (h *Histogram) AddN(x float64, n int) {
 	if n < 0 {
 		panic(fmt.Sprintf("stats: AddN of %d observations", n))
 	}
 	if n == 0 {
+		return
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.invalid += n
 		return
 	}
 	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
@@ -181,8 +194,12 @@ func (h *Histogram) AddN(x float64, n int) {
 	h.n += n
 }
 
-// N returns the number of recorded observations.
+// N returns the number of recorded (bucketed) observations; invalid
+// observations are excluded.
 func (h *Histogram) N() int { return h.n }
+
+// Invalid returns the number of non-finite observations dropped by AddN.
+func (h *Histogram) Invalid() int { return h.invalid }
 
 // Clone returns an independent copy of the histogram.
 func (h *Histogram) Clone() *Histogram {
@@ -198,7 +215,11 @@ func (h *Histogram) Clone() *Histogram {
 // buckets is re-added at its midpoint, which preserves N and is accurate to
 // h's bucket resolution.
 func (h *Histogram) Merge(o *Histogram) {
-	if o == nil || o.n == 0 {
+	if o == nil {
+		return
+	}
+	h.invalid += o.invalid
+	if o.n == 0 {
 		return
 	}
 	if h.Lo == o.Lo && h.Hi == o.Hi && len(h.Buckets) == len(o.Buckets) {

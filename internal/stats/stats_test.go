@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -354,5 +355,91 @@ func TestHistogramClone(t *testing.T) {
 	}
 	if h.Buckets[3] != 0 || c.Buckets[3] != 1 {
 		t.Fatalf("clone shares buckets: %v vs %v", h.Buckets, c.Buckets)
+	}
+}
+
+// TestHistogramNonFinite is the NaN-bucket regression: a non-finite
+// observation must never reach the float→int bucket-index conversion
+// (whose result for NaN is platform-defined) — it lands in the counted
+// invalid tally instead, buckets and N untouched.
+func TestHistogramNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		x           float64
+		n           int
+		wantInvalid int
+	}{
+		{"nan", math.NaN(), 1, 1},
+		{"nan-batch", math.NaN(), 5, 5},
+		{"+inf", math.Inf(1), 2, 2},
+		{"-inf", math.Inf(-1), 3, 3},
+		{"finite", 0.5, 4, 0},
+		{"zero-count-nan", math.NaN(), 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(0, 1, 4)
+			h.AddN(tc.x, tc.n)
+			if got := h.Invalid(); got != tc.wantInvalid {
+				t.Fatalf("Invalid() = %d, want %d", got, tc.wantInvalid)
+			}
+			wantN := 0
+			if tc.wantInvalid == 0 {
+				wantN = tc.n
+			}
+			if h.N() != wantN {
+				t.Fatalf("N() = %d, want %d", h.N(), wantN)
+			}
+			total := 0
+			for _, c := range h.Buckets {
+				if c < 0 {
+					t.Fatalf("corrupted bucket counts %v", h.Buckets)
+				}
+				total += c
+			}
+			if total != wantN {
+				t.Fatalf("bucket sum %d, want %d", total, wantN)
+			}
+		})
+	}
+}
+
+// TestHistogramInvalidMergeAndJSON: the invalid tally survives merges
+// (both geometries) and the JSON round trip, and a histogram holding only
+// invalid observations still merges without disturbing the target.
+func TestHistogramInvalidMergeAndJSON(t *testing.T) {
+	a := NewHistogram(0, 1, 4)
+	a.Add(0.25)
+	a.Add(math.NaN())
+	b := NewHistogram(0, 1, 4)
+	b.Add(math.Inf(1))
+	a.Merge(b)
+	if a.Invalid() != 2 || a.N() != 1 {
+		t.Fatalf("same-geometry merge: invalid %d, n %d", a.Invalid(), a.N())
+	}
+	c := NewHistogram(0, 2, 8) // different geometry
+	c.Add(math.Inf(-1))
+	a.Merge(c)
+	if a.Invalid() != 3 || a.N() != 1 {
+		t.Fatalf("cross-geometry merge: invalid %d, n %d", a.Invalid(), a.N())
+	}
+
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Invalid() != 3 || back.N() != 1 {
+		t.Fatalf("round trip: invalid %d, n %d", back.Invalid(), back.N())
+	}
+	// Negative invalid counts are rejected on the wire.
+	if err := json.Unmarshal([]byte(`{"lo":0,"hi":1,"buckets":[0],"count":0,"invalid":-1}`), &back); err == nil {
+		t.Fatal("negative invalid accepted")
+	}
+	// Pre-existing payloads without the field decode to zero.
+	if err := json.Unmarshal([]byte(`{"lo":0,"hi":1,"buckets":[2],"count":2}`), &back); err != nil || back.Invalid() != 0 {
+		t.Fatalf("legacy payload: %v, invalid %d", err, back.Invalid())
 	}
 }

@@ -35,10 +35,14 @@ type OutcomeFunc func(advertiser int, price, ctr float64, round int) (clicked bo
 
 // ClickSim simulates delayed clicks: a displayed ad with click-through rate
 // ctr is eventually clicked with probability ctr; the delay is geometric
-// with per-round continuation (1 − Hazard), truncated at Horizon rounds.
-// Consequently the probability that an ad of age a is still going to be
-// clicked is ctr·(1−Hazard)^a for a < Horizon and 0 beyond — exactly the
-// decaying outstanding-ad CTR Section IV models (see RemainingCTR).
+// with per-round continuation (1 − Hazard), conditioned on the observable
+// window {1, …, Horizon−1}. Delay 0 is excluded by construction — the
+// display round's Advance has already run when the ad is registered, so a
+// same-round click could never be delivered (see OutcomeFunc) — and the
+// normalization keeps the realized click frequency at ctr rather than
+// losing the truncated tail. The probability that an ad of age a is still
+// going to be clicked decays like ctr·(1−Hazard)^a (see RemainingCTR, the
+// Section IV model; exact up to the horizon-truncation correction).
 type ClickSim struct {
 	// Hazard is the per-round click probability given the ad will be
 	// clicked and hasn't been yet.
@@ -78,30 +82,59 @@ func (cs *ClickSim) Display(advertiser int, price, ctr float64, round int) {
 			p.clickRound = round + delay
 		}
 	} else if cs.rng.Float64() < ctr {
-		delay := 0
-		for cs.rng.Float64() >= cs.Hazard {
-			delay++
-		}
-		if delay < cs.Horizon {
+		if delay := cs.drawDelay(); delay > 0 {
 			p.clickRound = round + delay
 		}
 	}
 	cs.pending = append(cs.pending, p)
 }
 
-// Advance reveals the clicks that arrive in the given round and drops ads
-// past the horizon. Rounds must be advanced in non-decreasing order. The
-// returned slice is reused by the next Advance call; callers that retain
-// clicks across rounds must copy them.
+// drawDelay samples a click delay from the geometric hazard distribution
+// P(delay = k) ∝ Hazard·(1−Hazard)^(k−1) conditioned on the observable
+// support {1, …, Horizon−1}, via a single inverse-CDF uniform draw. The
+// conditioning matters twice over: delay 0 is unobservable (the engines run
+// Advance before Display within a round, so a delay-0 click would be
+// silently dropped — the lost-click bias this replaces), and renormalizing
+// instead of discarding the ≥ Horizon tail keeps the eventual click
+// probability of a displayed ad at exactly its ctr. Returns 0 — no click —
+// when the support is empty (Horizon < 2).
+func (cs *ClickSim) drawDelay() int {
+	if cs.Horizon < 2 {
+		return 0
+	}
+	if cs.Hazard >= 1 {
+		return 1
+	}
+	// z = P(1 ≤ delay ≤ Horizon−1) under the unconditioned geometric; the
+	// smallest k with CDF(k)/z > u is 1 + ⌊ln(1−u·z)/ln(1−Hazard)⌋.
+	z := 1 - math.Pow(1-cs.Hazard, float64(cs.Horizon-1))
+	u := cs.rng.Float64()
+	delay := 1 + int(math.Log1p(-u*z)/math.Log(1-cs.Hazard))
+	if delay < 1 {
+		delay = 1
+	}
+	if delay >= cs.Horizon {
+		delay = cs.Horizon - 1
+	}
+	return delay
+}
+
+// Advance reveals the clicks that have arrived by the given round and drops
+// ads past the horizon. Rounds must be advanced in non-decreasing order,
+// but gaps are allowed: a click whose round falls strictly inside a gap is
+// delivered at the next Advance, with Click.Round reporting the round the
+// click actually arrived (≤ the advanced round), never silently dropped.
+// The returned slice is reused by the next Advance call; callers that
+// retain clicks across rounds must copy them.
 func (cs *ClickSim) Advance(round int) []Click {
 	clicks := cs.clickBuf[:0]
 	keep := cs.pending[:0]
 	for _, p := range cs.pending {
 		switch {
-		case p.clickRound == round:
+		case p.clickRound >= 0 && p.clickRound <= round:
 			clicks = append(clicks, Click{
 				Advertiser: p.advertiser, Price: p.price,
-				Displayed: p.displayed, Round: round,
+				Displayed: p.displayed, Round: p.clickRound,
 			})
 		case p.clickRound > round:
 			keep = append(keep, p)
@@ -143,9 +176,11 @@ func (cs *ClickSim) AppendOutstanding(prices, ctrs []float64, advertiser, round 
 // PendingCount returns how many ads are still awaiting resolution.
 func (cs *ClickSim) PendingCount() int { return len(cs.pending) }
 
-// RemainingCTR is the probability that an ad displayed with click-through
-// rate ctr0 and now of the given age will still be clicked:
-// ctr0·(1−hazard)^age, zero at or beyond the horizon.
+// RemainingCTR is the Section IV model of the probability that an ad
+// displayed with click-through rate ctr0 and now of the given age will
+// still be clicked: ctr0·(1−hazard)^age, zero at or beyond the horizon.
+// Under the simulator's horizon-conditioned delay draw this is exact up to
+// the truncation correction (negligible whenever horizon ≫ 1/hazard).
 func RemainingCTR(ctr0 float64, age int, hazard float64, horizon int) float64 {
 	if age < 0 {
 		age = 0

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// LifecycleKind classifies one advertiser lifecycle event.
+type LifecycleKind uint8
+
+// Lifecycle event kinds.
+const (
+	// LifecycleJoin activates an advertiser at the event round: it starts
+	// bidding in that round's auctions. Advertisers are active by default;
+	// a join only matters after a leave (campaign windows are join/leave
+	// pairs) or for advertisers declared initially inactive.
+	LifecycleJoin LifecycleKind = iota
+	// LifecycleLeave deactivates an advertiser at the event round: it stops
+	// bidding, but its outstanding ads still settle and charge.
+	LifecycleLeave
+	// LifecycleRefresh starts a new budget epoch at the event round: the
+	// advertiser's remaining budget is topped back up (to Budget, or to its
+	// initial budget when the event's Budget is 0) and the pacing target
+	// curve restarts. Refreshes are applied by the pacing controller —
+	// which holds the fleet's single budget authority — not by each engine,
+	// so a sharded fleet deposits exactly once.
+	LifecycleRefresh
+)
+
+func (k LifecycleKind) String() string {
+	switch k {
+	case LifecycleJoin:
+		return "join"
+	case LifecycleLeave:
+		return "leave"
+	case LifecycleRefresh:
+		return "refresh"
+	}
+	return fmt.Sprintf("LifecycleKind(%d)", uint8(k))
+}
+
+// LifecycleEvent is one advertiser lifecycle change, effective at the start
+// of the given round (before that round's bids are computed).
+type LifecycleEvent struct {
+	Round      int
+	Kind       LifecycleKind
+	Advertiser int
+	// Budget is the refresh level for LifecycleRefresh events: remaining
+	// budget is restored to it. 0 means "the advertiser's initial budget".
+	// Ignored for join/leave.
+	Budget float64
+}
+
+// Lifecycle is an immutable, round-ordered advertiser lifecycle schedule —
+// the event stream engines (join/leave) and the pacing controller
+// (refresh epochs) consume at round boundaries. Because consumers replay
+// the same schedule as a pure function of the round number, every shard of
+// a fleet sees identical active sets with no cross-shard coordination.
+//
+// Thread safety: a Lifecycle is immutable after construction and safe for
+// concurrent readers; each consumer keeps its own cursor.
+type Lifecycle struct {
+	events []LifecycleEvent
+	n      int // advertiser universe size
+	// initiallyInactive marks advertisers that start deactivated (their
+	// first event is a join strictly after round 0).
+	initiallyInactive []bool
+}
+
+// NewLifecycle validates and orders a schedule over an advertiser universe
+// of size n. Events are stably sorted by round, so same-round events apply
+// in the order given. Advertisers whose first event is a LifecycleJoin at a
+// round > 0 start inactive (their campaign has not begun).
+func NewLifecycle(n int, events []LifecycleEvent) (*Lifecycle, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: lifecycle over %d advertisers", n)
+	}
+	evs := append([]LifecycleEvent(nil), events...)
+	for _, ev := range evs {
+		if ev.Advertiser < 0 || ev.Advertiser >= n {
+			return nil, fmt.Errorf("workload: lifecycle event for advertiser %d outside universe [0,%d)", ev.Advertiser, n)
+		}
+		if ev.Round < 0 {
+			return nil, fmt.Errorf("workload: lifecycle event at negative round %d", ev.Round)
+		}
+		if ev.Kind > LifecycleRefresh {
+			return nil, fmt.Errorf("workload: unknown lifecycle kind %d", ev.Kind)
+		}
+		if ev.Budget < 0 {
+			return nil, fmt.Errorf("workload: negative refresh budget %v", ev.Budget)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Round < evs[j].Round })
+	lc := &Lifecycle{events: evs, n: n, initiallyInactive: make([]bool, n)}
+	seen := make([]bool, n)
+	for _, ev := range evs {
+		if ev.Kind == LifecycleRefresh || seen[ev.Advertiser] {
+			continue
+		}
+		seen[ev.Advertiser] = true
+		lc.initiallyInactive[ev.Advertiser] = ev.Kind == LifecycleJoin && ev.Round > 0
+	}
+	return lc, nil
+}
+
+// NumAdvertisers returns the advertiser universe size.
+func (lc *Lifecycle) NumAdvertisers() int { return lc.n }
+
+// Events returns the round-ordered schedule (shared; callers must not
+// mutate it).
+func (lc *Lifecycle) Events() []LifecycleEvent { return lc.events }
+
+// InitiallyActive reports whether advertiser i is active before round 0 —
+// false exactly when its first join/leave event is a join after round 0.
+func (lc *Lifecycle) InitiallyActive(i int) bool { return !lc.initiallyInactive[i] }
+
+// Apply invokes fn for every event with Round ≤ round, starting from the
+// given cursor, and returns the advanced cursor. Consumers call it once per
+// round boundary with their own cursor; it never allocates.
+func (lc *Lifecycle) Apply(cursor, round int, fn func(LifecycleEvent)) int {
+	for cursor < len(lc.events) && lc.events[cursor].Round <= round {
+		fn(lc.events[cursor])
+		cursor++
+	}
+	return cursor
+}
+
+// LifecycleConfig parameterizes GenerateLifecycle.
+type LifecycleConfig struct {
+	// Rounds is the scheduled day length (the campaign horizon).
+	Rounds int
+	// ChurnFraction is the fraction of advertisers running a campaign
+	// window shorter than the day: each gets a join at a random start round
+	// and a leave at a random later round. 0 disables churn.
+	ChurnFraction float64
+	// RefreshEvery, when > 0, schedules a budget-refresh epoch for every
+	// advertiser each RefreshEvery rounds (restoring its initial budget).
+	RefreshEvery int
+	// Seed drives the churn draws.
+	Seed int64
+}
+
+// GenerateLifecycle builds a synthetic day-in-the-life schedule for the
+// workload's advertisers: a ChurnFraction of them run sub-day campaign
+// windows (join/leave pairs at random rounds), and every RefreshEvery
+// rounds each advertiser's budget refreshes to its initial level.
+func GenerateLifecycle(w *Workload, cfg LifecycleConfig) (*Lifecycle, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("workload: lifecycle over %d rounds", cfg.Rounds)
+	}
+	if cfg.ChurnFraction < 0 || cfg.ChurnFraction > 1 {
+		return nil, fmt.Errorf("workload: churn fraction %v outside [0,1]", cfg.ChurnFraction)
+	}
+	if cfg.RefreshEvery < 0 {
+		return nil, fmt.Errorf("workload: negative refresh period %d", cfg.RefreshEvery)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []LifecycleEvent
+	for i := range w.Advertisers {
+		if cfg.ChurnFraction <= 0 || rng.Float64() >= cfg.ChurnFraction {
+			continue
+		}
+		start := rng.Intn(cfg.Rounds)
+		end := start + 1 + rng.Intn(cfg.Rounds-start)
+		events = append(events, LifecycleEvent{Round: start, Kind: LifecycleJoin, Advertiser: i})
+		if end < cfg.Rounds {
+			events = append(events, LifecycleEvent{Round: end, Kind: LifecycleLeave, Advertiser: i})
+		}
+	}
+	if cfg.RefreshEvery > 0 {
+		for r := cfg.RefreshEvery; r < cfg.Rounds; r += cfg.RefreshEvery {
+			for i := range w.Advertisers {
+				events = append(events, LifecycleEvent{Round: r, Kind: LifecycleRefresh, Advertiser: i})
+			}
+		}
+	}
+	return NewLifecycle(len(w.Advertisers), events)
+}

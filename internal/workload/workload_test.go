@@ -275,3 +275,180 @@ func TestQuickClickInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClickSimEngineOrderClickRate is the lost-click-bias regression: the
+// engines run Advance before Display within a round, so a delay-0 click
+// could never be delivered. The delay draw now has support {1,…,Horizon−1},
+// normalized so the realized click frequency stays ctr — before the fix,
+// roughly a Hazard fraction of clicks (the delay-0 mass) was silently
+// dropped, biasing spend low.
+func TestClickSimEngineOrderClickRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		hazard = 0.5 // delay-0 mass under the old draw: half the clicks
+		ctr    = 0.4
+		rounds = 4000
+	)
+	cs := NewClickSim(rng, hazard, 20)
+	displays, clicks := 0, 0
+	for r := 0; r < rounds+cs.Horizon; r++ {
+		clicks += len(cs.Advance(r)) // engine order: Advance, then Display
+		if r < rounds {
+			cs.Display(r%7, 1, ctr, r)
+			displays++
+		}
+	}
+	got := float64(clicks) / float64(displays)
+	if math.Abs(got-ctr) > 0.02 {
+		t.Fatalf("realized click rate %v under engine order, want ≈ %v (lost-click bias)", got, ctr)
+	}
+}
+
+// TestClickSimDelaySupport: drawn delays always land in {1,…,Horizon−1} —
+// delay 0 (unobservable) and ≥ Horizon (never delivered) are excluded by
+// construction, including at the degenerate Hazard = 1 and Horizon = 2
+// corners.
+func TestClickSimDelaySupport(t *testing.T) {
+	for _, tc := range []struct {
+		hazard  float64
+		horizon int
+	}{{0.5, 20}, {0.05, 3}, {1, 10}, {0.9, 2}} {
+		rng := rand.New(rand.NewSource(7))
+		cs := NewClickSim(rng, tc.hazard, tc.horizon)
+		for i := 0; i < 2000; i++ {
+			if d := cs.drawDelay(); d < 1 || d >= tc.horizon {
+				t.Fatalf("hazard %v horizon %d: delay %d outside {1,…,%d}", tc.hazard, tc.horizon, d, tc.horizon-1)
+			}
+		}
+	}
+	// Horizon 1 has no observable window at all: no click is ever drawn.
+	cs := NewClickSim(rand.New(rand.NewSource(7)), 0.5, 1)
+	for i := 0; i < 100; i++ {
+		if d := cs.drawDelay(); d != 0 {
+			t.Fatalf("horizon 1: delay %d, want 0 (no click)", d)
+		}
+	}
+}
+
+// TestClickSimGappedAdvance is the gap-drop regression: a click whose round
+// falls strictly inside an Advance gap must be delivered at the next
+// Advance — with Click.Round reporting its true arrival round — not
+// silently dropped.
+func TestClickSimGappedAdvance(t *testing.T) {
+	cs := NewClickSim(rand.New(rand.NewSource(1)), 0.5, 30)
+	cs.SetOutcome(func(adv int, price, ctr float64, round int) (bool, int) {
+		return true, 2 // every ad clicks exactly 2 rounds after display
+	})
+	cs.Display(4, 1.5, 0.9, 0) // clicks at round 2
+	cs.Display(5, 2.5, 0.9, 1) // clicks at round 3
+	if got := cs.Advance(0); len(got) != 0 {
+		t.Fatalf("round 0: %d clicks before any is due", len(got))
+	}
+	got := cs.Advance(7) // jump the gap over rounds 1–6
+	if len(got) != 2 {
+		t.Fatalf("gapped advance delivered %d clicks, want 2", len(got))
+	}
+	for _, c := range got {
+		want := Click{Advertiser: 4, Price: 1.5, Displayed: 0, Round: 2}
+		if c.Advertiser == 5 {
+			want = Click{Advertiser: 5, Price: 2.5, Displayed: 1, Round: 3}
+		}
+		if c != want {
+			t.Fatalf("gapped click %+v, want %+v", c, want)
+		}
+	}
+	if cs.PendingCount() != 0 {
+		t.Fatalf("pending = %d after gap delivery", cs.PendingCount())
+	}
+}
+
+func TestLifecycleValidation(t *testing.T) {
+	for i, tc := range []struct {
+		n  int
+		ev []LifecycleEvent
+	}{
+		{0, nil},
+		{2, []LifecycleEvent{{Round: 0, Kind: LifecycleJoin, Advertiser: 2}}},
+		{2, []LifecycleEvent{{Round: -1, Kind: LifecycleJoin, Advertiser: 0}}},
+		{2, []LifecycleEvent{{Round: 0, Kind: LifecycleKind(9), Advertiser: 0}}},
+		{2, []LifecycleEvent{{Round: 0, Kind: LifecycleRefresh, Advertiser: 0, Budget: -1}}},
+	} {
+		if _, err := NewLifecycle(tc.n, tc.ev); err == nil {
+			t.Errorf("case %d: invalid schedule accepted", i)
+		}
+	}
+}
+
+func TestLifecycleApplyAndInitialActivity(t *testing.T) {
+	lc, err := NewLifecycle(3, []LifecycleEvent{
+		{Round: 10, Kind: LifecycleLeave, Advertiser: 0},
+		{Round: 5, Kind: LifecycleJoin, Advertiser: 1},
+		{Round: 20, Kind: LifecycleRefresh, Advertiser: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advertiser 1's first join/leave event is a join after round 0: starts
+	// inactive. 0 (leave first) and 2 (refresh only) start active.
+	for i, want := range []bool{true, false, true} {
+		if got := lc.InitiallyActive(i); got != want {
+			t.Fatalf("InitiallyActive(%d) = %v, want %v", i, got, want)
+		}
+	}
+	var seen []LifecycleEvent
+	cursor := lc.Apply(0, 4, func(ev LifecycleEvent) { seen = append(seen, ev) })
+	if len(seen) != 0 {
+		t.Fatalf("events before round 5: %v", seen)
+	}
+	cursor = lc.Apply(cursor, 12, func(ev LifecycleEvent) { seen = append(seen, ev) })
+	if len(seen) != 2 || seen[0].Round != 5 || seen[1].Round != 10 {
+		t.Fatalf("events through round 12: %v", seen)
+	}
+	cursor = lc.Apply(cursor, 100, func(ev LifecycleEvent) { seen = append(seen, ev) })
+	if len(seen) != 3 || cursor != 3 {
+		t.Fatalf("events through round 100: %v (cursor %d)", seen, cursor)
+	}
+	if k := LifecycleJoin.String() + LifecycleLeave.String() + LifecycleRefresh.String(); k != "joinleaverefresh" {
+		t.Fatalf("kind strings: %q", k)
+	}
+}
+
+func TestGenerateLifecycle(t *testing.T) {
+	w := Generate(DefaultConfig())
+	lc, err := GenerateLifecycle(w, LifecycleConfig{Rounds: 500, ChurnFraction: 0.3, RefreshEvery: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumAdvertisers() != len(w.Advertisers) {
+		t.Fatalf("universe %d, want %d", lc.NumAdvertisers(), len(w.Advertisers))
+	}
+	joins, leaves, refreshes := 0, 0, 0
+	lastRound := -1
+	for _, ev := range lc.Events() {
+		if ev.Round < lastRound {
+			t.Fatal("events not round-ordered")
+		}
+		lastRound = ev.Round
+		switch ev.Kind {
+		case LifecycleJoin:
+			joins++
+		case LifecycleLeave:
+			leaves++
+		case LifecycleRefresh:
+			refreshes++
+		}
+	}
+	if joins == 0 || refreshes != 2*len(w.Advertisers) {
+		t.Fatalf("joins %d, leaves %d, refreshes %d (want joins > 0, refreshes %d)",
+			joins, leaves, refreshes, 2*len(w.Advertisers))
+	}
+	if leaves > joins {
+		t.Fatalf("more leaves (%d) than joins (%d)", leaves, joins)
+	}
+	// Bad configs are rejected.
+	for _, bad := range []LifecycleConfig{{Rounds: 0}, {Rounds: 10, ChurnFraction: 2}, {Rounds: 10, RefreshEvery: -1}} {
+		if _, err := GenerateLifecycle(w, bad); err == nil {
+			t.Errorf("config %+v accepted", bad)
+		}
+	}
+}

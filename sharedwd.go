@@ -417,6 +417,28 @@ type (
 	// remaining/spent reads and the atomic TryCharge that keeps the
 	// Section IV invariant exact fleet-wide.
 	BudgetLedger = budget.Ledger
+	// PacerConfig tunes the online budget-pacing controller (horizon,
+	// feedback gain, step clamp, factor floor). See WithPacing.
+	PacerConfig = budget.PacerConfig
+	// Pacer is the shared pacing controller: it adapts one throttle factor
+	// per advertiser each round so budgets exhaust smoothly over the
+	// configured horizon instead of front-loaded.
+	Pacer = budget.Pacer
+	// PacingMetrics is the pacing observability snapshot carried in
+	// Metrics (spend curve, throttle activity, pacing-error distribution).
+	PacingMetrics = budget.PacingMetrics
+	// Lifecycle is an advertiser lifecycle schedule: join/leave campaign
+	// windows consumed by the engines and budget-refresh epochs consumed
+	// by the pacing controller. See WithLifecycle.
+	Lifecycle = workload.Lifecycle
+	// LifecycleEvent is one advertiser lifecycle change, effective at the
+	// start of its round.
+	LifecycleEvent = workload.LifecycleEvent
+	// LifecycleKind classifies a lifecycle event (join, leave, refresh).
+	LifecycleKind = workload.LifecycleKind
+	// LifecycleConfig parameterizes GenerateLifecycle's synthetic
+	// day-in-the-life schedules.
+	LifecycleConfig = workload.LifecycleConfig
 	// Metrics is the unified observability view shared by Server,
 	// ShardedServer, and per-shard workers: lifetime counters, queue
 	// depth, per-stage latency distributions, derived rates, and the
@@ -689,6 +711,48 @@ func WithShards(n int) ServerOption { return func(c *serveConfig) { c.shards = n
 // routing, FragmentShardRouter to co-locate phrases that share plan
 // fragments.
 func WithShardRouter(r ShardRouter) ServerOption { return func(c *serveConfig) { c.router = r } }
+
+// Advertiser lifecycle event kinds (see Lifecycle).
+const (
+	LifecycleJoin    = workload.LifecycleJoin
+	LifecycleLeave   = workload.LifecycleLeave
+	LifecycleRefresh = workload.LifecycleRefresh
+)
+
+// DefaultPacerConfig returns the pacing controller defaults: a 1000-round
+// horizon with a gentle multiplicative feedback gain. See
+// internal/budget.DefaultPacerConfig.
+func DefaultPacerConfig() PacerConfig { return budget.DefaultPacerConfig() }
+
+// NewLifecycle validates and orders an advertiser lifecycle schedule over
+// a universe of n advertisers. Events apply at the start of their round;
+// advertisers whose first event is a join after round 0 start inactive.
+func NewLifecycle(n int, events []LifecycleEvent) (*Lifecycle, error) {
+	return workload.NewLifecycle(n, events)
+}
+
+// GenerateLifecycle builds a synthetic day-in-the-life schedule for the
+// workload's advertisers: churn campaign windows plus periodic budget
+// refreshes. See LifecycleConfig.
+func GenerateLifecycle(w *Workload, cfg LifecycleConfig) (*Lifecycle, error) {
+	return workload.GenerateLifecycle(w, cfg)
+}
+
+// WithPacing turns on the online budget-pacing controller: one shared
+// Pacer over the fleet's budget authority adapts a per-advertiser throttle
+// factor each round so budgets last the configured horizon. Works on both
+// NewServer (a ledger is installed automatically) and NewShardedServer
+// (the controller is shared across shards over the central ledger).
+func WithPacing(cfg PacerConfig) ServerOption {
+	return func(c *serveConfig) { c.srv.Pacing = &cfg }
+}
+
+// WithLifecycle attaches an advertiser lifecycle schedule: engines replay
+// its join/leave events at round boundaries, and the pacing controller
+// (when WithPacing is also given) applies its budget-refresh epochs.
+func WithLifecycle(lc *Lifecycle) ServerOption {
+	return func(c *serveConfig) { c.srv.Lifecycle = lc }
+}
 
 // WithTotalWorkers sets a total core budget for serving. NewShardedServer
 // splits it across the shards — each shard's engine gets an equal share of
